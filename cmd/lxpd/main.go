@@ -1,0 +1,63 @@
+// Command lxpd serves an XML document (or a generated demo catalog)
+// over the LXP protocol on TCP, so mixq — or any MIX mediator — can use
+// it as a remote source:
+//
+//	lxpd -addr :7070 -file catalog.xml -chunk 20 -inline 64
+//	lxpd -addr :7070 -demo books -n 5000
+//	mixq -src amazon=lxp://localhost:7070/doc -q '...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"mix/internal/lxp"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	file := flag.String("file", "", "XML document to serve")
+	demo := flag.String("demo", "", "serve a generated dataset instead: books | homes | schools")
+	n := flag.Int("n", 1000, "size of the generated dataset")
+	chunk := flag.Int("chunk", 20, "children per fill (0 = all at once)")
+	inline := flag.Int("inline", 64, "max subtree size returned inline (0 = always inline)")
+	flag.Parse()
+
+	var doc *xmltree.Tree
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatalf("lxpd: %v", err)
+		}
+		doc, err = xmltree.UnmarshalXML(string(data))
+		if err != nil {
+			log.Fatalf("lxpd: parsing %s: %v", *file, err)
+		}
+	case *demo == "books":
+		doc = workload.Books("demo", *n, 1)
+	case *demo == "homes":
+		doc, _ = workload.HomesSchools(*n, 0, *n/10+1, 1)
+	case *demo == "schools":
+		_, doc = workload.HomesSchools(0, *n, *n/10+1, 1)
+	default:
+		fmt.Fprintln(os.Stderr, "lxpd: need -file or -demo (books|homes|schools)")
+		os.Exit(2)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("lxpd: %v", err)
+	}
+	log.Printf("lxpd: serving %d-node document on %s (chunk=%d inline=%d)",
+		doc.Size(), l.Addr(), *chunk, *inline)
+	srv := &lxp.TreeServer{Tree: doc, Chunk: *chunk, InlineLimit: *inline}
+	if err := lxp.Serve(l, srv); err != nil {
+		log.Fatalf("lxpd: %v", err)
+	}
+}

@@ -1,0 +1,40 @@
+// Command mixbench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per paper claim (E1–E10). With no flags it runs everything;
+// -e selects one experiment, -md emits markdown for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mix/internal/experiments"
+)
+
+func main() {
+	id := flag.String("e", "", "run a single experiment (E1…E10)")
+	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	flag.Parse()
+
+	var tables []experiments.Table
+	if *id != "" {
+		t, err := experiments.Run(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tables = []experiments.Table{t}
+	} else {
+		tables = experiments.All()
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"mix/internal/buffer"
+	"mix/internal/lxp"
+	"mix/internal/nav"
+)
+
+// newBuffer opens the generic buffer component over an LXP session.
+func newBuffer(srv lxp.Server, uri string) (nav.Document, error) {
+	return buffer.New(srv, uri)
+}

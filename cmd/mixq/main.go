@@ -1,0 +1,192 @@
+// Command mixq runs XMAS queries against XML file sources and/or
+// remote LXP wrappers through the MIX mediator.
+//
+// Sources are declared with repeated -src flags:
+//
+//	-src name=path.xml       a local XML document
+//	-src name=lxp://host:port/uri   a remote LXP wrapper (see cmd/lxpd)
+//
+// Views can be declared with -view name=path.xmas and referenced by
+// queries like sources. The query is read from -q (inline) or -f
+// (file). By default the answer is evaluated lazily and printed in
+// full; -first k explores only the first k answer children (leaving an
+// explicit hole for the rest), -eager uses the materializing baseline,
+// -plan prints the final algebra plan, and -stats reports source
+// navigation counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mix/internal/algebra"
+	"mix/internal/lxp"
+	"mix/internal/mediator"
+	"mix/internal/nav"
+	"mix/internal/relational"
+	"mix/internal/wrapper"
+	"mix/internal/xmltree"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+func main() {
+	var srcs, views multiFlag
+	flag.Var(&srcs, "src", "source declaration name=path.xml, name=lxp://host:port/uri, or name=rdb:csvdir (repeatable)")
+	flag.Var(&views, "view", "view declaration name=path.xmas (repeatable)")
+	q := flag.String("q", "", "XMAS query text")
+	qf := flag.String("f", "", "file containing the XMAS query")
+	first := flag.Int("first", 0, "explore only the first k answer children (0 = all)")
+	interactive := flag.Bool("i", false, "navigate the virtual answer interactively (d/r/u/f/t/s/q)")
+	eager := flag.Bool("eager", false, "use the materializing baseline evaluator")
+	plan := flag.Bool("plan", false, "print the final algebra plan")
+	stats := flag.Bool("stats", false, "print per-source navigation counts")
+	flag.Parse()
+
+	query := *q
+	if *qf != "" {
+		data, err := os.ReadFile(*qf)
+		if err != nil {
+			fatal(err)
+		}
+		query = string(data)
+	}
+	if strings.TrimSpace(query) == "" {
+		fmt.Fprintln(os.Stderr, "mixq: no query; use -q or -f (and see -help)")
+		os.Exit(2)
+	}
+
+	m := mediator.New(mediator.DefaultOptions())
+	counters := map[string]*nav.CountingDoc{}
+	for _, s := range srcs {
+		name, loc, ok := strings.Cut(s, "=")
+		if !ok {
+			fatal(fmt.Errorf("malformed -src %q (want name=location)", s))
+		}
+		doc, err := openSource(m, name, loc)
+		if err != nil {
+			fatal(err)
+		}
+		cd := nav.NewCountingDoc(doc)
+		counters[name] = cd
+		m.RegisterSource(name, cd)
+	}
+	for _, v := range views {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok {
+			fatal(fmt.Errorf("malformed -view %q (want name=path)", v))
+		}
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.DefineView(name, string(text)); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *plan {
+		p, err := m.Prepare(query)
+		if err != nil {
+			fatal(err)
+		}
+		cls, culprit := algebra.Classify(p, false)
+		fmt.Printf("browsability: %s", cls)
+		if culprit != nil {
+			fmt.Printf(" (due to %T)", culprit)
+		}
+		fmt.Printf("\n%s", algebra.String(p))
+		return
+	}
+
+	if *interactive {
+		res, err := m.Query(query)
+		if err != nil {
+			fatal(err)
+		}
+		if err := interact(res, os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var answer *xmltree.Tree
+	var err error
+	if *eager {
+		answer, err = m.QueryEager(query)
+	} else {
+		var res *mediator.Result
+		res, err = m.Query(query)
+		if err == nil {
+			if *first > 0 {
+				answer, err = nav.ExploreFirst(res.Document(), *first)
+			} else {
+				answer, err = res.Materialize()
+			}
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(xmltree.MarshalIndent(answer))
+
+	if *stats {
+		fmt.Fprintln(os.Stderr)
+		for name, cd := range counters {
+			fmt.Fprintf(os.Stderr, "source %-16s %s\n", name, cd.Counters.Snapshot())
+		}
+	}
+}
+
+// openSource interprets a source location.
+func openSource(m *mediator.Mediator, name, loc string) (nav.Document, error) {
+	if dir, ok := strings.CutPrefix(loc, "rdb:"); ok {
+		// A directory of CSV files becomes a relational database
+		// behind the Section 4 relational wrapper (n tuples per fill),
+		// served through the generic buffer.
+		db, err := relational.LoadCSVDir(name, dir)
+		if err != nil {
+			return nil, err
+		}
+		return bufferFor(&wrapper.Relational{DB: db, ChunkRows: 50}, name)
+	}
+	if rest, ok := strings.CutPrefix(loc, "lxp://"); ok {
+		addr, uri, ok := strings.Cut(rest, "/")
+		if !ok {
+			return nil, fmt.Errorf("malformed LXP url %q (want lxp://host:port/uri)", loc)
+		}
+		client, err := lxp.Dial(addr)
+		if err != nil {
+			return nil, fmt.Errorf("dialing %s: %w", addr, err)
+		}
+		return bufferFor(client, uri)
+	}
+	data, err := os.ReadFile(loc)
+	if err != nil {
+		return nil, err
+	}
+	t, err := xmltree.UnmarshalXML(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", loc, err)
+	}
+	return nav.NewTreeDoc(t), nil
+}
+
+func bufferFor(srv lxp.Server, uri string) (nav.Document, error) {
+	// Reuse the mediator's buffered-source plumbing via buffer.New,
+	// but keep the Document so the caller can wrap it in counters.
+	return newBuffer(srv, uri)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mixq:", err)
+	os.Exit(1)
+}

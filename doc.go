@@ -1,0 +1,10 @@
+// Package mix is a from-scratch Go reproduction of the MIX mediator
+// system and its navigation-driven evaluation of virtual mediated XML
+// views (Ludäscher, Papakonstantinou, Velikhov; EDBT 2000).
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for the
+// measured reproduction of every claim. The benchmark harness in
+// bench_test.go regenerates one benchmark per experiment; the full
+// tables come from cmd/mixbench.
+package mix

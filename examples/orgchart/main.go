@@ -1,0 +1,96 @@
+// Command orgchart demonstrates the OODB-XML wrapper of Fig. 1 on the
+// most extreme case for virtual views: a *cyclic* object graph, whose
+// XML view is infinite. No warehousing approach can export this view;
+// the navigation-driven mediator serves it trivially, because reference
+// targets are holes that fill only when the client follows them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mix/internal/buffer"
+	"mix/internal/nav"
+	"mix/internal/objectdb"
+	"mix/internal/wrapper"
+)
+
+func main() {
+	hops := flag.Int("hops", 8, "how many manager links to chase")
+	flag.Parse()
+
+	// A management ring: everyone has a boss, forever.
+	db := objectdb.NewDB("company")
+	people := []struct{ oid, name, boss string }{
+		{"e1", "Ada", "e2"},
+		{"e2", "Grace", "e3"},
+		{"e3", "Edsger", "e1"}, // the cycle
+	}
+	for _, p := range people {
+		db.Put(objectdb.OID(p.oid), "Employee",
+			objectdb.F("name", objectdb.S(p.name)),
+			objectdb.F("boss", objectdb.R(objectdb.OID(p.boss))),
+		)
+	}
+
+	w := &wrapper.OODB{DB: db, ChunkObjects: 2}
+	b, err := buffer.New(w, "company")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Walk: first employee, then boss of boss of boss…
+	cur, err := nav.Path(b, "Employee", "Employee")
+	if err != nil || cur == nil {
+		log.Fatal("no employees: ", err)
+	}
+	for i := 0; i <= *hops; i++ {
+		name, err := childText(b, cur, "name")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("level %d: %s\n", i, name)
+		cur, err = childElem(b, cur, "boss", "Employee")
+		if err != nil || cur == nil {
+			log.Fatal("broken chain: ", err)
+		}
+	}
+	fmt.Printf("\nobjects in the database: %d — objects fetched: %d\n",
+		db.NumObjects(), db.Counters.Tuples.Load())
+	fmt.Println("the virtual view is infinite; only the explored prefix was ever computed")
+}
+
+// childText fetches the text of a named child.
+func childText(doc nav.Document, p nav.ID, name string) (string, error) {
+	c, err := childOf(doc, p, name)
+	if err != nil || c == nil {
+		return "", fmt.Errorf("missing child %s: %w", name, err)
+	}
+	t, err := nav.Subtree(doc, c)
+	if err != nil {
+		return "", err
+	}
+	return t.TextContent(), nil
+}
+
+// childElem descends through the named children in sequence.
+func childElem(doc nav.Document, p nav.ID, names ...string) (nav.ID, error) {
+	cur := p
+	for _, n := range names {
+		var err error
+		cur, err = childOf(doc, cur, n)
+		if err != nil || cur == nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func childOf(doc nav.Document, p nav.ID, name string) (nav.ID, error) {
+	c, err := doc.Down(p)
+	if err != nil || c == nil {
+		return nil, err
+	}
+	return nav.Select(doc, c, nav.LabelIs(name), true)
+}

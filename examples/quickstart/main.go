@@ -1,0 +1,89 @@
+// Command quickstart is the smallest end-to-end MIX program: register
+// two in-memory sources, run the paper's running-example XMAS query
+// (Fig. 3), and navigate the *virtual* answer document — watching how
+// few source navigations each client step costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mix/internal/mediator"
+	"mix/internal/nav"
+	"mix/internal/xmltree"
+)
+
+func main() {
+	// Two tiny heterogeneous "sources".
+	homes := xmltree.Elem("homes",
+		xmltree.Elem("home", xmltree.Text("addr", "La Jolla"), xmltree.Text("zip", "91220")),
+		xmltree.Elem("home", xmltree.Text("addr", "El Cajon"), xmltree.Text("zip", "91223")),
+		xmltree.Elem("home", xmltree.Text("addr", "Nowhere"), xmltree.Text("zip", "99999")),
+	)
+	schools := xmltree.Elem("schools",
+		xmltree.Elem("school", xmltree.Text("dir", "Smith"), xmltree.Text("zip", "91220")),
+		xmltree.Elem("school", xmltree.Text("dir", "Bar"), xmltree.Text("zip", "91220")),
+		xmltree.Elem("school", xmltree.Text("dir", "Hart"), xmltree.Text("zip", "91223")),
+	)
+
+	m := mediator.New(mediator.DefaultOptions())
+	// Counting wrappers let us watch the source navigations.
+	homesDoc := nav.NewCountingDoc(nav.NewTreeDoc(homes))
+	schoolsDoc := nav.NewCountingDoc(nav.NewTreeDoc(schools))
+	m.RegisterSource("homesSrc", homesDoc)
+	m.RegisterSource("schoolsSrc", schoolsDoc)
+
+	// The paper's Fig. 3 query: homes with local schools, joined on zip.
+	res, err := m.Query(`
+CONSTRUCT <answer>
+  <med_home> $H $S {$S} </med_home> {$H}
+</answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2
+AND $V1 = $V2
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan browsability: %s\n", res.Browsability)
+
+	navs := func() int64 {
+		return homesDoc.Counters.Navigations() + schoolsDoc.Counters.Navigations()
+	}
+	fmt.Printf("source navigations after preparing the query: %d\n", navs())
+
+	// The client receives a handle to the virtual answer root — still
+	// no source access.
+	root, err := res.Root()
+	if err != nil {
+		log.Fatal(err)
+	}
+	name, err := root.Name()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answer root %q fetched with %d source navigations\n", name, navs())
+
+	// Navigate into the first med_home: only now do sources get asked,
+	// and only as far as needed.
+	first, err := root.FirstChild()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := first.Materialize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst result (after %d source navigations):\n%s\n",
+		navs(), xmltree.MarshalIndent(tree))
+
+	// And the rest of the answer on demand.
+	for e, _ := first.NextSibling(); e != nil; e, _ = e.NextSibling() {
+		t, err := e.Materialize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("next result:\n%s\n", xmltree.MarshalIndent(t))
+	}
+	fmt.Printf("total source navigations for the full answer: %d\n", navs())
+}

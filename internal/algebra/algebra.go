@@ -1,0 +1,314 @@
+// Package algebra defines the XMAS algebra (Section 3): logical query
+// plans whose operators consume and produce *lists of variable
+// bindings*, conventionally pictured as trees
+//
+//	bs[ b[ X[x1], Y[y1] ], b[ X[x2], Y[y2] ], … ]
+//
+// The operators are the conventional relational ones (σ, ⋈, ×, ∪, \, δ,
+// π) lifted to binding lists, plus the XML-specific ones:
+// getDescendants (generalized path expressions), groupBy (explicit
+// grouping, in place of Skolem functions), concatenate, createElement,
+// orderBy, tupleDestroy and source.
+//
+// A plan is a tree of Op values. Plans are *logical*: they are
+// interpreted either eagerly (package eager) or as a tree of lazy
+// mediators (package core). The package also provides plan validation,
+// pretty-printing, the browsability classifier of Definition 2, and the
+// navigational-complexity rewriting rules used in preprocessing.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"mix/internal/pathexpr"
+)
+
+// Op is a node of an algebra plan. Every operator lists its inputs via
+// Inputs and the variables its output bindings carry via OutVars.
+type Op interface {
+	// Inputs returns the operator's input plans, outermost first.
+	Inputs() []Op
+	// OutVars returns the variable names carried by output bindings,
+	// in binding-tree order, given the input variable lists.
+	OutVars() []string
+	// opString renders just this node (without inputs).
+	opString() string
+}
+
+// Source produces the singleton binding list bs[b[v[e]]] where e is the
+// root element of the named source (source_url→v).
+type Source struct {
+	// URL names a registered source.
+	URL string
+	// Var is the variable bound to the source root.
+	Var string
+}
+
+// Inputs implements Op.
+func (s *Source) Inputs() []Op { return nil }
+
+// OutVars implements Op.
+func (s *Source) OutVars() []string { return []string{s.Var} }
+
+func (s *Source) opString() string { return fmt.Sprintf("source[%s→$%s]", s.URL, s.Var) }
+
+// GetDescendants extracts, for each input binding b and each descendant
+// d of b.Parent reachable by a downward path matching Path, the output
+// binding b + Out[d] (getDescendants_{e,re→ch}).
+type GetDescendants struct {
+	Input Op
+	// Parent is the variable holding the context element.
+	Parent string
+	// Path is the generalized regular path expression.
+	Path *pathexpr.Expr
+	// Out is the new variable bound to each reachable descendant.
+	Out string
+}
+
+// Inputs implements Op.
+func (g *GetDescendants) Inputs() []Op { return []Op{g.Input} }
+
+// OutVars implements Op.
+func (g *GetDescendants) OutVars() []string { return append(g.Input.OutVars(), g.Out) }
+
+func (g *GetDescendants) opString() string {
+	return fmt.Sprintf("getDescendants[$%s, %s → $%s]", g.Parent, g.Path, g.Out)
+}
+
+// Select keeps only the input bindings satisfying Cond (σ).
+type Select struct {
+	Input Op
+	Cond  Cond
+}
+
+// Inputs implements Op.
+func (s *Select) Inputs() []Op { return []Op{s.Input} }
+
+// OutVars implements Op.
+func (s *Select) OutVars() []string { return s.Input.OutVars() }
+
+func (s *Select) opString() string { return fmt.Sprintf("select[%s]", s.Cond) }
+
+// Join produces, for each pair of left/right bindings satisfying Cond,
+// their concatenation (nested-loops ⋈; with a trivially true condition
+// it is the product ×).
+type Join struct {
+	Left, Right Op
+	Cond        Cond
+}
+
+// Inputs implements Op.
+func (j *Join) Inputs() []Op { return []Op{j.Left, j.Right} }
+
+// OutVars implements Op.
+func (j *Join) OutVars() []string { return append(j.Left.OutVars(), j.Right.OutVars()...) }
+
+func (j *Join) opString() string { return fmt.Sprintf("join[%s]", j.Cond) }
+
+// GroupBy groups the bindings of Var by the values of the By variables
+// (groupBy_{v1..vk, v→l}): for each group agreeing on the By values one
+// output binding b[v1[…],…,vk[…], Out[list[…grouped Var values…]]] is
+// produced, in order of first occurrence.
+type GroupBy struct {
+	Input Op
+	By    []string
+	Var   string
+	Out   string
+}
+
+// Inputs implements Op.
+func (g *GroupBy) Inputs() []Op { return []Op{g.Input} }
+
+// OutVars implements Op.
+func (g *GroupBy) OutVars() []string { return append(append([]string{}, g.By...), g.Out) }
+
+func (g *GroupBy) opString() string {
+	by := ""
+	if len(g.By) > 0 {
+		by = "$" + strings.Join(g.By, ",$")
+	}
+	return fmt.Sprintf("groupBy[{%s} $%s → $%s]", by, g.Var, g.Out)
+}
+
+// Concatenate produces b + Out[conc] where conc is the list
+// concatenation of b.X and b.Y, flattening list[…] values on either
+// side (concatenate_{x,y→z}).
+type Concatenate struct {
+	Input Op
+	X, Y  string
+	Out   string
+}
+
+// Inputs implements Op.
+func (c *Concatenate) Inputs() []Op { return []Op{c.Input} }
+
+// OutVars implements Op.
+func (c *Concatenate) OutVars() []string { return append(c.Input.OutVars(), c.Out) }
+
+func (c *Concatenate) opString() string {
+	return fmt.Sprintf("concatenate[$%s,$%s → $%s]", c.X, c.Y, c.Out)
+}
+
+// LabelSpec is the label parameter of createElement: either a constant
+// or a variable whose bound value's text provides the label.
+type LabelSpec struct {
+	Const string
+	Var   string // non-empty means dynamic label
+}
+
+func (l LabelSpec) String() string {
+	if l.Var != "" {
+		return "$" + l.Var
+	}
+	return fmt.Sprintf("%q", l.Const)
+}
+
+// CreateElement produces b + Out[l[c1…cn]] where l is the value of
+// Label and c1…cn are the children of b.Children — the subtrees of the
+// value bound to Children, with a list[…] value contributing its
+// elements (createElement_{label,ch→e}).
+type CreateElement struct {
+	Input    Op
+	Label    LabelSpec
+	Children string
+	Out      string
+}
+
+// Inputs implements Op.
+func (c *CreateElement) Inputs() []Op { return []Op{c.Input} }
+
+// OutVars implements Op.
+func (c *CreateElement) OutVars() []string { return append(c.Input.OutVars(), c.Out) }
+
+func (c *CreateElement) opString() string {
+	return fmt.Sprintf("createElement[%s, $%s → $%s]", c.Label, c.Children, c.Out)
+}
+
+// OrderBy reorders the bindings by the values of the Keys variables
+// (ascending, numeric-aware). It is the paper's canonical unbrowsable
+// operator: no output binding can be produced before the whole input
+// has been seen.
+type OrderBy struct {
+	Input Op
+	Keys  []string
+}
+
+// Inputs implements Op.
+func (o *OrderBy) Inputs() []Op { return []Op{o.Input} }
+
+// OutVars implements Op.
+func (o *OrderBy) OutVars() []string { return o.Input.OutVars() }
+
+func (o *OrderBy) opString() string {
+	return fmt.Sprintf("orderBy[$%s]", strings.Join(o.Keys, ",$"))
+}
+
+// Project keeps only the named variables of each binding (π).
+type Project struct {
+	Input Op
+	Keep  []string
+}
+
+// Inputs implements Op.
+func (p *Project) Inputs() []Op { return []Op{p.Input} }
+
+// OutVars implements Op.
+func (p *Project) OutVars() []string { return append([]string{}, p.Keep...) }
+
+func (p *Project) opString() string { return fmt.Sprintf("project[$%s]", strings.Join(p.Keep, ",$")) }
+
+// Union appends the right binding list after the left (∪, list
+// semantics: duplicates preserved, order left-then-right). Both inputs
+// must carry the same variables.
+type Union struct {
+	Left, Right Op
+}
+
+// Inputs implements Op.
+func (u *Union) Inputs() []Op { return []Op{u.Left, u.Right} }
+
+// OutVars implements Op.
+func (u *Union) OutVars() []string { return u.Left.OutVars() }
+
+func (u *Union) opString() string { return "union" }
+
+// Difference removes from the left list every binding structurally
+// equal to some right binding (\). Unbrowsable on the right input.
+type Difference struct {
+	Left, Right Op
+}
+
+// Inputs implements Op.
+func (d *Difference) Inputs() []Op { return []Op{d.Left, d.Right} }
+
+// OutVars implements Op.
+func (d *Difference) OutVars() []string { return d.Left.OutVars() }
+
+func (d *Difference) opString() string { return "difference" }
+
+// Distinct removes duplicate bindings, keeping first occurrences (δ).
+type Distinct struct {
+	Input Op
+}
+
+// Inputs implements Op.
+func (d *Distinct) Inputs() []Op { return []Op{d.Input} }
+
+// OutVars implements Op.
+func (d *Distinct) OutVars() []string { return d.Input.OutVars() }
+
+func (d *Distinct) opString() string { return "distinct" }
+
+// TupleDestroy unwraps the singleton binding list bs[b[v[e]]] and
+// returns the element e as the final document. It is always the plan
+// root.
+type TupleDestroy struct {
+	Input Op
+	Var   string
+}
+
+// Inputs implements Op.
+func (t *TupleDestroy) Inputs() []Op { return []Op{t.Input} }
+
+// OutVars implements Op.
+func (t *TupleDestroy) OutVars() []string { return nil }
+
+func (t *TupleDestroy) opString() string { return fmt.Sprintf("tupleDestroy[$%s]", t.Var) }
+
+// String renders the plan as an indented operator tree, root first, in
+// the style of Fig. 4.
+func String(p Op) string {
+	var b strings.Builder
+	writePlan(&b, p, 0)
+	return b.String()
+}
+
+func writePlan(b *strings.Builder, p Op, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(p.opString())
+	b.WriteByte('\n')
+	for _, in := range p.Inputs() {
+		writePlan(b, in, depth+1)
+	}
+}
+
+// Walk visits p and all its descendants, root first.
+func Walk(p Op, fn func(Op)) {
+	fn(p)
+	for _, in := range p.Inputs() {
+		Walk(in, fn)
+	}
+}
+
+// Sources returns the names of all sources referenced by the plan, in
+// left-to-right order, with duplicates preserved.
+func Sources(p Op) []string {
+	var out []string
+	Walk(p, func(op Op) {
+		if s, ok := op.(*Source); ok {
+			out = append(out, s.URL)
+		}
+	})
+	return out
+}

@@ -1,0 +1,247 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mix/internal/xmltree"
+)
+
+// Cond is a condition over a single (possibly joined) variable binding,
+// used by Select and Join. Conditions compare the values bound to
+// variables — for leaf-valued variables (the common case: a zip code, a
+// price) comparison is on the atomic datum, numerically when both sides
+// parse as numbers; for element-valued variables equality is structural
+// tree equality and ordering compares text content.
+type Cond interface {
+	// Eval evaluates the condition against a binding accessor.
+	Eval(b ValueGetter) (bool, error)
+	// Vars returns the variables the condition references.
+	Vars() []string
+	fmt.Stringer
+}
+
+// ValueGetter provides the value bound to a variable. The lazy engine
+// passes an accessor that materializes only the requested variable's
+// subtree (typically a small leaf like a zip code); the eager engine
+// passes a map lookup.
+type ValueGetter interface {
+	Value(name string) (*xmltree.Tree, error)
+}
+
+// Operand is a side of a comparison: a variable reference or a literal.
+type Operand struct {
+	Var string // non-empty: variable reference
+	Lit string // literal value, when Var == ""
+}
+
+// V returns a variable operand.
+func V(name string) Operand { return Operand{Var: name} }
+
+// Lit returns a literal operand.
+func Lit(s string) Operand { return Operand{Lit: s} }
+
+func (o Operand) String() string {
+	if o.Var != "" {
+		return "$" + o.Var
+	}
+	return strconv.Quote(o.Lit)
+}
+
+func (o Operand) value(b ValueGetter) (*xmltree.Tree, error) {
+	if o.Var != "" {
+		return b.Value(o.Var)
+	}
+	return xmltree.Leaf(o.Lit), nil
+}
+
+// atom reduces a bound value to a comparable string: a leaf's label, or
+// the text content for elements (so zip[91220] compares as "91220").
+func atom(t *xmltree.Tree) string {
+	if t == nil {
+		return ""
+	}
+	if t.IsLeaf() {
+		return t.Label
+	}
+	return t.TextContent()
+}
+
+// Compare orders two atomic values numerically when both parse as
+// floats, lexicographically otherwise. It is the ordering used by
+// comparisons and by orderBy.
+func Compare(a, b string) int { return compare(a, b) }
+
+// compare orders two values numerically when both parse as floats,
+// lexicographically otherwise.
+func compare(a, b string) int {
+	fa, ea := strconv.ParseFloat(a, 64)
+	fb, eb := strconv.ParseFloat(b, 64)
+	if ea == nil && eb == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+// CmpOp is a comparison operator.
+type CmpOp string
+
+// Comparison operators.
+const (
+	OpEq  CmpOp = "="
+	OpNeq CmpOp = "!="
+	OpLt  CmpOp = "<"
+	OpLe  CmpOp = "<="
+	OpGt  CmpOp = ">"
+	OpGe  CmpOp = ">="
+)
+
+// Cmp compares two operands.
+type Cmp struct {
+	Op   CmpOp
+	L, R Operand
+}
+
+// Eq is shorthand for an equality comparison.
+func Eq(l, r Operand) *Cmp { return &Cmp{Op: OpEq, L: l, R: r} }
+
+// Eval implements Cond.
+func (c *Cmp) Eval(b ValueGetter) (bool, error) {
+	lv, err := c.L.value(b)
+	if err != nil {
+		return false, err
+	}
+	rv, err := c.R.value(b)
+	if err != nil {
+		return false, err
+	}
+	if c.Op == OpEq || c.Op == OpNeq {
+		// Structural equality when both sides are elements; atomic
+		// comparison otherwise (covers zip[91220] = "91220").
+		var eq bool
+		if !lv.IsLeaf() && !rv.IsLeaf() {
+			eq = xmltree.Equal(lv, rv)
+		} else {
+			eq = atom(lv) == atom(rv)
+		}
+		if c.Op == OpEq {
+			return eq, nil
+		}
+		return !eq, nil
+	}
+	cmp := compare(atom(lv), atom(rv))
+	switch c.Op {
+	case OpLt:
+		return cmp < 0, nil
+	case OpLe:
+		return cmp <= 0, nil
+	case OpGt:
+		return cmp > 0, nil
+	case OpGe:
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("algebra: unknown comparison operator %q", c.Op)
+}
+
+// Vars implements Cond.
+func (c *Cmp) Vars() []string {
+	var out []string
+	if c.L.Var != "" {
+		out = append(out, c.L.Var)
+	}
+	if c.R.Var != "" {
+		out = append(out, c.R.Var)
+	}
+	return out
+}
+
+func (c *Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// And is conjunction.
+type And struct{ L, R Cond }
+
+// Eval implements Cond.
+func (a *And) Eval(b ValueGetter) (bool, error) {
+	l, err := a.L.Eval(b)
+	if err != nil || !l {
+		return false, err
+	}
+	return a.R.Eval(b)
+}
+
+// Vars implements Cond.
+func (a *And) Vars() []string { return append(a.L.Vars(), a.R.Vars()...) }
+
+func (a *And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is disjunction.
+type Or struct{ L, R Cond }
+
+// Eval implements Cond.
+func (o *Or) Eval(b ValueGetter) (bool, error) {
+	l, err := o.L.Eval(b)
+	if err != nil || l {
+		return l, err
+	}
+	return o.R.Eval(b)
+}
+
+// Vars implements Cond.
+func (o *Or) Vars() []string { return append(o.L.Vars(), o.R.Vars()...) }
+
+func (o *Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is negation.
+type Not struct{ C Cond }
+
+// Eval implements Cond.
+func (n *Not) Eval(b ValueGetter) (bool, error) {
+	v, err := n.C.Eval(b)
+	return !v, err
+}
+
+// Vars implements Cond.
+func (n *Not) Vars() []string { return n.C.Vars() }
+
+func (n *Not) String() string { return fmt.Sprintf("NOT %s", n.C) }
+
+// True is the always-true condition (turns Join into a product).
+type True struct{}
+
+// Eval implements Cond.
+func (True) Eval(ValueGetter) (bool, error) { return true, nil }
+
+// Vars implements Cond.
+func (True) Vars() []string { return nil }
+
+func (True) String() string { return "true" }
+
+// LabelMatch tests the *label* of the value bound to Var against a
+// constant; it corresponds to the sibling-selection predicate σ of
+// Section 2 and to XMAS tag tests.
+type LabelMatch struct {
+	Var   string
+	Label string
+}
+
+// Eval implements Cond.
+func (m *LabelMatch) Eval(b ValueGetter) (bool, error) {
+	v, err := b.Value(m.Var)
+	if err != nil {
+		return false, err
+	}
+	return v != nil && v.Label == m.Label, nil
+}
+
+// Vars implements Cond.
+func (m *LabelMatch) Vars() []string { return []string{m.Var} }
+
+func (m *LabelMatch) String() string { return fmt.Sprintf("label($%s) = %q", m.Var, m.Label) }

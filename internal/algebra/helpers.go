@@ -1,0 +1,69 @@
+package algebra
+
+import (
+	"fmt"
+
+	"mix/internal/xmltree"
+)
+
+// Helper operators used by the XMAS-to-algebra translation and by
+// view composition. All three are pure per-binding restructurings
+// (bounded browsable).
+
+// WrapList binds Out to the singleton list list[bin.Var] for each
+// input binding — the unit of the concatenate fold when translating a
+// CONSTRUCT template's item sequence.
+type WrapList struct {
+	Input Op
+	Var   string
+	Out   string
+}
+
+// Inputs implements Op.
+func (w *WrapList) Inputs() []Op { return []Op{w.Input} }
+
+// OutVars implements Op.
+func (w *WrapList) OutVars() []string { return append(w.Input.OutVars(), w.Out) }
+
+func (w *WrapList) opString() string { return fmt.Sprintf("wrapList[$%s → $%s]", w.Var, w.Out) }
+
+// Const binds Out to a fixed tree for each input binding (literal
+// content in CONSTRUCT templates).
+type Const struct {
+	Input Op
+	Value *xmltree.Tree
+	Out   string
+}
+
+// Inputs implements Op.
+func (c *Const) Inputs() []Op { return []Op{c.Input} }
+
+// OutVars implements Op.
+func (c *Const) OutVars() []string { return append(c.Input.OutVars(), c.Out) }
+
+func (c *Const) opString() string { return fmt.Sprintf("const[%s → $%s]", c.Value, c.Out) }
+
+// Rename renames variable From to To in every binding (view
+// composition glue).
+type Rename struct {
+	Input Op
+	From  string
+	To    string
+}
+
+// Inputs implements Op.
+func (r *Rename) Inputs() []Op { return []Op{r.Input} }
+
+// OutVars implements Op.
+func (r *Rename) OutVars() []string {
+	var out []string
+	for _, v := range r.Input.OutVars() {
+		if v == r.From {
+			v = r.To
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func (r *Rename) opString() string { return fmt.Sprintf("rename[$%s → $%s]", r.From, r.To) }

@@ -1,0 +1,189 @@
+package algebra
+
+import "fmt"
+
+// RenameVars returns a copy of the plan with every variable name mapped
+// through f (which must be injective on the plan's variables). It is
+// used by view composition to make a view's internal variables disjoint
+// from the client query's before splicing the view body into the query
+// plan (the query∘view step of the preprocessing phase).
+func RenameVars(p Op, f func(string) string) (Op, error) {
+	switch op := p.(type) {
+	case *Source:
+		return &Source{URL: op.URL, Var: f(op.Var)}, nil
+	case *GetDescendants:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		return &GetDescendants{Input: in, Parent: f(op.Parent), Path: op.Path, Out: f(op.Out)}, nil
+	case *Select:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		c, err := renameCond(op.Cond, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Select{Input: in, Cond: c}, nil
+	case *Join:
+		l, err := RenameVars(op.Left, f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RenameVars(op.Right, f)
+		if err != nil {
+			return nil, err
+		}
+		c, err := renameCond(op.Cond, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Join{Left: l, Right: r, Cond: c}, nil
+	case *GroupBy:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		by := make([]string, len(op.By))
+		for i, v := range op.By {
+			by[i] = f(v)
+		}
+		return &GroupBy{Input: in, By: by, Var: f(op.Var), Out: f(op.Out)}, nil
+	case *Concatenate:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Concatenate{Input: in, X: f(op.X), Y: f(op.Y), Out: f(op.Out)}, nil
+	case *CreateElement:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		label := op.Label
+		if label.Var != "" {
+			label = LabelSpec{Var: f(label.Var)}
+		}
+		return &CreateElement{Input: in, Label: label, Children: f(op.Children), Out: f(op.Out)}, nil
+	case *OrderBy:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]string, len(op.Keys))
+		for i, v := range op.Keys {
+			keys[i] = f(v)
+		}
+		return &OrderBy{Input: in, Keys: keys}, nil
+	case *Project:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		keep := make([]string, len(op.Keep))
+		for i, v := range op.Keep {
+			keep[i] = f(v)
+		}
+		return &Project{Input: in, Keep: keep}, nil
+	case *Union:
+		l, err := RenameVars(op.Left, f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RenameVars(op.Right, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Union{Left: l, Right: r}, nil
+	case *Difference:
+		l, err := RenameVars(op.Left, f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RenameVars(op.Right, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Difference{Left: l, Right: r}, nil
+	case *Distinct:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Distinct{Input: in}, nil
+	case *WrapList:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		return &WrapList{Input: in, Var: f(op.Var), Out: f(op.Out)}, nil
+	case *Const:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Const{Input: in, Value: op.Value, Out: f(op.Out)}, nil
+	case *Rename:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Rename{Input: in, From: f(op.From), To: f(op.To)}, nil
+	case *TupleDestroy:
+		in, err := RenameVars(op.Input, f)
+		if err != nil {
+			return nil, err
+		}
+		return &TupleDestroy{Input: in, Var: f(op.Var)}, nil
+	default:
+		return nil, fmt.Errorf("algebra: RenameVars: unknown operator %T", p)
+	}
+}
+
+func renameCond(c Cond, f func(string) string) (Cond, error) {
+	switch c := c.(type) {
+	case *Cmp:
+		l, r := c.L, c.R
+		if l.Var != "" {
+			l = Operand{Var: f(l.Var)}
+		}
+		if r.Var != "" {
+			r = Operand{Var: f(r.Var)}
+		}
+		return &Cmp{Op: c.Op, L: l, R: r}, nil
+	case *And:
+		l, err := renameCond(c.L, f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := renameCond(c.R, f)
+		if err != nil {
+			return nil, err
+		}
+		return &And{L: l, R: r}, nil
+	case *Or:
+		l, err := renameCond(c.L, f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := renameCond(c.R, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Or{L: l, R: r}, nil
+	case *Not:
+		in, err := renameCond(c.C, f)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{C: in}, nil
+	case True:
+		return c, nil
+	case *LabelMatch:
+		return &LabelMatch{Var: f(c.Var), Label: c.Label}, nil
+	default:
+		return nil, fmt.Errorf("algebra: RenameVars: unknown condition %T", c)
+	}
+}

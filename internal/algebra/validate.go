@@ -1,0 +1,277 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks that the plan is well-formed: every operator's
+// variable references are defined by its input, no operator introduces
+// a variable that already exists, Union/Difference inputs agree on
+// their variables, and TupleDestroy (if present) is the root over a
+// single remaining variable.
+func Validate(p Op) error {
+	_, err := validate(p)
+	return err
+}
+
+func validate(p Op) (vars map[string]bool, err error) {
+	ins := p.Inputs()
+	inVars := make([]map[string]bool, len(ins))
+	for i, in := range ins {
+		v, err := validate(in)
+		if err != nil {
+			return nil, err
+		}
+		inVars[i] = v
+	}
+	need := func(set map[string]bool, name, what string) error {
+		if name == "" {
+			return fmt.Errorf("algebra: %s: empty variable name in %s", what, p.opString())
+		}
+		if !set[name] {
+			return fmt.Errorf("algebra: %s: variable $%s not defined by input of %s", what, name, p.opString())
+		}
+		return nil
+	}
+	fresh := func(set map[string]bool, name string) error {
+		if name == "" {
+			return fmt.Errorf("algebra: empty output variable in %s", p.opString())
+		}
+		if set[name] {
+			return fmt.Errorf("algebra: output variable $%s of %s shadows an input variable", name, p.opString())
+		}
+		return nil
+	}
+
+	switch op := p.(type) {
+	case *Source:
+		if op.URL == "" || op.Var == "" {
+			return nil, fmt.Errorf("algebra: source needs url and variable")
+		}
+		return map[string]bool{op.Var: true}, nil
+
+	case *GetDescendants:
+		in := inVars[0]
+		if err := need(in, op.Parent, "getDescendants parent"); err != nil {
+			return nil, err
+		}
+		if op.Path == nil {
+			return nil, fmt.Errorf("algebra: getDescendants without path expression")
+		}
+		if err := fresh(in, op.Out); err != nil {
+			return nil, err
+		}
+		return withVar(in, op.Out), nil
+
+	case *Select:
+		in := inVars[0]
+		for _, v := range op.Cond.Vars() {
+			if err := need(in, v, "select condition"); err != nil {
+				return nil, err
+			}
+		}
+		return in, nil
+
+	case *Join:
+		l, r := inVars[0], inVars[1]
+		for v := range l {
+			if r[v] {
+				return nil, fmt.Errorf("algebra: join inputs share variable $%s", v)
+			}
+		}
+		both := union(l, r)
+		for _, v := range op.Cond.Vars() {
+			if err := need(both, v, "join condition"); err != nil {
+				return nil, err
+			}
+		}
+		return both, nil
+
+	case *GroupBy:
+		in := inVars[0]
+		if len(op.By) == 0 {
+			// grouping by the empty set is legal (one global group)
+		}
+		for _, v := range op.By {
+			if err := need(in, v, "groupBy key"); err != nil {
+				return nil, err
+			}
+		}
+		if err := need(in, op.Var, "groupBy value"); err != nil {
+			return nil, err
+		}
+		if err := fresh(in, op.Out); err != nil {
+			return nil, err
+		}
+		out := map[string]bool{op.Out: true}
+		for _, v := range op.By {
+			out[v] = true
+		}
+		return out, nil
+
+	case *Concatenate:
+		in := inVars[0]
+		if err := need(in, op.X, "concatenate x"); err != nil {
+			return nil, err
+		}
+		if err := need(in, op.Y, "concatenate y"); err != nil {
+			return nil, err
+		}
+		if err := fresh(in, op.Out); err != nil {
+			return nil, err
+		}
+		return withVar(in, op.Out), nil
+
+	case *CreateElement:
+		in := inVars[0]
+		if op.Label.Var != "" {
+			if err := need(in, op.Label.Var, "createElement label"); err != nil {
+				return nil, err
+			}
+		} else if op.Label.Const == "" {
+			return nil, fmt.Errorf("algebra: createElement with empty constant label")
+		}
+		if err := need(in, op.Children, "createElement children"); err != nil {
+			return nil, err
+		}
+		if err := fresh(in, op.Out); err != nil {
+			return nil, err
+		}
+		return withVar(in, op.Out), nil
+
+	case *OrderBy:
+		in := inVars[0]
+		if len(op.Keys) == 0 {
+			return nil, fmt.Errorf("algebra: orderBy without keys")
+		}
+		for _, v := range op.Keys {
+			if err := need(in, v, "orderBy key"); err != nil {
+				return nil, err
+			}
+		}
+		return in, nil
+
+	case *Project:
+		in := inVars[0]
+		if len(op.Keep) == 0 {
+			return nil, fmt.Errorf("algebra: project keeps no variables")
+		}
+		out := map[string]bool{}
+		for _, v := range op.Keep {
+			if err := need(in, v, "project"); err != nil {
+				return nil, err
+			}
+			out[v] = true
+		}
+		return out, nil
+
+	case *Union:
+		if !sameVars(inVars[0], inVars[1]) {
+			return nil, fmt.Errorf("algebra: union inputs carry different variables: %v vs %v",
+				names(inVars[0]), names(inVars[1]))
+		}
+		return inVars[0], nil
+
+	case *Difference:
+		if !sameVars(inVars[0], inVars[1]) {
+			return nil, fmt.Errorf("algebra: difference inputs carry different variables: %v vs %v",
+				names(inVars[0]), names(inVars[1]))
+		}
+		return inVars[0], nil
+
+	case *Distinct:
+		return inVars[0], nil
+
+	case *WrapList:
+		in := inVars[0]
+		if err := need(in, op.Var, "wrapList"); err != nil {
+			return nil, err
+		}
+		if err := fresh(in, op.Out); err != nil {
+			return nil, err
+		}
+		return withVar(in, op.Out), nil
+
+	case *Const:
+		in := inVars[0]
+		if op.Value == nil {
+			return nil, fmt.Errorf("algebra: const without value")
+		}
+		if err := fresh(in, op.Out); err != nil {
+			return nil, err
+		}
+		return withVar(in, op.Out), nil
+
+	case *Rename:
+		in := inVars[0]
+		if err := need(in, op.From, "rename"); err != nil {
+			return nil, err
+		}
+		if op.To == op.From {
+			return in, nil
+		}
+		if err := fresh(in, op.To); err != nil {
+			return nil, err
+		}
+		out := make(map[string]bool, len(in))
+		for k := range in {
+			if k != op.From {
+				out[k] = true
+			}
+		}
+		out[op.To] = true
+		return out, nil
+
+	case *TupleDestroy:
+		in := inVars[0]
+		if err := need(in, op.Var, "tupleDestroy"); err != nil {
+			return nil, err
+		}
+		return map[string]bool{}, nil
+
+	default:
+		return nil, fmt.Errorf("algebra: unknown operator %T", p)
+	}
+}
+
+func withVar(set map[string]bool, v string) map[string]bool {
+	out := make(map[string]bool, len(set)+1)
+	for k := range set {
+		out[k] = true
+	}
+	out[v] = true
+	return out
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func sameVars(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func names(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

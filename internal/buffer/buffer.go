@@ -1,0 +1,411 @@
+// Package buffer implements the generic buffer component of the
+// refined VXD architecture (Section 4, Fig. 7/8): it sits between a
+// lazy mediator (which speaks fine-grained DOM-VXD navigations) and an
+// LXP wrapper (which ships coarse XML fragments), reconciling the two
+// granularities.
+//
+// The buffer maintains an *open tree* — a partial copy of the source
+// view containing hole nodes for unexplored parts. Navigation commands
+// are answered from the buffered tree when possible; when a navigation
+// "hits a hole", the buffer issues a fill request and splices the
+// returned fragment (which may itself contain holes at arbitrary
+// positions, under the liberal protocol) in place of the hole, then
+// retries — the recursive d(p)/chase_first(p) algorithm of Fig. 8.
+//
+// The buffer implements nav.Document, so mediators cannot tell a
+// buffered remote source from a local tree. It is safe for concurrent
+// use, which enables the asynchronous prefetching strategy Section 4
+// proposes: StartPrefetch launches a background worker that fills
+// pending holes while the client navigates ("push from below" decoupled
+// from "pull from above").
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"mix/internal/lxp"
+	"mix/internal/nav"
+	"mix/internal/xmltree"
+)
+
+// node is one node of the buffered open tree. Children are spliced in
+// place as fills arrive, so node pointers handed out as nav.IDs stay
+// valid forever.
+type node struct {
+	label    string
+	children []*node
+	parent   *node
+	hole     bool
+	holeID   string
+	inFlight bool // a fill for this hole is on the wire
+}
+
+// Buffer is an open-tree cache over one LXP session.
+//
+// Locking discipline: mu guards the tree and the pending list; it is
+// *released* while a fill request is on the wire (the hole is marked
+// inFlight so no second fill is issued for it), and re-acquired to
+// splice. Demanders of an in-flight hole wait on cond.
+type Buffer struct {
+	srv lxp.Server
+	uri string
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	root          *node
+	pending       []*node // unfilled holes, in discovery order
+	fills         int
+	prefetchFills int
+	stopped       bool
+
+	// Prefetch, when > 0, makes every demand-driven fill also fill up
+	// to Prefetch additional pending holes synchronously. For the
+	// asynchronous strategy use StartPrefetch instead.
+	Prefetch int
+
+	wg sync.WaitGroup
+}
+
+// New opens an LXP session for uri and returns a buffer over it. Only
+// the get_root message is exchanged; no data is transferred.
+func New(srv lxp.Server, uri string) (*Buffer, error) {
+	id, err := srv.GetRoot(uri)
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{srv: srv, uri: uri}
+	b.cond = sync.NewCond(&b.mu)
+	b.root = &node{hole: true, holeID: id}
+	return b, nil
+}
+
+// Fills returns the number of fill requests issued so far (including
+// prefetch fills).
+func (b *Buffer) Fills() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fills
+}
+
+// DemandFills returns the fills issued on the client's navigation path
+// (total minus prefetch fills) — the latency the client actually waits
+// for.
+func (b *Buffer) DemandFills() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fills - b.prefetchFills
+}
+
+// PendingHoles returns the number of known unexplored holes.
+func (b *Buffer) PendingHoles() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.pending)
+	if b.root.hole {
+		n++
+	}
+	return n
+}
+
+// Root implements nav.Document. Resolving the root may require filling
+// the root hole (the paper's get_root only returns a handle).
+func (b *Buffer) Root() (nav.ID, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.root.hole {
+		if b.root.inFlight {
+			b.cond.Wait()
+			continue
+		}
+		trees, err := b.fillLocked(b.root)
+		if err != nil {
+			return nil, err
+		}
+		if b.root.hole { // still ours to resolve
+			if len(trees) != 1 || trees[0].IsHole() {
+				return nil, &lxp.ProtocolError{HoleID: b.root.holeID,
+					Msg: fmt.Sprintf("root fill must return one element, got %d trees", len(trees))}
+			}
+			b.root = b.graft(trees[0], nil)
+			b.cond.Broadcast()
+		}
+	}
+	return b.root, nil
+}
+
+// graft converts a fill fragment into buffer nodes. Caller holds mu.
+func (b *Buffer) graft(t *xmltree.Tree, parent *node) *node {
+	if t.IsHole() {
+		n := &node{hole: true, holeID: t.HoleID(), parent: parent}
+		b.pending = append(b.pending, n)
+		return n
+	}
+	n := &node{label: t.Label, parent: parent}
+	for _, c := range t.Children {
+		n.children = append(n.children, b.graft(c, n))
+	}
+	return n
+}
+
+// fillLocked issues the fill for h with mu released during the wire
+// round-trip; h is flagged inFlight so no concurrent duplicate fill is
+// sent. On return mu is held again and h.inFlight is cleared. The
+// caller is responsible for splicing.
+func (b *Buffer) fillLocked(h *node) ([]*xmltree.Tree, error) {
+	h.inFlight = true
+	b.fills++
+	b.mu.Unlock()
+	trees, err := b.srv.Fill(h.holeID)
+	if err == nil {
+		err = lxp.ValidateFill(h.holeID, trees)
+	}
+	b.mu.Lock()
+	h.inFlight = false
+	if err != nil {
+		b.cond.Broadcast()
+		return nil, err
+	}
+	return trees, nil
+}
+
+// expand fills the hole child h of parent p and splices the result in
+// its place. Caller holds mu. If another goroutine is already filling
+// h, expand waits for it instead.
+func (b *Buffer) expand(p *node, h *node) error {
+	if h.inFlight {
+		for h.inFlight {
+			b.cond.Wait()
+		}
+		return nil // resolved (or failed) by the other goroutine; caller re-inspects
+	}
+	if !h.hole {
+		return nil // already resolved
+	}
+	trees, err := b.fillLocked(h)
+	if err != nil {
+		return err
+	}
+	if !h.hole {
+		return nil // lost a race; result discarded
+	}
+	idx := -1
+	for i, c := range p.children {
+		if c == h {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("buffer: internal error: hole not under its parent")
+	}
+	repl := make([]*node, 0, len(trees))
+	for _, t := range trees {
+		repl = append(repl, b.graft(t, p))
+	}
+	nc := make([]*node, 0, len(p.children)-1+len(repl))
+	nc = append(nc, p.children[:idx]...)
+	nc = append(nc, repl...)
+	nc = append(nc, p.children[idx+1:]...)
+	p.children = nc
+	h.hole = false // mark resolved for waiters holding the old pointer
+	b.removePending(h)
+	if err := b.checkNoAdjacentHoles(p); err != nil {
+		return err
+	}
+	b.cond.Broadcast()
+	b.syncPrefetch()
+	return nil
+}
+
+func (b *Buffer) removePending(h *node) {
+	for i, n := range b.pending {
+		if n == h {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// checkNoAdjacentHoles enforces the invariant after splicing: a liberal
+// wrapper may place holes anywhere in a fill, but a splice must never
+// create two adjacent holes in the buffered tree.
+func (b *Buffer) checkNoAdjacentHoles(p *node) error {
+	for i := 1; i < len(p.children); i++ {
+		if p.children[i].hole && p.children[i-1].hole {
+			return &lxp.ProtocolError{HoleID: p.children[i].holeID,
+				Msg: "splice produced adjacent holes"}
+		}
+	}
+	return nil
+}
+
+// syncPrefetch fills up to b.Prefetch pending holes synchronously
+// (most recently discovered first). Caller holds mu.
+func (b *Buffer) syncPrefetch() {
+	for i := 0; i < b.Prefetch && len(b.pending) > 0; i++ {
+		h := b.pending[len(b.pending)-1]
+		if h.parent == nil || h.inFlight {
+			return
+		}
+		if b.expand(h.parent, h) != nil {
+			return // prefetching is best-effort
+		}
+	}
+}
+
+// StartPrefetch launches the asynchronous prefetcher: a background
+// goroutine that keeps filling pending holes (oldest first) while the
+// client navigates. Stop it with StopPrefetch; fills already on the
+// wire complete. Prefetch errors are swallowed — the demand path will
+// rediscover them.
+func (b *Buffer) StartPrefetch() {
+	b.mu.Lock()
+	b.stopped = false
+	b.mu.Unlock()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		for {
+			if b.stopped {
+				return
+			}
+			var h *node
+			for _, cand := range b.pending {
+				if !cand.inFlight && cand.parent != nil {
+					h = cand
+					break
+				}
+			}
+			if h == nil {
+				if len(b.pending) == 0 && !b.root.hole {
+					return // fully explored: nothing left to prefetch
+				}
+				b.cond.Wait()
+				continue
+			}
+			before := b.fills
+			if b.expand(h.parent, h) != nil {
+				return
+			}
+			b.prefetchFills += b.fills - before
+		}
+	}()
+}
+
+// StopPrefetch stops the asynchronous prefetcher and waits for it.
+func (b *Buffer) StopPrefetch() {
+	b.mu.Lock()
+	b.stopped = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+func (b *Buffer) id(p nav.ID) (*node, error) {
+	n, ok := p.(*node)
+	if !ok || n == nil {
+		return nil, fmt.Errorf("%w: %T", nav.ErrForeignID, p)
+	}
+	return n, nil
+}
+
+// Down implements nav.Document — the d(p) algorithm of Fig. 8.
+func (b *Buffer) Down(p nav.ID) (nav.ID, error) {
+	n, err := b.id(p)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if len(n.children) == 0 {
+			return nil, nil // genuine leaf: done
+		}
+		first := n.children[0]
+		if !first.hole {
+			return first, nil // regular child: done
+		}
+		// chase_first: fill the hole; the splice may reveal a real
+		// first child, another (nested) hole, or an empty list.
+		if err := b.expand(n, first); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Right implements nav.Document — the r(p) variant of Fig. 8
+// (first_child/right_neighbor swapped).
+func (b *Buffer) Right(p nav.ID) (nav.ID, error) {
+	n, err := b.id(p)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n.parent == nil {
+		return nil, nil
+	}
+	for {
+		sibs := n.parent.children
+		idx := -1
+		for i, c := range sibs {
+			if c == n {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("buffer: internal error: node detached from parent")
+		}
+		if idx+1 >= len(sibs) {
+			return nil, nil // no right sibling: done
+		}
+		next := sibs[idx+1]
+		if !next.hole {
+			return next, nil
+		}
+		if err := b.expand(n.parent, next); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Fetch implements nav.Document; labels are always local (holes are
+// never exposed as nodes).
+func (b *Buffer) Fetch(p nav.ID) (string, error) {
+	n, err := b.id(p)
+	if err != nil {
+		return "", err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n.hole {
+		return "", fmt.Errorf("buffer: internal error: fetch on hole")
+	}
+	return n.label, nil
+}
+
+// Snapshot returns a copy of the current open tree (holes included) for
+// inspection: the explored part of the source view.
+func (b *Buffer) Snapshot() *xmltree.Tree {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.root == nil {
+		return nil
+	}
+	return snap(b.root)
+}
+
+func snap(n *node) *xmltree.Tree {
+	if n.hole {
+		return xmltree.Hole(n.holeID)
+	}
+	t := &xmltree.Tree{Label: n.label}
+	for _, c := range n.children {
+		t.Children = append(t.Children, snap(c))
+	}
+	return t
+}

@@ -1,0 +1,33 @@
+package buffer_test
+
+import (
+	"fmt"
+	"log"
+
+	"mix/internal/buffer"
+	"mix/internal/lxp"
+	"mix/internal/nav"
+	"mix/internal/xmltree"
+)
+
+// A buffered LXP source is navigated like a local document; the open
+// tree records what has been explored.
+func Example() {
+	doc := xmltree.Elem("catalog",
+		xmltree.Elem("book", xmltree.Text("title", "t1")),
+		xmltree.Elem("book", xmltree.Text("title", "t2")),
+		xmltree.Elem("book", xmltree.Text("title", "t3")),
+	)
+	b, err := buffer.New(&lxp.TreeServer{Tree: doc, Chunk: 1, InlineLimit: 4}, "u")
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, _ := b.Root()
+	first, _ := b.Down(root)
+	sub, _ := nav.Subtree(b, first)
+	fmt.Println("explored:", sub)
+	fmt.Println("open tree still has holes:", b.Snapshot().IsOpen())
+	// Output:
+	// explored: book[title[t1]]
+	// open tree still has holes: true
+}

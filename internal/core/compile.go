@@ -1,0 +1,822 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mix/internal/algebra"
+	"mix/internal/nav"
+	"mix/internal/pathexpr"
+	"mix/internal/xmltree"
+)
+
+// Options control the operator-local caches and the navigation command
+// set, mirroring the knobs the paper discusses:
+//
+//   - JoinCache — the nested-loops join stores the inner binding list
+//     so it is not re-derived from the source for every outer binding
+//     (Section 3). Disabling it is the E6 ablation.
+//   - PathCache — getDescendants memoizes its output, so revisiting a
+//     region of the answer does not re-run the (possibly recursive)
+//     descent (Section 3). Disabling it is the E7 ablation.
+//   - GroupCache — groupBy caches the grouped value lists for the
+//     group-by lists in Gprev (Appendix A). Disabling it is E9.
+//   - NativeSelect — the select(σ) command is part of NC and pushed to
+//     the sources, upgrading label selections from browsable to
+//     bounded browsable (Section 2, Example 1). E3 toggles it.
+type Options struct {
+	JoinCache    bool
+	PathCache    bool
+	GroupCache   bool
+	NativeSelect bool
+}
+
+// DefaultOptions enables all caches and leaves NC = {d, r, f}.
+func DefaultOptions() Options {
+	return Options{JoinCache: true, PathCache: true, GroupCache: true}
+}
+
+// Engine compiles algebra plans against a registry of named sources.
+type Engine struct {
+	opts Options
+	reg  map[string]nav.Document
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	return &Engine{opts: opts, reg: map[string]nav.Document{}}
+}
+
+// Register makes doc available to plans under the given source name.
+// Registering an existing name replaces the source.
+func (e *Engine) Register(name string, doc nav.Document) {
+	e.reg[name] = doc
+}
+
+// SourceNames returns the registered source names, sorted.
+func (e *Engine) SourceNames() []string {
+	out := make([]string, 0, len(e.reg))
+	for n := range e.reg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// builder creates a fresh output stream for an operator. Calling it
+// twice yields two independent streams over the same (live) inputs.
+type builder func() (stream, error)
+
+// Query is a compiled plan: the tree of lazy mediators, ready to serve
+// navigations. Building a Query performs no source access.
+type Query struct {
+	plan    algebra.Op
+	eng     *Engine
+	topVars []string
+
+	// top is the shared top-level stream (memoized), created lazily.
+	top     stream
+	topErr  error
+	topDone bool
+	build   builder
+
+	// answer is non-nil when the plan root is tupleDestroy: the lazy
+	// root node of the virtual answer document.
+	answer Node
+}
+
+// Compile validates the plan and compiles it into a tree of lazy
+// mediators. No source is accessed.
+func (e *Engine) Compile(plan algebra.Op) (*Query, error) {
+	if err := algebra.Validate(plan); err != nil {
+		return nil, err
+	}
+	for _, src := range algebra.Sources(plan) {
+		if _, ok := e.reg[src]; !ok {
+			return nil, fmt.Errorf("core: plan references unregistered source %q", src)
+		}
+	}
+	q := &Query{plan: plan, eng: e, topVars: plan.OutVars()}
+	if td, ok := plan.(*algebra.TupleDestroy); ok {
+		inb, err := e.compile(td.Input)
+		if err != nil {
+			return nil, err
+		}
+		inb = memoBuilder(inb)
+		q.answer = &lazyNode{resolve: func() (Node, error) {
+			s, err := inb()
+			if err != nil {
+				return nil, err
+			}
+			b, _, err := s.next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				return nil, fmt.Errorf("core: tupleDestroy over empty binding list")
+			}
+			return b.node(td.Var)
+		}}
+		return q, nil
+	}
+	b, err := e.compile(plan)
+	if err != nil {
+		return nil, err
+	}
+	q.build = memoBuilder(b)
+	return q, nil
+}
+
+// memoBuilder makes a builder return one shared memoized stream, so
+// all consumers (and repeated navigations) replay the same pulls.
+func memoBuilder(b builder) builder {
+	var s stream
+	var err error
+	done := false
+	return func() (stream, error) {
+		if !done {
+			raw, e := b()
+			if e != nil {
+				err = e
+			} else {
+				s = memoizeStream(raw)
+			}
+			done = true
+		}
+		return s, err
+	}
+}
+
+// Document returns the virtual answer document. For tupleDestroy-rooted
+// plans this is the constructed answer element; for other plans it is
+// the binding-list tree bs[b[…]…] (the inter-mediator view of Fig. 2).
+// Obtaining the document and its root handle accesses no source.
+func (q *Query) Document() nav.Document {
+	if q.answer != nil {
+		return &VDoc{root: q.answer}
+	}
+	return &VDoc{root: q.bindingsNode()}
+}
+
+// bindingsNode renders the compiled stream as a lazy bs[b[X[…]…]…]
+// tree in plan OutVars order.
+func (q *Query) bindingsNode() Node {
+	vars := q.topVars
+	mk := q.build
+	return NewElem("bs", deferList(func() (list, error) {
+		s, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		return bindingList{s: s, vars: vars}, nil
+	}))
+}
+
+// bindingList renders a binding stream as a lazy list of b[…] nodes.
+type bindingList struct {
+	s    stream
+	vars []string
+}
+
+func (l bindingList) next() (Node, list, error) {
+	b, rest, err := l.s.next()
+	if err != nil {
+		return nil, nil, err
+	}
+	if b == nil {
+		return nil, nil, nil
+	}
+	var kids list = emptyList{}
+	for i := len(l.vars) - 1; i >= 0; i-- {
+		v, err := b.node(l.vars[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		kids = consList{head: NewElem(l.vars[i], singletonList(v)), tail: kids}
+	}
+	return NewElem("b", kids), bindingList{s: rest, vars: l.vars}, nil
+}
+
+// Materialize fully evaluates the query and returns the answer tree:
+// the materialized answer element for tupleDestroy plans, the bs[…]
+// binding tree otherwise. It is a convenience for callers that want
+// the eager behaviour through the lazy machinery.
+func (q *Query) Materialize() (*xmltree.Tree, error) {
+	return nav.Materialize(q.Document())
+}
+
+// compile builds the stream constructor for a plan node.
+func (e *Engine) compile(p algebra.Op) (builder, error) {
+	switch op := p.(type) {
+	case *algebra.Source:
+		return e.compileSource(op)
+	case *algebra.GetDescendants:
+		return e.compileGetDescendants(op)
+	case *algebra.Select:
+		return e.compileSelect(op)
+	case *algebra.Join:
+		return e.compileJoin(op)
+	case *algebra.GroupBy:
+		return e.compileGroupBy(op)
+	case *algebra.Concatenate:
+		return e.compileConcatenate(op)
+	case *algebra.CreateElement:
+		return e.compileCreateElement(op)
+	case *algebra.OrderBy:
+		return e.compileOrderBy(op)
+	case *algebra.Project:
+		return e.compileProject(op)
+	case *algebra.Union:
+		return e.compileBinaryConcat(op.Left, op.Right)
+	case *algebra.Difference:
+		return e.compileDifference(op)
+	case *algebra.Distinct:
+		return e.compileDistinct(op)
+	case *algebra.WrapList:
+		return e.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
+			v, err := b.node(op.Var)
+			if err != nil {
+				return nil, err
+			}
+			return b.with(op.Out, NewElem(xmltree.ListLabel, singletonList(v))), nil
+		})
+	case *algebra.Const:
+		return e.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
+			return b.with(op.Out, FromTree(op.Value)), nil
+		})
+	case *algebra.Rename:
+		return e.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
+			if _, err := b.node(op.From); err != nil {
+				return nil, err
+			}
+			return b.rename(op.From, op.To), nil
+		})
+	case *algebra.TupleDestroy:
+		return nil, fmt.Errorf("core: tupleDestroy must be the plan root")
+	default:
+		return nil, fmt.Errorf("core: unsupported operator %T", p)
+	}
+}
+
+// compilePerBinding compiles a pure per-binding transformation.
+func (e *Engine) compilePerBinding(input algebra.Op, fn func(*binding) (*binding, error)) (builder, error) {
+	in, err := e.compile(input)
+	if err != nil {
+		return nil, err
+	}
+	return func() (stream, error) {
+		s, err := in()
+		if err != nil {
+			return nil, err
+		}
+		return mapStream{in: s, fn: fn}, nil
+	}, nil
+}
+
+func (e *Engine) compileSource(op *algebra.Source) (builder, error) {
+	doc, ok := e.reg[op.URL]
+	if !ok {
+		return nil, fmt.Errorf("core: unregistered source %q", op.URL)
+	}
+	varName := op.Var
+	return func() (stream, error) {
+		b := newBinding().with(varName, SourceRoot(doc))
+		return consStream{head: b, tail: emptyStream{}}, nil
+	}, nil
+}
+
+func (e *Engine) compileGetDescendants(op *algebra.GetDescendants) (builder, error) {
+	in, err := e.compile(op.Input)
+	if err != nil {
+		return nil, err
+	}
+	nfa := pathexpr.Compile(op.Path)
+	parent, out := op.Parent, op.Out
+	raw := func() (stream, error) {
+		s, err := in()
+		if err != nil {
+			return nil, err
+		}
+		return flatMapStream{in: s, fn: func(b *binding) (stream, error) {
+			pv, err := b.node(parent)
+			if err != nil {
+				return nil, err
+			}
+			matches := pathMatchList{nfa: nfa, siblings: childrenOf(pv), state: nfa.Start()}
+			return nodeStream{l: matches, base: b, out: out}, nil
+		}}, nil
+	}
+	if e.opts.PathCache {
+		// The operator-level cache of Section 3: the explored part of
+		// the descent is kept by the operator itself, so re-iterations
+		// (e.g. as the inner of an uncached join, or a client
+		// revisiting the region) replay it instead of re-navigating.
+		return memoBuilder(raw), nil
+	}
+	return raw, nil
+}
+
+// nodeStream turns a lazy node list into a binding stream by extending
+// base with out ↦ node.
+type nodeStream struct {
+	l    list
+	base *binding
+	out  string
+}
+
+func (n nodeStream) next() (*binding, stream, error) {
+	h, rest, err := n.l.next()
+	if err != nil || h == nil {
+		return nil, nil, err
+	}
+	return n.base.with(n.out, h), nodeStream{l: rest, base: n.base, out: n.out}, nil
+}
+
+// pathMatchList lazily enumerates, in document order, the descendants
+// reachable through paths matching the NFA. state is the NFA state set
+// before consuming each sibling's label; subtrees whose state set
+// cannot reach acceptance are pruned without exploration.
+type pathMatchList struct {
+	nfa      *pathexpr.NFA
+	siblings list
+	state    pathexpr.StateSet
+}
+
+func (p pathMatchList) next() (Node, list, error) {
+	sibs := p.siblings
+	for {
+		c, rest, err := sibs.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if c == nil {
+			return nil, nil, nil
+		}
+		label, err := c.Label()
+		if err != nil {
+			return nil, nil, err
+		}
+		st2 := p.nfa.Step(p.state, label)
+		if p.nfa.Alive(st2) {
+			inner := pathMatchList{nfa: p.nfa, siblings: childrenOf(c), state: st2}
+			var own list = inner
+			if p.nfa.Accepting(st2) {
+				own = consList{head: c, tail: inner}
+			}
+			cont := pathMatchList{nfa: p.nfa, siblings: rest, state: p.state}
+			return concatList{a: own, b: cont}.next()
+		}
+		sibs = rest
+	}
+}
+
+func (e *Engine) compileSelect(op *algebra.Select) (builder, error) {
+	// Fusion: a label selection directly over a one-step wildcard
+	// getDescendants is served with the select(σ) source command when
+	// NC includes it (Example 1's upgrade to bounded browsable).
+	if e.opts.NativeSelect {
+		if lm, ok := op.Cond.(*algebra.LabelMatch); ok {
+			if gd, ok := op.Input.(*algebra.GetDescendants); ok &&
+				gd.Out == lm.Var && gd.Path.String() == "_" {
+				return e.compileFusedLabelScan(gd, lm.Label)
+			}
+		}
+	}
+	in, err := e.compile(op.Input)
+	if err != nil {
+		return nil, err
+	}
+	cond := op.Cond
+	return func() (stream, error) {
+		s, err := in()
+		if err != nil {
+			return nil, err
+		}
+		return filterStream{in: s, pred: func(b *binding) (bool, error) {
+			return cond.Eval(b)
+		}}, nil
+	}, nil
+}
+
+// compileFusedLabelScan compiles σ_label(getDescendants(parent, _ → out))
+// into a child scan that jumps between matches with the select(σ)
+// navigation command.
+func (e *Engine) compileFusedLabelScan(gd *algebra.GetDescendants, label string) (builder, error) {
+	in, err := e.compile(gd.Input)
+	if err != nil {
+		return nil, err
+	}
+	parent, out := gd.Parent, gd.Out
+	return func() (stream, error) {
+		s, err := in()
+		if err != nil {
+			return nil, err
+		}
+		return flatMapStream{in: s, fn: func(b *binding) (stream, error) {
+			pv, err := b.node(parent)
+			if err != nil {
+				return nil, err
+			}
+			sb, ok := asSourceBacked(pv)
+			if !ok {
+				// Constructed value: fall back to a plain filtered scan.
+				matches := labelFilterList{l: childrenOf(pv), label: label}
+				return nodeStream{l: matches, base: b, out: out}, nil
+			}
+			doc, id := sb.source()
+			return nodeStream{l: selectScanList{doc: doc, parent: id, label: label, started: false},
+				base: b, out: out}, nil
+		}}, nil
+	}, nil
+}
+
+// selectScanList enumerates the children of parent with the given label
+// using d plus native select(σ) jumps.
+type selectScanList struct {
+	doc     nav.Document
+	parent  nav.ID // when !started: the parent; else: the previous match
+	label   string
+	started bool
+}
+
+func (s selectScanList) next() (Node, list, error) {
+	var cur nav.ID
+	var err error
+	if !s.started {
+		cur, err = s.doc.Down(s.parent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cur == nil {
+			return nil, nil, nil
+		}
+		cur, err = nav.Select(s.doc, cur, nav.LabelIs(s.label), true)
+	} else {
+		cur, err = nav.Select(s.doc, s.parent, nav.LabelIs(s.label), false)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if cur == nil {
+		return nil, nil, nil
+	}
+	return srcNode{doc: s.doc, id: cur},
+		selectScanList{doc: s.doc, parent: cur, label: s.label, started: true}, nil
+}
+
+// labelFilterList filters a node list by label.
+type labelFilterList struct {
+	l     list
+	label string
+}
+
+func (f labelFilterList) next() (Node, list, error) {
+	l := f.l
+	for {
+		h, rest, err := l.next()
+		if err != nil || h == nil {
+			return nil, nil, err
+		}
+		lab, err := h.Label()
+		if err != nil {
+			return nil, nil, err
+		}
+		if lab == f.label {
+			return h, labelFilterList{l: rest, label: f.label}, nil
+		}
+		l = rest
+	}
+}
+
+// sourceBacked is implemented by nodes that directly wrap a source
+// document node, enabling command pushdown (native select).
+type sourceBacked interface {
+	source() (nav.Document, nav.ID)
+}
+
+func (s srcNode) source() (nav.Document, nav.ID) { return s.doc, s.id }
+
+func asSourceBacked(v Node) (sourceBacked, bool) {
+	for {
+		if sb, ok := v.(sourceBacked); ok {
+			return sb, true
+		}
+		ln, ok := v.(*lazyNode)
+		if !ok {
+			return nil, false
+		}
+		inner, err := ln.force()
+		if err != nil {
+			return nil, false
+		}
+		v = inner
+	}
+}
+
+func (e *Engine) compileJoin(op *algebra.Join) (builder, error) {
+	left, err := e.compile(op.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.compile(op.Right)
+	if err != nil {
+		return nil, err
+	}
+	cond := op.Cond
+	cache := e.opts.JoinCache
+	return func() (stream, error) {
+		ls, err := left()
+		if err != nil {
+			return nil, err
+		}
+		// With the inner cache, the right input is derived once and
+		// replayed; without it, every outer binding re-derives it from
+		// the sources (the E6 ablation).
+		var cached stream
+		if cache {
+			cached = memoizeStream(deferStream(right))
+		}
+		return flatMapStream{in: ls, fn: func(lb *binding) (stream, error) {
+			var rs stream
+			if cache {
+				rs = cached
+			} else {
+				var err error
+				rs, err = right()
+				if err != nil {
+					return nil, err
+				}
+			}
+			pairs := mapStream{in: rs, fn: func(rb *binding) (*binding, error) {
+				return merge(lb, rb), nil
+			}}
+			return filterStream{in: pairs, pred: func(b *binding) (bool, error) {
+				return cond.Eval(b)
+			}}, nil
+		}}, nil
+	}, nil
+}
+
+func (e *Engine) compileConcatenate(op *algebra.Concatenate) (builder, error) {
+	in, err := e.compile(op.Input)
+	if err != nil {
+		return nil, err
+	}
+	x, y, out := op.X, op.Y, op.Out
+	return func() (stream, error) {
+		s, err := in()
+		if err != nil {
+			return nil, err
+		}
+		return mapStream{in: s, fn: func(b *binding) (*binding, error) {
+			xv, err := b.node(x)
+			if err != nil {
+				return nil, err
+			}
+			yv, err := b.node(y)
+			if err != nil {
+				return nil, err
+			}
+			z := NewElem(xmltree.ListLabel, concatList{a: itemsOf(xv), b: itemsOf(yv)})
+			return b.with(out, z), nil
+		}}, nil
+	}, nil
+}
+
+func (e *Engine) compileCreateElement(op *algebra.CreateElement) (builder, error) {
+	in, err := e.compile(op.Input)
+	if err != nil {
+		return nil, err
+	}
+	spec, ch, out := op.Label, op.Children, op.Out
+	return func() (stream, error) {
+		s, err := in()
+		if err != nil {
+			return nil, err
+		}
+		return mapStream{in: s, fn: func(b *binding) (*binding, error) {
+			cv, err := b.node(ch)
+			if err != nil {
+				return nil, err
+			}
+			// "c1 … cn are the subtrees of bin.ch": the new element
+			// receives the *children* of the bound value (for a
+			// list[…] value these are the listed items).
+			kids := childrenOf(cv)
+			var el Node
+			if spec.Var == "" {
+				el = NewElem(spec.Const, kids)
+			} else {
+				// Dynamic label: resolved (one small materialization)
+				// only when the element is actually looked at.
+				labelVar := spec.Var
+				el = &lazyNode{resolve: func() (Node, error) {
+					lv, err := b.Value(labelVar)
+					if err != nil {
+						return nil, err
+					}
+					label := lv.Label
+					if !lv.IsLeaf() {
+						label = lv.TextContent()
+					}
+					return NewElem(label, kids), nil
+				}}
+			}
+			return b.with(out, el), nil
+		}}, nil
+	}, nil
+}
+
+func (e *Engine) compileOrderBy(op *algebra.OrderBy) (builder, error) {
+	in, err := e.compile(op.Input)
+	if err != nil {
+		return nil, err
+	}
+	keys := op.Keys
+	return func() (stream, error) {
+		// Blocking by definition: the whole input list must be read
+		// before the first output binding exists (unbrowsable).
+		return deferStream(func() (stream, error) {
+			s, err := in()
+			if err != nil {
+				return nil, err
+			}
+			all, err := drain(s)
+			if err != nil {
+				return nil, err
+			}
+			type keyed struct {
+				b *binding
+				k []string
+			}
+			rows := make([]keyed, len(all))
+			for i, b := range all {
+				ks := make([]string, len(keys))
+				for j, kv := range keys {
+					t, err := b.Value(kv)
+					if err != nil {
+						return nil, err
+					}
+					ks[j] = valueAtom(t)
+				}
+				rows[i] = keyed{b: b, k: ks}
+			}
+			sort.SliceStable(rows, func(i, j int) bool {
+				for x := range keys {
+					if c := algebra.Compare(rows[i].k[x], rows[j].k[x]); c != 0 {
+						return c < 0
+					}
+				}
+				return false
+			})
+			out := make(sliceStream, len(rows))
+			for i, r := range rows {
+				out[i] = r.b
+			}
+			return out, nil
+		}), nil
+	}, nil
+}
+
+func valueAtom(t *xmltree.Tree) string {
+	if t == nil {
+		return ""
+	}
+	if t.IsLeaf() {
+		return t.Label
+	}
+	return t.TextContent()
+}
+
+func (e *Engine) compileProject(op *algebra.Project) (builder, error) {
+	in, err := e.compile(op.Input)
+	if err != nil {
+		return nil, err
+	}
+	keep := op.Keep
+	return func() (stream, error) {
+		s, err := in()
+		if err != nil {
+			return nil, err
+		}
+		return mapStream{in: s, fn: func(b *binding) (*binding, error) {
+			for _, v := range keep {
+				if _, err := b.node(v); err != nil {
+					return nil, err
+				}
+			}
+			return b.project(keep), nil
+		}}, nil
+	}, nil
+}
+
+func (e *Engine) compileBinaryConcat(l, r algebra.Op) (builder, error) {
+	lb, err := e.compile(l)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := e.compile(r)
+	if err != nil {
+		return nil, err
+	}
+	return func() (stream, error) {
+		ls, err := lb()
+		if err != nil {
+			return nil, err
+		}
+		return concatStream{a: ls, b: deferStream(rb)}, nil
+	}, nil
+}
+
+func (e *Engine) compileDifference(op *algebra.Difference) (builder, error) {
+	lb, err := e.compile(op.Left)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := e.compile(op.Right)
+	if err != nil {
+		return nil, err
+	}
+	vars := op.Left.OutVars()
+	return func() (stream, error) {
+		ls, err := lb()
+		if err != nil {
+			return nil, err
+		}
+		// The right input is read in its entirety before the first
+		// left binding can be emitted (unbrowsable on the right).
+		var seen map[string]bool
+		return filterStream{in: ls, pred: func(b *binding) (bool, error) {
+			if seen == nil {
+				rs, err := rb()
+				if err != nil {
+					return false, err
+				}
+				all, err := drain(rs)
+				if err != nil {
+					return false, err
+				}
+				seen = make(map[string]bool, len(all))
+				for _, r := range all {
+					k, err := r.key(vars)
+					if err != nil {
+						return false, err
+					}
+					seen[k] = true
+				}
+			}
+			k, err := b.key(vars)
+			if err != nil {
+				return false, err
+			}
+			return !seen[k], nil
+		}}, nil
+	}, nil
+}
+
+func (e *Engine) compileDistinct(op *algebra.Distinct) (builder, error) {
+	in, err := e.compile(op.Input)
+	if err != nil {
+		return nil, err
+	}
+	vars := op.Input.OutVars()
+	return func() (stream, error) {
+		s, err := in()
+		if err != nil {
+			return nil, err
+		}
+		return distinctStream{in: s, vars: vars, seen: nil}, nil
+	}, nil
+}
+
+// distinctStream keeps first occurrences. The seen set is threaded
+// persistently: each tail carries its own extended copy.
+type distinctStream struct {
+	in   stream
+	vars []string
+	seen map[string]bool
+}
+
+func (d distinctStream) next() (*binding, stream, error) {
+	in := d.in
+	seen := d.seen
+	for {
+		h, t, err := in.next()
+		if err != nil || h == nil {
+			return nil, nil, err
+		}
+		k, err := h.key(d.vars)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !seen[k] {
+			next := make(map[string]bool, len(seen)+1)
+			for s := range seen {
+				next[s] = true
+			}
+			next[k] = true
+			return h, distinctStream{in: t, vars: d.vars, seen: next}, nil
+		}
+		in = t
+	}
+}

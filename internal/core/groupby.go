@@ -1,0 +1,127 @@
+package core
+
+import (
+	"mix/internal/algebra"
+	"mix/internal/xmltree"
+)
+
+// compileGroupBy implements the lazy groupBy mediator of Appendix A
+// (Fig. 10). Navigating right among the output groups scans the input
+// for the next binding whose group-by list has not been seen (the
+// paper's nextgb over Gprev); navigating right among a group's values
+// scans the input for the next binding with the same group-by list (the
+// paper's next(pb, pg)). With GroupCache the input scan and the grouped
+// value lists are memoized, the optimization the appendix describes.
+func (e *Engine) compileGroupBy(op *algebra.GroupBy) (builder, error) {
+	in, err := e.compile(op.Input)
+	if err != nil {
+		return nil, err
+	}
+	by, varName, out := op.By, op.Var, op.Out
+	cache := e.opts.GroupCache
+	return func() (stream, error) {
+		input := deferStream(in)
+		if cache {
+			input = memoizeStream(input)
+		}
+		if len(by) == 0 {
+			// Grouping by {} yields exactly one output binding — even
+			// for empty input ("create one answer element for each
+			// {}") — and it is produced without touching the input:
+			// the grouped list is lazy. This is what lets the mediator
+			// answer f on the answer root with zero source accesses.
+			values := valueList{in: input, varName: varName}
+			b := newBinding().with(out, NewElem(xmltree.ListLabel, maybeMemo(values, cache)))
+			return consStream{head: b, tail: emptyStream{}}, nil
+		}
+		return groupsStream{in: input, by: by, varName: varName, out: out,
+			seen: nil, cache: cache}, nil
+	}, nil
+}
+
+func maybeMemo(l list, cache bool) list {
+	if cache {
+		return memoize(l)
+	}
+	return l
+}
+
+// valueList renders the varName values of a binding stream as a lazy
+// node list (the contents of a list[…] group value).
+type valueList struct {
+	in      stream
+	varName string
+}
+
+func (v valueList) next() (Node, list, error) {
+	b, rest, err := v.in.next()
+	if err != nil || b == nil {
+		return nil, nil, err
+	}
+	n, err := b.node(v.varName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, valueList{in: rest, varName: v.varName}, nil
+}
+
+// groupsStream emits one output binding per distinct group-by list, in
+// order of first occurrence. seen is the paper's Gprev; it is extended
+// persistently (each tail carries its own copy) so that saved handles
+// into earlier positions remain valid.
+type groupsStream struct {
+	in      stream
+	by      []string
+	varName string
+	out     string
+	seen    map[string]bool
+	cache   bool
+}
+
+func (g groupsStream) next() (*binding, stream, error) {
+	in := g.in
+	for {
+		b, t, err := in.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if b == nil {
+			return nil, nil, nil
+		}
+		k, err := b.key(g.by)
+		if err != nil {
+			return nil, nil, err
+		}
+		if g.seen[k] {
+			in = t
+			continue
+		}
+		// New group: its member list starts here and continues through
+		// the remainder of the input with the same group-by list.
+		members := filterStream{in: consStream{head: b, tail: t},
+			pred: sameKeyPred(g.by, k)}
+		values := valueList{in: members, varName: g.varName}
+		// The output binding keeps the group-by variables (sharing the
+		// group head's links, and therefore its memoized values) and
+		// adds the lazy grouped list.
+		ob := b.project(g.by).with(g.out, NewElem(xmltree.ListLabel, maybeMemo(values, g.cache)))
+
+		seen2 := make(map[string]bool, len(g.seen)+1)
+		for s := range g.seen {
+			seen2[s] = true
+		}
+		seen2[k] = true
+		return ob, groupsStream{in: t, by: g.by, varName: g.varName,
+			out: g.out, seen: seen2, cache: g.cache}, nil
+	}
+}
+
+func sameKeyPred(by []string, key string) func(*binding) (bool, error) {
+	return func(b *binding) (bool, error) {
+		k, err := b.key(by)
+		if err != nil {
+			return false, err
+		}
+		return k == key, nil
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+// Additional tests of the lazy machinery's fine structure: exact
+// navigation mirroring for bounded views, fused select fallback on
+// constructed values, deep recursion, and stream persistence edge
+// cases.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mix/internal/algebra"
+	"mix/internal/nav"
+	"mix/internal/pathexpr"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+// TestQconcMirrorsNavigations asserts the Example 1 bound concretely:
+// for q_conc, every additional client step costs a *constant* number of
+// source commands, regardless of position and source size.
+func TestQconcMirrorsNavigations(t *testing.T) {
+	s1 := workload.FlatList(1000, "a")
+	s2 := workload.FlatList(1000, "b")
+	e, counters := engineWith(DefaultOptions(), map[string]*xmltree.Tree{"s1": s1, "s2": s2})
+	q := mustCompile(t, e, workload.ConcPlan("s1", "s2"))
+	doc := q.Document()
+
+	total := func() int64 {
+		return counters["s1"].Counters.Navigations() + counters["s2"].Counters.Navigations()
+	}
+	root, err := doc.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := doc.Down(root)
+	if err != nil || p == nil {
+		t.Fatal("first child missing")
+	}
+	if _, err := doc.Fetch(p); err != nil {
+		t.Fatal(err)
+	}
+	base := total()
+	// Each subsequent r,f pair costs a bounded number of source
+	// commands; measure the per-step cost over a window.
+	var maxStep int64
+	for i := 0; i < 100; i++ {
+		before := total()
+		p, err = doc.Right(p)
+		if err != nil || p == nil {
+			t.Fatalf("step %d: %v %v", i, p, err)
+		}
+		if _, err := doc.Fetch(p); err != nil {
+			t.Fatal(err)
+		}
+		step := total() - before
+		if step > maxStep {
+			maxStep = step
+		}
+	}
+	if maxStep > 8 {
+		t.Fatalf("q_conc step cost %d source commands, want small constant (bounded)", maxStep)
+	}
+	if base > 20 {
+		t.Fatalf("q_conc first-result cost %d, want small constant", base)
+	}
+}
+
+// TestFusedSelectFallsBackOnConstructedValues: the select(σ) fusion
+// only pushes to source-backed parents; over constructed parents it
+// must silently fall back to a label-filter scan with identical
+// results.
+func TestFusedSelectFallsBackOnConstructedValues(t *testing.T) {
+	src := xmltree.Elem("r",
+		xmltree.Text("a", "1"), xmltree.Text("b", "2"), xmltree.Text("a", "3"))
+	opts := Options{JoinCache: true, PathCache: true, GroupCache: true, NativeSelect: true}
+	e, _ := engineWith(opts, map[string]*xmltree.Tree{"s": src})
+
+	// Parent is a constructed element: wrap the source children into a
+	// fresh element, then scan its children.
+	gd := &algebra.GetDescendants{Input: &algebra.Source{URL: "s", Var: "R"},
+		Parent: "R", Path: pathexpr.MustParse("_"), Out: "C"}
+	grp := &algebra.GroupBy{Input: gd, By: nil, Var: "C", Out: "CS"}
+	ce := &algebra.CreateElement{Input: grp,
+		Label: algebra.LabelSpec{Const: "wrapped"}, Children: "CS", Out: "W"}
+	scan := &algebra.GetDescendants{Input: ce, Parent: "W",
+		Path: pathexpr.MustParse("_"), Out: "X"}
+	sel := &algebra.Select{Input: scan, Cond: &algebra.LabelMatch{Var: "X", Label: "a"}}
+	q := mustCompile(t, e, &algebra.Project{Input: sel, Keep: []string{"X"}})
+	got := mustMaterialize(t, q)
+	if len(got.Children) != 2 {
+		t.Fatalf("fallback scan found %d, want 2:\n%v", len(got.Children), got)
+	}
+}
+
+func TestDeepRecursionDoesNotOverflow(t *testing.T) {
+	deep := workload.DeepTree(3000, 1)
+	e, _ := engineWith(DefaultOptions(), map[string]*xmltree.Tree{"d": deep})
+	q := mustCompile(t, e, workload.RecursivePlan("d"))
+	got := mustMaterialize(t, q)
+	if n := len(got.Children); n != 3000 {
+		t.Fatalf("matches = %d, want 3000", n)
+	}
+}
+
+// TestGroupValueListsShareScans: navigating two different groups'
+// value lists pulls the (memoized) join output once, not once per
+// group.
+func TestGroupValueListsShareScans(t *testing.T) {
+	homes, schools := workload.HomesSchools(30, 30, 3, 11)
+	e, counters := engineWith(DefaultOptions(), map[string]*xmltree.Tree{
+		"homesSrc": homes, "schoolsSrc": schools})
+	q := mustCompile(t, e, workload.HomesSchoolsPlan())
+	doc := q.Document()
+	root, _ := doc.Root()
+	g1, err := doc.Down(root)
+	if err != nil || g1 == nil {
+		t.Fatal("no first group")
+	}
+	if _, err := nav.Subtree(doc, g1); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := counters["schoolsSrc"].Counters.Navigations()
+	g2, err := doc.Right(g1)
+	if err != nil || g2 == nil {
+		t.Fatal("no second group")
+	}
+	if _, err := nav.Subtree(doc, g2); err != nil {
+		t.Fatal(err)
+	}
+	afterSecond := counters["schoolsSrc"].Counters.Navigations()
+	// The second group re-uses the memoized join output; its extra
+	// source cost is only the schools actually contained in it.
+	if delta := afterSecond - afterFirst; delta > afterFirst {
+		t.Fatalf("second group cost %d > first group cost %d: scans not shared",
+			delta, afterFirst)
+	}
+}
+
+func TestOrderByStableForEqualKeys(t *testing.T) {
+	src := xmltree.Elem("r",
+		xmltree.Elem("p", xmltree.Text("k", "1"), xmltree.Text("id", "first")),
+		xmltree.Elem("p", xmltree.Text("k", "1"), xmltree.Text("id", "second")),
+		xmltree.Elem("p", xmltree.Text("k", "0"), xmltree.Text("id", "third")),
+	)
+	e, _ := engineWith(DefaultOptions(), map[string]*xmltree.Tree{"s": src})
+	gd := &algebra.GetDescendants{Input: &algebra.Source{URL: "s", Var: "R"},
+		Parent: "R", Path: pathexpr.MustParse("p"), Out: "P"}
+	key := &algebra.GetDescendants{Input: gd, Parent: "P",
+		Path: pathexpr.MustParse("k._"), Out: "K"}
+	ob := &algebra.OrderBy{Input: key, Keys: []string{"K"}}
+	q := mustCompile(t, e, &algebra.Project{Input: ob, Keep: []string{"P"}})
+	got := mustMaterialize(t, q)
+	ids := []string{}
+	for _, b := range got.Children {
+		ids = append(ids, b.FirstChild().FirstChild().Find("id").TextContent())
+	}
+	if strings.Join(ids, ",") != "third,first,second" {
+		t.Fatalf("orderBy not stable: %v", ids)
+	}
+}
+
+func TestRenameAndProjectChains(t *testing.T) {
+	src := xmltree.Elem("r", xmltree.Text("a", "1"))
+	e, _ := engineWith(DefaultOptions(), map[string]*xmltree.Tree{"s": src})
+	gd := &algebra.GetDescendants{Input: &algebra.Source{URL: "s", Var: "R"},
+		Parent: "R", Path: pathexpr.MustParse("a"), Out: "X"}
+	ren := &algebra.Rename{Input: gd, From: "X", To: "Y"}
+	prj := &algebra.Project{Input: ren, Keep: []string{"Y"}}
+	ren2 := &algebra.Rename{Input: prj, From: "Y", To: "Z"}
+	q := mustCompile(t, e, ren2)
+	got := mustMaterialize(t, q)
+	want := xmltree.Elem("bs", xmltree.Elem("b",
+		xmltree.Elem("Z", xmltree.Text("a", "1"))))
+	if !xmltree.Equal(got, want) {
+		t.Fatalf("rename/project chain: %v", got)
+	}
+}
+
+// TestInterleavedCursors: two independent clients walking the same
+// virtual document at different speeds must not disturb each other
+// (persistence of handles).
+func TestInterleavedCursors(t *testing.T) {
+	homes, schools := workload.HomesSchools(12, 12, 2, 13)
+	e, _ := engineWith(DefaultOptions(), map[string]*xmltree.Tree{
+		"homesSrc": homes, "schoolsSrc": schools})
+	q := mustCompile(t, e, workload.HomesSchoolsPlan())
+	doc := q.Document()
+	root, _ := doc.Root()
+
+	a, _ := doc.Down(root)
+	bID, _ := doc.Down(root)
+	var aLabels, bLabels []string
+	for a != nil || bID != nil {
+		if a != nil {
+			l, err := doc.Fetch(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aLabels = append(aLabels, l)
+			a, _ = doc.Right(a)
+		}
+		if bID != nil && len(aLabels)%2 == 0 { // b advances at half speed
+			l, err := doc.Fetch(bID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bLabels = append(bLabels, l)
+			bID, _ = doc.Right(bID)
+		}
+	}
+	for bID != nil {
+		l, _ := doc.Fetch(bID)
+		bLabels = append(bLabels, l)
+		bID, _ = doc.Right(bID)
+	}
+	if strings.Join(aLabels, ",") != strings.Join(bLabels, ",") {
+		t.Fatalf("interleaved cursors disagree:\n%v\n%v", aLabels, bLabels)
+	}
+}
+
+func TestConstAndWrapListValues(t *testing.T) {
+	src := xmltree.Elem("r", xmltree.Text("a", "1"))
+	e, _ := engineWith(DefaultOptions(), map[string]*xmltree.Tree{"s": src})
+	gd := &algebra.GetDescendants{Input: &algebra.Source{URL: "s", Var: "R"},
+		Parent: "R", Path: pathexpr.MustParse("a"), Out: "X"}
+	c := &algebra.Const{Input: gd, Value: xmltree.Text("tag", "v"), Out: "C"}
+	w := &algebra.WrapList{Input: c, Var: "X", Out: "L"}
+	q := mustCompile(t, e, &algebra.Project{Input: w, Keep: []string{"C", "L"}})
+	got := mustMaterialize(t, q)
+	b := got.FirstChild()
+	if !xmltree.Equal(b.Find("C").FirstChild(), xmltree.Text("tag", "v")) {
+		t.Fatalf("const value wrong: %v", b.Find("C"))
+	}
+	l := b.Find("L").FirstChild()
+	if l.Label != "list" || len(l.Children) != 1 || l.Children[0].Label != "a" {
+		t.Fatalf("wrapList value wrong: %v", l)
+	}
+}
+
+func TestNewVDocAndLazyNode(t *testing.T) {
+	// A lazyNode exposed through NewVDoc resolves on first use.
+	resolved := 0
+	ln := &lazyNode{resolve: func() (Node, error) {
+		resolved++
+		return FromTree(xmltree.Elem("r", xmltree.Leaf("x"))), nil
+	}}
+	doc := NewVDoc(ln)
+	root, err := doc.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved != 0 {
+		t.Fatal("root handle must not resolve the node")
+	}
+	child, err := doc.Down(root) // forces resolution via lazyNode.Children
+	if err != nil || child == nil {
+		t.Fatalf("Down: %v %v", child, err)
+	}
+	if l, _ := doc.Fetch(child); l != "x" {
+		t.Fatalf("child label %q", l)
+	}
+	if resolved != 1 {
+		t.Fatalf("resolved %d times", resolved)
+	}
+	// Errors from resolution surface.
+	bad := NewVDoc(&lazyNode{resolve: func() (Node, error) {
+		return nil, fmt.Errorf("source gone")
+	}})
+	broot, _ := bad.Root()
+	if _, err := bad.Fetch(broot); err == nil {
+		t.Fatal("resolution failure must surface")
+	}
+	if _, err := bad.Down(broot); err == nil {
+		t.Fatal("resolution failure must surface on Down")
+	}
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mix/internal/xmltree"
+)
+
+// binding is one element of a binding list bs[b[…]]: an immutable
+// assignment of lazy values to variable names, represented as a
+// persistent chain of links. The chain representation is what makes
+// the paper's per-binding caches effective: a nested-loops join that
+// pairs one outer binding with many inner bindings shares the outer
+// links (and their memoized materializations) across all pairs, so a
+// join attribute like a zip code is navigated once per *input* binding,
+// not once per pair ("the nested-loops join operator stores … the
+// attributes that participate in the join condition", Section 3).
+//
+// Bindings are not safe for concurrent use; a query's virtual document
+// is navigated by one client at a time, as in the paper's architecture.
+type binding struct {
+	kind   bindKind
+	parent *binding
+
+	// bindLink
+	name  string
+	val   Node
+	tree  *xmltree.Tree // memoized materialization of val
+	canon string        // memoized canonical string of tree
+
+	// keys memoizes key() results on the binding a stream element
+	// hands out, so the repeated group/member scans of groupBy
+	// (Appendix A's nextgb/next) pay for canonicalization once per
+	// binding rather than once per scan.
+	keys map[string]string
+
+	// mergeLink
+	co *binding
+
+	// projectLink
+	keep []string
+
+	// renameLink
+	from, to string
+}
+
+type bindKind uint8
+
+const (
+	rootLink bindKind = iota
+	bindLink
+	mergeLink
+	projectLink
+	renameLink
+)
+
+var emptyBinding = &binding{kind: rootLink}
+
+func newBinding() *binding { return emptyBinding }
+
+// with returns b extended with name bound to v (the paper's bᵢ + X[v]).
+func (b *binding) with(name string, v Node) *binding {
+	return &binding{kind: bindLink, parent: b, name: name, val: v}
+}
+
+// project restricts b to the given variables.
+func (b *binding) project(keep []string) *binding {
+	return &binding{kind: projectLink, parent: b, keep: keep}
+}
+
+// rename renames variable from to to.
+func (b *binding) rename(from, to string) *binding {
+	if from == to {
+		return b
+	}
+	return &binding{kind: renameLink, parent: b, from: from, to: to}
+}
+
+// merge concatenates two bindings with disjoint variables.
+func merge(l, r *binding) *binding {
+	return &binding{kind: mergeLink, parent: l, co: r}
+}
+
+// lookup returns the bind link defining name, or nil.
+func (b *binding) lookup(name string) *binding {
+	for cur := b; cur != nil; {
+		switch cur.kind {
+		case bindLink:
+			if cur.name == name {
+				return cur
+			}
+			cur = cur.parent
+		case mergeLink:
+			if l := cur.parent.lookup(name); l != nil {
+				return l
+			}
+			cur = cur.co
+		case projectLink:
+			if !containsVar(cur.keep, name) {
+				return nil
+			}
+			cur = cur.parent
+		case renameLink:
+			if name == cur.from {
+				return nil // hidden by the rename
+			}
+			if name == cur.to {
+				name = cur.from
+			}
+			cur = cur.parent
+		default: // rootLink
+			return nil
+		}
+	}
+	return nil
+}
+
+func containsVar(vars []string, v string) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// node returns the lazy value bound to name.
+func (b *binding) node(name string) (Node, error) {
+	l := b.lookup(name)
+	if l == nil {
+		return nil, fmt.Errorf("core: unbound variable $%s", name)
+	}
+	return l.val, nil
+}
+
+// Value materializes the value bound to name (algebra.ValueGetter).
+// The materialization is memoized on the defining link, so it is
+// shared by every binding derived from it.
+func (b *binding) Value(name string) (*xmltree.Tree, error) {
+	l := b.lookup(name)
+	if l == nil {
+		return nil, fmt.Errorf("core: unbound variable $%s", name)
+	}
+	if l.tree == nil {
+		t, err := MaterializeNode(l.val)
+		if err != nil {
+			return nil, err
+		}
+		l.tree = t
+	}
+	return l.tree, nil
+}
+
+// key returns a canonical string for the values of the given variables,
+// used by groupBy/distinct/difference. It materializes those values;
+// both the per-variable canonical forms and the combined key are
+// memoized.
+func (b *binding) key(vars []string) (string, error) {
+	ck := strings.Join(vars, "\x01")
+	if k, ok := b.keys[ck]; ok {
+		return k, nil
+	}
+	out := ""
+	for _, v := range vars {
+		l := b.lookup(v)
+		if l == nil {
+			return "", fmt.Errorf("core: unbound variable $%s", v)
+		}
+		if l.canon == "" {
+			if l.tree == nil {
+				t, err := MaterializeNode(l.val)
+				if err != nil {
+					return "", err
+				}
+				l.tree = t
+			}
+			l.canon = l.tree.Canonical()
+		}
+		out += l.canon + "\x00"
+	}
+	if b.keys == nil {
+		b.keys = map[string]string{}
+	}
+	b.keys[ck] = out
+	return out, nil
+}
+
+// stream is a persistent lazy list of bindings — the operator output
+// "virtual XML answer tree" of Fig. 2, restricted to the binding level.
+// A nil head signals exhaustion. Like list, streams must be persistent.
+type stream interface {
+	next() (*binding, stream, error)
+}
+
+type emptyStream struct{}
+
+func (emptyStream) next() (*binding, stream, error) { return nil, nil, nil }
+
+type consStream struct {
+	head *binding
+	tail stream
+}
+
+func (c consStream) next() (*binding, stream, error) { return c.head, c.tail, nil }
+
+// thunkStream defers (and recomputes on every pull — not memoized).
+type thunkStream func() (*binding, stream, error)
+
+func (t thunkStream) next() (*binding, stream, error) { return t() }
+
+// deferStream wraps a stream constructor.
+func deferStream(f func() (stream, error)) stream {
+	return thunkStream(func() (*binding, stream, error) {
+		s, err := f()
+		if err != nil {
+			return nil, nil, err
+		}
+		return s.next()
+	})
+}
+
+// memoStream caches one pull, giving every consumer the same cheap
+// replay; this is the mechanism behind the paper's operator caches
+// (join inner list, groupBy's Gprev lists, recursive getDescendants).
+type memoStream struct {
+	inner stream
+
+	forced bool
+	head   *binding
+	tail   stream
+	err    error
+}
+
+func newMemoStream(inner stream) *memoStream { return &memoStream{inner: inner} }
+
+func (m *memoStream) next() (*binding, stream, error) {
+	if !m.forced {
+		h, t, err := m.inner.next()
+		m.head, m.err = h, err
+		if t != nil {
+			m.tail = newMemoStream(t)
+		}
+		m.forced = true
+		m.inner = nil
+	}
+	return m.head, m.tail, m.err
+}
+
+func memoizeStream(s stream) stream {
+	if _, ok := s.(*memoStream); ok {
+		return s
+	}
+	return newMemoStream(s)
+}
+
+type concatStream struct{ a, b stream }
+
+func (c concatStream) next() (*binding, stream, error) {
+	h, t, err := c.a.next()
+	if err != nil {
+		return nil, nil, err
+	}
+	if h == nil {
+		return c.b.next()
+	}
+	return h, concatStream{a: t, b: c.b}, nil
+}
+
+// filterStream keeps the bindings satisfying pred.
+type filterStream struct {
+	in   stream
+	pred func(*binding) (bool, error)
+}
+
+func (f filterStream) next() (*binding, stream, error) {
+	in := f.in
+	for {
+		h, t, err := in.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if h == nil {
+			return nil, nil, nil
+		}
+		ok, err := f.pred(h)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			return h, filterStream{in: t, pred: f.pred}, nil
+		}
+		in = t
+	}
+}
+
+// mapStream transforms each binding.
+type mapStream struct {
+	in stream
+	fn func(*binding) (*binding, error)
+}
+
+func (m mapStream) next() (*binding, stream, error) {
+	h, t, err := m.in.next()
+	if err != nil || h == nil {
+		return nil, nil, err
+	}
+	nb, err := m.fn(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nb, mapStream{in: t, fn: m.fn}, nil
+}
+
+// flatMapStream expands each input binding into a sub-stream and
+// concatenates the results lazily (the shape of getDescendants and the
+// nested-loops join outer loop).
+type flatMapStream struct {
+	in  stream
+	fn  func(*binding) (stream, error)
+	cur stream // remainder of the current expansion, nil when none
+}
+
+func (f flatMapStream) next() (*binding, stream, error) {
+	cur, in := f.cur, f.in
+	for {
+		if cur != nil {
+			h, t, err := cur.next()
+			if err != nil {
+				return nil, nil, err
+			}
+			if h != nil {
+				return h, flatMapStream{in: in, fn: f.fn, cur: t}, nil
+			}
+			cur = nil
+		}
+		h, t, err := in.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if h == nil {
+			return nil, nil, nil
+		}
+		sub, err := f.fn(h)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur, in = sub, t
+	}
+}
+
+// drain pulls the whole stream into a slice (used by the blocking
+// operators orderBy and difference, and by tests).
+func drain(s stream) ([]*binding, error) {
+	var out []*binding
+	for {
+		h, t, err := s.next()
+		if err != nil {
+			return nil, err
+		}
+		if h == nil {
+			return out, nil
+		}
+		out = append(out, h)
+		s = t
+	}
+}
+
+// sliceStream replays a drained slice.
+type sliceStream []*binding
+
+func (s sliceStream) next() (*binding, stream, error) {
+	if len(s) == 0 {
+		return nil, nil, nil
+	}
+	return s[0], s[1:], nil
+}

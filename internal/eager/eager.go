@@ -1,0 +1,438 @@
+// Package eager implements the baseline the paper argues against:
+// conventional virtual-view mediation that composes the query with the
+// view but then *fully computes and materializes the query result*
+// before the client sees anything (Section 1: "current mediator
+// systems, even those based on the virtual approach, compute and
+// return the results of the user query completely").
+//
+// The evaluator materializes each referenced source in full through its
+// navigational interface (so source-navigation counters bill the whole
+// document), then evaluates the algebra bottom-up over in-memory
+// binding lists. It doubles as the reference semantics: for every plan,
+// eager.Eval and the lazy engine's materialized answer must agree —
+// the central equivalence property of the test suite.
+package eager
+
+import (
+	"fmt"
+	"sort"
+
+	"mix/internal/algebra"
+	"mix/internal/nav"
+	"mix/internal/pathexpr"
+	"mix/internal/xmltree"
+)
+
+// Evaluator evaluates plans against a registry of named sources.
+type Evaluator struct {
+	reg map[string]nav.Document
+
+	// cache of materialized sources for the lifetime of one Eval call;
+	// reset per call so navigation accounting covers each evaluation.
+	mat map[string]*xmltree.Tree
+}
+
+// New returns an Evaluator with no sources.
+func New() *Evaluator {
+	return &Evaluator{reg: map[string]nav.Document{}}
+}
+
+// Register makes doc available under the given source name.
+func (e *Evaluator) Register(name string, doc nav.Document) { e.reg[name] = doc }
+
+// row is a materialized variable binding.
+type row map[string]*xmltree.Tree
+
+// Value implements algebra.ValueGetter.
+func (r row) Value(name string) (*xmltree.Tree, error) {
+	t, ok := r[name]
+	if !ok {
+		return nil, fmt.Errorf("eager: unbound variable $%s", name)
+	}
+	return t, nil
+}
+
+func (r row) with(name string, t *xmltree.Tree) row {
+	nr := make(row, len(r)+1)
+	for k, v := range r {
+		nr[k] = v
+	}
+	nr[name] = t
+	return nr
+}
+
+func (r row) key(vars []string) string {
+	out := ""
+	for _, v := range vars {
+		out += r[v].Canonical() + "\x00"
+	}
+	return out
+}
+
+// Eval fully evaluates the plan. For a tupleDestroy-rooted plan the
+// result is the answer element; otherwise it is the binding-list tree
+// bs[b[…]…] with variables in plan OutVars order.
+func (e *Evaluator) Eval(plan algebra.Op) (*xmltree.Tree, error) {
+	if err := algebra.Validate(plan); err != nil {
+		return nil, err
+	}
+	e.mat = map[string]*xmltree.Tree{}
+	defer func() { e.mat = nil }()
+
+	if td, ok := plan.(*algebra.TupleDestroy); ok {
+		rows, err := e.eval(td.Input)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("eager: tupleDestroy over empty binding list")
+		}
+		return rows[0][td.Var], nil
+	}
+	rows, err := e.eval(plan)
+	if err != nil {
+		return nil, err
+	}
+	return bindingsTree(rows, plan.OutVars()), nil
+}
+
+func bindingsTree(rows []row, vars []string) *xmltree.Tree {
+	bs := xmltree.Elem("bs")
+	for _, r := range rows {
+		b := xmltree.Elem("b")
+		for _, v := range vars {
+			b.Children = append(b.Children, xmltree.Elem(v, r[v]))
+		}
+		bs.Children = append(bs.Children, b)
+	}
+	return bs
+}
+
+func (e *Evaluator) eval(p algebra.Op) ([]row, error) {
+	switch op := p.(type) {
+	case *algebra.Source:
+		doc, ok := e.reg[op.URL]
+		if !ok {
+			return nil, fmt.Errorf("eager: unregistered source %q", op.URL)
+		}
+		t, ok := e.mat[op.URL]
+		if !ok {
+			var err error
+			// Materialize through the navigational interface so the
+			// cost of "compute the result completely" is observable.
+			t, err = nav.Materialize(doc)
+			if err != nil {
+				return nil, err
+			}
+			e.mat[op.URL] = t
+		}
+		return []row{{op.Var: t}}, nil
+
+	case *algebra.GetDescendants:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		nfa := pathexpr.Compile(op.Path)
+		var out []row
+		for _, r := range in {
+			parent, ok := r[op.Parent]
+			if !ok {
+				return nil, fmt.Errorf("eager: unbound variable $%s", op.Parent)
+			}
+			for _, d := range descendants(parent, nfa) {
+				out = append(out, r.with(op.Out, d))
+			}
+		}
+		return out, nil
+
+	case *algebra.Select:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		var out []row
+		for _, r := range in {
+			ok, err := op.Cond.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+
+	case *algebra.Join:
+		left, err := e.eval(op.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.eval(op.Right)
+		if err != nil {
+			return nil, err
+		}
+		var out []row
+		for _, l := range left {
+			for _, r := range right {
+				m := make(row, len(l)+len(r))
+				for k, v := range l {
+					m[k] = v
+				}
+				for k, v := range r {
+					m[k] = v
+				}
+				ok, err := op.Cond.Eval(m)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, m)
+				}
+			}
+		}
+		return out, nil
+
+	case *algebra.GroupBy:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		if len(op.By) == 0 {
+			lst := xmltree.Elem(xmltree.ListLabel)
+			for _, r := range in {
+				lst.Children = append(lst.Children, r[op.Var])
+			}
+			return []row{{op.Out: lst}}, nil
+		}
+		var order []string
+		groups := map[string][]row{}
+		first := map[string]row{}
+		for _, r := range in {
+			k := r.key(op.By)
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+				first[k] = r
+			}
+			groups[k] = append(groups[k], r)
+		}
+		var out []row
+		for _, k := range order {
+			nr := row{}
+			for _, v := range op.By {
+				nr[v] = first[k][v]
+			}
+			lst := xmltree.Elem(xmltree.ListLabel)
+			for _, m := range groups[k] {
+				lst.Children = append(lst.Children, m[op.Var])
+			}
+			nr[op.Out] = lst
+			out = append(out, nr)
+		}
+		return out, nil
+
+	case *algebra.Concatenate:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		var out []row
+		for _, r := range in {
+			lst := xmltree.Elem(xmltree.ListLabel)
+			lst.Children = append(lst.Children, items(r[op.X])...)
+			lst.Children = append(lst.Children, items(r[op.Y])...)
+			out = append(out, r.with(op.Out, lst))
+		}
+		return out, nil
+
+	case *algebra.CreateElement:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		var out []row
+		for _, r := range in {
+			label := op.Label.Const
+			if op.Label.Var != "" {
+				lv := r[op.Label.Var]
+				if lv.IsLeaf() {
+					label = lv.Label
+				} else {
+					label = lv.TextContent()
+				}
+			}
+			el := xmltree.Elem(label)
+			el.Children = append(el.Children, r[op.Children].Children...)
+			out = append(out, r.with(op.Out, el))
+		}
+		return out, nil
+
+	case *algebra.OrderBy:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]row, len(in))
+		copy(out, in)
+		sort.SliceStable(out, func(i, j int) bool {
+			for _, k := range op.Keys {
+				if c := algebra.Compare(atomOf(out[i][k]), atomOf(out[j][k])); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		return out, nil
+
+	case *algebra.Project:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]row, len(in))
+		for i, r := range in {
+			nr := make(row, len(op.Keep))
+			for _, v := range op.Keep {
+				nr[v] = r[v]
+			}
+			out[i] = nr
+		}
+		return out, nil
+
+	case *algebra.Union:
+		left, err := e.eval(op.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.eval(op.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(append([]row{}, left...), right...), nil
+
+	case *algebra.Difference:
+		left, err := e.eval(op.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.eval(op.Right)
+		if err != nil {
+			return nil, err
+		}
+		vars := op.Left.OutVars()
+		seen := make(map[string]bool, len(right))
+		for _, r := range right {
+			seen[r.key(vars)] = true
+		}
+		var out []row
+		for _, l := range left {
+			if !seen[l.key(vars)] {
+				out = append(out, l)
+			}
+		}
+		return out, nil
+
+	case *algebra.Distinct:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		vars := op.Input.OutVars()
+		seen := map[string]bool{}
+		var out []row
+		for _, r := range in {
+			k := r.key(vars)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+		return out, nil
+
+	case *algebra.WrapList:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]row, len(in))
+		for i, r := range in {
+			out[i] = r.with(op.Out, xmltree.Elem(xmltree.ListLabel, r[op.Var]))
+		}
+		return out, nil
+
+	case *algebra.Const:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]row, len(in))
+		for i, r := range in {
+			out[i] = r.with(op.Out, op.Value)
+		}
+		return out, nil
+
+	case *algebra.Rename:
+		in, err := e.eval(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]row, len(in))
+		for i, r := range in {
+			nr := make(row, len(r))
+			for k, v := range r {
+				if k == op.From {
+					k = op.To
+				}
+				nr[k] = v
+			}
+			out[i] = nr
+		}
+		return out, nil
+
+	case *algebra.TupleDestroy:
+		return nil, fmt.Errorf("eager: tupleDestroy must be the plan root")
+
+	default:
+		return nil, fmt.Errorf("eager: unsupported operator %T", p)
+	}
+}
+
+func atomOf(t *xmltree.Tree) string {
+	if t == nil {
+		return ""
+	}
+	if t.IsLeaf() {
+		return t.Label
+	}
+	return t.TextContent()
+}
+
+// items returns the list elements a value contributes to concatenate:
+// the children of a list[…] value, the value itself otherwise.
+func items(t *xmltree.Tree) []*xmltree.Tree {
+	if t.Label == xmltree.ListLabel {
+		return t.Children
+	}
+	return []*xmltree.Tree{t}
+}
+
+// descendants returns, in document order, the descendants of t
+// reachable by a downward path whose labels match the NFA.
+func descendants(t *xmltree.Tree, nfa *pathexpr.NFA) []*xmltree.Tree {
+	var out []*xmltree.Tree
+	var walk func(n *xmltree.Tree, state pathexpr.StateSet)
+	walk = func(n *xmltree.Tree, state pathexpr.StateSet) {
+		for _, c := range n.Children {
+			st2 := nfa.Step(state, c.Label)
+			if !nfa.Alive(st2) {
+				continue
+			}
+			if nfa.Accepting(st2) {
+				out = append(out, c)
+			}
+			walk(c, st2)
+		}
+	}
+	walk(t, nfa.Start())
+	return out
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"time"
+
+	"mix/internal/buffer"
+	"mix/internal/lxp"
+	"mix/internal/nav"
+	"mix/internal/workload"
+)
+
+// E11AsyncPrefetch measures the asynchronous prefetching extension
+// Section 4 proposes: "a buffer can be used to decouple the
+// client-driven view navigation (pull from above) and the production of
+// results by the wrapped source (push from below) based on an
+// asynchronous prefetching strategy."
+//
+// The client explores the first k results on demand, then idles (think
+// time) while the prefetcher drains the remaining holes; when the
+// client returns and reads the rest of the document, no fill has to be
+// awaited on the navigation path.
+func E11AsyncPrefetch() Table {
+	t := Table{
+		ID:    "E11",
+		Title: "Asynchronous prefetching (Section 4, extension)",
+		Claim: "Decoupling pull-from-above and push-from-below lets the wrapper fill " +
+			"previously left-open holes during client think time, so later " +
+			"navigations find their data already buffered.",
+		Expect:  "phase 3 (read the rest) issues zero demand fills once prefetch has drained the holes.",
+		Headers: []string{"phase", "demand fills", "prefetch fills", "pending holes after"},
+	}
+	catalog := workload.Books("az", 300, 5)
+	b, err := buffer.New(&lxp.TreeServer{Tree: catalog, Chunk: 5, InlineLimit: 32}, "u")
+	if err != nil {
+		panic(err)
+	}
+
+	// Phase 1: the user reads the first 5 books on demand.
+	if _, err := nav.ExploreFirst(b, 5); err != nil {
+		panic(err)
+	}
+	t.Rows = append(t.Rows, []string{"1: demand-read first 5",
+		itoa(int64(b.DemandFills())), itoa(int64(b.Fills() - b.DemandFills())),
+		itoa(int64(b.PendingHoles()))})
+
+	// Phase 2: think time — the prefetcher drains the source.
+	b.StartPrefetch()
+	deadline := time.Now().Add(30 * time.Second)
+	for b.PendingHoles() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.StopPrefetch()
+	t.Rows = append(t.Rows, []string{"2: think time (prefetch)",
+		itoa(int64(b.DemandFills())), itoa(int64(b.Fills() - b.DemandFills())),
+		itoa(int64(b.PendingHoles()))})
+
+	// Phase 3: the user reads everything else.
+	demandBefore := b.DemandFills()
+	if _, err := nav.Materialize(b); err != nil {
+		panic(err)
+	}
+	t.Rows = append(t.Rows, []string{"3: read the rest",
+		itoa(int64(b.DemandFills() - demandBefore)), itoa(int64(b.Fills() - b.DemandFills())),
+		itoa(int64(b.PendingHoles()))})
+	return t
+}

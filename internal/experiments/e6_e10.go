@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mix/internal/algebra"
+	"mix/internal/buffer"
+	"mix/internal/core"
+	"mix/internal/lxp"
+	"mix/internal/nav"
+	"mix/internal/pathexpr"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+func mustPath(s string) *pathexpr.Expr { return pathexpr.MustParse(s) }
+
+// E6JoinCache ablates the nested-loops join's inner cache (Section 3:
+// "the nested-loops join operator stores the parts of the inner
+// argument of the loop").
+func E6JoinCache() Table {
+	t := Table{
+		ID:    "E6",
+		Title: "Join inner caching ablation (Section 3)",
+		Claim: "Caching the inner binding list turns the O(N·M) re-derivation of the " +
+			"inner from its source into a single O(M) scan.",
+		Expect:  "without the cache, inner-source navigations grow ≈ N·M; with it, ≈ M.",
+		Headers: []string{"N=M", "inner navs cached", "inner navs uncached", "ratio"},
+	}
+	for _, n := range []int{20, 50, 100} {
+		homes, schools := workload.HomesSchools(n, n, n/4+1, 6)
+		srcs := map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools}
+		run := func(opts core.Options) int64 {
+			q, counters := lazyRun(opts, srcs, workload.HomesSchoolsPlan())
+			if _, err := q.Materialize(); err != nil {
+				panic(err)
+			}
+			return counters["schoolsSrc"].Counters.Navigations()
+		}
+		with := run(core.Options{JoinCache: true, PathCache: true, GroupCache: true})
+		without := run(core.Options{GroupCache: true})
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(n)), itoa(with), itoa(without),
+			fmt.Sprintf("%.1fx", float64(without)/float64(with)),
+		})
+	}
+	return t
+}
+
+// E7RecursiveCache ablates getDescendants' cache on a recursive path
+// (Section 3: "when the getDescendants operator has a recursive regular
+// path expression as a parameter it stores a part of the already
+// visited input"). The descent is placed as the inner of a join whose
+// own cache is disabled, so the inner is re-iterated once per outer
+// binding: the operator's cache is what decides whether each
+// re-iteration re-runs the recursive exploration.
+func E7RecursiveCache() Table {
+	t := Table{
+		ID:    "E7",
+		Title: "Recursive getDescendants caching ablation (Section 3)",
+		Claim: "The operator keeps the already-visited part of a recursive descent, so " +
+			"re-iterating over its output does not re-explore the source.",
+		Expect:  "cached navigations ≈ one descent; uncached ≈ one descent per re-iteration.",
+		Headers: []string{"depth", "outer", "deep-src navs cached", "deep-src navs uncached", "ratio"},
+	}
+	const outer = 20
+	for _, depth := range []int{50, 200, 800} {
+		deep := workload.DeepTree(depth, 2)
+		srcs := map[string]*xmltree.Tree{
+			"d":    deep,
+			"list": workload.FlatList(outer, "item"),
+		}
+		plan := recursiveInnerJoinPlan("list", "d")
+		run := func(opts core.Options) int64 {
+			q, counters := lazyRun(opts, srcs, plan)
+			if _, err := q.Materialize(); err != nil {
+				panic(err)
+			}
+			return counters["d"].Counters.Navigations()
+		}
+		with := run(core.Options{PathCache: true, GroupCache: true})
+		without := run(core.Options{GroupCache: true})
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(depth)), itoa(outer), itoa(with), itoa(without),
+			fmt.Sprintf("%.1fx", float64(without)/float64(with)),
+		})
+	}
+	return t
+}
+
+// recursiveInnerJoinPlan pairs every item of the outer list with every
+// x reached by the recursive path a*.x in the deep source.
+func recursiveInnerJoinPlan(outerSrc, deepSrc string) algebra.Op {
+	left := &algebra.GetDescendants{
+		Input:  &algebra.Source{URL: outerSrc, Var: "lr"},
+		Parent: "lr", Path: mustPath("item"), Out: "I",
+	}
+	right := &algebra.GetDescendants{
+		Input:  &algebra.Source{URL: deepSrc, Var: "rr"},
+		Parent: "rr", Path: mustPath("a*.x"), Out: "X",
+	}
+	// Project X away: materializing the output must not re-explore the
+	// match values, so the measured deep-source navigations are purely
+	// the descents.
+	return &algebra.Project{
+		Input: &algebra.Join{Left: left, Right: right, Cond: algebra.True{}},
+		Keep:  []string{"I"},
+	}
+}
+
+// E8LiberalLXP exercises the liberal fill policies of Section 4: the
+// buffer must serve navigations correctly whatever the wrapper's reply
+// shape, and the policy changes the message economy.
+func E8LiberalLXP() Table {
+	t := Table{
+		ID:    "E8",
+		Title: "Liberal LXP fill policies (Section 4, Fig. 8)",
+		Claim: "The buffer algorithm handles fills with holes at arbitrary positions " +
+			"(the liberal protocol); policies trade messages for bytes.",
+		Expect: "all policies materialize the identical document; small chunks mean " +
+			"many small messages, large chunks few big ones.",
+		Headers: []string{"policy", "LXP fills", "bytes", "identical result"},
+	}
+	doc := workload.Books("az", 200, 3)
+	want, err := nav.Materialize(nav.NewTreeDoc(doc))
+	if err != nil {
+		panic(err)
+	}
+	policies := []struct {
+		name string
+		srv  func() lxp.Server
+	}{
+		{"inline everything", func() lxp.Server { return &lxp.TreeServer{Tree: doc} }},
+		{"chunk 1, inline 1", func() lxp.Server { return &lxp.TreeServer{Tree: doc, Chunk: 1, InlineLimit: 1} }},
+		{"chunk 10, inline 16", func() lxp.Server { return &lxp.TreeServer{Tree: doc, Chunk: 10, InlineLimit: 16} }},
+		{"chunk 50, inline 512", func() lxp.Server { return &lxp.TreeServer{Tree: doc, Chunk: 50, InlineLimit: 512} }},
+	}
+	for _, p := range policies {
+		cs := lxp.NewCounting(p.srv())
+		b, err := buffer.New(cs, "u")
+		if err != nil {
+			panic(err)
+		}
+		got, err := nav.Materialize(b)
+		if err != nil {
+			panic(err)
+		}
+		same := "yes"
+		if !xmltree.Equal(got, want) {
+			same = "NO"
+		}
+		s := cs.Counters.Snapshot()
+		t.Rows = append(t.Rows, []string{p.name, itoa(s.Fills), itoa(s.Bytes), same})
+	}
+	return t
+}
+
+// E9GroupByCache ablates groupBy's Gprev/value caching (Appendix A).
+// The client walks the grouped structure (groups and member labels,
+// not the full member subtrees) twice: with the cache the second walk
+// is served from the cached lists, without it the group member scans
+// re-derive the input bindings — re-materializing their group keys
+// from the sources.
+func E9GroupByCache() Table {
+	t := Table{
+		ID:    "E9",
+		Title: "groupBy value caching ablation (Appendix A)",
+		Claim: "groupBy stores the grouped values for the group-by lists in Gprev; " +
+			"revisiting a group retrieves the result of the navigation from the buffer.",
+		Expect: "second walk ≈ free with the caches; without any operator cache the " +
+			"group scans re-derive their input bindings and re-materialize the keys.",
+		Headers: []string{"N", "pass1 cached", "pass2 cached", "pass1 no grp/path cache", "pass2 no grp/path cache"},
+	}
+	for _, n := range []int{30, 60, 120} {
+		homes, schools := workload.HomesSchools(n, n, n/10+1, 8)
+		srcs := map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools}
+		run := func(opts core.Options) (int64, int64) {
+			q, counters := lazyRun(opts, srcs, workload.HomesSchoolsPlan())
+			doc := q.Document()
+			if err := walkGroups(doc); err != nil {
+				panic(err)
+			}
+			pass1 := totalNavs(counters)
+			if err := walkGroups(doc); err != nil {
+				panic(err)
+			}
+			return pass1, totalNavs(counters) - pass1
+		}
+		c1, c2 := run(core.Options{JoinCache: true, PathCache: true, GroupCache: true})
+		u1, u2 := run(core.Options{JoinCache: true})
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(n)), itoa(c1), itoa(c2), itoa(u1), itoa(u2),
+		})
+	}
+	return t
+}
+
+// walkGroups fetches the label of every grandchild of the root: each
+// med_home and each of its members, without descending into values.
+func walkGroups(doc nav.Document) error {
+	root, err := doc.Root()
+	if err != nil {
+		return err
+	}
+	g, err := doc.Down(root)
+	if err != nil {
+		return err
+	}
+	for g != nil {
+		m, err := doc.Down(g)
+		if err != nil {
+			return err
+		}
+		for m != nil {
+			if _, err := doc.Fetch(m); err != nil {
+				return err
+			}
+			m, err = doc.Right(m)
+			if err != nil {
+				return err
+			}
+		}
+		g, err = doc.Right(g)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countingCond counts how many bindings a condition is evaluated on.
+type countingCond struct {
+	inner algebra.Cond
+	n     *int64
+}
+
+func (c *countingCond) Eval(b algebra.ValueGetter) (bool, error) {
+	*c.n++
+	return c.inner.Eval(b)
+}
+func (c *countingCond) Vars() []string { return c.inner.Vars() }
+func (c *countingCond) String() string { return c.inner.String() }
+
+// E10Rewriting measures the preprocessing rewriting phase (Section 3):
+// pushing a selective condition below a join. In a fully pipelined lazy
+// evaluator the pushdown does not change which source nodes are
+// visited (values are cached per input binding), but it changes how
+// many intermediate bindings flow through the plan: the pushed
+// condition is evaluated once per outer binding instead of once per
+// join pair.
+func E10Rewriting() Table {
+	t := Table{
+		ID:    "E10",
+		Title: "Navigational-complexity rewriting (Section 3, preprocessing)",
+		Claim: "During the rewriting phase the initial plan is rewritten into a plan " +
+			"optimized with respect to navigational complexity (here: σ-pushdown " +
+			"through the join).",
+		Expect: "identical answers; the selective condition is evaluated ≈ N times " +
+			"after rewriting instead of ≈ N·M times; join pairs shrink accordingly.",
+		Headers: []string{"N=M", "σ evals initial", "σ evals rewritten", "join evals initial", "join evals rewritten"},
+	}
+	for _, n := range []int{50, 200} {
+		homes, schools := workload.HomesSchools(n, n, 10, 12)
+		srcs := map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools}
+		run := func(rewrite bool) (sigmaEvals, joinEvals int64) {
+			var sn, jn int64
+			left := &algebra.GetDescendants{
+				Input:  &algebra.Source{URL: "homesSrc", Var: "r1"},
+				Parent: "r1", Path: mustPath("home"), Out: "H",
+			}
+			leftZip := &algebra.GetDescendants{Input: left, Parent: "H",
+				Path: mustPath("zip._"), Out: "V1"}
+			right := &algebra.GetDescendants{
+				Input:  &algebra.Source{URL: "schoolsSrc", Var: "r2"},
+				Parent: "r2", Path: mustPath("school"), Out: "S",
+			}
+			rightZip := &algebra.GetDescendants{Input: right, Parent: "S",
+				Path: mustPath("zip._"), Out: "V2"}
+			join := &algebra.Join{Left: leftZip, Right: rightZip,
+				Cond: &countingCond{inner: algebra.Eq(algebra.V("V1"), algebra.V("V2")), n: &jn}}
+			sel := &algebra.Select{Input: join,
+				Cond: &countingCond{inner: algebra.Eq(algebra.V("V1"), algebra.Lit("91000")), n: &sn}}
+			var plan algebra.Op = &algebra.Project{Input: sel, Keep: []string{"H", "S"}}
+			if rewrite {
+				plan = algebra.Rewrite(plan)
+			}
+			q, _ := lazyRun(core.DefaultOptions(), srcs, plan)
+			if _, err := q.Materialize(); err != nil {
+				panic(err)
+			}
+			return sn, jn
+		}
+		s0, j0 := run(false)
+		s1, j1 := run(true)
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(n)), itoa(s0), itoa(s1), itoa(j0), itoa(j1),
+		})
+	}
+	return t
+}

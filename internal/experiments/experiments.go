@@ -1,0 +1,138 @@
+// Package experiments implements the measured experiment suite of
+// EXPERIMENTS.md: one function per experiment id (E1–E10), each
+// regenerating a table that tests one of the paper's claims. The paper
+// itself contains no numeric evaluation — its claims are architectural
+// and complexity-theoretic — so each experiment turns a claim into a
+// measured table whose *shape* (who wins, growth rates, crossovers) is
+// compared against the paper's prediction.
+//
+// All numbers are deterministic: workloads are seeded and the measured
+// quantities are navigation/message/byte counters, not wall-clock time.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's regenerated result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Title is a short description.
+	Title string
+	// Claim is the paper claim under test, with its anchor.
+	Claim string
+	// Expect is the predicted shape of the results.
+	Expect string
+	// Headers and Rows are the measured table.
+	Headers []string
+	Rows    [][]string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "claim:  %s\n", t.Claim)
+	fmt.Fprintf(&b, "expect: %s\n\n", t.Expect)
+
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "*Claim:* %s\n\n*Expected shape:* %s\n\n", t.Claim, t.Expect)
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// registry maps experiment ids to their runners.
+var registry = map[string]func() Table{
+	"E1":  E1Browsability,
+	"E2":  E2LazyVsEager,
+	"E3":  E3SelectCommand,
+	"E4":  E4Granularity,
+	"E5":  E5PartialExploration,
+	"E6":  E6JoinCache,
+	"E7":  E7RecursiveCache,
+	"E8":  E8LiberalLXP,
+	"E9":  E9GroupByCache,
+	"E10": E10Rewriting,
+	"E11": E11AsyncPrefetch,
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Run runs one experiment by id.
+func Run(id string) (Table, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return Table{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return fn(), nil
+}
+
+// All runs every experiment in order.
+func All() []Table {
+	var out []Table
+	for _, id := range IDs() {
+		t, _ := Run(id)
+		out = append(out, t)
+	}
+	return out
+}
+
+func itoa(n int64) string { return fmt.Sprintf("%d", n) }

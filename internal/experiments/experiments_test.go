@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsAndRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 11 {
+		t.Fatalf("want 11 experiments, got %v", ids)
+	}
+	if ids[0] != "E1" || ids[10] != "E11" {
+		t.Fatalf("order wrong: %v", ids)
+	}
+	if _, err := Run("E99"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := Table{
+		ID: "EX", Title: "title", Claim: "claim", Expect: "shape",
+		Headers: []string{"a", "long-header"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	txt := tb.Format()
+	for _, want := range []string{"EX — title", "claim", "shape", "long-header", "333"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Format missing %q:\n%s", want, txt)
+		}
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | long-header |") || !strings.Contains(md, "### EX") {
+		t.Errorf("Markdown malformed:\n%s", md)
+	}
+}
+
+// The shape assertions below run the cheapest experiments and verify
+// the paper-predicted relationships hold (the full tables run in
+// TestExperimentTables at the repository root).
+
+func col(t *testing.T, tb Table, row, col int) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(tb.Rows[row][col], 10, 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d: %v", tb.ID, row, col, err)
+	}
+	return v
+}
+
+func TestE4Shape(t *testing.T) {
+	tb := E4Granularity()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Fills fall monotonically with chunk size; tuple fetches constant.
+	prev := int64(1 << 62)
+	for i := range tb.Rows {
+		fills := col(t, tb, i, 1)
+		if fills >= prev {
+			t.Fatalf("fills not decreasing: %v", tb.Rows)
+		}
+		prev = fills
+		if got := col(t, tb, i, 4); got != 1000 {
+			t.Fatalf("tuple fetches = %d, want 1000", got)
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tb := E6JoinCache()
+	for i := range tb.Rows {
+		with, without := col(t, tb, i, 1), col(t, tb, i, 2)
+		if without <= with {
+			t.Fatalf("row %d: cache not beneficial: %v", i, tb.Rows[i])
+		}
+	}
+	// The ratio grows with N (O(N·M) vs O(M)).
+	first, last := col(t, tb, 0, 2)/col(t, tb, 0, 1), col(t, tb, len(tb.Rows)-1, 2)/col(t, tb, len(tb.Rows)-1, 1)
+	if last <= first {
+		t.Fatalf("ratio should grow: %d → %d", first, last)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tb := E7RecursiveCache()
+	for i := range tb.Rows {
+		with, without := col(t, tb, i, 2), col(t, tb, i, 3)
+		// One descent vs. one per outer binding (20): expect ≈ 20x.
+		if without < 10*with {
+			t.Fatalf("row %d: expected ≈20x contrast, got %d vs %d", i, with, without)
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tb := E8LiberalLXP()
+	for i := range tb.Rows {
+		if tb.Rows[i][3] != "yes" {
+			t.Fatalf("policy %q produced a different document", tb.Rows[i][0])
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tb := E10Rewriting()
+	for i := range tb.Rows {
+		sInit, sRewr := col(t, tb, i, 1), col(t, tb, i, 2)
+		jInit, jRewr := col(t, tb, i, 3), col(t, tb, i, 4)
+		if jRewr >= jInit {
+			t.Fatalf("row %d: join evals not reduced: %v", i, tb.Rows[i])
+		}
+		_ = sInit
+		// The rewritten σ runs once per outer binding, i.e. N times.
+		n := col(t, tb, i, 0)
+		if sRewr != n {
+			t.Fatalf("row %d: rewritten σ evals = %d, want %d", i, sRewr, n)
+		}
+	}
+}

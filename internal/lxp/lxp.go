@@ -1,0 +1,261 @@
+// Package lxp implements the Lean XML fragment Protocol of Section 4:
+// the two-command protocol (get_root, fill) by which a buffer component
+// retrieves XML fragments — open trees with holes — from a wrapper at
+// the wrapper's preferred granularity.
+//
+//	get_root(URI) → hole[id]
+//	fill(hole[id]) → [T]   (a list of trees, possibly containing holes)
+//
+// The protocol is deliberately liberal: a fill result may interleave
+// holes with elements at arbitrary positions, enabling early return of
+// partial results. Two well-formedness rules guarantee progress
+// (Section 4): a non-empty result must not consist only of holes, and
+// no two holes may be adjacent. ValidateFill enforces them.
+//
+// The package provides the Server interface implemented by wrappers, an
+// accounting decorator, and a TCP transport (length-prefixed JSON) so a
+// wrapper can run in a different process, as in the refined VXD
+// architecture of Fig. 7.
+package lxp
+
+import (
+	"fmt"
+
+	"mix/internal/metrics"
+	"mix/internal/xmltree"
+)
+
+// Server is the wrapper side of LXP.
+type Server interface {
+	// GetRoot establishes a session for the document named by uri and
+	// returns the identifier of the root hole.
+	GetRoot(uri string) (holeID string, err error)
+	// Fill (partially) explores the part of the source represented by
+	// the hole and returns the list of trees it stands for. Sub-holes
+	// in the result carry fresh identifiers the server can resolve
+	// later.
+	Fill(holeID string) ([]*xmltree.Tree, error)
+}
+
+// ProtocolError reports a violation of the LXP well-formedness rules.
+type ProtocolError struct {
+	HoleID string
+	Msg    string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("lxp: protocol violation filling %q: %s", e.HoleID, e.Msg)
+}
+
+// ValidateFill checks the progress rules of Section 4 on a fill result:
+// (1) a non-empty *top-level* result must contain at least one non-hole
+// element (otherwise the fill made no progress), and (2) no two holes
+// are adjacent at any level of the returned fragment. Nested child
+// lists consisting of a single hole are legal — the paper's Example 7
+// returns fill(∅0) = [a[∅1]], an element whose whole child list is yet
+// unexplored.
+func ValidateFill(holeID string, trees []*xmltree.Tree) error {
+	if err := validateSiblings(holeID, trees, true); err != nil {
+		return err
+	}
+	for _, t := range trees {
+		if err := validateFragment(holeID, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateFragment(holeID string, t *xmltree.Tree) error {
+	if t.IsHole() {
+		return nil
+	}
+	if err := validateSiblings(holeID, t.Children, false); err != nil {
+		return err
+	}
+	for _, c := range t.Children {
+		if err := validateFragment(holeID, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateSiblings(holeID string, list []*xmltree.Tree, topLevel bool) error {
+	if len(list) == 0 {
+		return nil
+	}
+	allHoles := true
+	for i, t := range list {
+		if t.IsHole() {
+			if i > 0 && list[i-1].IsHole() {
+				return &ProtocolError{HoleID: holeID, Msg: "two adjacent holes"}
+			}
+		} else {
+			allHoles = false
+		}
+	}
+	if topLevel && allHoles {
+		return &ProtocolError{HoleID: holeID, Msg: "non-empty result consists only of holes"}
+	}
+	return nil
+}
+
+// Counting decorates a Server with message/byte/fill accounting. Bytes
+// are measured as the serialized size of the exchanged payloads, a
+// transport-independent proxy for wire cost.
+type Counting struct {
+	Inner    Server
+	Counters *metrics.Counters
+}
+
+// NewCounting wraps srv with fresh counters.
+func NewCounting(srv Server) *Counting {
+	return &Counting{Inner: srv, Counters: &metrics.Counters{}}
+}
+
+// GetRoot implements Server.
+func (c *Counting) GetRoot(uri string) (string, error) {
+	c.Counters.Msgs.Add(1)
+	c.Counters.Bytes.Add(int64(len(uri)))
+	id, err := c.Inner.GetRoot(uri)
+	c.Counters.Bytes.Add(int64(len(id)))
+	return id, err
+}
+
+// Fill implements Server.
+func (c *Counting) Fill(holeID string) ([]*xmltree.Tree, error) {
+	c.Counters.Msgs.Add(1)
+	c.Counters.Fills.Add(1)
+	c.Counters.Bytes.Add(int64(len(holeID)))
+	trees, err := c.Inner.Fill(holeID)
+	for _, t := range trees {
+		c.Counters.Bytes.Add(int64(len(xmltree.MarshalXML(t))))
+	}
+	return trees, err
+}
+
+// TreeServer is the simplest possible wrapper: it serves one in-memory
+// tree with a configurable chunk size — every fill returns up to Chunk
+// children of the requested node followed by a continuation hole, and
+// each child is returned *closed* when its subtree has at most
+// InlineLimit nodes and as label[hole] otherwise (the "complete
+// elements if their size does not exceed a certain limit" policy of
+// Section 4).
+//
+// Hole identifiers are slash-separated child-index paths with a start
+// offset: "0/2:5" names children 5… of the node at path [0,2].
+type TreeServer struct {
+	Tree *xmltree.Tree
+	// Chunk is the number of children returned per fill (0 = all).
+	Chunk int
+	// InlineLimit is the maximum subtree size returned inline
+	// (0 = always inline whole subtrees).
+	InlineLimit int
+}
+
+// GetRoot implements Server. The uri is ignored: a TreeServer serves
+// exactly one document.
+func (s *TreeServer) GetRoot(string) (string, error) { return "root", nil }
+
+// Fill implements Server.
+func (s *TreeServer) Fill(holeID string) ([]*xmltree.Tree, error) {
+	if holeID == "root" {
+		return []*xmltree.Tree{s.render(s.Tree, "")}, nil
+	}
+	path, start, err := parseHoleID(holeID)
+	if err != nil {
+		return nil, err
+	}
+	node := s.Tree
+	for _, idx := range path {
+		node = node.Child(idx)
+		if node == nil {
+			return nil, fmt.Errorf("lxp: stale hole id %q", holeID)
+		}
+	}
+	if start > len(node.Children) {
+		return nil, fmt.Errorf("lxp: stale hole id %q", holeID)
+	}
+	return s.renderChildren(node, pathString(path), start), nil
+}
+
+// render returns t either inline (small enough) or as label[hole].
+func (s *TreeServer) render(t *xmltree.Tree, path string) *xmltree.Tree {
+	if t.IsLeaf() {
+		return xmltree.Leaf(t.Label)
+	}
+	if s.InlineLimit <= 0 || t.Size() <= s.InlineLimit {
+		return t.Clone()
+	}
+	return xmltree.Elem(t.Label, xmltree.Hole(path+":0"))
+}
+
+func (s *TreeServer) renderChildren(node *xmltree.Tree, path string, start int) []*xmltree.Tree {
+	end := len(node.Children)
+	if s.Chunk > 0 && start+s.Chunk < end {
+		end = start + s.Chunk
+	}
+	var out []*xmltree.Tree
+	for i := start; i < end; i++ {
+		childPath := fmt.Sprintf("%d", i)
+		if path != "" {
+			childPath = path + "/" + childPath
+		}
+		out = append(out, s.render(node.Children[i], childPath))
+	}
+	if end < len(node.Children) {
+		out = append(out, xmltree.Hole(fmt.Sprintf("%s:%d", path, end)))
+	}
+	return out
+}
+
+func pathString(path []int) string {
+	out := ""
+	for i, p := range path {
+		if i > 0 {
+			out += "/"
+		}
+		out += fmt.Sprintf("%d", p)
+	}
+	return out
+}
+
+func parseHoleID(id string) (path []int, start int, err error) {
+	colon := -1
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == ':' {
+			colon = i
+			break
+		}
+	}
+	if colon < 0 {
+		return nil, 0, fmt.Errorf("lxp: malformed hole id %q", id)
+	}
+	if _, err := fmt.Sscanf(id[colon+1:], "%d", &start); err != nil {
+		return nil, 0, fmt.Errorf("lxp: malformed hole id %q", id)
+	}
+	rest := id[:colon]
+	if rest == "" {
+		return nil, start, nil
+	}
+	cur := 0
+	has := false
+	for i := 0; i <= len(rest); i++ {
+		if i == len(rest) || rest[i] == '/' {
+			if !has {
+				return nil, 0, fmt.Errorf("lxp: malformed hole id %q", id)
+			}
+			path = append(path, cur)
+			cur, has = 0, false
+			continue
+		}
+		c := rest[i]
+		if c < '0' || c > '9' {
+			return nil, 0, fmt.Errorf("lxp: malformed hole id %q", id)
+		}
+		cur = cur*10 + int(c-'0')
+		has = true
+	}
+	return path, start, nil
+}

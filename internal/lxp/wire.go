@@ -1,0 +1,208 @@
+package lxp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mix/internal/xmltree"
+)
+
+// This file implements the network transport of LXP: length-prefixed
+// JSON frames over a net.Conn, so mediator and wrapper can live in
+// different address spaces (the deployment Fig. 7 anticipates). One
+// request/response pair per frame; a Client serializes concurrent use.
+
+// maxFrame bounds a single LXP frame; fills larger than this indicate
+// a runaway wrapper.
+const maxFrame = 64 << 20
+
+// wireTree is the JSON encoding of an xmltree.Tree.
+type wireTree struct {
+	L string     `json:"l"`
+	C []wireTree `json:"c,omitempty"`
+}
+
+func toWire(t *xmltree.Tree) wireTree {
+	w := wireTree{L: t.Label}
+	for _, c := range t.Children {
+		w.C = append(w.C, toWire(c))
+	}
+	return w
+}
+
+func fromWire(w wireTree) *xmltree.Tree {
+	t := &xmltree.Tree{Label: w.L}
+	for _, c := range w.C {
+		t.Children = append(t.Children, fromWire(c))
+	}
+	return t
+}
+
+type request struct {
+	Op  string `json:"op"` // "get_root" | "fill"
+	URI string `json:"uri,omitempty"`
+	ID  string `json:"id,omitempty"`
+}
+
+type response struct {
+	Hole  string     `json:"hole,omitempty"`
+	Trees []wireTree `json:"trees"`
+	Err   string     `json:"error,omitempty"`
+}
+
+func writeFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("lxp: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}
+
+// Client is the buffer-side endpoint of a networked LXP session. It
+// implements Server, so a buffer cannot tell a remote wrapper from a
+// local one. Safe for concurrent use (requests are serialized).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to an LXP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, req); err != nil {
+		return response{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return response{}, err
+	}
+	var resp response
+	if err := readFrame(c.r, &resp); err != nil {
+		return response{}, err
+	}
+	if resp.Err != "" {
+		return response{}, errors.New("lxp: remote: " + resp.Err)
+	}
+	return resp, nil
+}
+
+// GetRoot implements Server.
+func (c *Client) GetRoot(uri string) (string, error) {
+	resp, err := c.roundTrip(request{Op: "get_root", URI: uri})
+	if err != nil {
+		return "", err
+	}
+	return resp.Hole, nil
+}
+
+// Fill implements Server.
+func (c *Client) Fill(holeID string) ([]*xmltree.Tree, error) {
+	resp, err := c.roundTrip(request{Op: "fill", ID: holeID})
+	if err != nil {
+		return nil, err
+	}
+	trees := make([]*xmltree.Tree, len(resp.Trees))
+	for i, w := range resp.Trees {
+		trees[i] = fromWire(w)
+	}
+	return trees, nil
+}
+
+// Serve answers LXP requests on l with srv until l is closed. Each
+// connection is handled on its own goroutine; Serve returns the
+// listener's accept error (net.ErrClosed after a clean Close).
+func Serve(l net.Listener, srv Server) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, srv)
+	}
+}
+
+func serveConn(conn net.Conn, srv Server) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var req request
+		if err := readFrame(r, &req); err != nil {
+			return // connection closed or corrupted; drop it
+		}
+		var resp response
+		switch req.Op {
+		case "get_root":
+			id, err := srv.GetRoot(req.URI)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Hole = id
+			}
+		case "fill":
+			trees, err := srv.Fill(req.ID)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Trees = make([]wireTree, len(trees))
+				for i, t := range trees {
+					resp.Trees[i] = toWire(t)
+				}
+			}
+		default:
+			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := writeFrame(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

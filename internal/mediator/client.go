@@ -1,0 +1,100 @@
+package mediator
+
+import (
+	"fmt"
+
+	"mix/internal/nav"
+	"mix/internal/xmltree"
+)
+
+// Element is the thin client library of Section 5: it makes the virtual
+// document exported by the mediator indistinguishable from a main
+// memory resident XML document. Each Element privately stores the
+// node-id exported by the mediator; clients never see ids. Navigation
+// methods correspond 1:1 to the DOM-VXD commands the library issues to
+// the mediator.
+type Element struct {
+	doc nav.Document
+	id  nav.ID
+}
+
+// Wrap returns the root element of a (virtual) document.
+func Wrap(doc nav.Document) (*Element, error) {
+	root, err := doc.Root()
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("mediator: document has no root")
+	}
+	return &Element{doc: doc, id: root}, nil
+}
+
+// Name returns the element's tag name (or, for text nodes, the text),
+// issuing an f command.
+func (e *Element) Name() (string, error) { return e.doc.Fetch(e.id) }
+
+// FirstChild returns the first child element, or nil — a d command.
+func (e *Element) FirstChild() (*Element, error) {
+	id, err := e.doc.Down(e.id)
+	if err != nil || id == nil {
+		return nil, err
+	}
+	return &Element{doc: e.doc, id: id}, nil
+}
+
+// NextSibling returns the right sibling, or nil — an r command.
+func (e *Element) NextSibling() (*Element, error) {
+	id, err := e.doc.Right(e.id)
+	if err != nil || id == nil {
+		return nil, err
+	}
+	return &Element{doc: e.doc, id: id}, nil
+}
+
+// Child returns the first child with the given name, or nil — a
+// select(σ) navigation.
+func (e *Element) Child(name string) (*Element, error) {
+	id, err := e.doc.Down(e.id)
+	if err != nil || id == nil {
+		return nil, err
+	}
+	id, err = nav.Select(e.doc, id, nav.LabelIs(name), true)
+	if err != nil || id == nil {
+		return nil, err
+	}
+	return &Element{doc: e.doc, id: id}, nil
+}
+
+// Children returns all children. It explores the whole child list (but
+// not the grandchildren's subtrees).
+func (e *Element) Children() ([]*Element, error) {
+	var out []*Element
+	c, err := e.FirstChild()
+	if err != nil {
+		return nil, err
+	}
+	for c != nil {
+		out = append(out, c)
+		c, err = c.NextSibling()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Text returns the concatenated text content of the element's subtree,
+// exploring it fully.
+func (e *Element) Text() (string, error) {
+	t, err := e.Materialize()
+	if err != nil {
+		return "", err
+	}
+	return t.TextContent(), nil
+}
+
+// Materialize explores and returns the element's entire subtree.
+func (e *Element) Materialize() (*xmltree.Tree, error) {
+	return nav.Subtree(e.doc, e.id)
+}

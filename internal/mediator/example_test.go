@@ -1,0 +1,69 @@
+package mediator_test
+
+import (
+	"fmt"
+	"log"
+
+	"mix/internal/mediator"
+	"mix/internal/xmltree"
+)
+
+// The Fig. 3 running example end to end: register sources, run a XMAS
+// query, navigate the virtual answer through the client library.
+func Example() {
+	homes := xmltree.Elem("homes",
+		xmltree.Elem("home", xmltree.Text("addr", "La Jolla"), xmltree.Text("zip", "91220")),
+		xmltree.Elem("home", xmltree.Text("addr", "El Cajon"), xmltree.Text("zip", "91223")),
+	)
+	schools := xmltree.Elem("schools",
+		xmltree.Elem("school", xmltree.Text("dir", "Smith"), xmltree.Text("zip", "91220")),
+	)
+
+	m := mediator.New(mediator.DefaultOptions())
+	m.RegisterTree("homesSrc", homes)
+	m.RegisterTree("schoolsSrc", schools)
+
+	res, err := m.Query(`
+CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2
+AND $V1 = $V2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	root, _ := res.Root()
+	first, _ := root.FirstChild()
+	home, _ := first.Child("home")
+	addr, _ := home.Child("addr")
+	text, _ := addr.Text()
+	fmt.Println("first match:", text)
+	fmt.Println("browsability:", res.Browsability)
+	// Output:
+	// first match: La Jolla
+	// browsability: browsable
+}
+
+// Views are defined once and composed with client queries at
+// preprocessing time (query ∘ view).
+func ExampleMediator_DefineView() {
+	m := mediator.New(mediator.DefaultOptions())
+	m.RegisterTree("src", xmltree.Elem("items",
+		xmltree.Text("item", "a"), xmltree.Text("item", "b")))
+
+	if err := m.DefineView("v", `
+CONSTRUCT <view> $I {$I} </view> {}
+WHERE src items.item $I`); err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Query(`
+CONSTRUCT <out> $X {$X} </out> {}
+WHERE v view.item $X`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, _ := res.Materialize()
+	fmt.Println(t)
+	// Output:
+	// out[item[a],item[b]]
+}

@@ -1,0 +1,340 @@
+// Package mediator is the MIX mediator facade (Fig. 1): it owns the
+// registry of wrapped sources, the catalogue of XMAS view definitions,
+// and the query-processing pipeline of Section 3:
+//
+//	preprocessing — parse the XMAS query, compose it with the views it
+//	references (query ∘ view), and translate to an initial algebra plan;
+//	rewriting     — optimize the plan for navigational complexity;
+//	evaluation    — compile the plan into a tree of lazy mediators and
+//	hand the client a virtual answer document.
+//
+// Clients consume answers either through nav.Document directly or
+// through the thin XMLElement veneer of Section 5 (package mediator's
+// Element type), which hides node-ids entirely.
+package mediator
+
+import (
+	"fmt"
+	"sync"
+
+	"mix/internal/algebra"
+	"mix/internal/buffer"
+	"mix/internal/core"
+	"mix/internal/eager"
+	"mix/internal/lxp"
+	"mix/internal/nav"
+	"mix/internal/xmas"
+	"mix/internal/xmltree"
+)
+
+// Options configure a Mediator.
+type Options struct {
+	// Engine options (operator caches, native select).
+	Engine core.Options
+	// Rewrite enables the navigational-complexity rewriting phase.
+	Rewrite bool
+}
+
+// DefaultOptions enables all caches and rewriting.
+func DefaultOptions() Options {
+	return Options{Engine: core.DefaultOptions(), Rewrite: true}
+}
+
+// Mediator is a configured MIX mediator instance. Queries may be
+// prepared and evaluated from multiple goroutines; source/view
+// registration should happen before serving queries (registrations
+// are guarded, but a query races an in-flight registration it can see
+// or miss).
+type Mediator struct {
+	opts   Options
+	engine *core.Engine
+	eager  *eager.Evaluator
+
+	mu    sync.Mutex
+	views map[string]algebra.Op // tupleDestroy-rooted view plans
+	nview int
+}
+
+// New creates a mediator.
+func New(opts Options) *Mediator {
+	return &Mediator{
+		opts:   opts,
+		engine: core.New(opts.Engine),
+		eager:  eager.New(),
+		views:  map[string]algebra.Op{},
+	}
+}
+
+// RegisterSource exposes an arbitrary navigable document under name.
+func (m *Mediator) RegisterSource(name string, doc nav.Document) {
+	m.engine.Register(name, doc)
+	m.eager.Register(name, doc)
+}
+
+// RegisterTree exposes a materialized tree under name.
+func (m *Mediator) RegisterTree(name string, t *xmltree.Tree) {
+	m.RegisterSource(name, nav.NewTreeDoc(t))
+}
+
+// RegisterLXP connects to an LXP wrapper (local or remote), places the
+// generic buffer component in front of it (Fig. 7), and exposes the
+// buffered source under name.
+func (m *Mediator) RegisterLXP(name string, srv lxp.Server, uri string) (*buffer.Buffer, error) {
+	b, err := buffer.New(srv, uri)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: opening LXP source %q: %w", name, err)
+	}
+	m.RegisterSource(name, b)
+	return b, nil
+}
+
+// DefineView registers a XMAS view definition under the given name.
+// Queries may then use the name like a source; at preprocessing time
+// the query is composed with the view.
+func (m *Mediator) DefineView(name, xmasText string) error {
+	q, err := xmas.Parse(xmasText)
+	if err != nil {
+		return fmt.Errorf("mediator: view %q: %w", name, err)
+	}
+	plan, err := q.Translate()
+	if err != nil {
+		return fmt.Errorf("mediator: view %q: %w", name, err)
+	}
+	m.mu.Lock()
+	m.views[name] = plan
+	m.mu.Unlock()
+	return nil
+}
+
+// Result is a prepared query: the plan that will be (or was) evaluated
+// and the virtual answer document.
+type Result struct {
+	// Plan is the final (composed, rewritten) algebra plan.
+	Plan algebra.Op
+	// Browsability is the static classification of the plan
+	// (Definition 2), under the engine's navigation command set.
+	Browsability algebra.Browsability
+
+	query *core.Query
+}
+
+// Document returns the virtual answer document. Obtaining it (and its
+// root handle) performs no source access.
+func (r *Result) Document() nav.Document { return r.query.Document() }
+
+// Root returns the answer root as a client-library element.
+func (r *Result) Root() (*Element, error) { return Wrap(r.Document()) }
+
+// Materialize fully evaluates the answer.
+func (r *Result) Materialize() (*xmltree.Tree, error) { return r.query.Materialize() }
+
+// Query runs the full preprocessing pipeline on a XMAS query and
+// returns a prepared Result. No source is accessed.
+func (m *Mediator) Query(xmasText string) (*Result, error) {
+	plan, err := m.Prepare(xmasText)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := m.engine.Compile(plan)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: compiling plan: %w", err)
+	}
+	cls, _ := algebra.Classify(plan, m.opts.Engine.NativeSelect)
+	return &Result{Plan: plan, Browsability: cls, query: cq}, nil
+}
+
+// QueryEager evaluates the query with the materializing baseline
+// evaluator instead of the lazy engine.
+func (m *Mediator) QueryEager(xmasText string) (*xmltree.Tree, error) {
+	plan, err := m.Prepare(xmasText)
+	if err != nil {
+		return nil, err
+	}
+	return m.eager.Eval(plan)
+}
+
+// Prepare parses, composes and rewrites a XMAS query into its final
+// algebra plan without compiling it.
+func (m *Mediator) Prepare(xmasText string) (algebra.Op, error) {
+	q, err := xmas.Parse(xmasText)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := q.Translate()
+	if err != nil {
+		return nil, err
+	}
+	plan, err = m.compose(plan)
+	if err != nil {
+		return nil, err
+	}
+	if m.opts.Rewrite {
+		plan = algebra.Rewrite(plan)
+	}
+	if err := algebra.Validate(plan); err != nil {
+		return nil, fmt.Errorf("mediator: composed plan invalid: %w", err)
+	}
+	return plan, nil
+}
+
+// compose substitutes each Source node that names a defined view with
+// the view's body (query ∘ view): the view plan's answer element is
+// bound to the source variable, with the view's internal variables
+// renamed fresh.
+func (m *Mediator) compose(plan algebra.Op) (algebra.Op, error) {
+	return m.substitute(plan, 0)
+}
+
+const maxViewDepth = 16
+
+func (m *Mediator) substitute(p algebra.Op, depth int) (algebra.Op, error) {
+	if depth > maxViewDepth {
+		return nil, fmt.Errorf("mediator: view nesting deeper than %d (cyclic views?)", maxViewDepth)
+	}
+	if src, ok := p.(*algebra.Source); ok {
+		m.mu.Lock()
+		view, isView := m.views[src.URL]
+		m.nview++
+		n := m.nview
+		m.mu.Unlock()
+		if !isView {
+			return p, nil
+		}
+		td, ok := view.(*algebra.TupleDestroy)
+		if !ok {
+			return nil, fmt.Errorf("mediator: view %q has no tupleDestroy root", src.URL)
+		}
+		prefix := fmt.Sprintf("view%d~", n)
+		renamed, err := algebra.RenameVars(td.Input, func(v string) string { return prefix + v })
+		if err != nil {
+			return nil, err
+		}
+		// Views may themselves reference views.
+		renamed, err = m.substitute(renamed, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		body := &algebra.Rename{
+			Input: &algebra.Project{Input: renamed, Keep: []string{prefix + td.Var}},
+			From:  prefix + td.Var,
+			To:    src.Var,
+		}
+		return body, nil
+	}
+	// Recurse into inputs via a rebuild using RenameVars' structure:
+	// rather than duplicating the copy logic, rename with the identity
+	// after substituting children. Simplest correct approach: handle
+	// each operator's inputs through algebra.RenameVars is not
+	// possible (it doesn't substitute), so rebuild explicitly.
+	return m.rebuild(p, depth)
+}
+
+func (m *Mediator) rebuild(p algebra.Op, depth int) (algebra.Op, error) {
+	sub := func(q algebra.Op) (algebra.Op, error) { return m.substitute(q, depth) }
+	switch op := p.(type) {
+	case *algebra.GetDescendants:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.GetDescendants{Input: in, Parent: op.Parent, Path: op.Path, Out: op.Out}, nil
+	case *algebra.Select:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Select{Input: in, Cond: op.Cond}, nil
+	case *algebra.Join:
+		l, err := sub(op.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sub(op.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Join{Left: l, Right: r, Cond: op.Cond}, nil
+	case *algebra.GroupBy:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.GroupBy{Input: in, By: op.By, Var: op.Var, Out: op.Out}, nil
+	case *algebra.Concatenate:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Concatenate{Input: in, X: op.X, Y: op.Y, Out: op.Out}, nil
+	case *algebra.CreateElement:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.CreateElement{Input: in, Label: op.Label, Children: op.Children, Out: op.Out}, nil
+	case *algebra.OrderBy:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.OrderBy{Input: in, Keys: op.Keys}, nil
+	case *algebra.Project:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Project{Input: in, Keep: op.Keep}, nil
+	case *algebra.Union:
+		l, err := sub(op.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sub(op.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Union{Left: l, Right: r}, nil
+	case *algebra.Difference:
+		l, err := sub(op.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sub(op.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Difference{Left: l, Right: r}, nil
+	case *algebra.Distinct:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Distinct{Input: in}, nil
+	case *algebra.WrapList:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.WrapList{Input: in, Var: op.Var, Out: op.Out}, nil
+	case *algebra.Const:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Const{Input: in, Value: op.Value, Out: op.Out}, nil
+	case *algebra.Rename:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Rename{Input: in, From: op.From, To: op.To}, nil
+	case *algebra.TupleDestroy:
+		in, err := sub(op.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.TupleDestroy{Input: in, Var: op.Var}, nil
+	default:
+		return nil, fmt.Errorf("mediator: cannot compose through %T", p)
+	}
+}

@@ -1,0 +1,93 @@
+// Package metrics provides the counters used by the navigational-
+// complexity experiments: navigation commands issued at a source
+// boundary, LXP messages and bytes on the wire, and relational tuple
+// fetches. Counters are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters aggregates the observable costs of evaluating a query.
+// The zero value is ready to use.
+type Counters struct {
+	Down    atomic.Int64 // d commands answered
+	Right   atomic.Int64 // r commands answered
+	Fetch   atomic.Int64 // f commands answered
+	Select  atomic.Int64 // native select(σ) commands answered
+	Root    atomic.Int64 // root handle requests answered
+	Msgs    atomic.Int64 // LXP protocol messages (get_root + fill)
+	Bytes   atomic.Int64 // LXP payload bytes transferred
+	Tuples  atomic.Int64 // relational cursor fetches
+	Fills   atomic.Int64 // LXP fill requests
+	Queries atomic.Int64 // source queries issued (wrapper level)
+}
+
+// Navigations returns the total number of navigation commands
+// (d + r + f + select + root) answered — the paper's measure of
+// navigational complexity at this boundary.
+func (c *Counters) Navigations() int64 {
+	return c.Down.Load() + c.Right.Load() + c.Fetch.Load() + c.Select.Load() + c.Root.Load()
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.Down.Store(0)
+	c.Right.Store(0)
+	c.Fetch.Store(0)
+	c.Select.Store(0)
+	c.Root.Store(0)
+	c.Msgs.Store(0)
+	c.Bytes.Store(0)
+	c.Tuples.Store(0)
+	c.Fills.Store(0)
+	c.Queries.Store(0)
+}
+
+// Snapshot is an immutable copy of a Counters' values.
+type Snapshot struct {
+	Down, Right, Fetch, Select, Root    int64
+	Msgs, Bytes, Tuples, Fills, Queries int64
+}
+
+// Snapshot copies the current values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Down:    c.Down.Load(),
+		Right:   c.Right.Load(),
+		Fetch:   c.Fetch.Load(),
+		Select:  c.Select.Load(),
+		Root:    c.Root.Load(),
+		Msgs:    c.Msgs.Load(),
+		Bytes:   c.Bytes.Load(),
+		Tuples:  c.Tuples.Load(),
+		Fills:   c.Fills.Load(),
+		Queries: c.Queries.Load(),
+	}
+}
+
+// Navigations of a snapshot.
+func (s Snapshot) Navigations() int64 { return s.Down + s.Right + s.Fetch + s.Select + s.Root }
+
+// Sub returns the element-wise difference s - t, for measuring a
+// window of activity between two snapshots.
+func (s Snapshot) Sub(t Snapshot) Snapshot {
+	return Snapshot{
+		Down:    s.Down - t.Down,
+		Right:   s.Right - t.Right,
+		Fetch:   s.Fetch - t.Fetch,
+		Select:  s.Select - t.Select,
+		Root:    s.Root - t.Root,
+		Msgs:    s.Msgs - t.Msgs,
+		Bytes:   s.Bytes - t.Bytes,
+		Tuples:  s.Tuples - t.Tuples,
+		Fills:   s.Fills - t.Fills,
+		Queries: s.Queries - t.Queries,
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("navs=%d (d=%d r=%d f=%d sel=%d) msgs=%d bytes=%d tuples=%d fills=%d",
+		s.Navigations(), s.Down, s.Right, s.Fetch, s.Select, s.Msgs, s.Bytes, s.Tuples, s.Fills)
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	var c Counters
+	c.Down.Add(3)
+	c.Right.Add(2)
+	c.Fetch.Add(5)
+	c.Select.Add(1)
+	c.Root.Add(1)
+	c.Msgs.Add(7)
+	c.Bytes.Add(100)
+	c.Tuples.Add(9)
+	c.Fills.Add(6)
+	c.Queries.Add(2)
+
+	if got := c.Navigations(); got != 12 {
+		t.Fatalf("Navigations = %d, want 12", got)
+	}
+	s := c.Snapshot()
+	if s.Down != 3 || s.Right != 2 || s.Fetch != 5 || s.Select != 1 || s.Root != 1 {
+		t.Fatalf("snapshot nav fields: %+v", s)
+	}
+	if s.Msgs != 7 || s.Bytes != 100 || s.Tuples != 9 || s.Fills != 6 || s.Queries != 2 {
+		t.Fatalf("snapshot io fields: %+v", s)
+	}
+	if s.Navigations() != 12 {
+		t.Fatalf("snapshot Navigations = %d", s.Navigations())
+	}
+
+	c.Down.Add(10)
+	delta := c.Snapshot().Sub(s)
+	if delta.Down != 10 || delta.Fetch != 0 || delta.Navigations() != 10 {
+		t.Fatalf("delta = %+v", delta)
+	}
+
+	c.Reset()
+	if c.Navigations() != 0 || c.Snapshot().Bytes != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var c Counters
+	c.Down.Add(4)
+	c.Msgs.Add(2)
+	str := c.Snapshot().String()
+	for _, want := range []string{"navs=4", "d=4", "msgs=2"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Down.Add(1)
+				c.Bytes.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Down.Load() != 8000 || c.Bytes.Load() != 16000 {
+		t.Fatalf("concurrent counts: down=%d bytes=%d", c.Down.Load(), c.Bytes.Load())
+	}
+}

@@ -1,0 +1,142 @@
+package nav
+
+import (
+	"sync"
+
+	"mix/internal/metrics"
+)
+
+// CountingDoc wraps a Document and counts every navigation command
+// answered by it. Placing a CountingDoc at a source boundary measures
+// exactly the "source navigations" of the paper's navigational-
+// complexity definition; placing one in front of a lazy mediator
+// measures client navigations.
+type CountingDoc struct {
+	Doc      Document
+	Counters *metrics.Counters
+}
+
+// NewCountingDoc wraps doc with fresh counters.
+func NewCountingDoc(doc Document) *CountingDoc {
+	return &CountingDoc{Doc: doc, Counters: &metrics.Counters{}}
+}
+
+// Root implements Document.
+func (c *CountingDoc) Root() (ID, error) {
+	c.Counters.Root.Add(1)
+	return c.Doc.Root()
+}
+
+// Down implements Document.
+func (c *CountingDoc) Down(p ID) (ID, error) {
+	c.Counters.Down.Add(1)
+	return c.Doc.Down(p)
+}
+
+// Right implements Document.
+func (c *CountingDoc) Right(p ID) (ID, error) {
+	c.Counters.Right.Add(1)
+	return c.Doc.Right(p)
+}
+
+// Fetch implements Document.
+func (c *CountingDoc) Fetch(p ID) (string, error) {
+	c.Counters.Fetch.Add(1)
+	return c.Doc.Fetch(p)
+}
+
+// SelectRight implements Selector iff the wrapped document does; it is
+// counted as a single native select command. If the wrapped document
+// does not implement Selector this method falls back to the generic
+// scan, whose individual r/f commands are counted instead — precisely
+// the complexity difference Section 2 attributes to extending NC.
+func (c *CountingDoc) SelectRight(p ID, sigma Predicate, fromSelf bool) (ID, error) {
+	if s, ok := c.Doc.(Selector); ok {
+		c.Counters.Select.Add(1)
+		return s.SelectRight(p, sigma, fromSelf)
+	}
+	// Generic scan over the *counting* document so each hop is billed.
+	cur := p
+	if !fromSelf {
+		next, err := c.Right(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	for cur != nil {
+		l, err := c.Fetch(cur)
+		if err != nil {
+			return nil, err
+		}
+		if sigma(l) {
+			return cur, nil
+		}
+		next, err := c.Right(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return nil, nil
+}
+
+// TraceDoc wraps a Document and records the sequence of commands
+// answered, for debugging and for asserting exact navigation sequences
+// in tests (e.g. that qconc mirrors client navigations 1:1).
+type TraceDoc struct {
+	Doc Document
+
+	mu    sync.Mutex
+	steps []Step
+}
+
+// NewTraceDoc wraps doc with an empty trace.
+func NewTraceDoc(doc Document) *TraceDoc { return &TraceDoc{Doc: doc} }
+
+func (t *TraceDoc) record(s Step) {
+	t.mu.Lock()
+	t.steps = append(t.steps, s)
+	t.mu.Unlock()
+}
+
+// Steps returns a copy of the recorded command sequence.
+func (t *TraceDoc) Steps() []Step {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Step, len(t.steps))
+	copy(out, t.steps)
+	return out
+}
+
+// ResetTrace clears the recorded command sequence.
+func (t *TraceDoc) ResetTrace() {
+	t.mu.Lock()
+	t.steps = nil
+	t.mu.Unlock()
+}
+
+// Root implements Document.
+func (t *TraceDoc) Root() (ID, error) {
+	t.record(Step{Op: OpRoot})
+	return t.Doc.Root()
+}
+
+// Down implements Document.
+func (t *TraceDoc) Down(p ID) (ID, error) {
+	t.record(Step{Op: OpDown})
+	return t.Doc.Down(p)
+}
+
+// Right implements Document.
+func (t *TraceDoc) Right(p ID) (ID, error) {
+	t.record(Step{Op: OpRight})
+	return t.Doc.Right(p)
+}
+
+// Fetch implements Document.
+func (t *TraceDoc) Fetch(p ID) (string, error) {
+	l, err := t.Doc.Fetch(p)
+	t.record(Step{Op: OpFetch, Label: l})
+	return l, err
+}

@@ -1,0 +1,164 @@
+package nav
+
+import (
+	"fmt"
+
+	"mix/internal/xmltree"
+)
+
+// This file provides whole-document and partial exploration helpers
+// built from the minimal command set NC = {d, r, f}: they are both the
+// reference semantics for tests ("the explored part c(t) of a
+// navigation", Definition 1) and the client drivers used by the
+// experiments.
+
+// Materialize fully explores doc depth-first using only d, r and f and
+// returns the resulting tree. It is the observational equivalence
+// oracle: two Documents are equivalent iff Materialize agrees.
+func Materialize(doc Document) (*xmltree.Tree, error) {
+	root, err := doc.Root()
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("nav: document has no root")
+	}
+	return materializeFrom(doc, root, 0)
+}
+
+const maxDepth = 10_000
+
+func materializeFrom(doc Document, p ID, depth int) (*xmltree.Tree, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("nav: document deeper than %d (cycle in virtual document?)", maxDepth)
+	}
+	label, err := doc.Fetch(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &xmltree.Tree{Label: label}
+	child, err := doc.Down(p)
+	if err != nil {
+		return nil, err
+	}
+	for child != nil {
+		ct, err := materializeFrom(doc, child, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		t.Children = append(t.Children, ct)
+		child, err = doc.Right(child)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ExploreFirst explores, depth-first and left-to-right, until it has
+// fully explored the first k children of the root (or the whole
+// document if it has fewer), and returns the explored part with a
+// trailing hole standing for the unexplored siblings. It models the
+// paper's Web interaction pattern: "navigate the first few results and
+// then stop".
+func ExploreFirst(doc Document, k int) (*xmltree.Tree, error) {
+	root, err := doc.Root()
+	if err != nil {
+		return nil, err
+	}
+	label, err := doc.Fetch(root)
+	if err != nil {
+		return nil, err
+	}
+	t := &xmltree.Tree{Label: label}
+	child, err := doc.Down(root)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; child != nil && i < k; i++ {
+		ct, err := materializeFrom(doc, child, 1)
+		if err != nil {
+			return nil, err
+		}
+		t.Children = append(t.Children, ct)
+		child, err = doc.Right(child)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if child != nil {
+		t.Children = append(t.Children, xmltree.Hole("unexplored"))
+	}
+	return t, nil
+}
+
+// Labels fetches the labels of the first k children of the root by a
+// d,(f,r)* scan, the navigation c = d,f,r,f,… of Example 1. It stops
+// early when the document runs out of children.
+func Labels(doc Document, k int) ([]string, error) {
+	root, err := doc.Root()
+	if err != nil {
+		return nil, err
+	}
+	p, err := doc.Down(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for p != nil && len(out) < k {
+		l, err := doc.Fetch(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+		p, err = doc.Right(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Path navigates from the root along a sequence of child labels,
+// returning the first node reached whose label matches each component
+// in turn (a d,select-style descent). It returns nil if the path does
+// not exist.
+func Path(doc Document, labels ...string) (ID, error) {
+	p, err := doc.Root()
+	if err != nil {
+		return nil, err
+	}
+	for _, want := range labels {
+		p, err = doc.Down(p)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, nil
+		}
+		p, err = Select(doc, p, LabelIs(want), true)
+		if err != nil || p == nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+// Subtree materializes the subtree rooted at p.
+func Subtree(doc Document, p ID) (*xmltree.Tree, error) {
+	return materializeFrom(doc, p, 0)
+}
+
+// Equivalent reports whether two documents materialize to structurally
+// equal trees. It is used pervasively by the lazy≡eager tests.
+func Equivalent(a, b Document) (bool, error) {
+	ta, err := Materialize(a)
+	if err != nil {
+		return false, fmt.Errorf("materializing first document: %w", err)
+	}
+	tb, err := Materialize(b)
+	if err != nil {
+		return false, fmt.Errorf("materializing second document: %w", err)
+	}
+	return xmltree.Equal(ta, tb), nil
+}

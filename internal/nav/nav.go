@@ -1,0 +1,234 @@
+// Package nav defines DOM-VXD, the navigational interface of the MIX
+// mediator (Section 2 of the paper): a minimal abstraction of the DOM
+// API under which XML documents — materialized, virtual, or buffered —
+// are explored with the commands
+//
+//	d (down)  — first child
+//	r (right) — right sibling
+//	f (fetch) — label of the node
+//
+// plus the optional select(σ) command that advances to the first
+// following sibling whose label satisfies a predicate. The set NC =
+// {d, r, f} is sufficient to completely explore arbitrary virtual
+// documents; select(σ) changes the navigational complexity of some
+// views (it makes the selection view of Example 1 bounded browsable).
+//
+// A Document is anything navigable this way. Node identifiers are
+// opaque ID values chosen by the Document implementation; lazy
+// mediators encode their association information (Appendix A) directly
+// into these Skolem-style IDs.
+package nav
+
+import (
+	"fmt"
+
+	"mix/internal/xmltree"
+)
+
+// ID identifies a node of a Document. IDs are opaque to clients; only
+// the Document that issued an ID can interpret it. A nil ID is ⊥ (the
+// null pointer of the paper).
+type ID any
+
+// Predicate is a sibling-selection condition σ on labels, used by the
+// optional select(σ) navigation command.
+type Predicate func(label string) bool
+
+// Document is the DOM-VXD navigational interface. Implementations
+// must treat IDs as stable: issuing the same command on the same ID
+// must return an equivalent result (IDs need not be canonical — two
+// different ID values may denote the same node).
+//
+// All methods return an error only for foreign or malformed IDs and
+// for source/transport failures; absence of a child or sibling is
+// reported with a nil ID and a nil error.
+type Document interface {
+	// Root returns the ID of the document's root element.
+	Root() (ID, error)
+	// Down returns the first child of p, or nil if p is a leaf.
+	Down(p ID) (ID, error)
+	// Right returns the right sibling of p, or nil if there is none.
+	Right(p ID) (ID, error)
+	// Fetch returns the label of p.
+	Fetch(p ID) (string, error)
+}
+
+// Selector is implemented by Documents that support the select(σ)
+// command natively. For Documents that do not, Select falls back to a
+// right/fetch scan (see the Select helper), which is observationally
+// identical but has different navigational complexity.
+type Selector interface {
+	// SelectRight returns the first sibling at or to the right of p
+	// whose label satisfies σ, or nil if no such sibling exists.
+	// Note: per the paper this starts at the sibling *after* p when
+	// fromSelf is false, and at p itself when fromSelf is true.
+	SelectRight(p ID, sigma Predicate, fromSelf bool) (ID, error)
+}
+
+// Select advances from p to the first sibling to the right whose label
+// satisfies sigma, using the Document's native SelectRight if it has
+// one and an r/f scan otherwise. When fromSelf is true, p itself is a
+// candidate.
+func Select(d Document, p ID, sigma Predicate, fromSelf bool) (ID, error) {
+	if s, ok := d.(Selector); ok {
+		return s.SelectRight(p, sigma, fromSelf)
+	}
+	cur := p
+	if !fromSelf {
+		next, err := d.Right(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	for cur != nil {
+		l, err := d.Fetch(cur)
+		if err != nil {
+			return nil, err
+		}
+		if sigma(l) {
+			return cur, nil
+		}
+		next, err := d.Right(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return nil, nil
+}
+
+// LabelIs returns a predicate matching exactly the given label.
+func LabelIs(label string) Predicate {
+	return func(l string) bool { return l == label }
+}
+
+// Op names a navigation command, for traces and complexity accounting.
+type Op string
+
+// The DOM-VXD navigation commands.
+const (
+	OpDown   Op = "d"
+	OpRight  Op = "r"
+	OpFetch  Op = "f"
+	OpSelect Op = "select"
+	OpRoot   Op = "root"
+)
+
+// Step is one executed navigation command, for traces.
+type Step struct {
+	Op    Op
+	Label string // result of a fetch, if Op == OpFetch
+}
+
+func (s Step) String() string {
+	if s.Op == OpFetch && s.Label != "" {
+		return fmt.Sprintf("f→%s", s.Label)
+	}
+	return string(s.Op)
+}
+
+// ErrForeignID is returned (wrapped) by Documents handed an ID they
+// did not issue.
+var ErrForeignID = fmt.Errorf("nav: foreign node id")
+
+// --- Materialized tree documents -----------------------------------------
+
+// TreeDoc is a Document over a materialized xmltree.Tree. Node IDs are
+// *treeNode pointers carrying parent/position so Right is O(1).
+type TreeDoc struct {
+	root *treeNode
+}
+
+type treeNode struct {
+	t      *xmltree.Tree
+	parent *treeNode
+	idx    int // position among parent's children
+}
+
+// NewTreeDoc returns a Document exposing t.
+func NewTreeDoc(t *xmltree.Tree) *TreeDoc {
+	return &TreeDoc{root: &treeNode{t: t}}
+}
+
+// Root implements Document.
+func (d *TreeDoc) Root() (ID, error) { return d.root, nil }
+
+func (d *TreeDoc) node(p ID) (*treeNode, error) {
+	n, ok := p.(*treeNode)
+	if !ok || n == nil {
+		return nil, fmt.Errorf("%w: %T", ErrForeignID, p)
+	}
+	return n, nil
+}
+
+// Down implements Document.
+func (d *TreeDoc) Down(p ID) (ID, error) {
+	n, err := d.node(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(n.t.Children) == 0 {
+		return nil, nil
+	}
+	return &treeNode{t: n.t.Children[0], parent: n, idx: 0}, nil
+}
+
+// Right implements Document.
+func (d *TreeDoc) Right(p ID) (ID, error) {
+	n, err := d.node(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.parent == nil || n.idx+1 >= len(n.parent.t.Children) {
+		return nil, nil
+	}
+	return &treeNode{t: n.parent.t.Children[n.idx+1], parent: n.parent, idx: n.idx + 1}, nil
+}
+
+// Fetch implements Document.
+func (d *TreeDoc) Fetch(p ID) (string, error) {
+	n, err := d.node(p)
+	if err != nil {
+		return "", err
+	}
+	return n.t.Label, nil
+}
+
+// SelectRight implements Selector natively: a materialized source can
+// answer select(σ) as a single command (the scan is local to the
+// source, not a sequence of mediated navigations).
+func (d *TreeDoc) SelectRight(p ID, sigma Predicate, fromSelf bool) (ID, error) {
+	n, err := d.node(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.parent == nil {
+		// The root has no siblings; only fromSelf can match.
+		if fromSelf && sigma(n.t.Label) {
+			return n, nil
+		}
+		return nil, nil
+	}
+	start := n.idx
+	if !fromSelf {
+		start++
+	}
+	sibs := n.parent.t.Children
+	for i := start; i < len(sibs); i++ {
+		if sigma(sibs[i].Label) {
+			return &treeNode{t: sibs[i], parent: n.parent, idx: i}, nil
+		}
+	}
+	return nil, nil
+}
+
+// Tree returns the underlying subtree of an ID issued by this
+// document. It is an escape hatch for tests and eager evaluation.
+func (d *TreeDoc) Tree(p ID) (*xmltree.Tree, error) {
+	n, err := d.node(p)
+	if err != nil {
+		return nil, err
+	}
+	return n.t, nil
+}

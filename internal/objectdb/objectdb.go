@@ -1,0 +1,152 @@
+// Package objectdb is the object-database substrate standing in for the
+// OODB source of the VXD architecture (Fig. 1, "OODB-XML Wrapper"): a
+// small in-memory object store with classes, typed objects, scalar and
+// list fields, and — crucially — object references.
+//
+// References make the XML view of an object graph potentially
+// *infinite* (a cycle unfolds forever). A warehousing approach cannot
+// export such a view at all; the navigation-driven architecture serves
+// it naturally, because reference targets are exported as holes that
+// are only filled when the client actually traverses them.
+package objectdb
+
+import (
+	"fmt"
+	"sort"
+
+	"mix/internal/metrics"
+)
+
+// OID identifies an object.
+type OID string
+
+// Value is a field value: a scalar, a reference, or a list of values.
+type Value struct {
+	// Exactly one of the following is set.
+	Scalar string
+	Ref    OID
+	List   []Value
+
+	kind valueKind
+}
+
+type valueKind uint8
+
+const (
+	scalarValue valueKind = iota
+	refValue
+	listValue
+)
+
+// S makes a scalar value.
+func S(s string) Value { return Value{Scalar: s, kind: scalarValue} }
+
+// R makes a reference value.
+func R(oid OID) Value { return Value{Ref: oid, kind: refValue} }
+
+// L makes a list value.
+func L(vs ...Value) Value { return Value{List: vs, kind: listValue} }
+
+// IsScalar reports whether v is a scalar.
+func (v Value) IsScalar() bool { return v.kind == scalarValue }
+
+// IsRef reports whether v is a reference.
+func (v Value) IsRef() bool { return v.kind == refValue }
+
+// IsList reports whether v is a list.
+func (v Value) IsList() bool { return v.kind == listValue }
+
+// Object is a stored object: a class name and ordered fields.
+type Object struct {
+	OID    OID
+	Class  string
+	Fields []Field
+}
+
+// Field is a named value.
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Field returns the named field's value.
+func (o *Object) Field(name string) (Value, bool) {
+	for _, f := range o.Fields {
+		if f.Name == name {
+			return f.Value, true
+		}
+	}
+	return Value{}, false
+}
+
+// DB is an object database: objects by OID, grouped into class extents.
+type DB struct {
+	Name    string
+	objects map[OID]*Object
+	extents map[string][]OID
+
+	// Counters bills object lookups (Tuples) for the experiments.
+	Counters *metrics.Counters
+}
+
+// NewDB creates an empty object database.
+func NewDB(name string) *DB {
+	return &DB{
+		Name:     name,
+		objects:  map[OID]*Object{},
+		extents:  map[string][]OID{},
+		Counters: &metrics.Counters{},
+	}
+}
+
+// Put stores an object (replacing any object with the same OID) and
+// adds it to its class extent.
+func (d *DB) Put(oid OID, class string, fields ...Field) *Object {
+	if old, ok := d.objects[oid]; ok {
+		// Remove from the previous extent.
+		ext := d.extents[old.Class]
+		for i, e := range ext {
+			if e == oid {
+				d.extents[old.Class] = append(ext[:i], ext[i+1:]...)
+				break
+			}
+		}
+	}
+	o := &Object{OID: oid, Class: class, Fields: fields}
+	d.objects[oid] = o
+	d.extents[class] = append(d.extents[class], oid)
+	return o
+}
+
+// F is a convenience constructor for a Field.
+func F(name string, v Value) Field { return Field{Name: name, Value: v} }
+
+// Get fetches an object by OID, billing one object fetch.
+func (d *DB) Get(oid OID) (*Object, error) {
+	o, ok := d.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("objectdb: no object %q in %s", oid, d.Name)
+	}
+	d.Counters.Tuples.Add(1)
+	return o, nil
+}
+
+// Extent returns the OIDs of a class, in insertion order.
+func (d *DB) Extent(class string) []OID {
+	out := make([]OID, len(d.extents[class]))
+	copy(out, d.extents[class])
+	return out
+}
+
+// Classes returns the class names in sorted order.
+func (d *DB) Classes() []string {
+	out := make([]string, 0, len(d.extents))
+	for c := range d.extents {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumObjects returns the number of stored objects.
+func (d *DB) NumObjects() int { return len(d.objects) }

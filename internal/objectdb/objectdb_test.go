@@ -1,0 +1,83 @@
+package objectdb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sample() *DB {
+	db := NewDB("company")
+	db.Put("e1", "Employee",
+		F("name", S("Ada")),
+		F("boss", R("e2")),
+	)
+	db.Put("e2", "Employee",
+		F("name", S("Grace")),
+		F("boss", R("e1")), // cycle
+	)
+	db.Put("d1", "Dept",
+		F("title", S("R&D")),
+		F("members", L(R("e1"), R("e2"))),
+	)
+	return db
+}
+
+func TestPutGetExtent(t *testing.T) {
+	db := sample()
+	if db.NumObjects() != 3 {
+		t.Fatalf("objects = %d", db.NumObjects())
+	}
+	o, err := db.Get("e1")
+	if err != nil || o.Class != "Employee" {
+		t.Fatalf("Get: %v %v", o, err)
+	}
+	v, ok := o.Field("name")
+	if !ok || !v.IsScalar() || v.Scalar != "Ada" {
+		t.Fatalf("field name = %v", v)
+	}
+	if _, ok := o.Field("missing"); ok {
+		t.Fatal("missing field found")
+	}
+	if _, err := db.Get("nope"); err == nil {
+		t.Fatal("missing object must fail")
+	}
+	if got := db.Extent("Employee"); !reflect.DeepEqual(got, []OID{"e1", "e2"}) {
+		t.Fatalf("extent = %v", got)
+	}
+	if got := db.Classes(); !reflect.DeepEqual(got, []string{"Dept", "Employee"}) {
+		t.Fatalf("classes = %v", got)
+	}
+}
+
+func TestPutReplaceMovesExtent(t *testing.T) {
+	db := sample()
+	db.Put("e1", "Manager", F("name", S("Ada")))
+	if got := db.Extent("Employee"); len(got) != 1 || got[0] != "e2" {
+		t.Fatalf("old extent = %v", got)
+	}
+	if got := db.Extent("Manager"); len(got) != 1 || got[0] != "e1" {
+		t.Fatalf("new extent = %v", got)
+	}
+}
+
+func TestValueKinds(t *testing.T) {
+	if !S("x").IsScalar() || S("x").IsRef() || S("x").IsList() {
+		t.Fatal("scalar kind")
+	}
+	if !R("a").IsRef() || !L(S("x")).IsList() {
+		t.Fatal("ref/list kinds")
+	}
+}
+
+func TestFetchAccounting(t *testing.T) {
+	db := sample()
+	db.Counters.Reset()
+	for i := 0; i < 3; i++ {
+		if _, err := db.Get("e1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Counters.Tuples.Load(); got != 3 {
+		t.Fatalf("fetches = %d", got)
+	}
+}

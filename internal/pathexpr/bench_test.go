@@ -1,0 +1,27 @@
+package pathexpr
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("(a|b)*.home.zip._"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	m := Compile(MustParse("(a|b)*.home.zip._"))
+	labels := []string{"a", "b", "a", "home", "zip", "91220"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := m.Start()
+		for _, l := range labels {
+			s = m.Step(s, l)
+		}
+		if !m.Accepting(s) {
+			b.Fatal("should accept")
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package pathexpr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []string{
+		"homes.home",
+		"zip._",
+		"_",
+		"a|b",
+		"a.b|c.d",
+		"(a|b).c",
+		"a*",
+		"a+.b?",
+		"(a.b)*.x",
+		"a",
+		"a-b.c1",
+		"((a))",
+	}
+	for _, c := range cases {
+		e, err := Parse(c)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c, err)
+			continue
+		}
+		// normalized form reparses to the same normalized form
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Errorf("reparse(%q → %q): %v", c, e.String(), err)
+			continue
+		}
+		if e.String() != e2.String() {
+			t.Errorf("normalization not a fixed point: %q → %q → %q", c, e.String(), e2.String())
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, c := range []string{"", ".", "a.", "|a", "a|", "(a", "a)", "*", "a..b", "a!"} {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on invalid input")
+		}
+	}()
+	MustParse("(")
+}
+
+func match(t *testing.T, expr string, labels ...string) bool {
+	t.Helper()
+	return Compile(MustParse(expr)).Matches(labels)
+}
+
+func TestMatching(t *testing.T) {
+	cases := []struct {
+		expr   string
+		labels []string
+		want   bool
+	}{
+		{"homes.home", []string{"homes", "home"}, true},
+		{"homes.home", []string{"homes"}, false},
+		{"homes.home", []string{"homes", "home", "zip"}, false},
+		{"zip._", []string{"zip", "91220"}, true},
+		{"zip._", []string{"zip"}, false},
+		{"_", []string{"anything"}, true},
+		{"_", []string{}, false},
+		{"a|b", []string{"a"}, true},
+		{"a|b", []string{"b"}, true},
+		{"a|b", []string{"c"}, false},
+		{"a*", []string{}, true},
+		{"a*", []string{"a", "a", "a"}, true},
+		{"a*", []string{"a", "b"}, false},
+		{"a+", []string{}, false},
+		{"a+", []string{"a"}, true},
+		{"a?", []string{}, true},
+		{"a?", []string{"a"}, true},
+		{"a?", []string{"a", "a"}, false},
+		{"(a.b)*.x", []string{"x"}, true},
+		{"(a.b)*.x", []string{"a", "b", "x"}, true},
+		{"(a.b)*.x", []string{"a", "b", "a", "b", "x"}, true},
+		{"(a.b)*.x", []string{"a", "x"}, false},
+		{"(a|b).c", []string{"b", "c"}, true},
+		{"_*.zip", []string{"homes", "home", "zip"}, true},
+		{"_*.zip", []string{"zip"}, true},
+		{"_*.zip", []string{"homes", "home"}, false},
+	}
+	for _, c := range cases {
+		if got := match(t, c.expr, c.labels...); got != c.want {
+			t.Errorf("Matches(%q, %v) = %v, want %v", c.expr, c.labels, got, c.want)
+		}
+	}
+}
+
+func TestStepwiseAliveAccepting(t *testing.T) {
+	m := Compile(MustParse("homes.home"))
+	s := m.Start()
+	if m.Accepting(s) {
+		t.Fatal("empty prefix should not accept")
+	}
+	if !m.Alive(s) {
+		t.Fatal("start must be alive")
+	}
+	s = m.Step(s, "homes")
+	if !m.Alive(s) || m.Accepting(s) {
+		t.Fatalf("after homes: alive=%v accepting=%v", m.Alive(s), m.Accepting(s))
+	}
+	s2 := m.Step(s, "nope")
+	if m.Alive(s2) {
+		t.Fatal("dead branch should not be alive")
+	}
+	s = m.Step(s, "home")
+	if !m.Accepting(s) {
+		t.Fatal("homes.home should accept")
+	}
+	s = m.Step(s, "zip")
+	if m.Alive(s) {
+		t.Fatal("over-long path should be dead")
+	}
+}
+
+func TestRecursiveAndDepth(t *testing.T) {
+	cases := []struct {
+		expr      string
+		recursive bool
+		depth     int
+	}{
+		{"homes.home", false, 2},
+		{"a|b.c", false, 2},
+		{"a?", false, 1},
+		{"a*", true, -1},
+		{"a+.b", true, -1},
+		{"(a.b)?.c", false, 3},
+		{"_._", false, 2},
+	}
+	for _, c := range cases {
+		e := MustParse(c.expr)
+		if e.IsRecursive() != c.recursive {
+			t.Errorf("IsRecursive(%q) = %v", c.expr, e.IsRecursive())
+		}
+		if e.MaxDepth() != c.depth {
+			t.Errorf("MaxDepth(%q) = %d, want %d", c.expr, e.MaxDepth(), c.depth)
+		}
+	}
+}
+
+func TestStateSetKey(t *testing.T) {
+	a := StateSet{1, 2, 300}
+	b := StateSet{1, 2, 300}
+	c := StateSet{1, 2}
+	d := StateSet{12, 300} // must not collide with {1,2,300}
+	if a.Key() != b.Key() {
+		t.Fatal("equal sets different keys")
+	}
+	if a.Key() == c.Key() || a.Key() == d.Key() || c.Key() == d.Key() {
+		t.Fatal("distinct sets share a key")
+	}
+}
+
+// referenceMatch is a straightforward backtracking matcher over the AST
+// used as the oracle for the NFA property test.
+func referenceMatch(n node, labels []string) map[int]bool {
+	// returns set of consumed-prefix lengths
+	switch n := n.(type) {
+	case atomNode:
+		if len(labels) > 0 && labels[0] == n.label {
+			return map[int]bool{1: true}
+		}
+		return nil
+	case wildNode:
+		if len(labels) > 0 {
+			return map[int]bool{1: true}
+		}
+		return nil
+	case seqNode:
+		cur := map[int]bool{0: true}
+		for _, p := range n.parts {
+			next := map[int]bool{}
+			for off := range cur {
+				for d := range referenceMatch(p, labels[off:]) {
+					next[off+d] = true
+				}
+			}
+			cur = next
+		}
+		return cur
+	case altNode:
+		out := map[int]bool{}
+		for _, a := range n.alts {
+			for d := range referenceMatch(a, labels) {
+				out[d] = true
+			}
+		}
+		return out
+	case optNode:
+		out := map[int]bool{0: true}
+		for d := range referenceMatch(n.sub, labels) {
+			out[d] = true
+		}
+		return out
+	case starNode:
+		out := map[int]bool{0: true}
+		frontier := map[int]bool{0: true}
+		for len(frontier) > 0 {
+			next := map[int]bool{}
+			for off := range frontier {
+				for d := range referenceMatch(n.sub, labels[off:]) {
+					if d > 0 && !out[off+d] {
+						out[off+d] = true
+						next[off+d] = true
+					}
+				}
+			}
+			frontier = next
+		}
+		return out
+	case plusNode:
+		star := referenceMatch(starNode{sub: n.sub}, labels)
+		out := map[int]bool{}
+		for d1 := range referenceMatch(n.sub, labels) {
+			out[d1] = true
+			for d2 := range star {
+				// careful: star result is on the full slice; recompute on remainder
+				_ = d2
+			}
+		}
+		// one sub match followed by star of sub
+		final := map[int]bool{}
+		for d1 := range out {
+			for d2 := range referenceMatch(starNode{sub: n.sub}, labels[d1:]) {
+				final[d1+d2] = true
+			}
+		}
+		return final
+	}
+	return map[int]bool{0: true}
+}
+
+func randomExpr(r *rand.Rand, depth int) node {
+	labels := []string{"a", "b", "c"}
+	if depth <= 0 {
+		if r.Intn(4) == 0 {
+			return wildNode{}
+		}
+		return atomNode{label: labels[r.Intn(len(labels))]}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return seqNode{parts: []node{randomExpr(r, depth-1), randomExpr(r, depth-1)}}
+	case 1:
+		return altNode{alts: []node{randomExpr(r, depth-1), randomExpr(r, depth-1)}}
+	case 2:
+		return starNode{sub: randomExpr(r, depth-1)}
+	case 3:
+		return optNode{sub: randomExpr(r, depth-1)}
+	case 4:
+		return plusNode{sub: randomExpr(r, depth-1)}
+	default:
+		if r.Intn(4) == 0 {
+			return wildNode{}
+		}
+		return atomNode{label: labels[r.Intn(len(labels))]}
+	}
+}
+
+func TestQuickNFAAgreesWithReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ast := randomExpr(r, 3)
+		expr := &Expr{root: ast}
+		// reparse from normalized form to also exercise the parser
+		parsed, err := Parse(expr.String())
+		if err != nil {
+			t.Logf("unparseable normalized form %q", expr.String())
+			return false
+		}
+		m := Compile(parsed)
+		labels := []string{"a", "b", "c", "d"}
+		n := r.Intn(5)
+		seq := make([]string, n)
+		for i := range seq {
+			seq[i] = labels[r.Intn(len(labels))]
+		}
+		want := referenceMatch(ast, seq)[len(seq)]
+		got := m.Matches(seq)
+		if got != want {
+			t.Logf("expr=%q seq=%v got=%v want=%v", expr.String(), seq, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAliveSoundness(t *testing.T) {
+	// If a prefix is not Alive, then no extension matches.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ast := randomExpr(r, 2)
+		expr := &Expr{root: ast}
+		parsed, err := Parse(expr.String())
+		if err != nil {
+			return false
+		}
+		m := Compile(parsed)
+		labels := []string{"a", "b"}
+		s := m.Start()
+		var prefix []string
+		for i := 0; i < 3; i++ {
+			l := labels[r.Intn(2)]
+			prefix = append(prefix, l)
+			s = m.Step(s, l)
+			if !m.Alive(s) {
+				// every extension up to length 3 must fail
+				exts := [][]string{{}, {"a"}, {"b"}, {"a", "a"}, {"a", "b"}, {"b", "a"}, {"b", "b"}}
+				for _, e := range exts {
+					if m.Matches(append(append([]string{}, prefix...), e...)) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedFormsReadable(t *testing.T) {
+	e := MustParse("homes.home|a*")
+	if !strings.Contains(e.String(), "|") {
+		t.Fatalf("String lost structure: %q", e.String())
+	}
+	if e.Source() != "homes.home|a*" {
+		t.Fatalf("Source = %q", e.Source())
+	}
+}

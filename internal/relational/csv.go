@@ -1,0 +1,69 @@
+package relational
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadCSV reads a table from CSV: the first record is the column list,
+// every following record a row. The table is created (or replaced) in
+// the database under the given name.
+func (d *DB) LoadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 0 // all records must match the header's arity
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relational: reading CSV header for %s: %w", name, err)
+	}
+	t := d.Create(name, header...)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relational: reading CSV rows for %s: %w", name, err)
+		}
+		if err := t.Insert(rec...); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// LoadCSVDir creates a database named dbName from a directory of
+// *.csv files, one table per file (table name = file name without the
+// extension), loaded in sorted order.
+func LoadCSVDir(dbName, dir string) (*DB, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("relational: no .csv files in %s", dir)
+	}
+	sort.Strings(files)
+	db := NewDB(dbName)
+	for _, f := range files {
+		fh, err := os.Open(filepath.Join(dir, f))
+		if err != nil {
+			return nil, err
+		}
+		_, err = db.LoadCSV(strings.TrimSuffix(f, ".csv"), fh)
+		fh.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

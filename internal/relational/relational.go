@@ -1,0 +1,148 @@
+// Package relational is the in-memory relational substrate standing in
+// for the JDBC-wrapped RDBMS of the paper's relational wrapper example
+// (Section 4): named tables of typed-as-text rows, accessed through
+// forward-only cursors whose fetches are individually accounted — the
+// tuple-at-a-time granularity the buffer/LXP machinery reconciles with
+// DOM-VXD's node-at-a-time navigation.
+package relational
+
+import (
+	"fmt"
+	"sort"
+
+	"mix/internal/metrics"
+)
+
+// Table is a named relation: a fixed column list and rows of strings.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]string
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, cols ...string) *Table {
+	return &Table{Name: name, Cols: cols}
+}
+
+// Insert appends a row; the number of values must match the columns.
+func (t *Table) Insert(values ...string) error {
+	if len(values) != len(t.Cols) {
+		return fmt.Errorf("relational: table %s has %d columns, got %d values",
+			t.Name, len(t.Cols), len(values))
+	}
+	row := make([]string, len(values))
+	copy(row, values)
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustInsert is Insert for test fixtures; it panics on arity mismatch.
+func (t *Table) MustInsert(values ...string) {
+	if err := t.Insert(values...); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Col returns the index of the named column, or -1.
+func (t *Table) Col(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	Name   string
+	tables map[string]*Table
+
+	// Counters bills cursor fetches (Tuples) and opened cursors
+	// (Queries) for the experiments.
+	Counters *metrics.Counters
+}
+
+// NewDB creates an empty database.
+func NewDB(name string) *DB {
+	return &DB{Name: name, tables: map[string]*Table{}, Counters: &metrics.Counters{}}
+}
+
+// Create adds a new table and returns it; it replaces an existing
+// table of the same name.
+func (d *DB) Create(name string, cols ...string) *Table {
+	t := NewTable(name, cols...)
+	d.tables[name] = t
+	return t
+}
+
+// Table returns the named table, or nil.
+func (d *DB) Table(name string) *Table { return d.tables[name] }
+
+// TableNames returns the table names in sorted order (the relational
+// schema the wrapper exposes at the database level).
+func (d *DB) TableNames() []string {
+	out := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cursor is a forward-only cursor over a table, the paper's "relational
+// cursor". Every fetched tuple is billed to the DB's counters.
+type Cursor struct {
+	db    *DB
+	table *Table
+	pos   int
+}
+
+// OpenCursor opens a cursor positioned before the first row, optionally
+// skipping to a start row (the wrapper's "advance the relational cursor
+// based on the form of the hole id").
+func (d *DB) OpenCursor(table string, startRow int) (*Cursor, error) {
+	t := d.tables[table]
+	if t == nil {
+		return nil, fmt.Errorf("relational: no table %q in %s", table, d.Name)
+	}
+	if startRow < 0 {
+		return nil, fmt.Errorf("relational: negative start row %d", startRow)
+	}
+	d.Counters.Queries.Add(1)
+	return &Cursor{db: d, table: t, pos: startRow}, nil
+}
+
+// Fetch returns the next row, or nil at end of table.
+func (c *Cursor) Fetch() []string {
+	if c.pos >= len(c.table.Rows) {
+		return nil
+	}
+	row := c.table.Rows[c.pos]
+	c.pos++
+	c.db.Counters.Tuples.Add(1)
+	return row
+}
+
+// FetchN returns up to n next rows.
+func (c *Cursor) FetchN(n int) [][]string {
+	var out [][]string
+	for i := 0; i < n; i++ {
+		row := c.Fetch()
+		if row == nil {
+			break
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Pos returns the current row position.
+func (c *Cursor) Pos() int { return c.pos }
+
+// Cols returns the cursor's column names.
+func (c *Cursor) Cols() []string { return c.table.Cols }

@@ -1,0 +1,179 @@
+package relational
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleDB() *DB {
+	db := NewDB("realestate")
+	homes := db.Create("homes", "addr", "zip", "price")
+	homes.MustInsert("La Jolla", "91220", "500000")
+	homes.MustInsert("El Cajon", "91223", "300000")
+	homes.MustInsert("Del Mar", "91220", "900000")
+	schools := db.Create("schools", "dir", "zip")
+	schools.MustInsert("Smith", "91220")
+	return db
+}
+
+func TestTableBasics(t *testing.T) {
+	db := sampleDB()
+	homes := db.Table("homes")
+	if homes.NumRows() != 3 {
+		t.Fatalf("rows = %d", homes.NumRows())
+	}
+	if homes.Col("zip") != 1 || homes.Col("nope") != -1 {
+		t.Fatal("Col lookup")
+	}
+	if err := homes.Insert("too", "few"); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if db.Table("missing") != nil {
+		t.Fatal("missing table should be nil")
+	}
+	if got := db.TableNames(); !reflect.DeepEqual(got, []string{"homes", "schools"}) {
+		t.Fatalf("TableNames = %v", got)
+	}
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInsert should panic on arity mismatch")
+		}
+	}()
+	NewTable("t", "a").MustInsert("x", "y")
+}
+
+func TestCursor(t *testing.T) {
+	db := sampleDB()
+	cur, err := db.OpenCursor("homes", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cur.Fetch(); got[0] != "La Jolla" {
+		t.Fatalf("first row = %v", got)
+	}
+	rest := cur.FetchN(10)
+	if len(rest) != 2 || rest[1][0] != "Del Mar" {
+		t.Fatalf("rest = %v", rest)
+	}
+	if cur.Fetch() != nil {
+		t.Fatal("exhausted cursor should return nil")
+	}
+	if cur.Pos() != 3 {
+		t.Fatalf("Pos = %d", cur.Pos())
+	}
+	if !reflect.DeepEqual(cur.Cols(), []string{"addr", "zip", "price"}) {
+		t.Fatalf("Cols = %v", cur.Cols())
+	}
+}
+
+func TestCursorStartRow(t *testing.T) {
+	db := sampleDB()
+	cur, err := db.OpenCursor("homes", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cur.Fetch(); got[0] != "Del Mar" {
+		t.Fatalf("row at 2 = %v", got)
+	}
+	if _, err := db.OpenCursor("homes", -1); err == nil {
+		t.Fatal("negative start must fail")
+	}
+	if _, err := db.OpenCursor("nope", 0); err == nil {
+		t.Fatal("missing table must fail")
+	}
+	past, err := db.OpenCursor("homes", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if past.Fetch() != nil {
+		t.Fatal("past-end cursor should be empty")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	db := sampleDB()
+	cur, _ := db.OpenCursor("homes", 0)
+	cur.FetchN(2)
+	cur2, _ := db.OpenCursor("schools", 0)
+	cur2.Fetch()
+	s := db.Counters.Snapshot()
+	if s.Tuples != 3 {
+		t.Fatalf("Tuples = %d", s.Tuples)
+	}
+	if s.Queries != 2 {
+		t.Fatalf("Queries = %d", s.Queries)
+	}
+}
+
+func TestLargeTableFetchAll(t *testing.T) {
+	db := NewDB("big")
+	tb := db.Create("t", "id")
+	for i := 0; i < 1000; i++ {
+		tb.MustInsert(fmt.Sprintf("%d", i))
+	}
+	cur, _ := db.OpenCursor("t", 0)
+	n := 0
+	for cur.Fetch() != nil {
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("fetched %d", n)
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	db := NewDB("d")
+	tb, err := db.LoadCSV("homes", strings.NewReader("addr,zip\nLa Jolla,91220\nEl Cajon,91223\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 || tb.Cols[1] != "zip" {
+		t.Fatalf("loaded table wrong: %+v", tb)
+	}
+	if tb.Rows[1][0] != "El Cajon" {
+		t.Fatalf("row content: %v", tb.Rows[1])
+	}
+	if _, err := db.LoadCSV("bad", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("ragged CSV must fail")
+	}
+	if _, err := db.LoadCSV("empty", strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV must fail")
+	}
+}
+
+func TestLoadCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "homes.csv"),
+		[]byte("addr,zip\nX,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "schools.csv"),
+		[]byte("dir,zip\nS,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"),
+		[]byte("ignored"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadCSVDir("realestate", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.TableNames(); len(got) != 2 || got[0] != "homes" {
+		t.Fatalf("tables = %v", got)
+	}
+	if _, err := LoadCSVDir("x", filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir must fail")
+	}
+	empty := t.TempDir()
+	if _, err := LoadCSVDir("x", empty); err == nil {
+		t.Fatal("dir without csv must fail")
+	}
+}

@@ -1,0 +1,483 @@
+package xmas
+
+import (
+	"fmt"
+
+	"mix/internal/algebra"
+	"mix/internal/pathexpr"
+	"mix/internal/xmltree"
+)
+
+// Translate compiles the query into an equivalent XMAS algebra plan
+// (the compile-time preprocessing step of Section 3). The WHERE clause
+// becomes a tree of source/getDescendants/select/join operators whose
+// output is the list of variable bindings; the CONSTRUCT clause becomes
+// groupBy/concatenate/createElement operators over it, with a final
+// tupleDestroy extracting the answer element — the shape of Fig. 4.
+//
+// Restriction (documented, checked): within one template level, at most
+// one grouped item may appear, and template items after it may only
+// reference the level's context variables. This covers the grouping
+// patterns of the paper; lifting it requires joining parallel groupBy
+// subplans back on their keys.
+func (q *Query) Translate() (algebra.Op, error) {
+	tr := &translator{}
+	body, err := tr.body(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.OrderBy) > 0 {
+		body = &algebra.OrderBy{Input: body, Keys: q.OrderBy}
+	}
+	if q.Construct == nil {
+		return nil, fmt.Errorf("xmas: query without CONSTRUCT clause")
+	}
+	root := q.Construct
+	if root.Group != nil && root.Group.Var != "" {
+		return nil, fmt.Errorf("xmas: the root element must be grouped by {} (one answer), not {$%s}", root.Group.Var)
+	}
+	plan, inner, err := tr.items(body, root.Items, nil)
+	if err != nil {
+		return nil, err
+	}
+	ansVar := tr.fresh()
+	plan = &algebra.CreateElement{Input: plan,
+		Label: algebra.LabelSpec{Const: root.Tag}, Children: inner, Out: ansVar}
+	full := &algebra.TupleDestroy{Input: plan, Var: ansVar}
+	if err := algebra.Validate(full); err != nil {
+		return nil, fmt.Errorf("xmas: translated plan invalid: %w", err)
+	}
+	return full, nil
+}
+
+type translator struct {
+	n int
+}
+
+// fresh returns a new internal variable name; '#' keeps it disjoint
+// from user variables, which come from $[A-Za-z0-9_]+.
+func (t *translator) fresh() string {
+	t.n++
+	return fmt.Sprintf("#%d", t.n)
+}
+
+// component is a connected subplan of the body with its bound vars.
+type component struct {
+	plan algebra.Op
+	vars map[string]bool
+}
+
+// desugar expands tree patterns (footnote 6) into the equivalent chain
+// of path atoms, inventing fresh variables for anonymous elements.
+func (t *translator) desugar(atoms []Atom) ([]Atom, error) {
+	var out []Atom
+	for _, a := range atoms {
+		pa, ok := a.(*PatternAtom)
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		if pa.Pattern == nil {
+			return nil, fmt.Errorf("xmas: empty tree pattern")
+		}
+		// The root pattern element is addressed from the source.
+		rootVar := pa.Pattern.Bind
+		if rootVar == "" {
+			rootVar = t.fresh()
+		}
+		out = append(out, &PathAtom{Source: pa.Source,
+			Path: mustPathLabel(pa.Pattern.Tag), Var: rootVar})
+		expanded, err := t.desugarChildren(pa.Pattern, rootVar)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, expanded...)
+	}
+	return out, nil
+}
+
+func (t *translator) desugarChildren(n *PatternNode, parentVar string) ([]Atom, error) {
+	var out []Atom
+	if n.Content != "" {
+		out = append(out, &PathAtom{From: parentVar,
+			Path: pathexpr.MustParse("_"), Var: n.Content})
+	}
+	for _, c := range n.Children {
+		v := c.Bind
+		if v == "" {
+			v = t.fresh()
+		}
+		out = append(out, &PathAtom{From: parentVar,
+			Path: mustPathLabel(c.Tag), Var: v})
+		sub, err := t.desugarChildren(c, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// mustPathLabel builds the single-step path for an element tag.
+func mustPathLabel(tag string) *pathexpr.Expr {
+	e, err := pathexpr.Parse(tag)
+	if err != nil {
+		panic(fmt.Sprintf("xmas: pattern tag %q is not a valid path step: %v", tag, err))
+	}
+	return e
+}
+
+// body translates the WHERE clause: path atoms grow components, and
+// comparisons either filter a component or join two.
+func (t *translator) body(atoms []Atom) (algebra.Op, error) {
+	atoms, err := t.desugar(atoms)
+	if err != nil {
+		return nil, err
+	}
+	var comps []*component
+	find := func(v string) *component {
+		for _, c := range comps {
+			if c.vars[v] {
+				return c
+			}
+		}
+		return nil
+	}
+	defined := func(v string) bool { return find(v) != nil }
+
+	for _, a := range atoms {
+		switch a := a.(type) {
+		case *PathAtom:
+			if defined(a.Var) {
+				return nil, fmt.Errorf("xmas: variable $%s bound twice", a.Var)
+			}
+			if a.Source != "" {
+				// The path is matched from a virtual node above the
+				// source root, so a path's first step can name the
+				// root element itself (as in "homes.home").
+				rootVar, listVar, docVar := t.fresh(), t.fresh(), t.fresh()
+				var plan algebra.Op = &algebra.Source{URL: a.Source, Var: rootVar}
+				plan = &algebra.WrapList{Input: plan, Var: rootVar, Out: listVar}
+				plan = &algebra.CreateElement{Input: plan,
+					Label: algebra.LabelSpec{Const: "#doc"}, Children: listVar, Out: docVar}
+				plan = &algebra.GetDescendants{Input: plan, Parent: docVar, Path: a.Path, Out: a.Var}
+				comps = append(comps, &component{plan: plan,
+					vars: map[string]bool{a.Var: true}})
+				continue
+			}
+			c := find(a.From)
+			if c == nil {
+				return nil, fmt.Errorf("xmas: path atom from unbound variable $%s", a.From)
+			}
+			c.plan = &algebra.GetDescendants{Input: c.plan, Parent: a.From, Path: a.Path, Out: a.Var}
+			c.vars[a.Var] = true
+
+		case *CondAtom:
+			cond, vars, err := t.cond(a)
+			if err != nil {
+				return nil, err
+			}
+			var touched []*component
+			for _, v := range vars {
+				c := find(v)
+				if c == nil {
+					return nil, fmt.Errorf("xmas: condition references unbound variable $%s", v)
+				}
+				if !containsComp(touched, c) {
+					touched = append(touched, c)
+				}
+			}
+			switch len(touched) {
+			case 1:
+				touched[0].plan = &algebra.Select{Input: touched[0].plan, Cond: cond}
+			case 2:
+				merged := &component{
+					plan: &algebra.Join{Left: touched[0].plan, Right: touched[1].plan, Cond: cond},
+					vars: unionVars(touched[0].vars, touched[1].vars),
+				}
+				comps = replaceComps(comps, touched, merged)
+			default:
+				return nil, fmt.Errorf("xmas: condition %s $%s references no bound variable", a.Op, a.Left)
+			}
+
+		default:
+			return nil, fmt.Errorf("xmas: unknown atom %T", a)
+		}
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("xmas: WHERE clause binds no variables")
+	}
+	// Remaining disconnected components: cartesian product, in order.
+	out := comps[0]
+	for _, c := range comps[1:] {
+		out = &component{
+			plan: &algebra.Join{Left: out.plan, Right: c.plan, Cond: algebra.True{}},
+			vars: unionVars(out.vars, c.vars),
+		}
+	}
+	return out.plan, nil
+}
+
+func (t *translator) cond(a *CondAtom) (algebra.Cond, []string, error) {
+	var op algebra.CmpOp
+	switch a.Op {
+	case "=":
+		op = algebra.OpEq
+	case "!=":
+		op = algebra.OpNeq
+	case "<":
+		op = algebra.OpLt
+	case "<=":
+		op = algebra.OpLe
+	case ">":
+		op = algebra.OpGt
+	case ">=":
+		op = algebra.OpGe
+	default:
+		return nil, nil, fmt.Errorf("xmas: unknown comparison %q", a.Op)
+	}
+	l := algebra.V(a.Left)
+	vars := []string{a.Left}
+	var r algebra.Operand
+	if a.RightIsVar {
+		r = algebra.V(a.Right)
+		vars = append(vars, a.Right)
+	} else {
+		r = algebra.Lit(a.Right)
+	}
+	return &algebra.Cmp{Op: op, L: l, R: r}, vars, nil
+}
+
+func containsComp(cs []*component, c *component) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func unionVars(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func replaceComps(comps []*component, remove []*component, merged *component) []*component {
+	var out []*component
+	for _, c := range comps {
+		if !containsComp(remove, c) {
+			out = append(out, c)
+		}
+	}
+	return append(out, merged)
+}
+
+// items translates a template level: each item yields a variable bound
+// to a list[…] value; the item variables are folded with concatenate in
+// template order. ctx is the level's context variables (the group keys
+// of every enclosing element).
+//
+// The grouped item (at most one per level) is translated *first*, with
+// By = ctx: the grouping collapses the plan to one binding per ctx
+// combination, and the remaining plain items — which may only reference
+// ctx variables — are constructed afterwards on the collapsed plan.
+// This ordering keeps the group-by keys minimal (only real context
+// variables are canonicalized during grouping).
+func (t *translator) items(plan algebra.Op, items []Item, ctx []string) (algebra.Op, string, error) {
+	gi := -1
+	for i, item := range items {
+		if isGroupingItem(item) {
+			if gi >= 0 {
+				return nil, "", fmt.Errorf("xmas: at most one grouped item per template level is supported")
+			}
+			gi = i
+		}
+	}
+	vars := make([]string, len(items))
+	var err error
+	if gi >= 0 {
+		plan, vars[gi], err = t.item(plan, items[gi], ctx)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	for i, item := range items {
+		if i == gi {
+			continue
+		}
+		plan, vars[i], err = t.item(plan, item, ctx)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	acc := ""
+	for _, v := range vars {
+		if acc == "" {
+			acc = v
+			continue
+		}
+		out := t.fresh()
+		plan = &algebra.Concatenate{Input: plan, X: acc, Y: v, Out: out}
+		acc = out
+	}
+	if acc == "" {
+		// Empty element: constant empty list.
+		acc = t.fresh()
+		plan = &algebra.Const{Input: plan, Value: xmltree.Elem(xmltree.ListLabel), Out: acc}
+	}
+	return plan, acc, nil
+}
+
+// isGroupingItem reports whether translating the item collapses the
+// plan's granularity: a grouped variable, a grouped element, or an
+// ungrouped element whose contents contain a grouping.
+func isGroupingItem(item Item) bool {
+	switch it := item.(type) {
+	case *VarItem:
+		return it.Group != nil
+	case *Element:
+		return it.Group != nil || containsGrouping(it.Items)
+	}
+	return false
+}
+
+// item translates one template item to a list-valued variable.
+func (t *translator) item(plan algebra.Op, item Item, ctx []string) (_ algebra.Op, outVar string, _ error) {
+	switch it := item.(type) {
+	case *TextItem:
+		out := t.fresh()
+		return &algebra.Const{Input: plan,
+			Value: xmltree.Elem(xmltree.ListLabel, xmltree.Leaf(it.Text)), Out: out}, out, nil
+
+	case *VarItem:
+		if it.Group == nil {
+			out := t.fresh()
+			return &algebra.WrapList{Input: plan, Var: it.Name, Out: out}, out, nil
+		}
+		if it.Group.Var != it.Name {
+			return nil, "", fmt.Errorf(
+				"xmas: a grouped variable item must be grouped by itself ($%s {$%s})", it.Name, it.Name)
+		}
+		out := t.fresh()
+		return &algebra.GroupBy{Input: plan, By: dedupVars(ctx), Var: it.Name, Out: out}, out, nil
+
+	case *Element:
+		if it.Group == nil {
+			inner, innerVar, err := t.itemsWrap(plan, it, ctx)
+			if err != nil {
+				return nil, "", err
+			}
+			ev, out := innerVar, t.fresh()
+			return &algebra.WrapList{Input: inner, Var: ev, Out: out}, out, nil
+		}
+		if it.Group.Var == "" {
+			return nil, "", fmt.Errorf("xmas: only the root element may be grouped by {}")
+		}
+		gv := it.Group.Var
+		ctx2 := dedupVars(append(append([]string{}, ctx...), gv))
+		// Without an inner grouping, deduplicate to one element per
+		// distinct (ctx, group var, used vars) combination so that
+		// "for each binding of $V exactly one element is created".
+		if !containsGrouping(it.Items) {
+			keep := dedupKeep(ctx2, nil, it.Items)
+			plan = &algebra.Distinct{Input: &algebra.Project{Input: plan, Keep: keep}}
+		}
+		inner, ev, err := t.itemsWrap(plan, it, ctx2)
+		if err != nil {
+			return nil, "", err
+		}
+		out := t.fresh()
+		return &algebra.GroupBy{Input: inner, By: dedupVars(ctx), Var: ev, Out: out}, out, nil
+
+	default:
+		return nil, "", fmt.Errorf("xmas: unknown template item %T", item)
+	}
+}
+
+// itemsWrap translates an element's contents and wraps them in the
+// element, returning the element-valued variable.
+func (t *translator) itemsWrap(plan algebra.Op, el *Element, ctx []string) (algebra.Op, string, error) {
+	plan, inner, err := t.items(plan, el.Items, ctx)
+	if err != nil {
+		return nil, "", err
+	}
+	ev := t.fresh()
+	return &algebra.CreateElement{Input: plan,
+		Label: algebra.LabelSpec{Const: el.Tag}, Children: inner, Out: ev}, ev, nil
+}
+
+// dedupVars removes duplicates preserving first occurrences.
+func dedupVars(vars []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range vars {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// containsGrouping reports whether the items contain a grouping on the
+// fold path: a grouped item directly, or inside an ungrouped element.
+func containsGrouping(items []Item) bool {
+	for _, item := range items {
+		switch it := item.(type) {
+		case *VarItem:
+			if it.Group != nil {
+				return true
+			}
+		case *Element:
+			if it.Group != nil {
+				return true
+			}
+			if containsGrouping(it.Items) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dedupKeep computes the projection list for the pre-grouping dedup:
+// context vars, accumulated vars, and every variable the element's
+// contents reference.
+func dedupKeep(ctx2, accVars []string, items []Item) []string {
+	seen := map[string]bool{}
+	var keep []string
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			keep = append(keep, v)
+		}
+	}
+	for _, v := range ctx2 {
+		add(v)
+	}
+	for _, v := range accVars {
+		add(v)
+	}
+	var walk func(items []Item)
+	walk = func(items []Item) {
+		for _, item := range items {
+			switch it := item.(type) {
+			case *VarItem:
+				add(it.Name)
+			case *Element:
+				if it.Group != nil && it.Group.Var != "" {
+					add(it.Group.Var)
+				}
+				walk(it.Items)
+			}
+		}
+	}
+	walk(items)
+	return keep
+}

@@ -1,0 +1,495 @@
+package xmas
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"mix/internal/algebra"
+	"mix/internal/core"
+	"mix/internal/eager"
+	"mix/internal/nav"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+// fig3 is the paper's running-example query (Fig. 3), verbatim except
+// for whitespace.
+const fig3 = `
+CONSTRUCT <answer>            % Construct the root element containing ...
+  <med_home> $H               % ... med_home elements followed by
+    $S {$S}                   % ... school elements (one for each $S)
+  </med_home> {$H}            % (one med_home element for each $H)
+</answer> {}                  % create one answer element (= for each {})
+WHERE homesSrc homes.home $H AND $H zip._ $V1   % get home elements $H and their zip $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2  % ... similarly for schools
+AND $V1 = $V2                 % ... join on the zip code
+`
+
+func TestParseFig3(t *testing.T) {
+	q, err := Parse(fig3)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Construct.Tag != "answer" || q.Construct.Group == nil || q.Construct.Group.Var != "" {
+		t.Fatalf("root = %+v", q.Construct)
+	}
+	if len(q.Construct.Items) != 1 {
+		t.Fatalf("root items = %d", len(q.Construct.Items))
+	}
+	mh := q.Construct.Items[0].(*Element)
+	if mh.Tag != "med_home" || mh.Group.Var != "H" {
+		t.Fatalf("med_home = %+v", mh)
+	}
+	if len(mh.Items) != 2 {
+		t.Fatalf("med_home items = %d", len(mh.Items))
+	}
+	if v := mh.Items[0].(*VarItem); v.Name != "H" || v.Group != nil {
+		t.Fatalf("first item = %+v", v)
+	}
+	if v := mh.Items[1].(*VarItem); v.Name != "S" || v.Group.Var != "S" {
+		t.Fatalf("second item = %+v", v)
+	}
+	if len(q.Where) != 5 {
+		t.Fatalf("where atoms = %d", len(q.Where))
+	}
+	pa := q.Where[0].(*PathAtom)
+	if pa.Source != "homesSrc" || pa.Var != "H" || pa.Path.String() != "homes.home" {
+		t.Fatalf("first atom = %+v", pa)
+	}
+	pa2 := q.Where[1].(*PathAtom)
+	if pa2.From != "H" || pa2.Var != "V1" || pa2.Path.String() != "zip._" {
+		t.Fatalf("second atom = %+v", pa2)
+	}
+	ca := q.Where[4].(*CondAtom)
+	if ca.Op != "=" || ca.Left != "V1" || ca.Right != "V2" || !ca.RightIsVar {
+		t.Fatalf("join atom = %+v", ca)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"WHERE s a $X",
+		"CONSTRUCT <a></a> {}",               // no WHERE
+		"CONSTRUCT <a></b> {} WHERE s p $X",  // mismatched tags
+		"CONSTRUCT <a></a> {} WHERE",         // empty WHERE
+		"CONSTRUCT <a></a> {} WHERE $X p $Y", // unbound from-var is a translate error, but parse ok… keep parse-only bad cases:
+		"CONSTRUCT <a>$</a> {} WHERE s p $X", // empty var
+		"CONSTRUCT <a>\"unterminated</a> {} WHERE s p $X", // bad literal
+		"CONSTRUCT <a></a> {} WHERE s [[ $X",              // bad path
+		"CONSTRUCT <a></a> {} WHERE s p $X trailing",
+	}
+	for _, c := range cases[:5] {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+	for _, c := range cases[6:] {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+// wrap builds trees whose root label matches the paper's addressing
+// (path "homes.home" from above the root).
+func srcs(seed int64) map[string]*xmltree.Tree {
+	h, s := workload.HomesSchools(12, 15, 4, seed)
+	return map[string]*xmltree.Tree{"homesSrc": h, "schoolsSrc": s}
+}
+
+func evalBoth(t *testing.T, q *Query, src map[string]*xmltree.Tree) *xmltree.Tree {
+	t.Helper()
+	plan, err := q.Translate()
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	ev := eager.New()
+	for n, tr := range src {
+		ev.Register(n, nav.NewTreeDoc(tr))
+	}
+	eagerT, err := ev.Eval(plan)
+	if err != nil {
+		t.Fatalf("eager: %v\n%s", err, algebra.String(plan))
+	}
+	le := core.New(core.DefaultOptions())
+	for n, tr := range src {
+		le.Register(n, nav.NewTreeDoc(tr))
+	}
+	cq, err := le.Compile(plan)
+	if err != nil {
+		t.Fatalf("lazy compile: %v", err)
+	}
+	lazyT, err := cq.Materialize()
+	if err != nil {
+		t.Fatalf("lazy: %v", err)
+	}
+	if !xmltree.Equal(eagerT, lazyT) {
+		t.Fatalf("lazy ≠ eager:\n%s\nvs\n%s", eagerT, lazyT)
+	}
+	return eagerT
+}
+
+func TestFig3MatchesHandBuiltPlan(t *testing.T) {
+	src := srcs(11)
+	got := evalBoth(t, MustParse(fig3), src)
+
+	// The hand-built Fig. 4 plan over the same sources.
+	le := core.New(core.DefaultOptions())
+	for n, tr := range src {
+		le.Register(n, nav.NewTreeDoc(tr))
+	}
+	cq, err := le.Compile(workload.HomesSchoolsPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cq.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(got, want) {
+		t.Fatalf("XMAS translation ≠ hand-built Fig. 4 plan:\n%s\nvs\n%s",
+			xmltree.MarshalIndent(got), xmltree.MarshalIndent(want))
+	}
+}
+
+func TestLiteralsAndNestedElements(t *testing.T) {
+	q := MustParse(`
+CONSTRUCT <report>
+  "header"
+  <homes> $H {$H} </homes>
+</report> {}
+WHERE homesSrc homes.home $H
+`)
+	got := evalBoth(t, q, srcs(3))
+	if got.Label != "report" {
+		t.Fatalf("root %q", got.Label)
+	}
+	if got.Children[0].Label != "header" {
+		t.Fatalf("literal lost: %v", got.Children[0])
+	}
+	homes := got.Children[1]
+	if homes.Label != "homes" || len(homes.Children) != 12 {
+		t.Fatalf("homes = %v", homes.Label)
+	}
+}
+
+func TestSelectionQueryWithLiteral(t *testing.T) {
+	src := srcs(5)
+	q := MustParse(`
+CONSTRUCT <cheap> $H {$H} </cheap> {}
+WHERE homesSrc homes.home $H AND $H price._ $P AND $P < "500000"
+`)
+	got := evalBoth(t, q, src)
+	want := 0
+	for _, h := range src["homesSrc"].Children {
+		if algebra.Compare(h.Find("price").TextContent(), "500000") < 0 {
+			want++
+		}
+	}
+	if len(got.Children) != want || want == 0 {
+		t.Fatalf("selected %d, want %d (>0)", len(got.Children), want)
+	}
+}
+
+func TestGroupedElementWithoutInnerGrouping(t *testing.T) {
+	// One wrapper element per distinct $H, even though the body has
+	// multiplicity (H × V1 bindings are 1:1 here, so use schools join
+	// to create multiplicity).
+	src := srcs(7)
+	q := MustParse(`
+CONSTRUCT <zips> <z> $V1 </z> {$V1} </zips> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2
+`)
+	got := evalBoth(t, q, src)
+	seen := map[string]bool{}
+	for _, z := range got.Children {
+		v := z.TextContent()
+		if seen[v] {
+			t.Fatalf("duplicate z element for %q: grouped element not deduplicated", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("no zips matched")
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	cases := []string{
+		// unbound from-var
+		"CONSTRUCT <a></a> {} WHERE $X p $Y",
+		// condition on unbound var
+		`CONSTRUCT <a></a> {} WHERE s p $X AND $Y = "1"`,
+		// double binding
+		"CONSTRUCT <a></a> {} WHERE s p $X AND s p $X",
+		// grouped var item grouped by another var
+		"CONSTRUCT <a> $X {$Y} </a> {} WHERE s p $X AND $X q $Y",
+		// two grouped items at one level
+		"CONSTRUCT <a> $X {$X} $Y {$Y} </a> {} WHERE s p $X AND $X q $Y",
+		// non-root {} group
+		"CONSTRUCT <a> <b> $X </b> {} </a> {} WHERE s p $X",
+	}
+	for _, c := range cases {
+		q, err := Parse(c)
+		if err != nil {
+			continue // parse-time rejection is fine too
+		}
+		if _, err := q.Translate(); err == nil {
+			t.Errorf("Translate(%q): expected error", c)
+		}
+	}
+}
+
+func TestTranslatedPlanShape(t *testing.T) {
+	plan, err := MustParse(fig3).Translate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := algebra.String(plan)
+	for _, want := range []string{"tupleDestroy", "groupBy", "join", "getDescendants", "createElement"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan missing %s:\n%s", want, s)
+		}
+	}
+	if err := algebra.Validate(plan); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's plan is browsable (join/groupBy, no orderBy).
+	if cls, _ := algebra.Classify(plan, false); cls != algebra.Browsable {
+		t.Fatalf("fig3 class = %v", cls)
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	src := srcs(13)
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		q, err := Parse(`
+CONSTRUCT <r> $H {$H} </r> {}
+WHERE homesSrc homes.home $H AND $H price._ $P AND $P ` + op + ` "400000"`)
+		if err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+		evalBoth(t, q, src) // lazy ≡ eager is the assertion
+	}
+}
+
+func TestCartesianProductOfSources(t *testing.T) {
+	src := map[string]*xmltree.Tree{
+		"s1": workload.FlatList(3, "a"),
+		"s2": workload.FlatList(2, "b"),
+	}
+	q := MustParse(`
+CONSTRUCT <pairs> <p> $X $Y </p> {$Y} </pairs> {}
+WHERE s1 r.a $X AND s2 r.b $Y
+`)
+	got := evalBoth(t, q, src)
+	// Grouped by $Y only → 2 p elements, each containing all 3 X's? No:
+	// p is one per distinct Y; contents = $X $Y per that Y… $X ungrouped
+	// inside a {$Y} group refers to each X binding — dedup keeps
+	// (Y, X) pairs distinct, so 2 groups × … the exact count depends on
+	// dedup semantics; assert the grouping invariant instead:
+	if got.Label != "pairs" || len(got.Children) == 0 {
+		t.Fatalf("pairs = %v", got)
+	}
+}
+
+func TestOrderByClause(t *testing.T) {
+	src := srcs(19)
+	q := MustParse(`
+CONSTRUCT <sorted> $H {$H} </sorted> {}
+WHERE homesSrc homes.home $H AND $H price._ $P
+ORDERBY $P
+`)
+	if len(q.OrderBy) != 1 || q.OrderBy[0] != "P" {
+		t.Fatalf("OrderBy = %v", q.OrderBy)
+	}
+	got := evalBoth(t, q, src)
+	var prev float64 = -1
+	for _, h := range got.Children {
+		p, err := strconv.ParseFloat(h.Find("price").TextContent(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Fatalf("not sorted: %v after %v", p, prev)
+		}
+		prev = p
+	}
+	plan, err := q.Translate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls, _ := algebra.Classify(plan, false); cls != algebra.Unbrowsable {
+		t.Fatalf("ORDERBY query should be unbrowsable, got %v", cls)
+	}
+}
+
+func TestOrderByClauseMultiKeyAndErrors(t *testing.T) {
+	q := MustParse(`
+CONSTRUCT <r> $H {$H} </r> {}
+WHERE homesSrc homes.home $H AND $H zip._ $Z AND $H price._ $P
+ORDERBY $Z $P
+`)
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("OrderBy = %v", q.OrderBy)
+	}
+	evalBoth(t, q, srcs(23))
+
+	// ORDERBY over an unbound variable fails validation at translate.
+	bad := MustParse(`
+CONSTRUCT <r> $H {$H} </r> {}
+WHERE homesSrc homes.home $H
+ORDERBY $NOPE
+`)
+	if _, err := bad.Translate(); err == nil {
+		t.Fatal("ORDERBY unbound var must fail")
+	}
+	// Malformed ORDERBY (no variable).
+	if _, err := Parse("CONSTRUCT <r> $H {$H} </r> {} WHERE s p $H ORDERBY"); err == nil {
+		t.Fatal("ORDERBY without variables must fail")
+	}
+}
+
+func TestThreeLevelNesting(t *testing.T) {
+	// A grouped element containing an ungrouped element that contains a
+	// grouped variable: homes bucketed by zip code.
+	src := srcs(37)
+	q := MustParse(`
+CONSTRUCT <byzip>
+  <zip_group> $V1 <homes2> $H {$H} </homes2> </zip_group> {$V1}
+</byzip> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+`)
+	got := evalBoth(t, q, src)
+	if got.Label != "byzip" || len(got.Children) == 0 {
+		t.Fatalf("answer = %v", got)
+	}
+	total := 0
+	seen := map[string]bool{}
+	for _, g := range got.Children {
+		if g.Label != "zip_group" {
+			t.Fatalf("group label %q", g.Label)
+		}
+		zip := g.Children[0].Label // the bound V1 leaf
+		if seen[zip] {
+			t.Fatalf("duplicate zip group %q", zip)
+		}
+		seen[zip] = true
+		homes2 := g.Find("homes2")
+		if homes2 == nil || len(homes2.Children) == 0 {
+			t.Fatalf("zip group %q without homes: %v", zip, g)
+		}
+		for _, h := range homes2.Children {
+			if h.Find("zip").TextContent() != zip {
+				t.Fatalf("home in wrong bucket: %v under %q", h, zip)
+			}
+			total++
+		}
+	}
+	if total != len(src["homesSrc"].Children) {
+		t.Fatalf("bucketed %d homes, want %d", total, len(src["homesSrc"].Children))
+	}
+}
+
+func TestThreeSourceProduct(t *testing.T) {
+	src := map[string]*xmltree.Tree{
+		"s1": workload.FlatList(2, "a"),
+		"s2": workload.FlatList(3, "b"),
+		"s3": workload.FlatList(2, "c"),
+	}
+	q := MustParse(`
+CONSTRUCT <triples> <t> $X $Y $Z </t> {$Z} </triples> {}
+WHERE s1 r.a $X AND s2 r.b $Y AND s3 r.c $Z
+`)
+	got := evalBoth(t, q, src)
+	// Dedup per (Z, X, Y): 2×3×2 distinct combinations grouped by… the
+	// element is {$Z}-grouped with ungrouped $X/$Y → dedup over
+	// (Z,X,Y) = 12 triples.
+	if len(got.Children) != 12 {
+		t.Fatalf("triples = %d, want 12", len(got.Children))
+	}
+}
+
+func TestSourceOnlyRootListing(t *testing.T) {
+	// Query a source root element itself via a one-step path.
+	src := srcs(41)
+	q := MustParse(`
+CONSTRUCT <roots> $R {$R} </roots> {}
+WHERE homesSrc homes $R
+`)
+	got := evalBoth(t, q, src)
+	if len(got.Children) != 1 || got.Children[0].Label != "homes" {
+		t.Fatalf("root listing: %v", got)
+	}
+}
+
+// fig3Pattern is the Fig. 3 query with the WHERE clause written as the
+// tree patterns of footnote 6 instead of path atoms.
+const fig3Pattern = `
+CONSTRUCT <answer>
+  <med_home> $H $S {$S} </med_home> {$H}
+</answer> {}
+WHERE <homes> $H: <home> <zip>$V1</zip> </home> </homes> IN homesSrc
+AND <schools> $S: <school> <zip>$V2</zip> </school> </schools> IN schoolsSrc
+AND $V1 = $V2
+`
+
+func TestTreePatternEquivalentToPathAtoms(t *testing.T) {
+	src := srcs(47)
+	patT := evalBoth(t, MustParse(fig3Pattern), src)
+	pathT := evalBoth(t, MustParse(fig3), src)
+	if !xmltree.Equal(patT, pathT) {
+		t.Fatalf("tree-pattern query ≠ path-atom query:\n%s\nvs\n%s",
+			xmltree.MarshalIndent(patT), xmltree.MarshalIndent(pathT))
+	}
+}
+
+func TestTreePatternParsing(t *testing.T) {
+	q := MustParse(fig3Pattern)
+	pa, ok := q.Where[0].(*PatternAtom)
+	if !ok {
+		t.Fatalf("first atom = %T", q.Where[0])
+	}
+	if pa.Source != "homesSrc" || pa.Pattern.Tag != "homes" {
+		t.Fatalf("pattern atom = %+v", pa)
+	}
+	home := pa.Pattern.Children[0]
+	if home.Bind != "H" || home.Tag != "home" {
+		t.Fatalf("home pattern = %+v", home)
+	}
+	zip := home.Children[0]
+	if zip.Tag != "zip" || zip.Content != "V1" {
+		t.Fatalf("zip pattern = %+v", zip)
+	}
+}
+
+func TestTreePatternAnonymousElements(t *testing.T) {
+	// Intermediate elements without bindings get fresh variables.
+	src := srcs(51)
+	q := MustParse(`
+CONSTRUCT <zips> $V {$V} </zips> {}
+WHERE <homes> <home> <zip>$V</zip> </home> </homes> IN homesSrc
+`)
+	got := evalBoth(t, q, src)
+	if len(got.Children) != len(src["homesSrc"].Children) {
+		t.Fatalf("zips = %d, want one per home", len(got.Children))
+	}
+}
+
+func TestTreePatternErrors(t *testing.T) {
+	cases := []string{
+		"CONSTRUCT <a></a> {} WHERE <h> $X: <x></x> </h>", // missing IN
+		"CONSTRUCT <a></a> {} WHERE <h> </x> IN s",        // mismatched tags
+		"CONSTRUCT <a></a> {} WHERE <h> $X $Y </h> IN s",  // content bound twice
+		"CONSTRUCT <a></a> {} WHERE $X: IN s",             // binding without element
+		"CONSTRUCT <a></a> {} WHERE <h> <x> </h> IN s",    // unclosed child
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}

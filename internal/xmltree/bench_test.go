@@ -1,0 +1,52 @@
+package xmltree
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDoc(n int) *Tree {
+	t := Elem("catalog")
+	for i := 0; i < n; i++ {
+		t.Children = append(t.Children, Elem("book",
+			Text("title", fmt.Sprintf("t%d", i)),
+			Text("price", fmt.Sprintf("%d", i)),
+		))
+	}
+	return t
+}
+
+func BenchmarkMarshalXML(b *testing.B) {
+	d := benchDoc(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MarshalXML(d)
+	}
+}
+
+func BenchmarkUnmarshalXML(b *testing.B) {
+	s := MarshalXML(benchDoc(1000))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalXML(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	d := benchDoc(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.Canonical()
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	d := benchDoc(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		d.Walk(func(*Tree, int) bool { n++; return true })
+	}
+}

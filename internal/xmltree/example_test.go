@@ -1,0 +1,30 @@
+package xmltree_test
+
+import (
+	"fmt"
+	"log"
+
+	"mix/internal/xmltree"
+)
+
+func ExampleUnmarshalXML() {
+	t, err := xmltree.UnmarshalXML("<home><addr>La Jolla</addr><zip>91220</zip></home>")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t)
+	fmt.Println(t.Find("zip").TextContent())
+	// Output:
+	// home[addr[La Jolla],zip[91220]]
+	// 91220
+}
+
+func ExampleTree_Holes() {
+	open := xmltree.Elem("catalog",
+		xmltree.Elem("book", xmltree.Text("title", "t1")),
+		xmltree.Hole("page:2"),
+	)
+	fmt.Println(open.IsOpen(), open.Holes())
+	// Output:
+	// true [page:2]
+}
