@@ -8,11 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"mix/internal/lxp"
 	"mix/internal/workload"
@@ -26,6 +30,7 @@ func main() {
 	n := flag.Int("n", 1000, "size of the generated dataset")
 	chunk := flag.Int("chunk", 20, "children per fill (0 = all at once)")
 	inline := flag.Int("inline", 64, "max subtree size returned inline (0 = always inline)")
+	grace := flag.Duration("grace", 5*time.Second, "drain deadline for graceful shutdown")
 	flag.Parse()
 
 	var doc *xmltree.Tree
@@ -56,8 +61,28 @@ func main() {
 	}
 	log.Printf("lxpd: serving %d-node document on %s (chunk=%d inline=%d)",
 		doc.Size(), l.Addr(), *chunk, *inline)
-	srv := &lxp.TreeServer{Tree: doc, Chunk: *chunk, InlineLimit: *inline}
-	if err := lxp.Serve(l, srv); err != nil {
-		log.Fatalf("lxpd: %v", err)
+	srv := lxp.NewTCPServer(&lxp.TreeServer{Tree: doc, Chunk: *chunk, InlineLimit: *inline})
+
+	// On SIGINT/SIGTERM: stop accepting, drain in-flight connections
+	// with a deadline, exit 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("lxpd: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("lxpd: signal received; draining connections")
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("lxpd: shutdown: %v (connections force-closed)", err)
+		}
+		<-errc
+		log.Printf("lxpd: bye")
 	}
 }

@@ -1,0 +1,227 @@
+// Command mixd is the MIX mediator daemon: it serves virtual mediated
+// views to remote clients over VXDP (the Virtual XML Document
+// Protocol), so navigation — not materialization — crosses the
+// client↔mediator boundary of Fig. 1.
+//
+//	mixd -addr :7080 -src homesSrc=homes.xml -src schoolsSrc=schools.xml \
+//	     -view homeview=homeview.xmas -max-sessions 256 -idle 2m
+//	mixq -connect localhost:7080 -q '...'
+//
+// Sources are declared like mixq's:
+//
+//	-src name=path.xml                a local XML document
+//	-src name=lxp://host:port/uri     a remote LXP wrapper (cmd/lxpd)
+//	-src name=rdb:csvdir              a CSV-backed relational database
+//	-src name=demo:books:N            a generated dataset (books|homes|schools)
+//
+// Each client session gets its own lazy-mediator engine over the shared
+// (immutable or serialized) sources, so concurrent sessions explore
+// independently. SIGINT/SIGTERM shut the daemon down gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mix/internal/buffer"
+	"mix/internal/lxp"
+	"mix/internal/mediator"
+	"mix/internal/relational"
+	"mix/internal/server"
+	"mix/internal/workload"
+	"mix/internal/wrapper"
+	"mix/internal/xmltree"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+// sourceSpec registers one configured source on a per-session mediator.
+// The closure shares loaded trees / databases / LXP connections across
+// sessions; per-session state (buffers, TreeDocs) is created fresh.
+type sourceSpec struct {
+	name     string
+	register func(m *mediator.Mediator) error
+}
+
+func main() {
+	var srcs, views multiFlag
+	addr := flag.String("addr", "127.0.0.1:7080", "listen address")
+	flag.Var(&srcs, "src", "source declaration name=path.xml, name=lxp://host:port/uri, name=rdb:csvdir, or name=demo:kind:n (repeatable)")
+	flag.Var(&views, "view", "view declaration name=path.xmas (repeatable)")
+	maxSessions := flag.Int("max-sessions", 256, "concurrent session limit (0 = unlimited)")
+	idle := flag.Duration("idle", 2*time.Minute, "evict sessions idle this long (0 = never)")
+	lifetime := flag.Duration("lifetime", 0, "evict sessions this long after accept (0 = never)")
+	grace := flag.Duration("grace", 5*time.Second, "drain deadline for graceful shutdown")
+	flag.Parse()
+
+	if len(srcs) == 0 {
+		fmt.Fprintln(os.Stderr, "mixd: no sources; use -src (and see -help)")
+		os.Exit(2)
+	}
+	specs := make([]sourceSpec, 0, len(srcs))
+	for _, s := range srcs {
+		name, loc, ok := strings.Cut(s, "=")
+		if !ok {
+			log.Fatalf("mixd: malformed -src %q (want name=location)", s)
+		}
+		spec, err := openSource(name, loc)
+		if err != nil {
+			log.Fatalf("mixd: source %s: %v", name, err)
+		}
+		specs = append(specs, spec)
+	}
+	viewTexts := map[string]string{}
+	for _, v := range views {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok {
+			log.Fatalf("mixd: malformed -view %q (want name=path)", v)
+		}
+		text, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("mixd: %v", err)
+		}
+		viewTexts[name] = string(text)
+	}
+
+	srv, err := server.New(server.Config{
+		NewMediator: func() (*mediator.Mediator, error) {
+			m := mediator.New(mediator.DefaultOptions())
+			for _, spec := range specs {
+				if err := spec.register(m); err != nil {
+					return nil, fmt.Errorf("source %s: %w", spec.name, err)
+				}
+			}
+			for name, text := range viewTexts {
+				if err := m.DefineView(name, text); err != nil {
+					return nil, err
+				}
+			}
+			return m, nil
+		},
+		MaxSessions: *maxSessions,
+		IdleTimeout: *idle,
+		MaxLifetime: *lifetime,
+	})
+	if err != nil {
+		log.Fatalf("mixd: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mixd: %v", err)
+	}
+	log.Printf("mixd: serving %d source(s), %d view(s) on %s (max-sessions=%d idle=%v)",
+		len(specs), len(viewTexts), l.Addr(), *maxSessions, *idle)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("mixd: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("mixd: signal received; draining sessions")
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("mixd: shutdown: %v (sessions force-closed)", err)
+		}
+		<-errc
+		log.Printf("mixd: bye (%s)", srv.Stats())
+	}
+}
+
+// openSource loads whatever is shareable about a source location once
+// and returns a spec that registers it on per-session mediators.
+func openSource(name, loc string) (sourceSpec, error) {
+	fail := func(err error) (sourceSpec, error) { return sourceSpec{}, err }
+	if dir, ok := strings.CutPrefix(loc, "rdb:"); ok {
+		db, err := relational.LoadCSVDir(name, dir)
+		if err != nil {
+			return fail(err)
+		}
+		return sourceSpec{name: name, register: func(m *mediator.Mediator) error {
+			_, err := m.RegisterLXP(name, &wrapper.Relational{DB: db, ChunkRows: 50}, name)
+			return err
+		}}, nil
+	}
+	if rest, ok := strings.CutPrefix(loc, "lxp://"); ok {
+		hostport, uri, ok := strings.Cut(rest, "/")
+		if !ok {
+			return fail(fmt.Errorf("malformed LXP url %q (want lxp://host:port/uri)", loc))
+		}
+		client, err := lxp.Dial(hostport)
+		if err != nil {
+			return fail(fmt.Errorf("dialing %s: %w", hostport, err))
+		}
+		// The LXP client serializes concurrent use, so sessions share
+		// the connection; each session buffers independently.
+		return sourceSpec{name: name, register: func(m *mediator.Mediator) error {
+			b, err := buffer.New(client, uri)
+			if err != nil {
+				return err
+			}
+			m.RegisterSource(name, b)
+			return nil
+		}}, nil
+	}
+	if rest, ok := strings.CutPrefix(loc, "demo:"); ok {
+		kind, nstr, _ := strings.Cut(rest, ":")
+		n := 1000
+		if nstr != "" {
+			var err error
+			if n, err = strconv.Atoi(nstr); err != nil {
+				return fail(fmt.Errorf("malformed demo size %q", nstr))
+			}
+		}
+		var doc *xmltree.Tree
+		switch kind {
+		case "books":
+			doc = workload.Books(name, n, 1)
+		case "homes":
+			doc, _ = workload.HomesSchools(n, 0, n/10+1, 1)
+		case "schools":
+			_, doc = workload.HomesSchools(0, n, n/10+1, 1)
+		default:
+			return fail(fmt.Errorf("unknown demo dataset %q (books|homes|schools)", kind))
+		}
+		return treeSpec(name, doc), nil
+	}
+	data, err := os.ReadFile(loc)
+	if err != nil {
+		return fail(err)
+	}
+	t, err := xmltree.UnmarshalXML(string(data))
+	if err != nil {
+		return fail(fmt.Errorf("parsing %s: %w", loc, err))
+	}
+	return treeSpec(name, t), nil
+}
+
+// treeSpec shares one immutable tree across sessions; every session
+// gets its own TreeDoc over it.
+func treeSpec(name string, t *xmltree.Tree) sourceSpec {
+	return sourceSpec{name: name, register: func(m *mediator.Mediator) error {
+		m.RegisterTree(name, t)
+		return nil
+	}}
+}

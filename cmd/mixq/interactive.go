@@ -22,11 +22,7 @@ import (
 //	s NAME   select — first child named NAME
 //	?        help
 //	q        quit
-func interact(res *mediator.Result, in io.Reader, out io.Writer) error {
-	cur, err := res.Root()
-	if err != nil {
-		return err
-	}
+func interact(cur *mediator.Element, in io.Reader, out io.Writer) error {
 	var stack []*mediator.Element
 	name, err := cur.Name()
 	if err != nil {

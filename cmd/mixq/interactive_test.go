@@ -8,7 +8,7 @@ import (
 	"mix/internal/workload"
 )
 
-func testResult(t *testing.T) *mediator.Result {
+func testResult(t *testing.T) *mediator.Element {
 	t.Helper()
 	homes, schools := workload.HomesSchools(5, 5, 2, 3)
 	m := mediator.New(mediator.DefaultOptions())
@@ -21,7 +21,11 @@ AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return res
+	root, err := res.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
 }
 
 func TestInteractSession(t *testing.T) {

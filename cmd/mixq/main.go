@@ -1,5 +1,7 @@
 // Command mixq runs XMAS queries against XML file sources and/or
-// remote LXP wrappers through the MIX mediator.
+// remote LXP wrappers through the MIX mediator — or, with -connect,
+// against a remote mixd mediator over VXDP, in which case the query is
+// compiled server-side and only navigation crosses the wire.
 //
 // Sources are declared with repeated -src flags:
 //
@@ -26,6 +28,7 @@ import (
 	"mix/internal/mediator"
 	"mix/internal/nav"
 	"mix/internal/relational"
+	"mix/internal/vxdp"
 	"mix/internal/wrapper"
 	"mix/internal/xmltree"
 )
@@ -42,6 +45,7 @@ func main() {
 	var srcs, views multiFlag
 	flag.Var(&srcs, "src", "source declaration name=path.xml, name=lxp://host:port/uri, or name=rdb:csvdir (repeatable)")
 	flag.Var(&views, "view", "view declaration name=path.xmas (repeatable)")
+	connect := flag.String("connect", "", "navigate a remote mixd mediator at host:port (VXDP) instead of local sources")
 	q := flag.String("q", "", "XMAS query text")
 	qf := flag.String("f", "", "file containing the XMAS query")
 	first := flag.Int("first", 0, "explore only the first k answer children (0 = all)")
@@ -62,6 +66,16 @@ func main() {
 	if strings.TrimSpace(query) == "" {
 		fmt.Fprintln(os.Stderr, "mixq: no query; use -q or -f (and see -help)")
 		os.Exit(2)
+	}
+
+	if *connect != "" {
+		if len(srcs) > 0 || len(views) > 0 || *eager || *plan {
+			fatal(fmt.Errorf("-connect navigates the server's sources and views; -src/-view/-eager/-plan do not apply"))
+		}
+		if err := runRemote(*connect, query, *first, *interactive, *stats); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	m := mediator.New(mediator.DefaultOptions())
@@ -112,7 +126,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := interact(res, os.Stdin, os.Stdout); err != nil {
+		root, err := res.Root()
+		if err != nil {
+			fatal(err)
+		}
+		if err := interact(root, os.Stdin, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -144,6 +162,44 @@ func main() {
 			fmt.Fprintf(os.Stderr, "source %-16s %s\n", name, cd.Counters.Snapshot())
 		}
 	}
+}
+
+// runRemote opens the query as a session on a mixd server and
+// navigates the remote virtual answer.
+func runRemote(addr, query string, first int, interactive, stats bool) error {
+	client, err := vxdp.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("dialing %s: %w", addr, err)
+	}
+	defer client.Close()
+	if err := client.Open(query); err != nil {
+		return err
+	}
+	if interactive {
+		root, err := mediator.Wrap(client)
+		if err != nil {
+			return err
+		}
+		return interact(root, os.Stdin, os.Stdout)
+	}
+	var answer *xmltree.Tree
+	if first > 0 {
+		answer, err = nav.ExploreFirst(client, first)
+	} else {
+		answer, err = nav.Materialize(client)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(xmltree.MarshalIndent(answer))
+	if stats {
+		st, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "\nround trips: %d\nserver: %s\n", client.RoundTrips(), st)
+	}
+	return nil
 }
 
 // openSource interprets a source location.

@@ -1,0 +1,121 @@
+// Command remote demonstrates the networked mediator: a mixd server
+// (internal/server) started in-process on a loopback listener, and a
+// VXDP client navigating the homes⋈schools view across the wire.
+//
+// It contrasts the two client strategies for the same exploration —
+// reading the labels of the first k answer children:
+//
+//   - one DOM-VXD command per message: every d/r/f costs a round trip,
+//     exactly the naive remote-DOM cost model of Section 2;
+//   - one batched message: the whole d,(f,r)* sequence is pipelined in
+//     a single request frame, so the network cost collapses to one
+//     round trip while the mediator still evaluates lazily.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"mix/internal/mediator"
+	"mix/internal/nav"
+	"mix/internal/server"
+	"mix/internal/vxdp"
+	"mix/internal/workload"
+)
+
+const query = `
+CONSTRUCT <answer>
+  <med_home> $H $S {$S} </med_home> {$H}
+</answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2
+AND $V1 = $V2
+`
+
+func main() {
+	n := flag.Int("n", 500, "homes and schools per source")
+	k := flag.Int("k", 8, "answer children the client looks at")
+	zips := flag.Int("zips", 50, "distinct zip codes (join selectivity)")
+	flag.Parse()
+
+	homes, schools := workload.HomesSchools(*n, *n, *zips, 42)
+	srv, err := server.New(server.Config{
+		NewMediator: func() (*mediator.Mediator, error) {
+			m := mediator.New(mediator.DefaultOptions())
+			m.RegisterTree("homesSrc", homes)
+			m.RegisterTree("schoolsSrc", schools)
+			return m, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	fmt.Printf("mixd serving on %s\n\n", l.Addr())
+
+	// Strategy 1: one command per message.
+	c1, err := vxdp.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c1.Close()
+	if err := c1.Open(query); err != nil {
+		log.Fatal(err)
+	}
+	labels, err := nav.Labels(c1, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one command per message: %d labels in %d round trips\n",
+		len(labels), c1.RoundTrips())
+
+	// Strategy 2: the same d,(f,r)* exploration as one batched message.
+	c2, err := vxdp.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Open(query); err != nil {
+		log.Fatal(err)
+	}
+	before := c2.RoundTrips()
+	b := c2.NewBatch()
+	ch := b.Down(b.Root())
+	var fetches []vxdp.Ref
+	for i := 0; i < *k; i++ {
+		fetches = append(fetches, b.Fetch(ch))
+		ch = b.Right(ch)
+	}
+	results, err := b.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var batched []string
+	for _, f := range fetches {
+		if results[f].OK {
+			batched = append(batched, results[f].Label)
+		}
+	}
+	fmt.Printf("batched message:         %d labels in %d round trip(s)\n\n",
+		len(batched), c2.RoundTrips()-before)
+	fmt.Printf("labels: %v\n\n", batched)
+
+	st, err := c2.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stats: %s\n", st)
+}

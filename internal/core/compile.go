@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mix/internal/algebra"
 	"mix/internal/nav"
@@ -37,9 +38,14 @@ func DefaultOptions() Options {
 }
 
 // Engine compiles algebra plans against a registry of named sources.
+// The registry is internally synchronized: sources may be registered
+// concurrently with compilations (a compile sees a registration that
+// happens before it; compiled queries keep the source they resolved).
 type Engine struct {
 	opts Options
-	reg  map[string]nav.Document
+
+	regMu sync.RWMutex
+	reg   map[string]nav.Document
 }
 
 // New returns an Engine with the given options.
@@ -50,15 +56,27 @@ func New(opts Options) *Engine {
 // Register makes doc available to plans under the given source name.
 // Registering an existing name replaces the source.
 func (e *Engine) Register(name string, doc nav.Document) {
+	e.regMu.Lock()
 	e.reg[name] = doc
+	e.regMu.Unlock()
+}
+
+// lookup resolves a registered source.
+func (e *Engine) lookup(name string) (nav.Document, bool) {
+	e.regMu.RLock()
+	doc, ok := e.reg[name]
+	e.regMu.RUnlock()
+	return doc, ok
 }
 
 // SourceNames returns the registered source names, sorted.
 func (e *Engine) SourceNames() []string {
+	e.regMu.RLock()
 	out := make([]string, 0, len(e.reg))
 	for n := range e.reg {
 		out = append(out, n)
 	}
+	e.regMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -92,7 +110,7 @@ func (e *Engine) Compile(plan algebra.Op) (*Query, error) {
 		return nil, err
 	}
 	for _, src := range algebra.Sources(plan) {
-		if _, ok := e.reg[src]; !ok {
+		if _, ok := e.lookup(src); !ok {
 			return nil, fmt.Errorf("core: plan references unregistered source %q", src)
 		}
 	}
@@ -274,7 +292,7 @@ func (e *Engine) compilePerBinding(input algebra.Op, fn func(*binding) (*binding
 }
 
 func (e *Engine) compileSource(op *algebra.Source) (builder, error) {
-	doc, ok := e.reg[op.URL]
+	doc, ok := e.lookup(op.URL)
 	if !ok {
 		return nil, fmt.Errorf("core: unregistered source %q", op.URL)
 	}

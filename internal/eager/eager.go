@@ -16,6 +16,7 @@ package eager
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mix/internal/algebra"
 	"mix/internal/nav"
@@ -23,8 +24,13 @@ import (
 	"mix/internal/xmltree"
 )
 
-// Evaluator evaluates plans against a registry of named sources.
+// Evaluator evaluates plans against a registry of named sources. It is
+// safe for concurrent use: registrations are guarded and Eval holds the
+// evaluator lock for its full (materializing) run, so concurrent evals
+// serialize — acceptable for a baseline whose whole point is to pay the
+// materialization cost.
 type Evaluator struct {
+	mu  sync.Mutex
 	reg map[string]nav.Document
 
 	// cache of materialized sources for the lifetime of one Eval call;
@@ -38,7 +44,11 @@ func New() *Evaluator {
 }
 
 // Register makes doc available under the given source name.
-func (e *Evaluator) Register(name string, doc nav.Document) { e.reg[name] = doc }
+func (e *Evaluator) Register(name string, doc nav.Document) {
+	e.mu.Lock()
+	e.reg[name] = doc
+	e.mu.Unlock()
+}
 
 // row is a materialized variable binding.
 type row map[string]*xmltree.Tree
@@ -76,6 +86,8 @@ func (e *Evaluator) Eval(plan algebra.Op) (*xmltree.Tree, error) {
 	if err := algebra.Validate(plan); err != nil {
 		return nil, err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.mat = map[string]*xmltree.Tree{}
 	defer func() { e.mat = nil }()
 

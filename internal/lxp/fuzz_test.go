@@ -1,0 +1,56 @@
+package lxp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrame: no byte stream may panic the LXP codec; truncated,
+// malformed, and oversized frames must surface as errors.
+func FuzzReadFrame(f *testing.F) {
+	var ok bytes.Buffer
+	if err := writeFrame(&ok, request{Op: "fill", ID: "0:0"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes())
+	f.Add([]byte{0, 0})                          // truncated header
+	f.Add([]byte{0, 0, 0, 9, '{'})               // truncated payload
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})   // hostile length prefix
+	f.Add([]byte{0, 0, 0, 2, 'n', 'o'})          // garbage JSON
+	f.Add(append([]byte{0, 0, 0, 4}, "null"...)) // JSON null
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		_ = readFrame(bytes.NewReader(data), &req) // must not panic
+		var resp response
+		_ = readFrame(bytes.NewReader(data), &resp)
+	})
+}
+
+// FuzzParseHoleID: hole identifiers arrive off the wire, so no input
+// may panic the parser.
+func FuzzParseHoleID(f *testing.F) {
+	for _, seed := range []string{"root", "0/2:5", ":0", "0:", "/:0", "9999999999999999999:0", "0//1:2", "a:b"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, id string) {
+		path, start, err := parseHoleID(id)
+		if err == nil && start < 0 {
+			t.Fatalf("parseHoleID(%q) accepted negative start %d", id, start)
+		}
+		_ = path
+	})
+}
+
+// TestReadFrameRejectsHostileLength: the length prefix is checked
+// against maxFrame before the payload is allocated.
+func TestReadFrameRejectsHostileLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	var req request
+	err := readFrame(bytes.NewReader(hdr[:]), &req)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame not rejected: %v", err)
+	}
+}

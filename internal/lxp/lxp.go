@@ -232,7 +232,7 @@ func parseHoleID(id string) (path []int, start int, err error) {
 	if colon < 0 {
 		return nil, 0, fmt.Errorf("lxp: malformed hole id %q", id)
 	}
-	if _, err := fmt.Sscanf(id[colon+1:], "%d", &start); err != nil {
+	if _, err := fmt.Sscanf(id[colon+1:], "%d", &start); err != nil || start < 0 {
 		return nil, 0, fmt.Errorf("lxp: malformed hole id %q", id)
 	}
 	rest := id[:colon]

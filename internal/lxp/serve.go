@@ -1,0 +1,150 @@
+package lxp
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPServer serves LXP over TCP like Serve, but with connection
+// tracking and graceful shutdown: Shutdown stops the accept loop, lets
+// each connection finish the request it is serving, and waits for the
+// drained connections to close (force-closing the stragglers when the
+// context expires). cmd/lxpd uses it to turn SIGINT/SIGTERM into a
+// clean exit.
+type TCPServer struct {
+	// Srv answers the protocol requests.
+	Srv Server
+
+	mu       sync.Mutex
+	l        net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewTCPServer returns a TCPServer for srv.
+func NewTCPServer(srv Server) *TCPServer {
+	return &TCPServer{Srv: srv, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections on l until Shutdown is called or the
+// listener fails. It returns nil after a clean Shutdown.
+func (t *TCPServer) Serve(l net.Listener) error {
+	t.mu.Lock()
+	if t.draining {
+		t.mu.Unlock()
+		return errors.New("lxp: server already shut down")
+	}
+	t.l = l
+	t.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			t.mu.Lock()
+			draining := t.draining
+			t.mu.Unlock()
+			if draining && errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !t.track(conn) {
+			conn.Close()
+			continue
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer t.untrack(conn)
+			t.serveConn(conn)
+		}()
+	}
+}
+
+func (t *TCPServer) track(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.draining {
+		return false
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+func (t *TCPServer) untrack(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
+}
+
+func (t *TCPServer) drainingNow() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.draining
+}
+
+func (t *TCPServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var req request
+		if err := readFrame(r, &req); err != nil {
+			// Closed, corrupted, or woken by Shutdown's deadline.
+			return
+		}
+		if err := writeFrame(w, handleRequest(req, t.Srv)); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if t.drainingNow() {
+			return
+		}
+	}
+}
+
+// Shutdown stops accepting, wakes idle connections, and waits for all
+// in-flight requests to drain. If ctx expires first the remaining
+// connections are force-closed and ctx.Err() is returned.
+func (t *TCPServer) Shutdown(ctx context.Context) error {
+	t.mu.Lock()
+	t.draining = true
+	l := t.l
+	open := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		open = append(open, c)
+	}
+	t.mu.Unlock()
+
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range open {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force-close the stragglers. Handlers stuck inside Srv (not
+		// blocked on the connection) are abandoned, not awaited: the
+		// caller is exiting.
+		t.mu.Lock()
+		for c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+		return ctx.Err()
+	}
+}

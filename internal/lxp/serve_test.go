@@ -1,0 +1,114 @@
+package lxp
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mix/internal/xmltree"
+)
+
+func demoTree() *xmltree.Tree {
+	kids := make([]*xmltree.Tree, 30)
+	for i := range kids {
+		kids[i] = xmltree.Elem("item", xmltree.Leaf("x"))
+	}
+	return xmltree.Elem("root", kids...)
+}
+
+// TestTCPServerGracefulShutdown: Shutdown stops the accept loop (Serve
+// returns nil), lets in-flight requests complete, and closes drained
+// connections.
+func TestTCPServerGracefulShutdown(t *testing.T) {
+	srv := NewTCPServer(&TreeServer{Tree: demoTree(), Chunk: 4, InlineLimit: 2})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	root, err := c.GetRoot("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fill(root); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	// New connections are refused.
+	if _, err := net.DialTimeout("tcp", l.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+	// The drained connection is closed: the next request fails.
+	if _, err := c.Fill(root); err == nil {
+		t.Fatal("request on drained connection succeeded")
+	}
+}
+
+// TestTCPServerShutdownForceClosesStragglers: a connection stuck in a
+// slow request is cut when the shutdown context expires.
+func TestTCPServerShutdownForceCloses(t *testing.T) {
+	block := make(chan struct{})
+	var once sync.Once
+	srv := NewTCPServer(&slowServer{inner: &TreeServer{Tree: demoTree()}, block: block})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go func() {
+		_, _ = c.GetRoot("u") // parks in slowServer until released
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	once.Do(func() { close(block) })
+	if err == nil {
+		t.Fatal("shutdown of a stuck connection reported success")
+	}
+	if serr := <-done; serr != nil {
+		t.Fatalf("Serve: %v", serr)
+	}
+}
+
+type slowServer struct {
+	inner Server
+	block chan struct{}
+}
+
+func (s *slowServer) GetRoot(uri string) (string, error) {
+	<-s.block
+	return s.inner.GetRoot(uri)
+}
+
+func (s *slowServer) Fill(id string) ([]*xmltree.Tree, error) { return s.inner.Fill(id) }

@@ -176,33 +176,38 @@ func serveConn(conn net.Conn, srv Server) {
 		if err := readFrame(r, &req); err != nil {
 			return // connection closed or corrupted; drop it
 		}
-		var resp response
-		switch req.Op {
-		case "get_root":
-			id, err := srv.GetRoot(req.URI)
-			if err != nil {
-				resp.Err = err.Error()
-			} else {
-				resp.Hole = id
-			}
-		case "fill":
-			trees, err := srv.Fill(req.ID)
-			if err != nil {
-				resp.Err = err.Error()
-			} else {
-				resp.Trees = make([]wireTree, len(trees))
-				for i, t := range trees {
-					resp.Trees[i] = toWire(t)
-				}
-			}
-		default:
-			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
-		}
-		if err := writeFrame(w, resp); err != nil {
+		if err := writeFrame(w, handleRequest(req, srv)); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// handleRequest dispatches one LXP request to srv.
+func handleRequest(req request, srv Server) response {
+	var resp response
+	switch req.Op {
+	case "get_root":
+		id, err := srv.GetRoot(req.URI)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Hole = id
+		}
+	case "fill":
+		trees, err := srv.Fill(req.ID)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Trees = make([]wireTree, len(trees))
+			for i, t := range trees {
+				resp.Trees[i] = toWire(t)
+			}
+		}
+	default:
+		resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+	}
+	return resp
 }

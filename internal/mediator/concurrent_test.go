@@ -1,0 +1,149 @@
+package mediator_test
+
+// Registry-concurrency tests: the mixd server creates mediators from
+// session goroutines and may register sources / define views while
+// other goroutines prepare and evaluate queries, so the registries must
+// tolerate genuinely concurrent access (run under -race).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mix/internal/mediator"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+const concurrentQuery = `
+CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2`
+
+// TestConcurrentRegistryAccess hammers one mediator from three kinds of
+// goroutines at once: source registrations (under fresh names), view
+// definitions, and full query evaluations over the stable names.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	homes, schools := workload.HomesSchools(8, 8, 3, 11)
+	m := mediator.New(mediator.DefaultOptions())
+	m.RegisterTree("homesSrc", homes)
+	m.RegisterTree("schoolsSrc", schools)
+
+	want, err := m.QueryEager(concurrentQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	// Writers: register new sources and define new views while queries run.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				name := fmt.Sprintf("extra%d_%d", w, i)
+				m.RegisterTree(name, xmltree.Elem("r", xmltree.Leaf("x")))
+				view := fmt.Sprintf("view%d_%d", w, i)
+				if err := m.DefineView(view,
+					`CONSTRUCT <v> $H {$H} </v> {} WHERE homesSrc homes.home $H`); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: prepare, compile, and evaluate (lazy and eager) concurrently.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := m.Query(concurrentQuery)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := res.Materialize()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !xmltree.Equal(got, want) {
+					errs <- fmt.Errorf("reader %d: answer changed under concurrent registration", r)
+					return
+				}
+				if r%2 == 0 {
+					if _, err := m.QueryEager(concurrentQuery); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentViewUse: queries referencing a view race further view
+// definitions (the substitution path reads the view map under the
+// mediator lock).
+func TestConcurrentViewUse(t *testing.T) {
+	homes, _ := workload.HomesSchools(6, 0, 2, 3)
+	m := mediator.New(mediator.DefaultOptions())
+	m.RegisterTree("homesSrc", homes)
+	if err := m.DefineView("homeview",
+		`CONSTRUCT <v> $H {$H} </v> {} WHERE homesSrc homes.home $H`); err != nil {
+		t.Fatal(err)
+	}
+	const q = `CONSTRUCT <all> $X {$X} </all> {} WHERE homeview v._ $X`
+	want, err := m.QueryEager(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 15; j++ {
+				name := fmt.Sprintf("other%d_%d", i, j)
+				if err := m.DefineView(name,
+					`CONSTRUCT <w> $H {$H} </w> {} WHERE homesSrc homes.home $H`); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				res, err := m.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := res.Materialize()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !xmltree.Equal(got, want) {
+					errs <- fmt.Errorf("view answer changed under concurrent definitions")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

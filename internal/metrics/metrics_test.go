@@ -75,3 +75,60 @@ func TestCountersConcurrent(t *testing.T) {
 		t.Fatalf("concurrent counts: down=%d bytes=%d", c.Down.Load(), c.Bytes.Load())
 	}
 }
+
+// TestCountersConcurrentReaders: snapshots, totals, and String are safe
+// while every counter is being bumped from many goroutines — the mixd
+// server shares one Counters across all its sessions, making this the
+// hot concurrent path.
+func TestCountersConcurrentReaders(t *testing.T) {
+	var c Counters
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := c.Snapshot()
+				if s.Navigations() < 0 || len(s.String()) == 0 {
+					t.Error("implausible snapshot")
+					return
+				}
+				_ = c.Navigations()
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Down.Add(1)
+				c.Right.Add(1)
+				c.Fetch.Add(1)
+				c.Select.Add(1)
+				c.Root.Add(1)
+				c.Msgs.Add(1)
+				c.Bytes.Add(1)
+				c.Tuples.Add(1)
+				c.Fills.Add(1)
+				c.Queries.Add(1)
+			}
+		}()
+	}
+	// Let readers overlap the writers, then stop them.
+	for c.Queries.Load() < writers*perWriter {
+	}
+	close(stop)
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Navigations() != 5*writers*perWriter || s.Queries != writers*perWriter {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}

@@ -1,0 +1,218 @@
+// Package server implements mixd, the sessionful MIX mediator daemon:
+// it serves the DOM-VXD command set over VXDP (internal/vxdp) so remote
+// clients can navigate virtual mediated views across the network — the
+// client↔mediator boundary of Fig. 1 that the in-process engine never
+// crosses.
+//
+// Each accepted connection is one session, handled on its own
+// goroutine. Because the lazy-mediator engine's pull-driven streams are
+// single-consumer, every session gets a *fresh* mediator instance from
+// the configured factory: sessions share immutable sources (trees,
+// serialized LXP clients) but never lazy evaluation state, so N clients
+// exploring the same view proceed independently.
+//
+// The session lifecycle is
+//
+//	accept → (open query → navigate…)* → close | idle timeout |
+//	         lifetime timeout | server shutdown
+//
+// with per-session idle and absolute-lifetime deadlines (evicted
+// sessions are counted), a connection limit that refuses new sessions
+// beyond the cap with an error frame, and graceful shutdown: stop
+// accepting, let in-flight requests finish, then close drained
+// connections; stragglers are cut when the shutdown context expires.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mix/internal/mediator"
+	"mix/internal/metrics"
+	"mix/internal/vxdp"
+)
+
+// Config configures a Server. The zero value serves with no session
+// limit and no timeouts.
+type Config struct {
+	// NewMediator builds the per-session mediator: register sources and
+	// define views here. Required. It is called concurrently from
+	// session goroutines, so shared underlying state (trees, LXP
+	// clients) must be immutable or internally synchronized.
+	NewMediator func() (*mediator.Mediator, error)
+	// MaxSessions caps concurrently active sessions; connections beyond
+	// the cap are refused with an error frame (0 = unlimited).
+	MaxSessions int
+	// IdleTimeout evicts a session that issues no request for this long
+	// (0 = never).
+	IdleTimeout time.Duration
+	// MaxLifetime evicts a session this long after it was accepted,
+	// busy or not (0 = never).
+	MaxLifetime time.Duration
+}
+
+// Server is a mixd instance. Create with New, run with Serve, stop with
+// Shutdown.
+type Server struct {
+	cfg Config
+
+	// nav counts navigation commands answered across all sessions; the
+	// sessions update it concurrently.
+	nav  *metrics.Counters
+	msgs atomic.Int64
+
+	active, total, evicted, denied atomic.Int64
+
+	mu       sync.Mutex
+	l        net.Listener
+	sessions map[uint64]*session
+	nextID   uint64
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New returns an unstarted Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.NewMediator == nil {
+		return nil, errors.New("server: Config.NewMediator is required")
+	}
+	return &Server{cfg: cfg, nav: &metrics.Counters{}, sessions: map[uint64]*session{}}, nil
+}
+
+// Serve accepts VXDP sessions on l until Shutdown is called or the
+// listener fails. It returns nil after a clean Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.l = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining && errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions) {
+			s.denied.Add(1)
+			_ = vxdp.WriteFrame(conn, vxdp.Response{NavResult: vxdp.NavResult{
+				Err: fmt.Sprintf("server at capacity (%d sessions)", s.cfg.MaxSessions),
+			}})
+			conn.Close()
+			continue
+		}
+		sess := s.newSession(conn)
+		if sess == nil { // lost the race with Shutdown
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess.run()
+		}()
+	}
+}
+
+func (s *Server) newSession(conn net.Conn) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil
+	}
+	s.nextID++
+	sess := &session{srv: s, id: s.nextID, conn: conn, born: time.Now()}
+	s.sessions[sess.id] = sess
+	s.active.Add(1)
+	s.total.Add(1)
+	return sess
+}
+
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	s.active.Add(-1)
+}
+
+// drainingNow reports whether Shutdown has been initiated.
+func (s *Server) drainingNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown stops the server gracefully: it stops accepting, wakes every
+// session blocked waiting for a request (in-flight requests still get
+// their response), and waits for all sessions to drain. If ctx expires
+// first the remaining connections are force-closed and ctx.Err() is
+// returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	l := s.l
+	open := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+
+	if l != nil {
+		l.Close()
+	}
+	// Wake blocked readers; sessions notice draining and exit cleanly
+	// after finishing whatever request they are serving.
+	for _, sess := range open {
+		_ = sess.conn.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force-close the stragglers. Sessions stuck inside the engine
+		// (not blocked on the connection) are abandoned, not awaited:
+		// the caller is exiting.
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Stats returns the introspection snapshot also served by the wire
+// stats command.
+func (s *Server) Stats() vxdp.Stats {
+	n := s.nav.Snapshot()
+	return vxdp.Stats{
+		SessionsActive:  s.active.Load(),
+		SessionsTotal:   s.total.Load(),
+		SessionsEvicted: s.evicted.Load(),
+		SessionsDenied:  s.denied.Load(),
+		Msgs:            s.msgs.Load(),
+		Navs:            n.Navigations(),
+		Down:            n.Down,
+		Right:           n.Right,
+		Fetch:           n.Fetch,
+		Select:          n.Select,
+		Root:            n.Root,
+	}
+}

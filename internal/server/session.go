@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"mix/internal/mediator"
+	"mix/internal/nav"
+	"mix/internal/vxdp"
+)
+
+// session is one client connection: a private mediator engine (created
+// at the first open), the currently open virtual answer document, and
+// the handle table mapping wire handles to the engine's opaque node
+// IDs. Handles are never reused; opening a new view invalidates all of
+// them.
+type session struct {
+	srv  *Server
+	id   uint64
+	conn net.Conn
+	born time.Time
+
+	med     *mediator.Mediator
+	doc     nav.Document
+	handles map[uint64]nav.ID
+	nextH   uint64
+}
+
+// run is the session loop: read a frame, dispatch, respond — until the
+// client closes, a deadline evicts the session, or the server drains.
+func (s *session) run() {
+	defer s.srv.dropSession(s)
+	defer s.conn.Close()
+	r := bufio.NewReader(s.conn)
+	w := bufio.NewWriter(s.conn)
+	for {
+		s.arm()
+		var req vxdp.Request
+		if err := vxdp.ReadFrame(r, &req); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !s.srv.drainingNow() {
+				s.srv.evicted.Add(1)
+				// Best-effort eviction notice; the deadline already
+				// passed, so give the write its own short grace.
+				_ = s.conn.SetWriteDeadline(time.Now().Add(time.Second))
+				_ = vxdp.WriteFrame(w, vxdp.Response{NavResult: vxdp.NavResult{Err: "session evicted (timeout)"}})
+				_ = w.Flush()
+			}
+			return
+		}
+		s.srv.msgs.Add(1)
+		resp, last := s.dispatch(req)
+		if err := vxdp.WriteFrame(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if last {
+			return
+		}
+	}
+}
+
+// arm sets the read deadline from the idle and lifetime timeouts.
+func (s *session) arm() {
+	var dl time.Time
+	if t := s.srv.cfg.IdleTimeout; t > 0 {
+		dl = time.Now().Add(t)
+	}
+	if t := s.srv.cfg.MaxLifetime; t > 0 {
+		if end := s.born.Add(t); dl.IsZero() || end.Before(dl) {
+			dl = end
+		}
+	}
+	_ = s.conn.SetReadDeadline(dl)
+}
+
+func errResp(format string, args ...any) vxdp.Response {
+	return vxdp.Response{NavResult: vxdp.NavResult{Err: fmt.Sprintf(format, args...)}}
+}
+
+// dispatch executes one request. last reports that the session should
+// end after the response is flushed.
+func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
+	switch req.Op {
+	case vxdp.OpOpen:
+		if err := s.open(req.Query); err != nil {
+			return errResp("%v", err), false
+		}
+		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}, false
+	case vxdp.OpRoot, vxdp.OpDown, vxdp.OpRight, vxdp.OpFetch, vxdp.OpSelect:
+		if s.doc == nil {
+			return errResp("no view open (send an open frame first)"), false
+		}
+		res := s.navigate(req.Cmd, nil)
+		return vxdp.Response{NavResult: res.nr}, false
+	case vxdp.OpBatch:
+		return s.batch(req.Cmds), false
+	case vxdp.OpStats:
+		st := s.srv.Stats()
+		return vxdp.Response{Stats: &st}, false
+	case vxdp.OpClose:
+		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}, true
+	default:
+		return errResp("unknown op %q", req.Op), false
+	}
+}
+
+// open compiles the query on this session's private engine (created on
+// first use) and resets the handle table.
+func (s *session) open(query string) error {
+	if s.med == nil {
+		m, err := s.srv.cfg.NewMediator()
+		if err != nil {
+			return fmt.Errorf("creating session mediator: %v", err)
+		}
+		s.med = m
+	}
+	res, err := s.med.Query(query)
+	if err != nil {
+		return err
+	}
+	// Count every navigation this session answers on the server-wide
+	// counters; the sessions update them concurrently.
+	s.doc = &nav.CountingDoc{Doc: res.Document(), Counters: s.srv.nav}
+	s.handles = map[uint64]nav.ID{}
+	s.nextH = 0
+	return nil
+}
+
+// issue registers a node ID and returns its wire handle.
+func (s *session) issue(id nav.ID) uint64 {
+	s.nextH++
+	s.handles[s.nextH] = id
+	return s.nextH
+}
+
+// navResult pairs the wire result of a step with the resolved node, so
+// later batch steps can navigate from it without a handle lookup.
+type navResult struct {
+	nr   vxdp.NavResult
+	node nav.ID
+}
+
+func navErr(format string, args ...any) navResult {
+	return navResult{nr: vxdp.NavResult{Err: fmt.Sprintf(format, args...)}}
+}
+
+// navigate executes one navigation command. base, when non-nil, is the
+// pre-resolved start node of a batch step (from points to it); nil base
+// with *from set means the referenced step produced ⊥, which propagates
+// as ⊥. Outside batches the start node comes from the handle table.
+func (s *session) navigate(cmd vxdp.Cmd, from *navResult) navResult {
+	var base nav.ID
+	if from != nil {
+		if !from.nr.OK {
+			return navResult{nr: vxdp.NavResult{OK: false}} // ⊥ propagates
+		}
+		base = from.node
+	} else if cmd.Op != vxdp.OpRoot {
+		id, ok := s.handles[cmd.ID]
+		if !ok {
+			return navErr("unknown node handle %d", cmd.ID)
+		}
+		base = id
+	}
+	var (
+		id  nav.ID
+		err error
+	)
+	switch cmd.Op {
+	case vxdp.OpRoot:
+		id, err = s.doc.Root()
+	case vxdp.OpDown:
+		id, err = s.doc.Down(base)
+	case vxdp.OpRight:
+		id, err = s.doc.Right(base)
+	case vxdp.OpSelect:
+		id, err = nav.Select(s.doc, base, nav.LabelIs(cmd.Label), cmd.Self)
+	case vxdp.OpFetch:
+		label, ferr := s.doc.Fetch(base)
+		if ferr != nil {
+			return navErr("%v", ferr)
+		}
+		return navResult{nr: vxdp.NavResult{OK: true, Label: label}}
+	case "node":
+		// Batch-only alias of an earlier step's node.
+		return navResult{nr: vxdp.NavResult{OK: true, ID: s.issue(base)}, node: base}
+	default:
+		return navErr("unknown op %q", cmd.Op)
+	}
+	if err != nil {
+		return navErr("%v", err)
+	}
+	if id == nil {
+		return navResult{nr: vxdp.NavResult{OK: false}}
+	}
+	return navResult{nr: vxdp.NavResult{OK: true, ID: s.issue(id)}, node: id}
+}
+
+// batch executes a pipelined command sequence. Any step error fails the
+// whole batch (navigation already performed is not rolled back — the
+// commands are reads); ⊥ results are not errors and propagate to the
+// steps that reference them.
+func (s *session) batch(cmds []vxdp.Cmd) vxdp.Response {
+	if len(cmds) == 0 {
+		return errResp("empty batch")
+	}
+	if len(cmds) > vxdp.MaxBatch {
+		return errResp("batch of %d commands exceeds limit %d", len(cmds), vxdp.MaxBatch)
+	}
+	if s.doc == nil {
+		return errResp("no view open (send an open frame first)")
+	}
+	results := make([]navResult, len(cmds))
+	out := make([]vxdp.NavResult, len(cmds))
+	for i, cmd := range cmds {
+		var from *navResult
+		if cmd.Ref != nil {
+			if *cmd.Ref < 0 || *cmd.Ref >= i {
+				return errResp("step %d: ref %d out of range", i, *cmd.Ref)
+			}
+			from = &results[*cmd.Ref]
+		}
+		if cmd.Op == "node" && cmd.Ref == nil {
+			id, ok := s.handles[cmd.ID]
+			if !ok {
+				return errResp("step %d: unknown node handle %d", i, cmd.ID)
+			}
+			results[i] = navResult{nr: vxdp.NavResult{OK: true, ID: cmd.ID}, node: id}
+			out[i] = results[i].nr
+			continue
+		}
+		results[i] = s.navigate(cmd, from)
+		if results[i].nr.Err != "" {
+			return errResp("step %d: %s", i, results[i].nr.Err)
+		}
+		out[i] = results[i].nr
+	}
+	return vxdp.Response{Results: out}
+}

@@ -1,0 +1,286 @@
+package vxdp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"mix/internal/nav"
+)
+
+// Client is the client-side endpoint of a VXDP session. It implements
+// nav.Document, so everything that can navigate a local virtual answer
+// — nav.Materialize, nav.ExploreFirst, the mediator.Element veneer, the
+// whole test corpus — can navigate a remote one transparently. Safe for
+// concurrent use (requests are serialized on the connection).
+//
+// Client deliberately does not implement nav.Selector: the wire select
+// command matches a *label*, while nav.Predicate is an opaque function.
+// nav.Select therefore falls back to an r/f scan over the wire (each
+// hop one round trip) — precisely the navigational-complexity penalty
+// Section 2 assigns to NC without select. Callers that do have a label
+// predicate use SelectLabel (one round trip) or a Batch.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	roundTrips atomic.Int64
+}
+
+// nodeID is the client-side nav.ID: the server's uint64 handle bound to
+// the issuing client, so foreign IDs are detectable.
+type nodeID struct {
+	c *Client
+	h uint64
+}
+
+// Dial connects to a VXDP server (cmd/mixd).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Close ends the session (best effort) and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	_ = WriteFrame(c.w, Request{Cmd: Cmd{Op: OpClose}})
+	_ = c.w.Flush()
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// RoundTrips returns the number of request frames sent so far — the
+// message-count measure the batching experiments compare.
+func (c *Client) RoundTrips() int64 { return c.roundTrips.Load() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roundTrips.Add(1)
+	if err := WriteFrame(c.w, req); err != nil {
+		return Response{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := ReadFrame(c.r, &resp); err != nil {
+		return Response{}, err
+	}
+	if resp.Err != "" {
+		return Response{}, errors.New("vxdp: remote: " + resp.Err)
+	}
+	return resp, nil
+}
+
+// Open compiles the XMAS query on the server and makes its virtual
+// answer the session's document. Opening a second view in the same
+// session replaces the first (all previously issued handles die).
+func (c *Client) Open(query string) error {
+	_, err := c.roundTrip(Request{Cmd: Cmd{Op: OpOpen}, Query: query})
+	return err
+}
+
+// handle extracts the wire handle of an ID issued by this client.
+func (c *Client) handle(p nav.ID) (uint64, error) {
+	n, ok := p.(nodeID)
+	if !ok || n.c != c {
+		return 0, fmt.Errorf("%w: %T", nav.ErrForeignID, p)
+	}
+	return n.h, nil
+}
+
+// node converts a navigation response into a nav.ID (nil for ⊥).
+func (c *Client) node(r NavResult) nav.ID {
+	if !r.OK {
+		return nil
+	}
+	return nodeID{c: c, h: r.ID}
+}
+
+// Root implements nav.Document.
+func (c *Client) Root() (nav.ID, error) {
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpRoot}})
+	if err != nil {
+		return nil, err
+	}
+	return c.node(resp.NavResult), nil
+}
+
+func (c *Client) navigate(op string, p nav.ID) (nav.ID, error) {
+	h, err := c.handle(p)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: op, ID: h}})
+	if err != nil {
+		return nil, err
+	}
+	return c.node(resp.NavResult), nil
+}
+
+// Down implements nav.Document.
+func (c *Client) Down(p nav.ID) (nav.ID, error) { return c.navigate(OpDown, p) }
+
+// Right implements nav.Document.
+func (c *Client) Right(p nav.ID) (nav.ID, error) { return c.navigate(OpRight, p) }
+
+// Fetch implements nav.Document.
+func (c *Client) Fetch(p nav.ID) (string, error) {
+	h, err := c.handle(p)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpFetch, ID: h}})
+	if err != nil {
+		return "", err
+	}
+	return resp.Label, nil
+}
+
+// SelectLabel issues a wire select: the first sibling of p (p itself
+// when fromSelf) whose label is label, in one round trip.
+func (c *Client) SelectLabel(p nav.ID, label string, fromSelf bool) (nav.ID, error) {
+	h, err := c.handle(p)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpSelect, ID: h, Label: label, Self: fromSelf}})
+	if err != nil {
+		return nil, err
+	}
+	return c.node(resp.NavResult), nil
+}
+
+// Stats fetches the server's introspection snapshot.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpStats}})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("vxdp: stats response without stats")
+	}
+	return *resp.Stats, nil
+}
+
+// --- batched navigation ---------------------------------------------------
+
+// Ref names the result of an earlier step of a Batch.
+type Ref int
+
+// Batch accumulates a navigation command sequence to be pipelined to
+// the server in a single round trip. Steps may navigate from the result
+// of any earlier step (the Ref returned when the step was added) or
+// from an already-known node (At). ⊥ propagates silently, so a batch
+// may overshoot — e.g. scan more siblings than exist — and simply get
+// ok=false results back for the steps that fell off the document.
+//
+//	b := client.NewBatch()
+//	root := b.Root()
+//	ch := b.Down(root)
+//	for i := 0; i < k; i++ { b.Fetch(ch); ch = b.Right(ch) }
+//	results, err := b.Run() // one frame each way
+type Batch struct {
+	c    *Client
+	cmds []Cmd
+	err  error
+}
+
+// NewBatch starts an empty batch.
+func (c *Client) NewBatch() *Batch { return &Batch{c: c} }
+
+func (b *Batch) add(cmd Cmd) Ref {
+	b.cmds = append(b.cmds, cmd)
+	return Ref(len(b.cmds) - 1)
+}
+
+func (b *Batch) ref(r Ref) *int {
+	if r < 0 || int(r) >= len(b.cmds) {
+		if b.err == nil {
+			b.err = fmt.Errorf("vxdp: batch ref %d out of range", r)
+		}
+	}
+	i := int(r)
+	return &i
+}
+
+// Root adds a root command.
+func (b *Batch) Root() Ref { return b.add(Cmd{Op: OpRoot}) }
+
+// At adds a step standing for an already-known node, so later steps can
+// navigate from it.
+func (b *Batch) At(p nav.ID) Ref {
+	h, err := b.c.handle(p)
+	if err != nil && b.err == nil {
+		b.err = err
+	}
+	return b.add(Cmd{Op: "node", ID: h})
+}
+
+// Down adds a down step from the result of step r.
+func (b *Batch) Down(r Ref) Ref { return b.add(Cmd{Op: OpDown, Ref: b.ref(r)}) }
+
+// Right adds a right step from the result of step r.
+func (b *Batch) Right(r Ref) Ref { return b.add(Cmd{Op: OpRight, Ref: b.ref(r)}) }
+
+// Fetch adds a fetch step on the result of step r.
+func (b *Batch) Fetch(r Ref) Ref { return b.add(Cmd{Op: OpFetch, Ref: b.ref(r)}) }
+
+// SelectLabel adds a select step from the result of step r.
+func (b *Batch) SelectLabel(r Ref, label string, fromSelf bool) Ref {
+	return b.add(Cmd{Op: OpSelect, Ref: b.ref(r), Label: label, Self: fromSelf})
+}
+
+// Result is the client-side outcome of one batch step.
+type Result struct {
+	// Node is the resulting node for root/down/right/select/node steps
+	// (nil = ⊥). Always nil for fetch steps.
+	Node nav.ID
+	// Label is the fetched label, for fetch steps.
+	Label string
+	// OK is false when the step resolved to ⊥.
+	OK bool
+}
+
+// Run sends the whole batch as one frame and returns one Result per
+// step, in order.
+func (b *Batch) Run() ([]Result, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.cmds) == 0 {
+		return nil, nil
+	}
+	resp, err := b.c.roundTrip(Request{Cmd: Cmd{Op: OpBatch}, Cmds: b.cmds})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(b.cmds) {
+		return nil, fmt.Errorf("vxdp: batch of %d commands got %d results", len(b.cmds), len(resp.Results))
+	}
+	out := make([]Result, len(resp.Results))
+	for i, r := range resp.Results {
+		if r.Err != "" {
+			return nil, errors.New("vxdp: remote: " + r.Err)
+		}
+		out[i] = Result{Label: r.Label, OK: r.OK}
+		if r.OK && b.cmds[i].Op != OpFetch {
+			out[i].Node = nodeID{c: b.c, h: r.ID}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package vxdp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrame: no byte stream may panic the codec; truncated,
+// malformed, and oversized frames must surface as errors.
+func FuzzReadFrame(f *testing.F) {
+	// A valid frame.
+	var ok bytes.Buffer
+	if err := WriteFrame(&ok, Request{Cmd: Cmd{Op: OpDown, ID: 7}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes())
+	// Truncated header, truncated payload, hostile length prefix,
+	// valid length with garbage JSON.
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 0, 0, 9, '{'})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add([]byte{0, 0, 0, 2, 'n', 'o'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		_ = ReadFrame(bytes.NewReader(data), &req) // must not panic
+	})
+}
+
+// TestReadFrameRejectsHostileLength: a length prefix beyond MaxFrame is
+// rejected before any allocation or read of the payload.
+func TestReadFrameRejectsHostileLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	var req Request
+	err := ReadFrame(bytes.NewReader(hdr[:]), &req)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame not rejected: %v", err)
+	}
+}
+
+// TestWriteFrameRejectsOversizedPayload: the writer enforces the same
+// cap, so a server cannot emit a frame its peer must refuse.
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	big := Request{Query: strings.Repeat("x", MaxFrame)}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, big); err == nil {
+		t.Fatal("oversized frame written")
+	}
+}

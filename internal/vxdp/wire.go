@@ -1,0 +1,174 @@
+// Package vxdp implements VXDP, the Virtual XML Document Protocol: the
+// client↔mediator wire protocol that carries the DOM-VXD command set of
+// Section 2 (root, down, right, fetch, select σ) across a network, so a
+// client can navigate a *remote* virtual answer document exactly as it
+// navigates a local one (Fig. 1's client/mediator boundary).
+//
+// A VXDP conversation is sessionful: the client opens a view by sending
+// its XMAS query text, the server compiles it against its configured
+// sources and view catalogue, and subsequent navigation commands are
+// answered from the session's private lazy-mediator tree. Node
+// identifiers never cross the wire in their native (Skolem) form;
+// instead the server issues per-session uint64 handles, so the protocol
+// is independent of how a particular engine encodes association
+// information.
+//
+// # Message grammar
+//
+// Every message is one frame: a 4-byte big-endian length prefix
+// followed by a JSON object of at most MaxFrame bytes. Requests are
+//
+//	{"op":"open","query":Q}          compile XMAS query Q, open the view
+//	{"op":"root"}                    → handle of the answer root
+//	{"op":"down","id":H}             → handle of H's first child, or ⊥
+//	{"op":"right","id":H}            → handle of H's right sibling, or ⊥
+//	{"op":"fetch","id":H}            → label of H
+//	{"op":"select","id":H,           → first sibling (from H itself when
+//	 "label":L,"self":B}               "self") labeled L, or ⊥
+//	{"op":"batch","cmds":[C…]}       pipeline: all commands, one frame
+//	{"op":"stats"}                   → server introspection snapshot
+//	{"op":"close"}                   end the session
+//
+// and responses are
+//
+//	{"ok":true,"id":H}               a node handle
+//	{"ok":false}                     ⊥ (no such child/sibling)
+//	{"ok":true,"label":L}            a fetch result
+//	{"results":[R…]}                 batch: one result per command
+//	{"stats":{…}}                    a Stats snapshot
+//	{"error":MSG}                    command failed
+//
+// A batch command C is a request object whose "ref" field, when
+// present, names the 0-based index of an *earlier command in the same
+// batch* whose result node it navigates from; ⊥ propagates through a
+// batch without error (down/right/select of ⊥ is ⊥, fetch of ⊥ is
+// ok=false), so a client can speculatively pipeline a whole exploration
+// — e.g. root, down, then k alternating fetch/right steps — in a single
+// round trip.
+package vxdp
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single VXDP frame (requests carry at most a query
+// text; responses at most a label or a batch of them). Length prefixes
+// beyond the cap are rejected before any allocation, so a hostile
+// header cannot balloon memory.
+const MaxFrame = 1 << 20
+
+// MaxBatch bounds the number of commands in one batch frame.
+const MaxBatch = 4096
+
+// Protocol operation names.
+const (
+	OpOpen   = "open"
+	OpRoot   = "root"
+	OpDown   = "down"
+	OpRight  = "right"
+	OpFetch  = "fetch"
+	OpSelect = "select"
+	OpBatch  = "batch"
+	OpStats  = "stats"
+	OpClose  = "close"
+)
+
+// Cmd is one navigation command, either standalone or as a batch step.
+type Cmd struct {
+	Op string `json:"op"`
+	// ID is a node handle previously issued by the server (root needs
+	// none).
+	ID uint64 `json:"id,omitempty"`
+	// Ref, in a batch, names the 0-based index of an earlier step whose
+	// result node this command navigates from (instead of ID).
+	Ref *int `json:"ref,omitempty"`
+	// Label and Self parameterize select: advance to the first sibling
+	// labeled Label, starting from the node itself when Self is true.
+	Label string `json:"label,omitempty"`
+	Self  bool   `json:"self,omitempty"`
+}
+
+// Request is a client→server frame.
+type Request struct {
+	Cmd
+	Query string `json:"query,omitempty"` // open
+	Cmds  []Cmd  `json:"cmds,omitempty"`  // batch
+}
+
+// NavResult is the outcome of one navigation command.
+type NavResult struct {
+	// OK reports whether the command produced a node (or, for fetch and
+	// open, succeeded). OK=false with empty Err is ⊥.
+	OK    bool   `json:"ok,omitempty"`
+	ID    uint64 `json:"id,omitempty"`
+	Label string `json:"label,omitempty"`
+	Err   string `json:"error,omitempty"`
+}
+
+// Response is a server→client frame.
+type Response struct {
+	NavResult
+	Results []NavResult `json:"results,omitempty"` // batch
+	Stats   *Stats      `json:"stats,omitempty"`   // stats
+}
+
+// Stats is the server introspection snapshot returned by the stats
+// command (and by server.Server.Stats for in-process callers).
+type Stats struct {
+	SessionsActive  int64 `json:"sessions_active"`
+	SessionsTotal   int64 `json:"sessions_total"`
+	SessionsEvicted int64 `json:"sessions_evicted"` // idle/lifetime timeouts
+	SessionsDenied  int64 `json:"sessions_denied"`  // over the connection limit
+	Msgs            int64 `json:"msgs"`             // request frames served
+	Navs            int64 `json:"navs"`             // navigation commands answered
+	Down            int64 `json:"down"`
+	Right           int64 `json:"right"`
+	Fetch           int64 `json:"fetch"`
+	Select          int64 `json:"select"`
+	Root            int64 `json:"root"`
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("sessions: active=%d total=%d evicted=%d denied=%d | msgs=%d navs=%d (d=%d r=%d f=%d sel=%d root=%d)",
+		s.SessionsActive, s.SessionsTotal, s.SessionsEvicted, s.SessionsDenied,
+		s.Msgs, s.Navs, s.Down, s.Right, s.Fetch, s.Select, s.Root)
+}
+
+// WriteFrame writes v as one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("vxdp: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed JSON frame into v. Truncated,
+// malformed, and oversized frames return errors; no input can panic.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("vxdp: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}

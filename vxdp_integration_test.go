@@ -1,0 +1,350 @@
+package mix_test
+
+// End-to-end tests of the networked mediator: an in-process mixd
+// (internal/server) on a loopback listener, navigated by vxdp.Clients.
+// The acceptance bar of the subsystem: remote exploration is
+// byte-identical to in-process lazy evaluation on the query corpus,
+// batched navigation cuts the round-trip message count on the same
+// exploration, and idle sessions are evicted — all under -race.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mix/internal/mediator"
+	"mix/internal/nav"
+	"mix/internal/server"
+	"mix/internal/vxdp"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+// The homes⋈schools view of the running example, defined server-side;
+// clients query the view like a source.
+const homesSchoolsViewDef = `
+CONSTRUCT <allhomes> <med_home> $H $S {$S} </med_home> {$H} </allhomes> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2`
+
+// queryCorpus is the exploration corpus: the E2-style homes⋈schools
+// join (direct and through the view) and E1-style selection /
+// concatenation / reorder shapes over the same sources.
+var queryCorpus = []struct{ name, q string }{
+	{"join", `
+CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2`},
+	{"view", `
+CONSTRUCT <out> $M {$M} </out> {}
+WHERE homeview allhomes.med_home $M`},
+	{"selection", `
+CONSTRUCT <zips> $Z {$Z} </zips> {}
+WHERE homesSrc homes.home $H AND $H zip._ $Z`},
+	{"filter", `
+CONSTRUCT <cheap> $H {$H} </cheap> {}
+WHERE homesSrc homes.home $H AND $H zip._ $Z
+AND schoolsSrc schools.school $S AND $S zip._ $W
+AND $Z = $W AND $Z = "91000"`},
+	{"reorder", `
+CONSTRUCT <sorted> $H {$H} </sorted> {}
+WHERE homesSrc homes.home $H AND $H price._ $P
+ORDERBY $P`},
+}
+
+func mixdFactory() func() (*mediator.Mediator, error) {
+	homes, schools := workload.HomesSchools(25, 25, 6, 13)
+	return func() (*mediator.Mediator, error) {
+		m := mediator.New(mediator.DefaultOptions())
+		m.RegisterTree("homesSrc", homes)
+		m.RegisterTree("schoolsSrc", schools)
+		if err := m.DefineView("homeview", homesSchoolsViewDef); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+}
+
+// startMixd runs the daemon in-process on a loopback listener.
+func startMixd(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	cfg.NewMediator = mixdFactory()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("mixd Serve: %v", err)
+		}
+	})
+	return srv, l.Addr().String()
+}
+
+// TestRemoteCorpusByteIdentical: for every corpus query, full remote
+// exploration is byte-identical to in-process lazy evaluation.
+func TestRemoteCorpusByteIdentical(t *testing.T) {
+	_, addr := startMixd(t, server.Config{})
+	factory := mixdFactory()
+	for _, tc := range queryCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			local, err := factory()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := local.Query(tc.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTree, err := res.Materialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := xmltree.MarshalXML(wantTree)
+
+			c, err := vxdp.Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Open(tc.q); err != nil {
+				t.Fatal(err)
+			}
+			gotTree, err := nav.Materialize(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := xmltree.MarshalXML(gotTree); got != want {
+				t.Fatalf("remote ≠ in-process\nremote: %s\nlocal:  %s", got, want)
+			}
+		})
+	}
+}
+
+// TestMixdTwentyConcurrentSessions is the acceptance stress test: ≥20
+// concurrent client sessions navigate the homes⋈schools view — some
+// materializing everything, some exploring a prefix, some scanning
+// labels in a batch — and every fully explored answer is byte-identical
+// to in-process lazy evaluation.
+func TestMixdTwentyConcurrentSessions(t *testing.T) {
+	srv, addr := startMixd(t, server.Config{MaxSessions: 64})
+
+	local, err := mixdFactory()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := local.Query(queryCorpus[1].q) // over the view
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTree, err := res.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := xmltree.MarshalXML(wantTree)
+	wantFirst := len(wantTree.Children)
+
+	const sessions = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fail := func(err error) { errs <- fmt.Errorf("session %d: %w", i, err) }
+			c, err := vxdp.Dial(addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer c.Close()
+			if err := c.Open(queryCorpus[1].q); err != nil {
+				fail(err)
+				return
+			}
+			switch i % 3 {
+			case 0: // full exploration — byte-identical
+				got, err := nav.Materialize(c)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if xmltree.MarshalXML(got) != want {
+					fail(fmt.Errorf("remote answer differs"))
+				}
+			case 1: // partial exploration — prefix of the answer
+				k := 1 + i%4
+				got, err := nav.ExploreFirst(c, k)
+				if err != nil {
+					fail(err)
+					return
+				}
+				n := len(got.Children)
+				if n > 0 && got.Children[n-1].IsHole() {
+					n--
+				}
+				for j := 0; j < n; j++ {
+					if !xmltree.Equal(got.Children[j], wantTree.Children[j]) {
+						fail(fmt.Errorf("child %d differs under partial exploration", j))
+						return
+					}
+				}
+			case 2: // batched label scan — one round trip
+				b := c.NewBatch()
+				ch := b.Down(b.Root())
+				var fetches []vxdp.Ref
+				for j := 0; j < wantFirst; j++ {
+					fetches = append(fetches, b.Fetch(ch))
+					ch = b.Right(ch)
+				}
+				results, err := b.Run()
+				if err != nil {
+					fail(err)
+					return
+				}
+				for j, f := range fetches {
+					if !results[f].OK || results[f].Label != wantTree.Children[j].Label {
+						fail(fmt.Errorf("batched label %d = %+v, want %q", j, results[f], wantTree.Children[j].Label))
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.SessionsTotal < sessions {
+		t.Fatalf("sessions total = %d, want ≥ %d", st.SessionsTotal, sessions)
+	}
+	if st.Navs == 0 {
+		t.Fatal("no navigations counted")
+	}
+}
+
+// TestBatchedNavigationReducesMessages runs the same exploration — a
+// d,(f,r)* scan of the first k answer children (Example 1's client
+// pattern) — once as one command per message and once pipelined, and
+// asserts the batched version takes strictly fewer round trips while
+// returning the same labels.
+func TestBatchedNavigationReducesMessages(t *testing.T) {
+	_, addr := startMixd(t, server.Config{})
+	const k = 10
+
+	c1, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := c1.Open(queryCorpus[0].q); err != nil {
+		t.Fatal(err)
+	}
+	base := c1.RoundTrips()
+	singles, err := nav.Labels(c1, k) // root, down, then fetch/right per child
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleTrips := c1.RoundTrips() - base
+
+	c2, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Open(queryCorpus[0].q); err != nil {
+		t.Fatal(err)
+	}
+	base = c2.RoundTrips()
+	b := c2.NewBatch()
+	ch := b.Down(b.Root())
+	var fetches []vxdp.Ref
+	for i := 0; i < k; i++ {
+		fetches = append(fetches, b.Fetch(ch))
+		ch = b.Right(ch)
+	}
+	results, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchTrips := c2.RoundTrips() - base
+
+	var batched []string
+	for _, f := range fetches {
+		if results[f].OK {
+			batched = append(batched, results[f].Label)
+		}
+	}
+	if len(batched) != len(singles) {
+		t.Fatalf("batched scan saw %d labels, singles %d", len(batched), len(singles))
+	}
+	for i := range singles {
+		if batched[i] != singles[i] {
+			t.Fatalf("label %d: batched %q ≠ single %q", i, batched[i], singles[i])
+		}
+	}
+	if batchTrips != 1 {
+		t.Fatalf("batched exploration took %d round trips, want 1", batchTrips)
+	}
+	if singleTrips <= batchTrips {
+		t.Fatalf("one-command-per-message took %d trips, batched %d — no reduction", singleTrips, batchTrips)
+	}
+}
+
+// TestMixdIdleEviction: a session that stops navigating is evicted
+// after the configured idle timeout while an active one survives.
+func TestMixdIdleEviction(t *testing.T) {
+	srv, addr := startMixd(t, server.Config{IdleTimeout: 100 * time.Millisecond})
+
+	idle, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	if err := idle.Open(queryCorpus[0].q); err != nil {
+		t.Fatal(err)
+	}
+	busy, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	if err := busy.Open(queryCorpus[0].q); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep one session busy well past the idle window; the other one
+	// goes quiet and must be evicted.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := busy.Root(); err != nil {
+			t.Fatalf("busy session died: %v", err)
+		}
+		st := srv.Stats()
+		if st.SessionsEvicted >= 1 && st.SessionsActive == 1 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.SessionsEvicted == 0 || st.SessionsActive != 1 {
+		t.Fatalf("idle session not evicted: %+v", st)
+	}
+	if _, err := idle.Root(); err == nil {
+		t.Fatal("evicted session still answering")
+	}
+}
