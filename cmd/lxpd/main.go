@@ -5,13 +5,14 @@
 //	lxpd -addr :7070 -file catalog.xml -chunk 20 -inline 64
 //	lxpd -addr :7070 -demo books -n 5000
 //	mixq -src amazon=lxp://localhost:7070/doc -q '...'
+//
+// -log-level and -log-json shape the structured log on stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"mix/internal/lxp"
+	"mix/internal/telemetry"
 	"mix/internal/workload"
 	"mix/internal/xmltree"
 )
@@ -31,18 +33,30 @@ func main() {
 	chunk := flag.Int("chunk", 20, "children per fill (0 = all at once)")
 	inline := flag.Int("inline", 64, "max subtree size returned inline (0 = always inline)")
 	grace := flag.Duration("grace", 5*time.Second, "drain deadline for graceful shutdown")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lxpd: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var doc *xmltree.Tree
 	switch {
 	case *file != "":
 		data, err := os.ReadFile(*file)
 		if err != nil {
-			log.Fatalf("lxpd: %v", err)
+			fatal("reading document", "err", err.Error())
 		}
 		doc, err = xmltree.UnmarshalXML(string(data))
 		if err != nil {
-			log.Fatalf("lxpd: parsing %s: %v", *file, err)
+			fatal("parsing document", "file", *file, "err", err.Error())
 		}
 	case *demo == "books":
 		doc = workload.Books("demo", *n, 1)
@@ -57,10 +71,10 @@ func main() {
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("lxpd: %v", err)
+		fatal("listening", "addr", *addr, "err", err.Error())
 	}
-	log.Printf("lxpd: serving %d-node document on %s (chunk=%d inline=%d)",
-		doc.Size(), l.Addr(), *chunk, *inline)
+	logger.Info("serving", "addr", l.Addr().String(),
+		"nodes", doc.Size(), "chunk", *chunk, "inline", *inline)
 	srv := lxp.NewTCPServer(&lxp.TreeServer{Tree: doc, Chunk: *chunk, InlineLimit: *inline})
 
 	// On SIGINT/SIGTERM: stop accepting, drain in-flight connections
@@ -72,17 +86,17 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil {
-			log.Fatalf("lxpd: %v", err)
+			fatal("serve", "err", err.Error())
 		}
 	case <-ctx.Done():
 		stop()
-		log.Printf("lxpd: signal received; draining connections")
+		logger.Info("signal received; draining connections")
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("lxpd: shutdown: %v (connections force-closed)", err)
+			logger.Warn("shutdown expired; connections force-closed", "err", err.Error())
 		}
 		<-errc
-		log.Printf("lxpd: bye")
+		logger.Info("bye")
 	}
 }

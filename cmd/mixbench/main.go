@@ -1,31 +1,57 @@
 // Command mixbench regenerates the experiment tables of EXPERIMENTS.md:
 // one table per paper claim (E1–E10). With no flags it runs everything;
-// -e selects one experiment, -md emits markdown for EXPERIMENTS.md.
+// -e selects one experiment, -md emits markdown for EXPERIMENTS.md, and
+// -json writes machine-readable results (the measured tables plus
+// per-experiment wall-clock ns) to a file for tracking runs over time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mix/internal/experiments"
 )
 
+// jsonResult is one experiment in the -json output: the measured table
+// (rows hold the navigation/message/byte counts) plus how long the
+// whole experiment took to run.
+type jsonResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"`
+	Expect  string     `json:"expect"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	NsOp    int64      `json:"ns_per_op"`
+}
+
 func main() {
 	id := flag.String("e", "", "run a single experiment (E1…E10)")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	flag.Parse()
 
-	var tables []experiments.Table
+	ids := experiments.IDs()
 	if *id != "" {
-		t, err := experiments.Run(*id)
+		ids = []string{*id}
+	}
+	tables := make([]experiments.Table, 0, len(ids))
+	results := make([]jsonResult, 0, len(ids))
+	for _, eid := range ids {
+		start := time.Now()
+		t, err := experiments.Run(eid)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		tables = []experiments.Table{t}
-	} else {
-		tables = experiments.All()
+		tables = append(tables, t)
+		results = append(results, jsonResult{
+			ID: t.ID, Title: t.Title, Claim: t.Claim, Expect: t.Expect,
+			Headers: t.Headers, Rows: t.Rows, NsOp: time.Since(start).Nanoseconds(),
+		})
 	}
 	for i, t := range tables {
 		if i > 0 {
@@ -36,5 +62,17 @@ func main() {
 		} else {
 			fmt.Println(t.Format())
 		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mixbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mixbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mixbench: wrote %d result(s) to %s\n", len(results), *jsonOut)
 	}
 }

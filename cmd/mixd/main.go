@@ -17,14 +17,19 @@
 // Each client session gets its own lazy-mediator engine over the shared
 // (immutable or serialized) sources, so concurrent sessions explore
 // independently. SIGINT/SIGTERM shut the daemon down gracefully.
+//
+// Observability: -http addr serves /metrics (Prometheus), /healthz, and
+// /debug/pprof/*; -trace enables per-session navigation tracing (the
+// wire trace command and per-operator latency histograms); -log-level
+// and -log-json shape the structured log on stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -35,8 +40,10 @@ import (
 	"mix/internal/buffer"
 	"mix/internal/lxp"
 	"mix/internal/mediator"
+	"mix/internal/metrics"
 	"mix/internal/relational"
 	"mix/internal/server"
+	"mix/internal/telemetry"
 	"mix/internal/workload"
 	"mix/internal/wrapper"
 	"mix/internal/xmltree"
@@ -53,9 +60,12 @@ func (m *multiFlag) Set(s string) error {
 // sourceSpec registers one configured source on a per-session mediator.
 // The closure shares loaded trees / databases / LXP connections across
 // sessions; per-session state (buffers, TreeDocs) is created fresh.
+// counters, when non-nil, is the shared per-source counter set exposed
+// on /metrics (LXP-backed sources only).
 type sourceSpec struct {
 	name     string
 	register func(m *mediator.Mediator) error
+	counters *metrics.Counters
 }
 
 func main() {
@@ -67,21 +77,39 @@ func main() {
 	idle := flag.Duration("idle", 2*time.Minute, "evict sessions idle this long (0 = never)")
 	lifetime := flag.Duration("lifetime", 0, "evict sessions this long after accept (0 = never)")
 	grace := flag.Duration("grace", 5*time.Second, "drain deadline for graceful shutdown")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	traceOn := flag.Bool("trace", false, "record per-session navigation traces (wire trace command, operator histograms)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mixd: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	if len(srcs) == 0 {
 		fmt.Fprintln(os.Stderr, "mixd: no sources; use -src (and see -help)")
 		os.Exit(2)
 	}
 	specs := make([]sourceSpec, 0, len(srcs))
+	sourceCounters := map[string]*metrics.Counters{}
 	for _, s := range srcs {
 		name, loc, ok := strings.Cut(s, "=")
 		if !ok {
-			log.Fatalf("mixd: malformed -src %q (want name=location)", s)
+			fatal("malformed -src (want name=location)", "src", s)
 		}
 		spec, err := openSource(name, loc)
 		if err != nil {
-			log.Fatalf("mixd: source %s: %v", name, err)
+			fatal("opening source", "source", name, "err", err.Error())
+		}
+		if spec.counters != nil {
+			sourceCounters[spec.name] = spec.counters
 		}
 		specs = append(specs, spec)
 	}
@@ -89,11 +117,11 @@ func main() {
 	for _, v := range views {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok {
-			log.Fatalf("mixd: malformed -view %q (want name=path)", v)
+			fatal("malformed -view (want name=path)", "view", v)
 		}
 		text, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatalf("mixd: %v", err)
+			fatal("reading view", "view", name, "err", err.Error())
 		}
 		viewTexts[name] = string(text)
 	}
@@ -113,20 +141,39 @@ func main() {
 			}
 			return m, nil
 		},
-		MaxSessions: *maxSessions,
-		IdleTimeout: *idle,
-		MaxLifetime: *lifetime,
+		MaxSessions:    *maxSessions,
+		IdleTimeout:    *idle,
+		MaxLifetime:    *lifetime,
+		Logger:         logger,
+		Trace:          *traceOn,
+		SourceCounters: sourceCounters,
 	})
 	if err != nil {
-		log.Fatalf("mixd: %v", err)
+		fatal("configuring server", "err", err.Error())
 	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("mixd: %v", err)
+		fatal("listening", "addr", *addr, "err", err.Error())
 	}
-	log.Printf("mixd: serving %d source(s), %d view(s) on %s (max-sessions=%d idle=%v)",
-		len(specs), len(viewTexts), l.Addr(), *maxSessions, *idle)
+	logger.Info("serving", "addr", l.Addr().String(),
+		"sources", len(specs), "views", len(viewTexts),
+		"max_sessions", *maxSessions, "idle", idle.String(), "trace", *traceOn)
+
+	var hsrv *http.Server
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal("listening for http", "addr", *httpAddr, "err", err.Error())
+		}
+		hsrv = &http.Server{Handler: srv.Handler()}
+		logger.Info("http sidecar up", "addr", hl.Addr().String())
+		go func() {
+			if err := hsrv.Serve(hl); err != nil && err != http.ErrServerClosed {
+				logger.Error("http sidecar", "err", err.Error())
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -135,18 +182,21 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil {
-			log.Fatalf("mixd: %v", err)
+			fatal("serve", "err", err.Error())
 		}
 	case <-ctx.Done():
 		stop()
-		log.Printf("mixd: signal received; draining sessions")
+		logger.Info("signal received; draining sessions")
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("mixd: shutdown: %v (sessions force-closed)", err)
+			logger.Warn("shutdown expired; sessions force-closed", "err", err.Error())
+		}
+		if hsrv != nil {
+			_ = hsrv.Shutdown(sctx)
 		}
 		<-errc
-		log.Printf("mixd: bye (%s)", srv.Stats())
+		logger.Info("bye", "stats", srv.Stats().String())
 	}
 }
 
@@ -159,8 +209,12 @@ func openSource(name, loc string) (sourceSpec, error) {
 		if err != nil {
 			return fail(err)
 		}
-		return sourceSpec{name: name, register: func(m *mediator.Mediator) error {
-			_, err := m.RegisterLXP(name, &wrapper.Relational{DB: db, ChunkRows: 50}, name)
+		// One counter set for the source; each session gets a fresh
+		// wrapper over the shared database, counted into it.
+		counters := &metrics.Counters{}
+		return sourceSpec{name: name, counters: counters, register: func(m *mediator.Mediator) error {
+			srv := &lxp.Counting{Inner: &wrapper.Relational{DB: db, ChunkRows: 50}, Counters: counters}
+			_, err := m.RegisterLXP(name, srv, name)
 			return err
 		}}, nil
 	}
@@ -174,9 +228,11 @@ func openSource(name, loc string) (sourceSpec, error) {
 			return fail(fmt.Errorf("dialing %s: %w", hostport, err))
 		}
 		// The LXP client serializes concurrent use, so sessions share
-		// the connection; each session buffers independently.
-		return sourceSpec{name: name, register: func(m *mediator.Mediator) error {
-			b, err := buffer.New(client, uri)
+		// the connection (and its counters); each session buffers
+		// independently.
+		counting := &lxp.Counting{Inner: client, Counters: &metrics.Counters{}}
+		return sourceSpec{name: name, counters: counting.Counters, register: func(m *mediator.Mediator) error {
+			b, err := buffer.New(counting, uri)
 			if err != nil {
 				return err
 			}

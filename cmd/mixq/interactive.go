@@ -22,13 +22,21 @@ import (
 //	s NAME   select — first child named NAME
 //	?        help
 //	q        quit
-func interact(cur *mediator.Element, in io.Reader, out io.Writer) error {
+//
+// after, when non-nil, runs after every command that touched the
+// document — the hook `mixq -trace` uses to print the navigation's
+// fan-out tree.
+func interact(cur *mediator.Element, in io.Reader, out io.Writer, after func(io.Writer)) error {
 	var stack []*mediator.Element
 	name, err := cur.Name()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "at <%s>  (d/r/u/f/t/s NAME/q, ? for help)\n", name)
+	if after == nil {
+		after = func(io.Writer) {}
+	}
+	after(out) // the prompt banner already fetched the root's name
 
 	sc := bufio.NewScanner(in)
 	for {
@@ -50,6 +58,7 @@ func interact(cur *mediator.Element, in io.Reader, out io.Writer) error {
 			}
 			if next == nil {
 				fmt.Fprintln(out, "⊥ (leaf)")
+				after(out)
 				continue
 			}
 			stack = append(stack, cur)
@@ -62,6 +71,7 @@ func interact(cur *mediator.Element, in io.Reader, out io.Writer) error {
 			}
 			if next == nil {
 				fmt.Fprintln(out, "⊥ (no right sibling)")
+				after(out)
 				continue
 			}
 			cur = next
@@ -93,6 +103,7 @@ func interact(cur *mediator.Element, in io.Reader, out io.Writer) error {
 			}
 			if next == nil {
 				fmt.Fprintf(out, "⊥ (no child %q)\n", arg)
+				after(out)
 				continue
 			}
 			stack = append(stack, cur)
@@ -100,6 +111,10 @@ func interact(cur *mediator.Element, in io.Reader, out io.Writer) error {
 			printAt(out, cur)
 		default:
 			fmt.Fprintf(out, "unknown command %q (? for help)\n", cmd)
+		}
+		switch cmd {
+		case "d", "r", "f", "t", "s":
+			after(out) // these touched the document (u is client-side)
 		}
 	}
 }

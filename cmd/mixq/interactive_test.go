@@ -1,10 +1,12 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 
 	"mix/internal/mediator"
+	"mix/internal/trace"
 	"mix/internal/workload"
 )
 
@@ -31,7 +33,7 @@ AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2`)
 func TestInteractSession(t *testing.T) {
 	var out strings.Builder
 	in := strings.NewReader("d\nf\nd\nt\nu\nr\ns home\nu\nu\nbogus\n?\nq\n")
-	if err := interact(testResult(t), in, &out); err != nil {
+	if err := interact(testResult(t), in, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -49,7 +51,7 @@ func TestInteractBoundaries(t *testing.T) {
 	var out strings.Builder
 	// up at root, right at root, down to a leaf, select miss.
 	in := strings.NewReader("u\nr\ns nosuch\nd\nd\nd\nd\nd\nq\n")
-	if err := interact(testResult(t), in, &out); err != nil {
+	if err := interact(testResult(t), in, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -60,9 +62,43 @@ func TestInteractBoundaries(t *testing.T) {
 	}
 }
 
+// TestInteractTraceHook drives the -trace setup: a traced engine with a
+// trace-wrapped client document and the printForest after hook, so each
+// interactive command is followed by its fan-out tree.
+func TestInteractTraceHook(t *testing.T) {
+	homes, schools := workload.HomesSchools(5, 5, 2, 3)
+	m := mediator.New(mediator.DefaultOptions())
+	rec := trace.New()
+	m.SetTracer(rec)
+	m.RegisterTree("homesSrc", homes)
+	m.RegisterTree("schoolsSrc", schools)
+	res, err := m.Query(`
+CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := mediator.Wrap(trace.NewDoc(res.Document(), trace.ClientLabel, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	after := func(w io.Writer) { printForest(w, rec.Take()) }
+	if err := interact(root, strings.NewReader("d\nf\nq\n"), &out, after); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{trace.ClientLabel + " d", "src:", "source navigations:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace hook output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestInteractEOF(t *testing.T) {
 	var out strings.Builder
-	if err := interact(testResult(t), strings.NewReader(""), &out); err != nil {
+	if err := interact(testResult(t), strings.NewReader(""), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 }

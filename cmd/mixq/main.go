@@ -15,20 +15,31 @@
 // explicit hole for the rest), -eager uses the materializing baseline,
 // -plan prints the final algebra plan, and -stats reports source
 // navigation counts.
+//
+// -trace records the fan-out behind every client navigation: with -i
+// each command is followed by its span tree (operator pulls down to
+// source navigations, with latencies); otherwise a per-operator summary
+// is printed after evaluation. With -connect the trace comes from the
+// server (which must run with mixd -trace).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"mix/internal/algebra"
 	"mix/internal/lxp"
 	"mix/internal/mediator"
 	"mix/internal/nav"
 	"mix/internal/relational"
+	"mix/internal/trace"
 	"mix/internal/vxdp"
+	"mix/internal/workload"
 	"mix/internal/wrapper"
 	"mix/internal/xmltree"
 )
@@ -53,6 +64,7 @@ func main() {
 	eager := flag.Bool("eager", false, "use the materializing baseline evaluator")
 	plan := flag.Bool("plan", false, "print the final algebra plan")
 	stats := flag.Bool("stats", false, "print per-source navigation counts")
+	traceOn := flag.Bool("trace", false, "print the operator/source fan-out behind each navigation")
 	flag.Parse()
 
 	query := *q
@@ -72,13 +84,21 @@ func main() {
 		if len(srcs) > 0 || len(views) > 0 || *eager || *plan {
 			fatal(fmt.Errorf("-connect navigates the server's sources and views; -src/-view/-eager/-plan do not apply"))
 		}
-		if err := runRemote(*connect, query, *first, *interactive, *stats); err != nil {
+		if err := runRemote(*connect, query, *first, *interactive, *stats, *traceOn); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	m := mediator.New(mediator.DefaultOptions())
+	var rec *trace.Recorder
+	if *traceOn {
+		if *eager {
+			fatal(fmt.Errorf("-trace instruments the lazy engine; it does not apply to -eager"))
+		}
+		rec = trace.New()
+		m.SetTracer(rec)
+	}
 	counters := map[string]*nav.CountingDoc{}
 	for _, s := range srcs {
 		name, loc, ok := strings.Cut(s, "=")
@@ -126,11 +146,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		root, err := res.Root()
+		doc := res.Document()
+		var after func(io.Writer)
+		if rec != nil {
+			doc = trace.NewDoc(doc, trace.ClientLabel, rec)
+			after = func(w io.Writer) { printForest(w, rec.Take()) }
+		}
+		root, err := mediator.Wrap(doc)
 		if err != nil {
 			fatal(err)
 		}
-		if err := interact(root, os.Stdin, os.Stdout); err != nil {
+		if err := interact(root, os.Stdin, os.Stdout, after); err != nil {
 			fatal(err)
 		}
 		return
@@ -144,10 +170,14 @@ func main() {
 		var res *mediator.Result
 		res, err = m.Query(query)
 		if err == nil {
+			doc := res.Document()
+			if rec != nil {
+				doc = trace.NewDoc(doc, trace.ClientLabel, rec)
+			}
 			if *first > 0 {
-				answer, err = nav.ExploreFirst(res.Document(), *first)
+				answer, err = nav.ExploreFirst(doc, *first)
 			} else {
-				answer, err = res.Materialize()
+				answer, err = nav.Materialize(doc)
 			}
 		}
 	}
@@ -156,6 +186,9 @@ func main() {
 	}
 	fmt.Print(xmltree.MarshalIndent(answer))
 
+	if rec != nil {
+		printSummary(os.Stderr, rec.Take())
+	}
 	if *stats {
 		fmt.Fprintln(os.Stderr)
 		for name, cd := range counters {
@@ -164,9 +197,41 @@ func main() {
 	}
 }
 
+// printForest renders a navigation's span forest and its
+// source-navigation totals — the per-command output of -i -trace.
+func printForest(out io.Writer, roots []*trace.Span) {
+	if len(roots) == 0 {
+		return
+	}
+	fmt.Fprint(out, trace.Format(roots))
+	if totals := trace.SourceTotals(roots); len(totals) > 0 {
+		fmt.Fprint(out, "source navigations:")
+		for _, op := range []string{"d", "r", "f", "select", "root"} {
+			if totals[op] > 0 {
+				fmt.Fprintf(out, " %s=%d", op, totals[op])
+			}
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// printSummary renders the per-(operator, command) aggregation of a
+// whole evaluation — the batch-mode output of -trace.
+func printSummary(out io.Writer, roots []*trace.Span) {
+	sum := trace.Summarize(roots)
+	if len(sum) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "\ntrace summary (label op count total):")
+	for _, s := range sum {
+		fmt.Fprintf(out, "  %-28s %-6s %6d %s\n", s.Label, s.Op, s.Count, s.Total.Round(time.Microsecond))
+	}
+	fmt.Fprintf(out, "source navigations: %d\n", trace.SourceNavigations(roots))
+}
+
 // runRemote opens the query as a session on a mixd server and
 // navigates the remote virtual answer.
-func runRemote(addr, query string, first int, interactive, stats bool) error {
+func runRemote(addr, query string, first int, interactive, stats, traceOn bool) error {
 	client, err := vxdp.Dial(addr)
 	if err != nil {
 		return fmt.Errorf("dialing %s: %w", addr, err)
@@ -180,7 +245,22 @@ func runRemote(addr, query string, first int, interactive, stats bool) error {
 		if err != nil {
 			return err
 		}
-		return interact(root, os.Stdin, os.Stdout)
+		var after func(io.Writer)
+		if traceOn {
+			after = func(w io.Writer) {
+				roots, err := client.Trace()
+				if err != nil {
+					fmt.Fprintf(w, "trace: %v\n", err)
+					return
+				}
+				if len(roots) == 0 {
+					fmt.Fprintln(w, "trace: empty (is the server running with mixd -trace?)")
+					return
+				}
+				printForest(w, roots)
+			}
+		}
+		return interact(root, os.Stdin, os.Stdout, after)
 	}
 	var answer *xmltree.Tree
 	if first > 0 {
@@ -192,6 +272,17 @@ func runRemote(addr, query string, first int, interactive, stats bool) error {
 		return err
 	}
 	fmt.Print(xmltree.MarshalIndent(answer))
+	if traceOn {
+		roots, err := client.Trace()
+		if err != nil {
+			return err
+		}
+		if len(roots) == 0 {
+			fmt.Fprintln(os.Stderr, "\ntrace: empty (is the server running with mixd -trace?)")
+		} else {
+			printSummary(os.Stderr, roots)
+		}
+	}
 	if stats {
 		st, err := client.Stats()
 		if err != nil {
@@ -224,6 +315,29 @@ func openSource(m *mediator.Mediator, name, loc string) (nav.Document, error) {
 			return nil, fmt.Errorf("dialing %s: %w", addr, err)
 		}
 		return bufferFor(client, uri)
+	}
+	if rest, ok := strings.CutPrefix(loc, "demo:"); ok {
+		// Generated datasets, like mixd's: demo:kind or demo:kind:n.
+		kind, nstr, _ := strings.Cut(rest, ":")
+		n := 1000
+		if nstr != "" {
+			var err error
+			if n, err = strconv.Atoi(nstr); err != nil {
+				return nil, fmt.Errorf("malformed demo size %q", nstr)
+			}
+		}
+		var t *xmltree.Tree
+		switch kind {
+		case "books":
+			t = workload.Books(name, n, 1)
+		case "homes":
+			t, _ = workload.HomesSchools(n, 0, n/10+1, 1)
+		case "schools":
+			_, t = workload.HomesSchools(0, n, n/10+1, 1)
+		default:
+			return nil, fmt.Errorf("unknown demo dataset %q (books|homes|schools)", kind)
+		}
+		return nav.NewTreeDoc(t), nil
 	}
 	data, err := os.ReadFile(loc)
 	if err != nil {

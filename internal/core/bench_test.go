@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mix/internal/nav"
+	"mix/internal/trace"
 	"mix/internal/workload"
 	"mix/internal/xmltree"
 )
@@ -48,7 +49,9 @@ func BenchmarkFirstResult(b *testing.B) {
 }
 
 // BenchmarkFullMaterialize: complete lazy evaluation of the running
-// example.
+// example. With no tracer installed this must match the pre-trace
+// baseline exactly — the nil-tracer compile path adds no wrappers and
+// no allocations (compare against BenchmarkFullMaterializeTraced).
 func BenchmarkFullMaterialize(b *testing.B) {
 	e, _ := benchEngine(b, 200)
 	plan := workload.HomesSchoolsPlan()
@@ -61,5 +64,24 @@ func BenchmarkFullMaterialize(b *testing.B) {
 		if _, err := q.Materialize(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFullMaterializeTraced: the same evaluation with a recorder
+// installed — the price of observability when it is switched on.
+func BenchmarkFullMaterializeTraced(b *testing.B) {
+	e, _ := benchEngine(b, 200)
+	e.SetTracer(trace.New())
+	plan := workload.HomesSchoolsPlan()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q, err := e.Compile(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Materialize(); err != nil {
+			b.Fatal(err)
+		}
+		e.tracer.Take() // don't let the forest accumulate across iterations
 	}
 }

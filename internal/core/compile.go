@@ -8,6 +8,7 @@ import (
 	"mix/internal/algebra"
 	"mix/internal/nav"
 	"mix/internal/pathexpr"
+	"mix/internal/trace"
 	"mix/internal/xmltree"
 )
 
@@ -43,6 +44,11 @@ func DefaultOptions() Options {
 // happens before it; compiled queries keep the source they resolved).
 type Engine struct {
 	opts Options
+
+	// tracer, when non-nil, instruments every compiled plan with
+	// navigation tracing (see SetTracer in trace.go). nil — the
+	// default — compiles plans with no instrumentation at all.
+	tracer *trace.Recorder
 
 	regMu sync.RWMutex
 	reg   map[string]nav.Document
@@ -223,8 +229,19 @@ func (q *Query) Materialize() (*xmltree.Tree, error) {
 	return nav.Materialize(q.Document())
 }
 
-// compile builds the stream constructor for a plan node.
+// compile builds the stream constructor for a plan node, wrapping it
+// with a traced stream when a tracer is installed (the per-operator
+// boundary of the observability layer).
 func (e *Engine) compile(p algebra.Op) (builder, error) {
+	b, err := e.compileOp(p)
+	if err != nil || e.tracer == nil {
+		return b, err
+	}
+	return traceStreamBuilder(b, opLabel(p), e.tracer), nil
+}
+
+// compileOp dispatches compilation per operator.
+func (e *Engine) compileOp(p algebra.Op) (builder, error) {
 	switch op := p.(type) {
 	case *algebra.Source:
 		return e.compileSource(op)
@@ -295,6 +312,12 @@ func (e *Engine) compileSource(op *algebra.Source) (builder, error) {
 	doc, ok := e.lookup(op.URL)
 	if !ok {
 		return nil, fmt.Errorf("core: unregistered source %q", op.URL)
+	}
+	if e.tracer != nil {
+		// Source boundary: every navigation answered by this source
+		// becomes a span, so trace totals equal the counter totals a
+		// CountingDoc measures at the same boundary.
+		doc = trace.NewDoc(doc, trace.SourcePrefix+op.URL, e.tracer)
 	}
 	varName := op.Var
 	return func() (stream, error) {

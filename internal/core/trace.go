@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"mix/internal/algebra"
+	"mix/internal/trace"
+)
+
+// SetTracer installs a navigation-trace recorder on the engine. Plans
+// compiled *after* the call get a trace.Doc at every source boundary
+// and a traced stream at every operator boundary, so each client
+// navigation unfolds into a causal span tree (operator pulls → source
+// navigations) in the recorder. Plans compiled without a tracer are
+// completely untouched — tracing off is the zero-cost default.
+//
+// Set the tracer before compiling; it is not synchronized with
+// concurrent Compile calls.
+func (e *Engine) SetTracer(rec *trace.Recorder) { e.tracer = rec }
+
+// opLabel names an operator for trace spans and latency histograms.
+func opLabel(p algebra.Op) string {
+	switch op := p.(type) {
+	case *algebra.Source:
+		return "source(" + op.URL + ")"
+	case *algebra.GetDescendants:
+		return "getDescendants(" + op.Path.String() + ")"
+	case *algebra.Select:
+		return "select"
+	case *algebra.Join:
+		return "join"
+	case *algebra.GroupBy:
+		return "groupBy"
+	case *algebra.Concatenate:
+		return "concatenate"
+	case *algebra.CreateElement:
+		return "createElement"
+	case *algebra.OrderBy:
+		return "orderBy"
+	case *algebra.Project:
+		return "project"
+	case *algebra.Union:
+		return "union"
+	case *algebra.Difference:
+		return "difference"
+	case *algebra.Distinct:
+		return "distinct"
+	case *algebra.WrapList:
+		return "wrapList"
+	case *algebra.Const:
+		return "const"
+	case *algebra.Rename:
+		return "rename"
+	case *algebra.TupleDestroy:
+		return "tupleDestroy"
+	default:
+		return fmt.Sprintf("%T", p)
+	}
+}
+
+// tracedStream wraps an operator's output stream so every pull opens a
+// span: the causal record of how demand on this operator propagated.
+// The wrapper is persistent like the stream it wraps — each tail is
+// wrapped again — and memoized replays of earlier positions bypass it
+// entirely (cache hits cost no navigation, so they leave no span).
+type tracedStream struct {
+	in    stream
+	label string
+	rec   *trace.Recorder
+}
+
+func (t tracedStream) next() (*binding, stream, error) {
+	sp := t.rec.Begin(t.label, "next")
+	b, rest, err := t.in.next()
+	t.rec.End(sp)
+	if rest != nil {
+		rest = tracedStream{in: rest, label: t.label, rec: t.rec}
+	}
+	return b, rest, err
+}
+
+// traceStreamBuilder wraps a builder so the streams it creates are
+// traced under the given operator label.
+func traceStreamBuilder(b builder, label string, rec *trace.Recorder) builder {
+	return func() (stream, error) {
+		s, err := b()
+		if err != nil {
+			return nil, err
+		}
+		return tracedStream{in: s, label: label, rec: rec}, nil
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"mix/internal/metrics"
+	"mix/internal/nav"
+	"mix/internal/trace"
+	"mix/internal/workload"
+)
+
+// TestTraceTotalsMatchCounters drives client navigations over a traced
+// engine whose sources are counting-wrapped, and checks — navigation by
+// navigation — that the trace's source-navigation totals equal the
+// counter deltas at the same boundary. This is the invariant behind
+// `mixq -trace`: the fan-out tree is an attribution of exactly the
+// navigations the counters measure.
+func TestTraceTotalsMatchCounters(t *testing.T) {
+	homes, schools := workload.HomesSchools(8, 8, 3, 7)
+	rec := trace.New()
+	e := New(DefaultOptions())
+	e.SetTracer(rec)
+	counters := map[string]*nav.CountingDoc{
+		"homesSrc":   nav.NewCountingDoc(nav.NewTreeDoc(homes)),
+		"schoolsSrc": nav.NewCountingDoc(nav.NewTreeDoc(schools)),
+	}
+	for name, cd := range counters {
+		e.Register(name, cd)
+	}
+	q, err := e.Compile(workload.HomesSchoolsPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client document is traced too, so every client command roots
+	// a span tree.
+	doc := trace.NewDoc(q.Document(), trace.ClientLabel, rec)
+
+	snap := func() metrics.Snapshot {
+		var s metrics.Snapshot
+		for _, cd := range counters {
+			c := cd.Counters.Snapshot()
+			s.Down += c.Down
+			s.Right += c.Right
+			s.Fetch += c.Fetch
+			s.Select += c.Select
+			s.Root += c.Root
+		}
+		return s
+	}
+
+	check := func(step string, navigate func() (nav.ID, error)) nav.ID {
+		t.Helper()
+		before := snap()
+		id, err := navigate()
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		roots := rec.Take()
+		delta := snap().Sub(before)
+		totals := trace.SourceTotals(roots)
+		if totals["d"] != delta.Down || totals["r"] != delta.Right ||
+			totals["f"] != delta.Fetch || totals["select"] != delta.Select ||
+			totals["root"] != delta.Root {
+			t.Fatalf("%s: trace totals %v != counter delta %+v\n%s",
+				step, totals, delta, trace.Format(roots))
+		}
+		return id
+	}
+
+	root := check("root", doc.Root)
+	cur := check("down", func() (nav.ID, error) { return doc.Down(root) })
+	check("fetch", func() (nav.ID, error) { _, err := doc.Fetch(cur); return nil, err })
+	cur = check("down2", func() (nav.ID, error) { return doc.Down(cur) })
+	for cur != nil {
+		next := check("right", func() (nav.ID, error) { return doc.Right(cur) })
+		if next != nil {
+			check("fetch-sib", func() (nav.ID, error) { _, err := doc.Fetch(next); return nil, err })
+		}
+		cur = next
+	}
+}
+
+// TestTraceShowsOperatorFanOut checks the causal structure: a client
+// navigation's span tree nests operator pulls above source navigations.
+func TestTraceShowsOperatorFanOut(t *testing.T) {
+	homes, schools := workload.HomesSchools(5, 5, 2, 3)
+	rec := trace.New()
+	e := New(DefaultOptions())
+	e.SetTracer(rec)
+	e.Register("homesSrc", nav.NewTreeDoc(homes))
+	e.Register("schoolsSrc", nav.NewTreeDoc(schools))
+	q, err := e.Compile(workload.HomesSchoolsPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := trace.NewDoc(q.Document(), trace.ClientLabel, rec)
+	root, err := doc.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Take() // root is lazy: discard its (empty) trace
+	if _, err := doc.Down(root); err != nil {
+		t.Fatal(err)
+	}
+	roots := rec.Take()
+	if len(roots) != 1 || roots[0].Label != trace.ClientLabel {
+		t.Fatalf("want one client root, got:\n%s", trace.Format(roots))
+	}
+	sum := trace.Summarize(roots)
+	var sawOperator, sawSource bool
+	for _, s := range sum {
+		if s.Op == "next" && s.Label != trace.ClientLabel {
+			sawOperator = true
+		}
+		if s.Label == trace.SourcePrefix+"homesSrc" || s.Label == trace.SourcePrefix+"schoolsSrc" {
+			sawSource = true
+		}
+	}
+	if !sawOperator || !sawSource {
+		t.Fatalf("fan-out missing operator or source spans:\n%s", trace.Format(roots))
+	}
+	if n := trace.SourceNavigations(roots); n == 0 {
+		t.Fatal("first down induced no source navigations")
+	}
+}
+
+// TestUntracedEngineHasNoWrappers ensures the zero-cost default: with
+// no tracer installed nothing about compilation changes (the traced
+// benchmark comparison in bench_test.go quantifies this; here we just
+// pin the nil-tracer path through a full evaluation).
+func TestUntracedEngineHasNoWrappers(t *testing.T) {
+	homes, schools := workload.HomesSchools(5, 5, 2, 3)
+	e := New(DefaultOptions())
+	e.Register("homesSrc", nav.NewTreeDoc(homes))
+	e.Register("schoolsSrc", nav.NewTreeDoc(schools))
+	q, err := e.Compile(workload.HomesSchoolsPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+}

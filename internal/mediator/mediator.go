@@ -23,6 +23,7 @@ import (
 	"mix/internal/eager"
 	"mix/internal/lxp"
 	"mix/internal/nav"
+	"mix/internal/trace"
 	"mix/internal/xmas"
 	"mix/internal/xmltree"
 )
@@ -64,6 +65,13 @@ func New(opts Options) *Mediator {
 		views:  map[string]algebra.Op{},
 	}
 }
+
+// SetTracer installs a navigation-trace recorder on the mediator's
+// engine: queries prepared after the call produce causal traces of how
+// client navigations fan out through the lazy-mediator tree into
+// source navigations. Install before the first Query; without a
+// tracer, query evaluation is completely uninstrumented.
+func (m *Mediator) SetTracer(rec *trace.Recorder) { m.engine.SetTracer(rec) }
 
 // RegisterSource exposes an arbitrary navigable document under name.
 func (m *Mediator) RegisterSource(name string, doc nav.Document) {

@@ -45,6 +45,21 @@ func (c *Counters) Reset() {
 	c.Queries.Store(0)
 }
 
+// Add accumulates a snapshot into the counters — used to fold a
+// finished session's counters into a server-wide total.
+func (c *Counters) Add(s Snapshot) {
+	c.Down.Add(s.Down)
+	c.Right.Add(s.Right)
+	c.Fetch.Add(s.Fetch)
+	c.Select.Add(s.Select)
+	c.Root.Add(s.Root)
+	c.Msgs.Add(s.Msgs)
+	c.Bytes.Add(s.Bytes)
+	c.Tuples.Add(s.Tuples)
+	c.Fills.Add(s.Fills)
+	c.Queries.Add(s.Queries)
+}
+
 // Snapshot is an immutable copy of a Counters' values.
 type Snapshot struct {
 	Down, Right, Fetch, Select, Root    int64
@@ -70,6 +85,23 @@ func (c *Counters) Snapshot() Snapshot {
 // Navigations of a snapshot.
 func (s Snapshot) Navigations() int64 { return s.Down + s.Right + s.Fetch + s.Select + s.Root }
 
+// Add returns the element-wise sum s + t, for aggregating snapshots
+// from several boundaries (e.g. a server's live sessions).
+func (s Snapshot) Add(t Snapshot) Snapshot {
+	return Snapshot{
+		Down:    s.Down + t.Down,
+		Right:   s.Right + t.Right,
+		Fetch:   s.Fetch + t.Fetch,
+		Select:  s.Select + t.Select,
+		Root:    s.Root + t.Root,
+		Msgs:    s.Msgs + t.Msgs,
+		Bytes:   s.Bytes + t.Bytes,
+		Tuples:  s.Tuples + t.Tuples,
+		Fills:   s.Fills + t.Fills,
+		Queries: s.Queries + t.Queries,
+	}
+}
+
 // Sub returns the element-wise difference s - t, for measuring a
 // window of activity between two snapshots.
 func (s Snapshot) Sub(t Snapshot) Snapshot {
@@ -88,6 +120,6 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 }
 
 func (s Snapshot) String() string {
-	return fmt.Sprintf("navs=%d (d=%d r=%d f=%d sel=%d) msgs=%d bytes=%d tuples=%d fills=%d",
-		s.Navigations(), s.Down, s.Right, s.Fetch, s.Select, s.Msgs, s.Bytes, s.Tuples, s.Fills)
+	return fmt.Sprintf("navs=%d (d=%d r=%d f=%d sel=%d root=%d) msgs=%d bytes=%d tuples=%d fills=%d queries=%d",
+		s.Navigations(), s.Down, s.Right, s.Fetch, s.Select, s.Root, s.Msgs, s.Bytes, s.Tuples, s.Fills, s.Queries)
 }

@@ -48,12 +48,29 @@ func TestCountersBasics(t *testing.T) {
 func TestSnapshotString(t *testing.T) {
 	var c Counters
 	c.Down.Add(4)
+	c.Root.Add(1)
 	c.Msgs.Add(2)
+	c.Queries.Add(3)
 	str := c.Snapshot().String()
-	for _, want := range []string{"navs=4", "d=4", "msgs=2"} {
+	// Every field must appear — root and queries were once dropped.
+	for _, want := range []string{"navs=5", "d=4", "root=1", "msgs=2", "queries=3"} {
 		if !strings.Contains(str, want) {
 			t.Errorf("String() missing %q: %s", want, str)
 		}
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	var a, b Counters
+	a.Down.Add(1)
+	a.Queries.Add(2)
+	b.Down.Add(10)
+	b.Root.Add(4)
+	b.Bytes.Add(8)
+	a.Add(b.Snapshot())
+	s := a.Snapshot()
+	if s.Down != 11 || s.Root != 4 || s.Bytes != 8 || s.Queries != 2 {
+		t.Fatalf("after Add: %+v", s)
 	}
 }
 

@@ -45,13 +45,17 @@ func (c *CountingDoc) Fetch(p ID) (string, error) {
 	return c.Doc.Fetch(p)
 }
 
-// SelectRight implements Selector iff the wrapped document does; it is
-// counted as a single native select command. If the wrapped document
-// does not implement Selector this method falls back to the generic
-// scan, whose individual r/f commands are counted instead — precisely
-// the complexity difference Section 2 attributes to extending NC.
+// NativeSelect forwards the native-select question to the wrapped
+// document: counting does not change the navigation command set.
+func (c *CountingDoc) NativeSelect() bool { return NativeSelector(c.Doc) }
+
+// SelectRight bills a single native select command iff the wrapped
+// document answers select(σ) natively (NativeSelector). Otherwise it
+// falls back to the generic scan, whose individual r/f commands are
+// counted instead — precisely the complexity difference Section 2
+// attributes to extending NC.
 func (c *CountingDoc) SelectRight(p ID, sigma Predicate, fromSelf bool) (ID, error) {
-	if s, ok := c.Doc.(Selector); ok {
+	if s, ok := c.Doc.(Selector); ok && NativeSelector(c.Doc) {
 		c.Counters.Select.Add(1)
 		return s.SelectRight(p, sigma, fromSelf)
 	}

@@ -65,6 +65,19 @@ type Selector interface {
 	SelectRight(p ID, sigma Predicate, fromSelf bool) (ID, error)
 }
 
+// NativeSelector reports whether d answers select(σ) as a single
+// native command. Documents that merely *wrap* another document (to
+// count, trace, …) implement the underlying NativeSelect method and
+// forward the question inward, so wrapping never changes the
+// navigation command set NC — only the underlying document does.
+func NativeSelector(d Document) bool {
+	if n, ok := d.(interface{ NativeSelect() bool }); ok {
+		return n.NativeSelect()
+	}
+	_, ok := d.(Selector)
+	return ok
+}
+
 // Select advances from p to the first sibling to the right whose label
 // satisfies sigma, using the Document's native SelectRight if it has
 // one and an r/f scan otherwise. When fromSelf is true, p itself is a

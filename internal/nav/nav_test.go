@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mix/internal/metrics"
 	"mix/internal/xmltree"
 )
 
@@ -245,6 +246,52 @@ func TestCountingSelectScanBilling(t *testing.T) {
 	}
 	if s.Fetch != 3 || s.Right != 2 {
 		t.Fatalf("scan billing f=%d r=%d, want 3/2", s.Fetch, s.Right)
+	}
+}
+
+func TestNativeSelector(t *testing.T) {
+	tree := NewTreeDoc(xmltree.Elem("r", xmltree.Leaf("a")))
+	if !NativeSelector(tree) {
+		t.Fatal("TreeDoc should answer select natively")
+	}
+	if NativeSelector(noSelect{d: tree}) {
+		t.Fatal("noSelect hides the selector")
+	}
+	// Wrappers forward the question instead of answering it themselves.
+	if !NativeSelector(NewCountingDoc(tree)) {
+		t.Fatal("CountingDoc over a native selector should stay native")
+	}
+	if NativeSelector(NewCountingDoc(noSelect{d: tree})) {
+		t.Fatal("CountingDoc over a non-native doc should not report native")
+	}
+}
+
+// TestCountingNestedWrapperSelectBilling pins the wrapper-of-wrapper
+// case: the outer CountingDoc sees an inner document that *implements*
+// Selector (the inner CountingDoc) but does not answer select natively,
+// so the scan must be billed hop by hop at both boundaries rather than
+// as one select command.
+func TestCountingNestedWrapperSelectBilling(t *testing.T) {
+	inner := NewCountingDoc(noSelect{d: NewTreeDoc(xmltree.Elem("r",
+		xmltree.Leaf("x"), xmltree.Leaf("x"), xmltree.Leaf("a")))})
+	outer := &CountingDoc{Doc: inner, Counters: &metrics.Counters{}}
+	root, _ := outer.Root()
+	first, _ := outer.Down(root)
+	outer.Counters.Reset()
+	inner.Counters.Reset()
+	p, err := outer.SelectRight(first, LabelIs("a"), true)
+	if err != nil || p == nil {
+		t.Fatalf("select: %v %v", p, err)
+	}
+	for name, s := range map[string]metrics.Snapshot{
+		"outer": outer.Counters.Snapshot(), "inner": inner.Counters.Snapshot(),
+	} {
+		if s.Select != 0 {
+			t.Fatalf("%s billed a native select through a non-native chain", name)
+		}
+		if s.Fetch != 3 || s.Right != 2 {
+			t.Fatalf("%s scan billing f=%d r=%d, want 3/2", name, s.Fetch, s.Right)
+		}
 	}
 }
 

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"mix/internal/telemetry"
+)
+
+// Handler returns the HTTP sidecar served by mixd -http: Prometheus
+// metrics, a health check, and the pprof debug surface.
+//
+//	/metrics         Prometheus text format: session counters,
+//	                 navigation counters by kind, per-source LXP
+//	                 counters, and latency histograms (per wire command
+//	                 always; per operator when tracing is on)
+//	/healthz         200 "ok", or 503 "draining" once Shutdown began
+//	/debug/pprof/*   the standard runtime profiles
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", s.serveHealth)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) serveHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.drainingNow() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := s.Stats()
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("mix_sessions_active", "VXDP sessions currently open", st.SessionsActive)
+	counter("mix_sessions_total", "VXDP sessions accepted since start", st.SessionsTotal)
+	counter("mix_sessions_evicted_total", "sessions evicted by idle or lifetime timeout", st.SessionsEvicted)
+	counter("mix_sessions_denied_total", "connections refused over the session limit", st.SessionsDenied)
+	counter("mix_msgs_total", "VXDP request frames served", st.Msgs)
+
+	fmt.Fprintf(w, "# HELP mix_navigations_total navigation commands answered at the client boundary, by kind\n")
+	fmt.Fprintf(w, "# TYPE mix_navigations_total counter\n")
+	for _, kv := range []struct {
+		kind string
+		v    int64
+	}{{"down", st.Down}, {"right", st.Right}, {"fetch", st.Fetch}, {"select", st.Select}, {"root", st.Root}} {
+		fmt.Fprintf(w, "mix_navigations_total{kind=%q} %d\n", kv.kind, kv.v)
+	}
+
+	if len(s.cfg.SourceCounters) > 0 {
+		names := make([]string, 0, len(s.cfg.SourceCounters))
+		for name := range s.cfg.SourceCounters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP mix_source_navigations_total navigation commands answered at a source boundary\n")
+		fmt.Fprintf(w, "# TYPE mix_source_navigations_total counter\n")
+		snaps := make(map[string]struct {
+			navs, msgs, bytes int64
+		}, len(names))
+		for _, name := range names {
+			c := s.cfg.SourceCounters[name].Snapshot()
+			snaps[name] = struct{ navs, msgs, bytes int64 }{c.Navigations(), c.Msgs, c.Bytes}
+			fmt.Fprintf(w, "mix_source_navigations_total{source=%q} %d\n", name, snaps[name].navs)
+		}
+		fmt.Fprintf(w, "# HELP mix_source_lxp_msgs_total LXP protocol messages exchanged with a source\n")
+		fmt.Fprintf(w, "# TYPE mix_source_lxp_msgs_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "mix_source_lxp_msgs_total{source=%q} %d\n", name, snaps[name].msgs)
+		}
+		fmt.Fprintf(w, "# HELP mix_source_lxp_bytes_total LXP payload bytes exchanged with a source\n")
+		fmt.Fprintf(w, "# TYPE mix_source_lxp_bytes_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "mix_source_lxp_bytes_total{source=%q} %d\n", name, snaps[name].bytes)
+		}
+	}
+
+	telemetry.WritePrometheus(w, "mix_command_duration_seconds",
+		"wire command service latency by op", "op", s.cmdHist)
+	telemetry.WritePrometheus(w, "mix_operator_duration_seconds",
+		"per-operator pull latency (populated when tracing is on)", "op", s.opHist)
+}

@@ -1,0 +1,250 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mix/internal/nav"
+	"mix/internal/server"
+	"mix/internal/trace"
+	"mix/internal/vxdp"
+)
+
+// TestStatsOpOverWire drives a live VXDP connection and checks both the
+// server-wide counters and the per-session block of the stats response.
+func TestStatsOpOverWire(t *testing.T) {
+	_, addr := start(t, server.Config{})
+	c, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Open(joinQuery); err != nil {
+		t.Fatal(err)
+	}
+	root, err := c.Root()
+	if err != nil || root == nil {
+		t.Fatalf("root: %v %v", root, err)
+	}
+	child, err := c.Down(root)
+	if err != nil || child == nil {
+		t.Fatalf("down: %v %v", child, err)
+	}
+	if _, err := c.Fetch(child); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SessionsActive != 1 || st.SessionsTotal != 1 {
+		t.Fatalf("sessions active=%d total=%d, want 1/1", st.SessionsActive, st.SessionsTotal)
+	}
+	// open + root + down + fetch + stats = 5 frames.
+	if st.Msgs != 5 {
+		t.Fatalf("msgs = %d, want 5", st.Msgs)
+	}
+	if st.Navs != 3 || st.Root != 1 || st.Down != 1 || st.Fetch != 1 {
+		t.Fatalf("server navs = %+v", st)
+	}
+	if st.Session == nil {
+		t.Fatal("stats response missing the per-session block")
+	}
+	s := st.Session
+	if s.ID == 0 || s.UptimeMs < 0 {
+		t.Fatalf("session identity: %+v", s)
+	}
+	if s.Opens != 1 || s.Msgs != 5 {
+		t.Fatalf("session opens=%d msgs=%d, want 1/5", s.Opens, s.Msgs)
+	}
+	if s.Navs != 3 || s.Root != 1 || s.Down != 1 || s.Fetch != 1 || s.Right != 0 || s.Select != 0 {
+		t.Fatalf("session navs = %+v", s)
+	}
+}
+
+// TestStatsAggregatesAcrossSessions checks that server totals are the
+// sum of live per-session counters while each session's own block stays
+// private to it.
+func TestStatsAggregatesAcrossSessions(t *testing.T) {
+	_, addr := start(t, server.Config{})
+	c1, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for _, c := range []*vxdp.Client{c1, c2} {
+		if err := c.Open(joinQuery); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Root(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c1.Down(mustRoot(t, c1)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1: root, root, down; c2: root → server-wide root=3, down=1.
+	if st.Root != 3 || st.Down != 1 {
+		t.Fatalf("server-wide root=%d down=%d, want 3/1", st.Root, st.Down)
+	}
+	if st.Session.Root != 1 || st.Session.Down != 0 {
+		t.Fatalf("c2's session block leaked c1's navigations: %+v", st.Session)
+	}
+}
+
+func mustRoot(t *testing.T, c *vxdp.Client) nav.ID {
+	t.Helper()
+	root, err := c.Root()
+	if err != nil || root == nil {
+		t.Fatalf("root: %v %v", root, err)
+	}
+	return root
+}
+
+// TestTraceOpOverWire checks the wire trace command on a tracing server:
+// the client gets the span forest behind its navigations, consecutive
+// calls partition the stream, and a non-tracing server returns nothing.
+func TestTraceOpOverWire(t *testing.T) {
+	_, addr := start(t, server.Config{Trace: true})
+	c, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Open(joinQuery); err != nil {
+		t.Fatal(err)
+	}
+	root, err := c.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Trace(); err != nil { // discard the (lazy) root's trace
+		t.Fatal(err)
+	}
+	if _, err := c.Down(root); err != nil {
+		t.Fatal(err)
+	}
+	roots, err := c.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 || roots[0].Label != trace.ClientLabel || roots[0].Op != "d" {
+		t.Fatalf("want one client d root, got:\n%s", trace.Format(roots))
+	}
+	if trace.SourceNavigations(roots) == 0 {
+		t.Fatalf("no source spans under the client navigation:\n%s", trace.Format(roots))
+	}
+	// Take semantics: the spans were consumed.
+	again, err := c.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second trace returned %d roots", len(again))
+	}
+}
+
+func TestTraceOpDisabled(t *testing.T) {
+	_, addr := start(t, server.Config{})
+	c, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Open(joinQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Root(); err != nil {
+		t.Fatal(err)
+	}
+	roots, err := c.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 0 {
+		t.Fatalf("non-tracing server returned %d spans", len(roots))
+	}
+}
+
+// TestHTTPSidecar exercises the mixd -http surface: /metrics reflects
+// navigations as they happen, /healthz reports liveness, and the pprof
+// index is mounted.
+func TestHTTPSidecar(t *testing.T) {
+	srv, addr := start(t, server.Config{Trace: true})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	_, before := get("/metrics")
+	for _, want := range []string{
+		"mix_sessions_active 0",
+		`mix_navigations_total{kind="down"} 0`,
+		"mix_msgs_total 0",
+	} {
+		if !strings.Contains(before, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, before)
+		}
+	}
+
+	c, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Open(joinQuery); err != nil {
+		t.Fatal(err)
+	}
+	root, err := c.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Down(root); err != nil {
+		t.Fatal(err)
+	}
+
+	_, after := get("/metrics")
+	for _, want := range []string{
+		"mix_sessions_active 1",
+		`mix_navigations_total{kind="down"} 1`,
+		`mix_navigations_total{kind="root"} 1`,
+		"mix_command_duration_seconds_count", // command latency histogram populated
+		"mix_operator_duration_seconds",      // operator histograms (tracing on)
+	} {
+		if !strings.Contains(after, want) {
+			t.Fatalf("metrics after navigation missing %q:\n%s", want, after)
+		}
+	}
+
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", code)
+	}
+}

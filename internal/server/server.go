@@ -27,6 +27,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -34,6 +36,7 @@ import (
 
 	"mix/internal/mediator"
 	"mix/internal/metrics"
+	"mix/internal/telemetry"
 	"mix/internal/vxdp"
 )
 
@@ -54,17 +57,37 @@ type Config struct {
 	// MaxLifetime evicts a session this long after it was accepted,
 	// busy or not (0 = never).
 	MaxLifetime time.Duration
+	// Logger receives structured session lifecycle and error events
+	// (nil = discard).
+	Logger *slog.Logger
+	// Trace enables per-session span recording: sessions answer the
+	// wire trace command with the fan-out behind their navigations, and
+	// per-operator latencies feed the operator histograms. Off by
+	// default; when off the engine hot path carries no instrumentation.
+	Trace bool
+	// SourceCounters names the per-source counters (e.g. from
+	// lxp.Counting wrappers) to expose on the /metrics endpoint. The
+	// server only reads them.
+	SourceCounters map[string]*metrics.Counters
 }
 
 // Server is a mixd instance. Create with New, run with Serve, stop with
 // Shutdown.
 type Server struct {
 	cfg Config
+	log *slog.Logger
 
-	// nav counts navigation commands answered across all sessions; the
-	// sessions update it concurrently.
+	// nav accumulates navigation commands answered by *finished*
+	// sessions; live sessions keep their own counters (folded in by
+	// dropSession, summed live by Stats).
 	nav  *metrics.Counters
 	msgs atomic.Int64
+
+	// cmdHist records wire-command service latency by op; opHist
+	// records per-operator pull latency (fed by trace sinks, so only
+	// populated when Config.Trace is on).
+	cmdHist *telemetry.Registry
+	opHist  *telemetry.Registry
 
 	active, total, evicted, denied atomic.Int64
 
@@ -81,7 +104,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.NewMediator == nil {
 		return nil, errors.New("server: Config.NewMediator is required")
 	}
-	return &Server{cfg: cfg, nav: &metrics.Counters{}, sessions: map[uint64]*session{}}, nil
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Server{
+		cfg:      cfg,
+		log:      log,
+		nav:      &metrics.Counters{},
+		cmdHist:  telemetry.NewRegistry(),
+		opHist:   telemetry.NewRegistry(),
+		sessions: map[uint64]*session{},
+	}, nil
 }
 
 // Serve accepts VXDP sessions on l until Shutdown is called or the
@@ -107,6 +141,7 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		if s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions) {
 			s.denied.Add(1)
+			s.log.Warn("session denied", "remote", conn.RemoteAddr().String(), "limit", s.cfg.MaxSessions)
 			_ = vxdp.WriteFrame(conn, vxdp.Response{NavResult: vxdp.NavResult{
 				Err: fmt.Sprintf("server at capacity (%d sessions)", s.cfg.MaxSessions),
 			}})
@@ -137,14 +172,21 @@ func (s *Server) newSession(conn net.Conn) *session {
 	s.sessions[sess.id] = sess
 	s.active.Add(1)
 	s.total.Add(1)
+	s.log.Info("session created", "session", sess.id, "remote", conn.RemoteAddr().String())
 	return sess
 }
 
 func (s *Server) dropSession(sess *session) {
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
+	// Fold the session's counters into the finished-session base while
+	// still holding the lock, so Stats never double-counts or misses it.
+	s.nav.Add(sess.nav.Snapshot())
 	s.mu.Unlock()
 	s.active.Add(-1)
+	s.log.Info("session closed", "session", sess.id,
+		"msgs", sess.msgs.Load(), "navs", sess.nav.Navigations(),
+		"uptime", time.Since(sess.born).Round(time.Millisecond).String())
 }
 
 // drainingNow reports whether Shutdown has been initiated.
@@ -168,6 +210,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		open = append(open, sess)
 	}
 	s.mu.Unlock()
+
+	s.log.Info("draining", "sessions", len(open))
 
 	if l != nil {
 		l.Close()
@@ -199,9 +243,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Stats returns the introspection snapshot also served by the wire
-// stats command.
+// stats command: finished-session totals plus every live session's
+// counters.
 func (s *Server) Stats() vxdp.Stats {
+	s.mu.Lock()
 	n := s.nav.Snapshot()
+	for _, sess := range s.sessions {
+		n = n.Add(sess.nav.Snapshot())
+	}
+	s.mu.Unlock()
 	return vxdp.Stats{
 		SessionsActive:  s.active.Load(),
 		SessionsTotal:   s.total.Load(),

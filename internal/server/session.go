@@ -3,13 +3,22 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"mix/internal/mediator"
+	"mix/internal/metrics"
 	"mix/internal/nav"
+	"mix/internal/trace"
 	"mix/internal/vxdp"
 )
+
+// traceLimit bounds the number of retained span roots per session, so a
+// client that enables tracing but never fetches traces cannot grow the
+// recorder without bound.
+const traceLimit = 256
 
 // session is one client connection: a private mediator engine (created
 // at the first open), the currently open virtual answer document, and
@@ -22,8 +31,15 @@ type session struct {
 	conn net.Conn
 	born time.Time
 
+	// nav counts this session's client-boundary navigations; msgs and
+	// opens its frames and view opens. Read concurrently by Stats.
+	nav   metrics.Counters
+	msgs  atomic.Int64
+	opens atomic.Int64
+
 	med     *mediator.Mediator
 	doc     nav.Document
+	rec     *trace.Recorder // non-nil iff the server traces
 	handles map[uint64]nav.ID
 	nextH   uint64
 }
@@ -41,17 +57,24 @@ func (s *session) run() {
 		if err := vxdp.ReadFrame(r, &req); err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() && !s.srv.drainingNow() {
 				s.srv.evicted.Add(1)
+				s.srv.log.Info("session evicted", "session", s.id, "reason", "timeout")
 				// Best-effort eviction notice; the deadline already
 				// passed, so give the write its own short grace.
 				_ = s.conn.SetWriteDeadline(time.Now().Add(time.Second))
 				_ = vxdp.WriteFrame(w, vxdp.Response{NavResult: vxdp.NavResult{Err: "session evicted (timeout)"}})
 				_ = w.Flush()
+			} else if err != io.EOF && !s.srv.drainingNow() {
+				s.srv.log.Warn("session read error", "session", s.id, "err", err.Error())
 			}
 			return
 		}
 		s.srv.msgs.Add(1)
+		s.msgs.Add(1)
+		start := time.Now()
 		resp, last := s.dispatch(req)
+		s.srv.cmdHist.Histogram(cmdLabel(req.Op)).Observe(time.Since(start))
 		if err := vxdp.WriteFrame(w, resp); err != nil {
+			s.srv.log.Warn("session write error", "session", s.id, "err", err.Error())
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -61,6 +84,17 @@ func (s *session) run() {
 			return
 		}
 	}
+}
+
+// cmdLabel maps a request op to a histogram label, folding unknown ops
+// into one bucket so a hostile client cannot grow the registry.
+func cmdLabel(op string) string {
+	switch op {
+	case vxdp.OpOpen, vxdp.OpRoot, vxdp.OpDown, vxdp.OpRight, vxdp.OpFetch,
+		vxdp.OpSelect, vxdp.OpBatch, vxdp.OpStats, vxdp.OpTrace, vxdp.OpClose:
+		return op
+	}
+	return "other"
 }
 
 // arm sets the read deadline from the idle and lifetime timeouts.
@@ -100,7 +134,26 @@ func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 		return s.batch(req.Cmds), false
 	case vxdp.OpStats:
 		st := s.srv.Stats()
+		n := s.nav.Snapshot()
+		st.Session = &vxdp.SessionStats{
+			ID:       s.id,
+			UptimeMs: time.Since(s.born).Milliseconds(),
+			Msgs:     s.msgs.Load(),
+			Opens:    s.opens.Load(),
+			Navs:     n.Navigations(),
+			Down:     n.Down,
+			Right:    n.Right,
+			Fetch:    n.Fetch,
+			Select:   n.Select,
+			Root:     n.Root,
+		}
 		return vxdp.Response{Stats: &st}, false
+	case vxdp.OpTrace:
+		if s.rec == nil {
+			// Tracing disabled (or no view open yet): an empty forest.
+			return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}, false
+		}
+		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}, Trace: s.rec.Take()}, false
 	case vxdp.OpClose:
 		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}, true
 	default:
@@ -117,14 +170,31 @@ func (s *session) open(query string) error {
 			return fmt.Errorf("creating session mediator: %v", err)
 		}
 		s.med = m
+		if s.srv.cfg.Trace {
+			// One recorder per session: spans from this session's engine
+			// accumulate until the client's next trace command, and every
+			// finished span feeds the server's per-operator histograms.
+			s.rec = trace.New()
+			s.rec.Limit = traceLimit
+			opHist := s.srv.opHist
+			s.rec.Sink = func(label, op string, d time.Duration) {
+				opHist.Histogram(label + "/" + op).Observe(d)
+			}
+			s.med.SetTracer(s.rec)
+		}
 	}
 	res, err := s.med.Query(query)
 	if err != nil {
 		return err
 	}
-	// Count every navigation this session answers on the server-wide
-	// counters; the sessions update them concurrently.
-	s.doc = &nav.CountingDoc{Doc: res.Document(), Counters: s.srv.nav}
+	s.opens.Add(1)
+	// Count every navigation this session answers on its own counters
+	// (folded into the server totals); with tracing on, also root a span
+	// tree per client command.
+	s.doc = &nav.CountingDoc{Doc: res.Document(), Counters: &s.nav}
+	if s.rec != nil {
+		s.doc = trace.NewDoc(s.doc, trace.ClientLabel, s.rec)
+	}
 	s.handles = map[uint64]nav.ID{}
 	s.nextH = 0
 	return nil

@@ -1,0 +1,241 @@
+// Package telemetry provides the latency side of the observability
+// layer: lock-free fixed-bucket histograms with quantile extraction, a
+// label-keyed registry, Prometheus text rendering, and the structured
+// logger shared by the daemons. It extends — not replaces — the
+// navigation counters of internal/metrics: counters measure *how many*
+// navigations a query induces (the paper's complexity measure),
+// histograms measure *how long* they take on a live mixd.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bucket i holds
+// observations in (Bound(i-1), Bound(i)]; bounds grow ×2 from 1µs, so
+// the finite range spans 1µs … ~2¹⁷µs ≈ 2.2min, plus an overflow
+// bucket. Fixed buckets keep Observe allocation-free and lock-free.
+const NumBuckets = 28
+
+// Bound returns the inclusive upper bound of finite bucket i.
+func Bound(i int) time.Duration {
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram. The zero
+// value is ready to use; all methods may be called concurrently.
+type Histogram struct {
+	buckets [NumBuckets + 1]atomic.Int64 // last bucket = overflow (+Inf)
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketIndex returns the smallest i with d ≤ Bound(i), or NumBuckets
+// for overflow.
+func bucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us - 1)) // smallest i with us ≤ 2^i
+	if i > NumBuckets {
+		return NumBuckets
+	}
+	return i
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed latency.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Snapshot is an immutable copy of a histogram's state. Buckets are
+// raw (non-cumulative) per-bucket counts; Buckets[NumBuckets] is the
+// overflow bucket.
+type Snapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets [NumBuckets + 1]int64
+}
+
+// Snapshot copies the current state. Concurrent Observes may land
+// between bucket reads; the skew is bounded by the in-flight samples.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the bucket where the rank falls. Returns 0 for
+// an empty histogram; overflow-bucket ranks return the largest finite
+// bound.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(s.Buckets)-1 {
+			if i >= NumBuckets {
+				return Bound(NumBuckets - 1)
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = Bound(i - 1)
+			}
+			hi := Bound(i)
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return 0
+}
+
+// P50, P90 and P99 are the quantiles the stats surfaces report.
+func (s Snapshot) P50() time.Duration { return s.Quantile(0.50) }
+func (s Snapshot) P90() time.Duration { return s.Quantile(0.90) }
+func (s Snapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d p50=%s p90=%s p99=%s",
+		s.Count, s.P50().Round(time.Microsecond), s.P90().Round(time.Microsecond), s.P99().Round(time.Microsecond))
+}
+
+// --- registry -------------------------------------------------------------
+
+// Registry is a concurrent label → *Histogram map: one histogram per
+// command kind or per operator label. Histograms are created on first
+// use and never removed.
+type Registry struct {
+	m sync.Map // string -> *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Histogram returns the histogram for label, creating it if needed.
+func (r *Registry) Histogram(label string) *Histogram {
+	if h, ok := r.m.Load(label); ok {
+		return h.(*Histogram)
+	}
+	h, _ := r.m.LoadOrStore(label, &Histogram{})
+	return h.(*Histogram)
+}
+
+// Labels returns the registered labels, sorted.
+func (r *Registry) Labels() []string {
+	var out []string
+	r.m.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// --- Prometheus text rendering --------------------------------------------
+
+// formatSeconds renders a duration as Prometheus seconds.
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus renders every histogram in the registry as one
+// Prometheus histogram family named family, with the registry label
+// emitted under labelKey. Buckets are cumulative with `le` bounds in
+// seconds, per the text exposition format.
+func WritePrometheus(w io.Writer, family, help, labelKey string, r *Registry) {
+	labels := r.Labels()
+	if len(labels) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", family, help, family)
+	for _, label := range labels {
+		s := r.Histogram(label).Snapshot()
+		lv := escapeLabel(label)
+		var cum int64
+		for i := 0; i < NumBuckets; i++ {
+			cum += s.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", family, labelKey, lv, formatSeconds(Bound(i)), cum)
+		}
+		cum += s.Buckets[NumBuckets]
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", family, labelKey, lv, cum)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", family, labelKey, lv, formatSeconds(s.Sum))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", family, labelKey, lv, s.Count)
+	}
+}
+
+// --- structured logging ---------------------------------------------------
+
+// NewLogger builds the slog logger the daemons share: text or JSON
+// handler at the given level ("debug", "info", "warn", "error").
+func NewLogger(w io.Writer, level string, json bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
+}

@@ -1,0 +1,138 @@
+package telemetry_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mix/internal/telemetry"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h telemetry.Histogram
+	// 100 samples at ~3µs, 10 at ~100µs, 1 at ~10ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(10 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 111 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got, want := s.Sum, 100*3*time.Microsecond+10*100*time.Microsecond+10*time.Millisecond; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// p50 falls in the 2–4µs bucket, p99 well above 64µs.
+	if p50 := s.P50(); p50 < 2*time.Microsecond || p50 > 4*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 := s.P99(); p99 < 64*time.Microsecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if s.P90() > s.P99() {
+		t.Fatalf("p90 %v > p99 %v", s.P90(), s.P99())
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h telemetry.Histogram
+	if s := h.Snapshot(); s.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %v", s.Quantile(0.5))
+	}
+	h.Observe(0)                    // below the first bound
+	h.Observe(-time.Second)         // clamped
+	h.Observe(365 * 24 * time.Hour) // overflow bucket
+	s := h.Snapshot()
+	if s.Buckets[0] != 2 {
+		t.Fatalf("first bucket = %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[telemetry.NumBuckets] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Buckets[telemetry.NumBuckets])
+	}
+	// The overflow quantile is clamped to the largest finite bound.
+	if q := s.Quantile(1); q != telemetry.Bound(telemetry.NumBuckets-1) {
+		t.Fatalf("q100 = %v", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h telemetry.Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := h.Count(); n != 8000 {
+		t.Fatalf("count = %d, want 8000", n)
+	}
+}
+
+func TestRegistryAndPrometheus(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Histogram("down").Observe(5 * time.Microsecond)
+	r.Histogram("down").Observe(50 * time.Microsecond)
+	r.Histogram("fetch").Observe(time.Millisecond)
+	if got := r.Labels(); len(got) != 2 || got[0] != "down" || got[1] != "fetch" {
+		t.Fatalf("labels = %v", got)
+	}
+	var b strings.Builder
+	telemetry.WritePrometheus(&b, "mix_request_duration_seconds", "request latency", "op", r)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mix_request_duration_seconds histogram",
+		`mix_request_duration_seconds_bucket{op="down",le="+Inf"} 2`,
+		`mix_request_duration_seconds_count{op="down"} 2`,
+		`mix_request_duration_seconds_count{op="fetch"} 1`,
+		`mix_request_duration_seconds_sum{op="down"} 5.5e-05`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets never decrease.
+	if strings.Contains(out, "-1") {
+		t.Fatalf("negative value in output:\n%s", out)
+	}
+}
+
+func TestWritePrometheusEmptyRegistry(t *testing.T) {
+	var b strings.Builder
+	telemetry.WritePrometheus(&b, "f", "h", "op", telemetry.NewRegistry())
+	if b.Len() != 0 {
+		t.Fatalf("empty registry rendered %q", b.String())
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var b strings.Builder
+	log, err := telemetry.NewLogger(&b, "debug", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hello", "k", "v")
+	if !strings.Contains(b.String(), `"msg":"hello"`) || !strings.Contains(b.String(), `"k":"v"`) {
+		t.Fatalf("json log = %q", b.String())
+	}
+	if _, err := telemetry.NewLogger(&b, "loud", false); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	b.Reset()
+	log2, err := telemetry.NewLogger(&b, "warn", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2.Info("dropped")
+	if b.Len() != 0 {
+		t.Fatalf("info leaked through warn level: %q", b.String())
+	}
+}

@@ -1,0 +1,325 @@
+// Package trace records *navigation traces*: causal span trees showing
+// how one client navigation command (d, r, f, select) on a virtual
+// mediated view fans out through the tree of lazy mediators into
+// child-operator pulls and, at the leaves, source navigations — the
+// per-operator attribution of the paper's navigational-complexity
+// measure (Def. 2), with per-span wall-clock latency attached.
+//
+// A Recorder is installed into an engine (core.Engine.SetTracer) before
+// a plan is compiled; the compiler then wraps every operator boundary
+// and every source document so that each pull and each answered
+// navigation command opens a span. Because lazy evaluation is
+// pull-driven and synchronous, span nesting is maintained with a simple
+// stack: the span open when a child span begins is its causal parent.
+// Operator caches are visible as *absent* spans — a memoized replay
+// answers without re-entering the traced boundary.
+//
+// Tracing is strictly opt-in: a nil *Recorder records nothing, and an
+// engine without a tracer compiles exactly the plan it would compile
+// otherwise (no wrappers, no allocations on the hot path).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mix/internal/nav"
+)
+
+// SourcePrefix prefixes the span label of every source-boundary
+// navigation, distinguishing source navigations from operator pulls in
+// a trace (the two sides of the paper's complexity ratio).
+const SourcePrefix = "src:"
+
+// ClientLabel is the conventional label for spans opened by client
+// navigation commands — the roots of a trace forest.
+const ClientLabel = "client"
+
+// Span is one traced operation: a client command, an operator pull, or
+// a source navigation. Start is the offset from the recorder's epoch
+// (the first span after the last Take), so a rendered forest reads as a
+// timeline.
+type Span struct {
+	Label    string        `json:"label"`
+	Op       string        `json:"op"`
+	Start    time.Duration `json:"start_ns"`
+	Dur      time.Duration `json:"dur_ns"`
+	Children []*Span       `json:"children,omitempty"`
+}
+
+// Recorder collects span forests. It is safe for concurrent use, but
+// the causal stack assumes one navigation is evaluated at a time (true
+// for a session's pull-driven engine).
+type Recorder struct {
+	// Sink, when non-nil, observes every completed span (label, op,
+	// latency) — the hook that feeds per-operator latency histograms.
+	// Set it before recording begins.
+	Sink func(label, op string, d time.Duration)
+	// Limit caps the number of retained root spans (0 = unlimited);
+	// when exceeded, the oldest roots are dropped. Long-running
+	// sessions set a limit so an untaken trace cannot grow without
+	// bound.
+	Limit int
+
+	mu    sync.Mutex
+	epoch time.Time
+	roots []*Span
+	stack []*Span
+}
+
+// New returns an empty Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Begin opens a span as a child of the innermost open span (or as a new
+// root). It returns nil — and records nothing — on a nil Recorder.
+func (r *Recorder) Begin(label, op string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.epoch.IsZero() {
+		r.epoch = time.Now()
+	}
+	sp := &Span{Label: label, Op: op, Start: time.Since(r.epoch)}
+	if len(r.stack) == 0 {
+		r.roots = append(r.roots, sp)
+		if r.Limit > 0 && len(r.roots) > r.Limit {
+			drop := len(r.roots) - r.Limit
+			r.roots = append(r.roots[:0], r.roots[drop:]...)
+		}
+	} else {
+		parent := r.stack[len(r.stack)-1]
+		parent.Children = append(parent.Children, sp)
+	}
+	r.stack = append(r.stack, sp)
+	return sp
+}
+
+// End closes a span opened by Begin. End(nil) is a no-op, so callers
+// may unconditionally defer it.
+func (r *Recorder) End(sp *Span) {
+	if r == nil || sp == nil {
+		return
+	}
+	r.mu.Lock()
+	sp.Dur = time.Since(r.epoch) - sp.Start
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		if r.stack[i] == sp {
+			r.stack = r.stack[:i]
+			break
+		}
+	}
+	sink := r.Sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(sp.Label, sp.Op, sp.Dur)
+	}
+}
+
+// Take returns the recorded forest and resets the recorder, so
+// consecutive Takes partition the span stream by navigation.
+func (r *Recorder) Take() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	roots := r.roots
+	r.roots = nil
+	r.stack = r.stack[:0]
+	r.epoch = time.Time{}
+	return roots
+}
+
+// --- analysis -------------------------------------------------------------
+
+// SourceTotals counts the source-boundary navigation spans in a forest
+// by command op ("d", "r", "f", "select", "root"). The totals are, by
+// construction, the per-op source navigation counts of the traced
+// window — the quantity metrics.Counters measures at the same boundary.
+func SourceTotals(roots []*Span) map[string]int64 {
+	totals := map[string]int64{}
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		if strings.HasPrefix(sp.Label, SourcePrefix) {
+			totals[sp.Op]++
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp)
+	}
+	return totals
+}
+
+// SourceNavigations sums SourceTotals across ops.
+func SourceNavigations(roots []*Span) int64 {
+	var n int64
+	for _, c := range SourceTotals(roots) {
+		n += c
+	}
+	return n
+}
+
+// Summary aggregates a forest per (label, op): span count and total
+// latency, sorted by label then op. It is the compact alternative to
+// Format for large traces.
+type Summary struct {
+	Label string
+	Op    string
+	Count int64
+	Total time.Duration
+}
+
+// Summarize folds a forest into per-(label, op) rows.
+func Summarize(roots []*Span) []Summary {
+	type key struct{ label, op string }
+	agg := map[key]*Summary{}
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		k := key{sp.Label, sp.Op}
+		s := agg[k]
+		if s == nil {
+			s = &Summary{Label: sp.Label, Op: sp.Op}
+			agg[k] = s
+		}
+		s.Count++
+		s.Total += sp.Dur
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp)
+	}
+	out := make([]Summary, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// Format renders a forest as an indented text tree, one line per span:
+//
+//	client d 1.2ms
+//	  join next 1.1ms
+//	    src:homesSrc d 80µs
+func Format(roots []*Span) string {
+	var b strings.Builder
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		fmt.Fprintf(&b, "%s%s %s %s\n", strings.Repeat("  ", depth), sp.Label, sp.Op, sp.Dur.Round(time.Microsecond))
+		for _, c := range sp.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp, 0)
+	}
+	return b.String()
+}
+
+// MarshalForest renders a forest as JSON.
+func MarshalForest(roots []*Span) ([]byte, error) {
+	return json.MarshalIndent(roots, "", "  ")
+}
+
+// --- instrumented document ------------------------------------------------
+
+// Doc wraps a nav.Document so every navigation command it answers opens
+// a span in Rec. At a source boundary (Label prefixed with
+// SourcePrefix) the spans are exactly the source navigations of the
+// complexity definition; wrapping a virtual answer document with
+// Label = ClientLabel makes each client command a trace root.
+type Doc struct {
+	Inner nav.Document
+	Label string
+	Rec   *Recorder
+}
+
+// NewDoc wraps doc with tracing under the given span label.
+func NewDoc(doc nav.Document, label string, rec *Recorder) *Doc {
+	return &Doc{Inner: doc, Label: label, Rec: rec}
+}
+
+// Root implements nav.Document.
+func (d *Doc) Root() (nav.ID, error) {
+	sp := d.Rec.Begin(d.Label, string(nav.OpRoot))
+	defer d.Rec.End(sp)
+	return d.Inner.Root()
+}
+
+// Down implements nav.Document.
+func (d *Doc) Down(p nav.ID) (nav.ID, error) {
+	sp := d.Rec.Begin(d.Label, string(nav.OpDown))
+	defer d.Rec.End(sp)
+	return d.Inner.Down(p)
+}
+
+// Right implements nav.Document.
+func (d *Doc) Right(p nav.ID) (nav.ID, error) {
+	sp := d.Rec.Begin(d.Label, string(nav.OpRight))
+	defer d.Rec.End(sp)
+	return d.Inner.Right(p)
+}
+
+// Fetch implements nav.Document.
+func (d *Doc) Fetch(p nav.ID) (string, error) {
+	sp := d.Rec.Begin(d.Label, string(nav.OpFetch))
+	defer d.Rec.End(sp)
+	return d.Inner.Fetch(p)
+}
+
+// NativeSelect reports whether the wrapped document answers select(σ)
+// natively (see nav.NativeSelector); tracing does not change the
+// navigation command set.
+func (d *Doc) NativeSelect() bool { return nav.NativeSelector(d.Inner) }
+
+// SelectRight implements nav.Selector. A natively answered select is
+// one span; over a document without native select it falls back to the
+// generic r/f scan *through the traced document*, so the trace bills
+// exactly the commands the source answers — keeping trace totals equal
+// to counter totals at the same boundary.
+func (d *Doc) SelectRight(p nav.ID, sigma nav.Predicate, fromSelf bool) (nav.ID, error) {
+	if s, ok := d.Inner.(nav.Selector); ok && nav.NativeSelector(d.Inner) {
+		sp := d.Rec.Begin(d.Label, string(nav.OpSelect))
+		defer d.Rec.End(sp)
+		return s.SelectRight(p, sigma, fromSelf)
+	}
+	cur := p
+	if !fromSelf {
+		next, err := d.Right(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	for cur != nil {
+		l, err := d.Fetch(cur)
+		if err != nil {
+			return nil, err
+		}
+		if sigma(l) {
+			return cur, nil
+		}
+		next, err := d.Right(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return nil, nil
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"mix/internal/nav"
+	"mix/internal/trace"
 )
 
 // Client is the client-side endpoint of a VXDP session. It implements
@@ -163,6 +164,17 @@ func (c *Client) SelectLabel(p nav.ID, label string, fromSelf bool) (nav.ID, err
 		return nil, err
 	}
 	return c.node(resp.NavResult), nil
+}
+
+// Trace fetches the spans recorded for this session since the last
+// Trace call: the server-side fan-out behind the navigations issued in
+// between. Returns nil when the server has tracing disabled.
+func (c *Client) Trace() ([]*trace.Span, error) {
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpTrace}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Trace, nil
 }
 
 // Stats fetches the server's introspection snapshot.

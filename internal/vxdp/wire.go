@@ -27,6 +27,7 @@
 //	 "label":L,"self":B}               "self") labeled L, or ⊥
 //	{"op":"batch","cmds":[C…]}       pipeline: all commands, one frame
 //	{"op":"stats"}                   → server introspection snapshot
+//	{"op":"trace"}                   → spans recorded since the last trace
 //	{"op":"close"}                   end the session
 //
 // and responses are
@@ -36,6 +37,7 @@
 //	{"ok":true,"label":L}            a fetch result
 //	{"results":[R…]}                 batch: one result per command
 //	{"stats":{…}}                    a Stats snapshot
+//	{"trace":[S…]}                   a span forest (see internal/trace)
 //	{"error":MSG}                    command failed
 //
 // A batch command C is a request object whose "ref" field, when
@@ -52,6 +54,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"mix/internal/trace"
 )
 
 // MaxFrame bounds a single VXDP frame (requests carry at most a query
@@ -73,6 +77,7 @@ const (
 	OpSelect = "select"
 	OpBatch  = "batch"
 	OpStats  = "stats"
+	OpTrace  = "trace"
 	OpClose  = "close"
 )
 
@@ -111,8 +116,9 @@ type NavResult struct {
 // Response is a server→client frame.
 type Response struct {
 	NavResult
-	Results []NavResult `json:"results,omitempty"` // batch
-	Stats   *Stats      `json:"stats,omitempty"`   // stats
+	Results []NavResult   `json:"results,omitempty"` // batch
+	Stats   *Stats        `json:"stats,omitempty"`   // stats
+	Trace   []*trace.Span `json:"trace,omitempty"`   // trace
 }
 
 // Stats is the server introspection snapshot returned by the stats
@@ -129,6 +135,26 @@ type Stats struct {
 	Fetch           int64 `json:"fetch"`
 	Select          int64 `json:"select"`
 	Root            int64 `json:"root"`
+	// Session, present only in responses to the stats command, describes
+	// the asking session itself.
+	Session *SessionStats `json:"session,omitempty"`
+}
+
+// SessionStats describes one session from the server's point of view:
+// how many frames it has sent and how its navigations break down. Navs
+// counts client-boundary commands (what the session asked of its
+// virtual answer), not the source fan-out behind them.
+type SessionStats struct {
+	ID       uint64 `json:"id"`
+	UptimeMs int64  `json:"uptime_ms"`
+	Msgs     int64  `json:"msgs"`
+	Opens    int64  `json:"opens"`
+	Navs     int64  `json:"navs"`
+	Down     int64  `json:"down"`
+	Right    int64  `json:"right"`
+	Fetch    int64  `json:"fetch"`
+	Select   int64  `json:"select"`
+	Root     int64  `json:"root"`
 }
 
 func (s Stats) String() string {
