@@ -14,9 +14,12 @@
 //	-src name=rdb:csvdir              a CSV-backed relational database
 //	-src name=demo:books:N            a generated dataset (books|homes|schools)
 //
-// Each client session gets its own lazy-mediator engine over the shared
-// (immutable or serialized) sources, so concurrent sessions explore
-// independently. SIGINT/SIGTERM shut the daemon down gracefully.
+// Each client session draws a lazy-mediator engine from a shared pool
+// over the shared (immutable or serialized) sources, so concurrent
+// sessions explore independently while the regions of answer documents
+// they explore are shared through the cross-session region cache:
+// -cache-max-bytes bounds it (whole-entry LRU eviction), -cache-off
+// disables it. SIGINT/SIGTERM shut the daemon down gracefully.
 //
 // Observability: -http addr serves /metrics (Prometheus), /healthz, and
 // /debug/pprof/*; -trace enables per-session navigation tracing (the
@@ -41,6 +44,7 @@ import (
 	"mix/internal/lxp"
 	"mix/internal/mediator"
 	"mix/internal/metrics"
+	"mix/internal/regioncache"
 	"mix/internal/relational"
 	"mix/internal/server"
 	"mix/internal/telemetry"
@@ -79,6 +83,8 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "drain deadline for graceful shutdown")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
 	traceOn := flag.Bool("trace", false, "record per-session navigation traces (wire trace command, operator histograms)")
+	cacheMax := flag.Int64("cache-max-bytes", 64<<20, "region cache budget in bytes; LRU-evicts whole entries over it (0 = unlimited)")
+	cacheOff := flag.Bool("cache-off", false, "disable the cross-session region cache entirely")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
@@ -126,28 +132,34 @@ func main() {
 		viewTexts[name] = string(text)
 	}
 
-	srv, err := server.New(server.Config{
-		NewMediator: func() (*mediator.Mediator, error) {
-			m := mediator.New(mediator.DefaultOptions())
-			for _, spec := range specs {
-				if err := spec.register(m); err != nil {
-					return nil, fmt.Errorf("source %s: %w", spec.name, err)
-				}
+	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		m := mediator.New(mediator.DefaultOptions())
+		// Cache before sources, so LXP prefetch fills publish into it.
+		m.SetRegionCache(rc)
+		for _, spec := range specs {
+			if err := spec.register(m); err != nil {
+				return nil, fmt.Errorf("source %s: %w", spec.name, err)
 			}
-			for name, text := range viewTexts {
-				if err := m.DefineView(name, text); err != nil {
-					return nil, err
-				}
+		}
+		for name, text := range viewTexts {
+			if err := m.DefineView(name, text); err != nil {
+				return nil, err
 			}
-			return m, nil
-		},
-		MaxSessions:    *maxSessions,
-		IdleTimeout:    *idle,
-		MaxLifetime:    *lifetime,
-		Logger:         logger,
-		Trace:          *traceOn,
-		SourceCounters: sourceCounters,
-	})
+		}
+		return m, nil
+	}
+	options := []server.Option{
+		server.WithMaxSessions(*maxSessions),
+		server.WithIdleTimeout(*idle),
+		server.WithMaxLifetime(*lifetime),
+		server.WithLogger(logger),
+		server.WithTrace(*traceOn),
+		server.WithSourceCounters(sourceCounters),
+	}
+	if !*cacheOff {
+		options = append(options, server.WithRegionCache(regioncache.New(*cacheMax)))
+	}
+	srv, err := server.New(factory, options...)
 	if err != nil {
 		fatal("configuring server", "err", err.Error())
 	}

@@ -61,11 +61,11 @@ func main() {
 		if err != nil {
 			return err
 		}
-		mh, err := root.FirstChild()
-		if err != nil {
-			return err
-		}
-		for i := 0; mh != nil && i < *k; i++ {
+		seen := 0
+		for mh := range root.Children() {
+			if seen++; seen > *k {
+				break // ranging lazily: unvisited med_homes stay underived
+			}
 			home, err := mh.FirstChild()
 			if err != nil {
 				return err
@@ -82,12 +82,8 @@ func main() {
 					return err
 				}
 			}
-			mh, err = mh.NextSibling()
-			if err != nil {
-				return err
-			}
 		}
-		return nil
+		return root.Err()
 	})
 
 	run("lazy, full answer:", func(m *mediator.Mediator) error {

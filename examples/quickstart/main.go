@@ -77,13 +77,22 @@ AND $V1 = $V2
 	fmt.Printf("\nfirst result (after %d source navigations):\n%s\n",
 		navs(), xmltree.MarshalIndent(tree))
 
-	// And the rest of the answer on demand.
-	for e, _ := first.NextSibling(); e != nil; e, _ = e.NextSibling() {
+	// And the rest of the answer on demand: ranging over the root's
+	// children derives each med_home only when the loop reaches it.
+	skip := true
+	for e := range root.Children() {
+		if skip {
+			skip = false // the first med_home was printed above
+			continue
+		}
 		t, err := e.Materialize()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("next result:\n%s\n", xmltree.MarshalIndent(t))
+	}
+	if err := root.Err(); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("total source navigations for the full answer: %d\n", navs())
 }

@@ -22,6 +22,7 @@ import (
 
 	"mix/internal/mediator"
 	"mix/internal/nav"
+	"mix/internal/regioncache"
 	"mix/internal/server"
 	"mix/internal/vxdp"
 	"mix/internal/workload"
@@ -43,14 +44,13 @@ func main() {
 	flag.Parse()
 
 	homes, schools := workload.HomesSchools(*n, *n, *zips, 42)
-	srv, err := server.New(server.Config{
-		NewMediator: func() (*mediator.Mediator, error) {
-			m := mediator.New(mediator.DefaultOptions())
-			m.RegisterTree("homesSrc", homes)
-			m.RegisterTree("schoolsSrc", schools)
-			return m, nil
-		},
-	})
+	srv, err := server.New(func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		m := mediator.New(mediator.DefaultOptions())
+		m.SetRegionCache(rc)
+		m.RegisterTree("homesSrc", homes)
+		m.RegisterTree("schoolsSrc", schools)
+		return m, nil
+	}, server.WithRegionCache(regioncache.New(0)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -58,11 +58,20 @@ type Buffer struct {
 	fills         int
 	prefetchFills int
 	stopped       bool
+	dirty         bool // a splice happened since the last Publish
 
 	// Prefetch, when > 0, makes every demand-driven fill also fill up
 	// to Prefetch additional pending holes synchronously. For the
 	// asynchronous strategy use StartPrefetch instead.
 	Prefetch int
+
+	// Publish, when non-nil, observes the open tree after every splice
+	// (demand or prefetch): it receives a fresh snapshot with holes for
+	// the unexplored parts. Mediators wire it to a region-cache entry so
+	// fills — prefetch fills in particular — become visible to other
+	// sessions. Set it before serving navigations; it is called without
+	// the buffer lock held.
+	Publish func(*xmltree.Tree)
 
 	wg sync.WaitGroup
 }
@@ -111,6 +120,7 @@ func (b *Buffer) PendingHoles() int {
 // Root implements nav.Document. Resolving the root may require filling
 // the root hole (the paper's get_root only returns a handle).
 func (b *Buffer) Root() (nav.ID, error) {
+	defer b.maybePublish()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for b.root.hole {
@@ -128,6 +138,7 @@ func (b *Buffer) Root() (nav.ID, error) {
 					Msg: fmt.Sprintf("root fill must return one element, got %d trees", len(trees))}
 			}
 			b.root = b.graft(trees[0], nil)
+			b.dirty = true
 			b.cond.Broadcast()
 		}
 	}
@@ -210,12 +221,29 @@ func (b *Buffer) expand(p *node, h *node) error {
 	p.children = nc
 	h.hole = false // mark resolved for waiters holding the old pointer
 	b.removePending(h)
+	b.dirty = true
 	if err := b.checkNoAdjacentHoles(p); err != nil {
 		return err
 	}
 	b.cond.Broadcast()
 	b.syncPrefetch()
 	return nil
+}
+
+// maybePublish snapshots and publishes the open tree if it changed
+// since the last publish. Caller must NOT hold mu; the Publish callback
+// itself runs without the lock, so it may navigate the buffer.
+func (b *Buffer) maybePublish() {
+	b.mu.Lock()
+	fn := b.Publish
+	if fn == nil || !b.dirty {
+		b.mu.Unlock()
+		return
+	}
+	b.dirty = false
+	t := snap(b.root)
+	b.mu.Unlock()
+	fn(t)
 }
 
 func (b *Buffer) removePending(h *node) {
@@ -291,6 +319,13 @@ func (b *Buffer) StartPrefetch() {
 				return
 			}
 			b.prefetchFills += b.fills - before
+			if fn := b.Publish; fn != nil && b.dirty {
+				b.dirty = false
+				t := snap(b.root)
+				b.mu.Unlock()
+				fn(t)
+				b.mu.Lock()
+			}
 		}
 	}()
 }
@@ -318,6 +353,7 @@ func (b *Buffer) Down(p nav.ID) (nav.ID, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer b.maybePublish()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
@@ -343,6 +379,7 @@ func (b *Buffer) Right(p nav.ID) (nav.ID, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer b.maybePublish()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if n.parent == nil {

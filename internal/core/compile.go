@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mix/internal/algebra"
 	"mix/internal/nav"
 	"mix/internal/pathexpr"
+	"mix/internal/regioncache"
 	"mix/internal/trace"
 	"mix/internal/xmltree"
 )
@@ -50,6 +52,19 @@ type Engine struct {
 	// default — compiles plans with no instrumentation at all.
 	tracer *trace.Recorder
 
+	// cache, when non-nil, is the shared cross-session region cache;
+	// queries with a cache name get a cache-aware answer document
+	// (see Query.Document and SetRegionCache). cacheGen is the cache
+	// generation sampled when the cache was installed: entries are
+	// opened at that pinned generation, so an engine built before an
+	// invalidation can never publish into entries fresh engines read.
+	cache    *regioncache.Cache
+	cacheGen uint64
+
+	// regVer counts Register calls: the source-registry version that
+	// region-cache keys pin entries to.
+	regVer atomic.Uint64
+
 	regMu sync.RWMutex
 	reg   map[string]nav.Document
 }
@@ -65,7 +80,36 @@ func (e *Engine) Register(name string, doc nav.Document) {
 	e.regMu.Lock()
 	e.reg[name] = doc
 	e.regMu.Unlock()
+	e.regVer.Add(1)
 }
+
+// RegistryVersion returns the source-registry version: the number of
+// Register calls so far. Region-cache entries are pinned to the version
+// a query was compiled against, so answers derived from different
+// registry states never share an entry.
+func (e *Engine) RegistryVersion() uint64 { return e.regVer.Load() }
+
+// SetRegionCache installs the shared cross-session region cache.
+// Queries compiled afterwards whose cache name is set (SetCacheName)
+// return cache-aware answer documents from Document. Set it before
+// compiling; it is not synchronized with concurrent Compile calls. A
+// nil cache (the default) leaves every query uncached. The cache's
+// current generation is pinned here: install the cache when the engine
+// is built, so an engine that outlives an invalidation detaches from
+// the shared entries instead of polluting the fresh generation.
+func (e *Engine) SetRegionCache(c *regioncache.Cache) {
+	e.cache = c
+	if c != nil {
+		e.cacheGen = c.Generation()
+	}
+}
+
+// RegionCache returns the installed region cache (nil if none).
+func (e *Engine) RegionCache() *regioncache.Cache { return e.cache }
+
+// CacheGeneration returns the cache generation pinned at SetRegionCache
+// (0 when no cache is installed).
+func (e *Engine) CacheGeneration() uint64 { return e.cacheGen }
 
 // lookup resolves a registered source.
 func (e *Engine) lookup(name string) (nav.Document, bool) {
@@ -98,6 +142,13 @@ type Query struct {
 	eng     *Engine
 	topVars []string
 
+	// cacheName/fingerprint/regVer key the query's region-cache entry
+	// (see SetCacheName); regVer is captured at compile time, when the
+	// plan's sources are resolved.
+	cacheName   string
+	fingerprint string
+	regVer      uint64
+
 	// top is the shared top-level stream (memoized), created lazily.
 	top     stream
 	topErr  error
@@ -120,7 +171,7 @@ func (e *Engine) Compile(plan algebra.Op) (*Query, error) {
 			return nil, fmt.Errorf("core: plan references unregistered source %q", src)
 		}
 	}
-	q := &Query{plan: plan, eng: e, topVars: plan.OutVars()}
+	q := &Query{plan: plan, eng: e, topVars: plan.OutVars(), regVer: e.RegistryVersion()}
 	if td, ok := plan.(*algebra.TupleDestroy); ok {
 		inb, err := e.compile(td.Input)
 		if err != nil {
@@ -171,15 +222,54 @@ func memoBuilder(b builder) builder {
 	}
 }
 
+// SetCacheName enables region caching for this query under the given
+// name (conventionally the view names the query was composed from).
+// The cache key is completed by the canonical plan fingerprint —
+// computed here — and the registry version captured at compile time.
+// With no engine cache installed or an empty name, Document stays
+// uncached.
+func (q *Query) SetCacheName(name string) {
+	q.cacheName = name
+	if name != "" && q.eng.cache != nil && q.fingerprint == "" {
+		q.fingerprint = regioncache.Fingerprint(q.plan)
+	}
+}
+
+// CacheName returns the region-cache name set by SetCacheName.
+func (q *Query) CacheName() string { return q.cacheName }
+
 // Document returns the virtual answer document. For tupleDestroy-rooted
 // plans this is the constructed answer element; for other plans it is
 // the binding-list tree bs[b[…]…] (the inter-mediator view of Fig. 2).
 // Obtaining the document and its root handle accesses no source.
+//
+// When the engine has a region cache and the query a cache name, the
+// returned document is cache-aware: navigations over regions another
+// session (or an earlier Document of this query) already explored are
+// answered from the shared cache without touching this query's lazy
+// streams; only cache misses drive them.
 func (q *Query) Document() nav.Document {
+	var inner nav.Document
 	if q.answer != nil {
-		return &VDoc{root: q.answer}
+		inner = &VDoc{root: q.answer}
+	} else {
+		inner = &VDoc{root: q.bindingsNode()}
 	}
-	return &VDoc{root: q.bindingsNode()}
+	c := q.eng.cache
+	if c == nil || q.cacheName == "" {
+		return inner
+	}
+	doc := regioncache.NewDoc(c.EntryAt(q.eng.cacheGen, q.cacheName, q.fingerprint, q.regVer), inner)
+	if rec := q.eng.tracer; rec != nil {
+		doc.Observe = func(op string, hit bool) {
+			label := "cache:miss"
+			if hit {
+				label = "cache:hit"
+			}
+			rec.End(rec.Begin(label, op))
+		}
+	}
+	return doc
 }
 
 // bindingsNode renders the compiled stream as a lazy bs[b[X[…]…]…]
@@ -465,19 +555,31 @@ func (e *Engine) compileFusedLabelScan(gd *algebra.GetDescendants, label string)
 				return nodeStream{l: matches, base: b, out: out}, nil
 			}
 			doc, id := sb.source()
-			return nodeStream{l: selectScanList{doc: doc, parent: id, label: label, started: false},
+			// Probe the select capability once per scan (it is invariant
+			// over the document), not once per hop.
+			sel, _ := nav.SelectorOf(doc)
+			return nodeStream{l: selectScanList{doc: doc, sel: sel, parent: id, label: label, started: false},
 				base: b, out: out}, nil
 		}}, nil
 	}, nil
 }
 
 // selectScanList enumerates the children of parent with the given label
-// using d plus native select(σ) jumps.
+// using d plus native select(σ) jumps (sel non-nil), falling back to
+// the generic r/f scan when the source lacks the command.
 type selectScanList struct {
 	doc     nav.Document
+	sel     nav.Selector // from nav.SelectorOf(doc); nil = generic scan
 	parent  nav.ID // when !started: the parent; else: the previous match
 	label   string
 	started bool
+}
+
+func (s selectScanList) selectFrom(p nav.ID, fromSelf bool) (nav.ID, error) {
+	if s.sel != nil {
+		return s.sel.SelectRight(p, nav.LabelIs(s.label), fromSelf)
+	}
+	return nav.Select(s.doc, p, nav.LabelIs(s.label), fromSelf)
 }
 
 func (s selectScanList) next() (Node, list, error) {
@@ -491,9 +593,9 @@ func (s selectScanList) next() (Node, list, error) {
 		if cur == nil {
 			return nil, nil, nil
 		}
-		cur, err = nav.Select(s.doc, cur, nav.LabelIs(s.label), true)
+		cur, err = s.selectFrom(cur, true)
 	} else {
-		cur, err = nav.Select(s.doc, s.parent, nav.LabelIs(s.label), false)
+		cur, err = s.selectFrom(s.parent, false)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -502,7 +604,7 @@ func (s selectScanList) next() (Node, list, error) {
 		return nil, nil, nil
 	}
 	return srcNode{doc: s.doc, id: cur},
-		selectScanList{doc: s.doc, parent: cur, label: s.label, started: true}, nil
+		selectScanList{doc: s.doc, sel: s.sel, parent: cur, label: s.label, started: true}, nil
 }
 
 // labelFilterList filters a node list by label.

@@ -98,6 +98,7 @@ var registry = map[string]func() Table{
 	"E9":  E9GroupByCache,
 	"E10": E10Rewriting,
 	"E11": E11AsyncPrefetch,
+	"E12": E12RegionCache,
 }
 
 // IDs returns all experiment ids in order.

@@ -8,10 +8,10 @@ import (
 
 func TestIDsAndRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 11 {
-		t.Fatalf("want 11 experiments, got %v", ids)
+	if len(ids) != 12 {
+		t.Fatalf("want 12 experiments, got %v", ids)
 	}
-	if ids[0] != "E1" || ids[10] != "E11" {
+	if ids[0] != "E1" || ids[11] != "E12" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 	if _, err := Run("E99"); err == nil {
@@ -117,6 +117,36 @@ func TestE10Shape(t *testing.T) {
 		n := col(t, tb, i, 0)
 		if sRewr != n {
 			t.Fatalf("row %d: rewritten σ evals = %d, want %d", i, sRewr, n)
+		}
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tb := E12RegionCache()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if tb.Rows[i][5] != "identical" {
+			t.Fatalf("row %d: answer not byte-identical: %v", i, tb.Rows[i])
+		}
+	}
+	// Warm sessions (rows 2 and 3): zero source navigations and ≥5×
+	// fewer total navigation commands than the cold session.
+	coldTotal := col(t, tb, 0, 4)
+	for _, i := range []int{1, 2} {
+		if src := col(t, tb, i, 3); src != 0 {
+			t.Fatalf("warm row %d: %d source navigations, want 0", i, src)
+		}
+		if total := col(t, tb, i, 4); coldTotal < 5*total {
+			t.Fatalf("warm row %d: total %d not ≥5× under cold %d", i, total, coldTotal)
+		}
+	}
+	// Cache off (row 4) and post-invalidation (row 5) pay cold-like
+	// source costs again.
+	for _, i := range []int{3, 4} {
+		if src := col(t, tb, i, 3); src == 0 {
+			t.Fatalf("row %d should re-derive at the sources: %v", i, tb.Rows[i])
 		}
 	}
 }

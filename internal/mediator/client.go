@@ -2,6 +2,7 @@ package mediator
 
 import (
 	"fmt"
+	"iter"
 
 	"mix/internal/nav"
 	"mix/internal/xmltree"
@@ -16,7 +17,13 @@ import (
 type Element struct {
 	doc nav.Document
 	id  nav.ID
+	// err is the sticky error of the last Children/SelectChildren range
+	// over this element (see Err).
+	err error
 }
+
+// XMLElement is the name the paper gives the client veneer's node type.
+type XMLElement = Element
 
 // Wrap returns the root element of a (virtual) document.
 func Wrap(doc nav.Document) (*Element, error) {
@@ -66,23 +73,50 @@ func (e *Element) Child(name string) (*Element, error) {
 	return &Element{doc: e.doc, id: id}, nil
 }
 
-// Children returns all children. It explores the whole child list (but
-// not the grandchildren's subtrees).
-func (e *Element) Children() ([]*Element, error) {
-	var out []*Element
-	c, err := e.FirstChild()
-	if err != nil {
-		return nil, err
-	}
-	for c != nil {
-		out = append(out, c)
-		c, err = c.NextSibling()
-		if err != nil {
-			return nil, err
+// Children iterates over the element's children in document order,
+// issuing one d command and then one r command per step — each child is
+// derived only when the range reaches it, so breaking early leaves the
+// rest of the list unexplored. A navigation error ends the range; check
+// e.Err() after it. Collect eagerly with slices.Collect(e.Children()).
+func (e *Element) Children() iter.Seq[*Element] {
+	return func(yield func(*Element) bool) {
+		e.err = nil
+		c, err := e.FirstChild()
+		for ; err == nil && c != nil; c, err = c.NextSibling() {
+			if !yield(c) {
+				return
+			}
 		}
+		e.err = err
 	}
-	return out, nil
 }
+
+// SelectChildren iterates over the children labeled name, in document
+// order — the select(σ) navigation of Section 2 per step, so sources
+// with native selection skip non-matching siblings without deriving
+// them. A navigation error ends the range; check e.Err() after it.
+func (e *Element) SelectChildren(name string) iter.Seq[*Element] {
+	return func(yield func(*Element) bool) {
+		e.err = nil
+		id, err := e.doc.Down(e.id)
+		for err == nil && id != nil {
+			id, err = nav.Select(e.doc, id, nav.LabelIs(name), true)
+			if err != nil || id == nil {
+				break
+			}
+			if !yield(&Element{doc: e.doc, id: id}) {
+				return
+			}
+			id, err = e.doc.Right(id)
+		}
+		e.err = err
+	}
+}
+
+// Err returns the navigation error that ended the element's most recent
+// Children or SelectChildren range, or nil if it ran to completion (or
+// was broken out of).
+func (e *Element) Err() error { return e.err }
 
 // Text returns the concatenated text content of the element's subtree,
 // exploring it fully.

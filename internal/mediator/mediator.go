@@ -15,6 +15,9 @@ package mediator
 
 import (
 	"fmt"
+	"slices"
+	"sort"
+	"strings"
 	"sync"
 
 	"mix/internal/algebra"
@@ -23,6 +26,7 @@ import (
 	"mix/internal/eager"
 	"mix/internal/lxp"
 	"mix/internal/nav"
+	"mix/internal/regioncache"
 	"mix/internal/trace"
 	"mix/internal/xmas"
 	"mix/internal/xmltree"
@@ -50,6 +54,7 @@ type Mediator struct {
 	opts   Options
 	engine *core.Engine
 	eager  *eager.Evaluator
+	cache  *regioncache.Cache
 
 	mu    sync.Mutex
 	views map[string]algebra.Op // tupleDestroy-rooted view plans
@@ -73,6 +78,18 @@ func New(opts Options) *Mediator {
 // tracer, query evaluation is completely uninstrumented.
 func (m *Mediator) SetTracer(rec *trace.Recorder) { m.engine.SetTracer(rec) }
 
+// SetRegionCache installs a shared cross-session region cache: answer
+// documents of queries prepared after the call serve already-explored
+// regions from the cache (published by any mediator sharing it) instead
+// of re-deriving them, and LXP sources registered after the call
+// publish their prefetch fills into it. Install before registering
+// sources and serving queries. A nil cache (the default) changes
+// nothing.
+func (m *Mediator) SetRegionCache(c *regioncache.Cache) {
+	m.cache = c
+	m.engine.SetRegionCache(c)
+}
+
 // RegisterSource exposes an arbitrary navigable document under name.
 func (m *Mediator) RegisterSource(name string, doc nav.Document) {
 	m.engine.Register(name, doc)
@@ -92,7 +109,18 @@ func (m *Mediator) RegisterLXP(name string, srv lxp.Server, uri string) (*buffer
 	if err != nil {
 		return nil, fmt.Errorf("mediator: opening LXP source %q: %w", name, err)
 	}
-	m.RegisterSource(name, b)
+	doc := nav.Document(b)
+	if m.cache != nil {
+		// Pin the source's cache entry to the registry version the
+		// registration below will establish, wire prefetch fills to
+		// publish into it, and serve the source itself cache-first so
+		// regions any session explored are shared across mediators.
+		entry := m.cache.EntryAt(m.engine.CacheGeneration(),
+			"src:"+name, "lxp:"+uri, m.engine.RegistryVersion()+1)
+		b.Publish = entry.MergeTree
+		doc = regioncache.NewDoc(entry, b)
+	}
+	m.RegisterSource(name, doc)
 	return b, nil
 }
 
@@ -139,7 +167,7 @@ func (r *Result) Materialize() (*xmltree.Tree, error) { return r.query.Materiali
 // Query runs the full preprocessing pipeline on a XMAS query and
 // returns a prepared Result. No source is accessed.
 func (m *Mediator) Query(xmasText string) (*Result, error) {
-	plan, err := m.Prepare(xmasText)
+	plan, views, err := m.prepare(xmasText)
 	if err != nil {
 		return nil, err
 	}
@@ -147,8 +175,24 @@ func (m *Mediator) Query(xmasText string) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mediator: compiling plan: %w", err)
 	}
+	cq.SetCacheName(cacheName(views))
 	cls, _ := algebra.Classify(plan, m.opts.Engine.NativeSelect)
 	return &Result{Plan: plan, Browsability: cls, query: cq}, nil
+}
+
+// cacheName renders the region-cache name of a query composed from the
+// given views: the sorted, deduplicated view names joined with "+"
+// ("query" when the plan references no view). Together with the
+// canonical plan fingerprint this names the same answer document across
+// mediator instances.
+func cacheName(views []string) string {
+	if len(views) == 0 {
+		return "query"
+	}
+	uniq := append([]string(nil), views...)
+	sort.Strings(uniq)
+	uniq = slices.Compact(uniq)
+	return strings.Join(uniq, "+")
 }
 
 // QueryEager evaluates the query with the materializing baseline
@@ -164,38 +208,46 @@ func (m *Mediator) QueryEager(xmasText string) (*xmltree.Tree, error) {
 // Prepare parses, composes and rewrites a XMAS query into its final
 // algebra plan without compiling it.
 func (m *Mediator) Prepare(xmasText string) (algebra.Op, error) {
+	plan, _, err := m.prepare(xmasText)
+	return plan, err
+}
+
+// prepare is Prepare plus the names of the views the query was composed
+// with (in substitution order, possibly with duplicates).
+func (m *Mediator) prepare(xmasText string) (algebra.Op, []string, error) {
 	q, err := xmas.Parse(xmasText)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	plan, err := q.Translate()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	plan, err = m.compose(plan)
+	var views []string
+	plan, err = m.compose(plan, &views)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if m.opts.Rewrite {
 		plan = algebra.Rewrite(plan)
 	}
 	if err := algebra.Validate(plan); err != nil {
-		return nil, fmt.Errorf("mediator: composed plan invalid: %w", err)
+		return nil, nil, fmt.Errorf("mediator: composed plan invalid: %w", err)
 	}
-	return plan, nil
+	return plan, views, nil
 }
 
 // compose substitutes each Source node that names a defined view with
 // the view's body (query ∘ view): the view plan's answer element is
 // bound to the source variable, with the view's internal variables
-// renamed fresh.
-func (m *Mediator) compose(plan algebra.Op) (algebra.Op, error) {
-	return m.substitute(plan, 0)
+// renamed fresh. Substituted view names are appended to *views.
+func (m *Mediator) compose(plan algebra.Op, views *[]string) (algebra.Op, error) {
+	return m.substitute(plan, 0, views)
 }
 
 const maxViewDepth = 16
 
-func (m *Mediator) substitute(p algebra.Op, depth int) (algebra.Op, error) {
+func (m *Mediator) substitute(p algebra.Op, depth int, views *[]string) (algebra.Op, error) {
 	if depth > maxViewDepth {
 		return nil, fmt.Errorf("mediator: view nesting deeper than %d (cyclic views?)", maxViewDepth)
 	}
@@ -208,6 +260,7 @@ func (m *Mediator) substitute(p algebra.Op, depth int) (algebra.Op, error) {
 		if !isView {
 			return p, nil
 		}
+		*views = append(*views, src.URL)
 		td, ok := view.(*algebra.TupleDestroy)
 		if !ok {
 			return nil, fmt.Errorf("mediator: view %q has no tupleDestroy root", src.URL)
@@ -218,7 +271,7 @@ func (m *Mediator) substitute(p algebra.Op, depth int) (algebra.Op, error) {
 			return nil, err
 		}
 		// Views may themselves reference views.
-		renamed, err = m.substitute(renamed, depth+1)
+		renamed, err = m.substitute(renamed, depth+1, views)
 		if err != nil {
 			return nil, err
 		}
@@ -234,11 +287,11 @@ func (m *Mediator) substitute(p algebra.Op, depth int) (algebra.Op, error) {
 	// after substituting children. Simplest correct approach: handle
 	// each operator's inputs through algebra.RenameVars is not
 	// possible (it doesn't substitute), so rebuild explicitly.
-	return m.rebuild(p, depth)
+	return m.rebuild(p, depth, views)
 }
 
-func (m *Mediator) rebuild(p algebra.Op, depth int) (algebra.Op, error) {
-	sub := func(q algebra.Op) (algebra.Op, error) { return m.substitute(q, depth) }
+func (m *Mediator) rebuild(p algebra.Op, depth int, views *[]string) (algebra.Op, error) {
+	sub := func(q algebra.Op) (algebra.Op, error) { return m.substitute(q, depth, views) }
 	switch op := p.(type) {
 	case *algebra.GetDescendants:
 		in, err := sub(op.Input)

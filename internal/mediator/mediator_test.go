@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"slices"
 	"testing"
 
 	"mix/internal/algebra"
@@ -243,9 +244,31 @@ func TestClientLibrary(t *testing.T) {
 	if err != nil || len(text) != 5 {
 		t.Fatalf("zip text %q, %v", text, err)
 	}
-	kids, err := first.Children()
-	if err != nil || len(kids) < 2 {
+	kids := slices.Collect(first.Children())
+	if err := first.Err(); err != nil || len(kids) < 2 {
 		t.Fatalf("Children: %d, %v", len(kids), err)
+	}
+	// SelectChildren yields only the matching children, lazily.
+	var schoolNames []string
+	for s := range first.SelectChildren("school") {
+		n, err := s.Name()
+		if err != nil {
+			t.Fatal(err)
+		}
+		schoolNames = append(schoolNames, n)
+	}
+	if err := first.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(schoolNames) == 0 || len(schoolNames) >= len(kids) {
+		t.Fatalf("SelectChildren(school) = %v of %d kids", schoolNames, len(kids))
+	}
+	// Breaking out of a range leaves the rest of the list unexplored.
+	for range first.Children() {
+		break
+	}
+	if err := first.Err(); err != nil {
+		t.Fatal(err)
 	}
 	sib, err := first.NextSibling()
 	if err != nil {

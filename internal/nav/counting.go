@@ -45,17 +45,17 @@ func (c *CountingDoc) Fetch(p ID) (string, error) {
 	return c.Doc.Fetch(p)
 }
 
-// NativeSelect forwards the native-select question to the wrapped
-// document: counting does not change the navigation command set.
-func (c *CountingDoc) NativeSelect() bool { return NativeSelector(c.Doc) }
+// Unwrap exposes the wrapped document to capability probes
+// (SelectorOf): counting does not change the navigation command set.
+func (c *CountingDoc) Unwrap() Document { return c.Doc }
 
 // SelectRight bills a single native select command iff the wrapped
-// document answers select(σ) natively (NativeSelector). Otherwise it
-// falls back to the generic scan, whose individual r/f commands are
+// document answers select(σ) natively (the SelectorOf probe). Otherwise
+// it falls back to the generic scan, whose individual r/f commands are
 // counted instead — precisely the complexity difference Section 2
 // attributes to extending NC.
 func (c *CountingDoc) SelectRight(p ID, sigma Predicate, fromSelf bool) (ID, error) {
-	if s, ok := c.Doc.(Selector); ok && NativeSelector(c.Doc) {
+	if s, ok := SelectorOf(c.Doc); ok {
 		c.Counters.Select.Add(1)
 		return s.SelectRight(p, sigma, fromSelf)
 	}
@@ -97,6 +97,9 @@ type TraceDoc struct {
 
 // NewTraceDoc wraps doc with an empty trace.
 func NewTraceDoc(doc Document) *TraceDoc { return &TraceDoc{Doc: doc} }
+
+// Unwrap exposes the wrapped document to capability probes.
+func (t *TraceDoc) Unwrap() Document { return t.Doc }
 
 func (t *TraceDoc) record(s Step) {
 	t.mu.Lock()

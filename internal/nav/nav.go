@@ -65,25 +65,65 @@ type Selector interface {
 	SelectRight(p ID, sigma Predicate, fromSelf bool) (ID, error)
 }
 
-// NativeSelector reports whether d answers select(σ) as a single
-// native command. Documents that merely *wrap* another document (to
-// count, trace, …) implement the underlying NativeSelect method and
-// forward the question inward, so wrapping never changes the
-// navigation command set NC — only the underlying document does.
-func NativeSelector(d Document) bool {
-	if n, ok := d.(interface{ NativeSelect() bool }); ok {
-		return n.NativeSelect()
+// Wrapper is implemented by Documents that wrap another Document to
+// observe or augment it (counting, tracing, region caching, …); Unwrap
+// returns the wrapped document. Capability probes such as SelectorOf
+// walk the wrapper chain, so wrapping never changes the navigation
+// command set NC — only the innermost document does.
+type Wrapper interface {
+	Unwrap() Document
+}
+
+// SelectorOf is the one capability probe for the select(σ) command: it
+// reports whether doc answers select(σ) as a single native command,
+// unwrapping wrapper chains to ask the innermost document, and returns
+// the Selector through which the command should be issued — the
+// *outermost* document, so wrappers see (and bill, and trace) the
+// command exactly once.
+func SelectorOf(doc Document) (Selector, bool) {
+	s, ok := doc.(Selector)
+	if !ok {
+		return nil, false
 	}
-	_, ok := d.(Selector)
+	cur := doc
+	for {
+		w, ok := cur.(Wrapper)
+		if !ok {
+			break
+		}
+		cur = w.Unwrap()
+	}
+	// The innermost document decides nativeness: either through the
+	// legacy NativeSelect hook (for wrappers outside this repository
+	// that predate Unwrap) or by implementing Selector itself.
+	if n, ok := cur.(interface{ NativeSelect() bool }); ok {
+		if !n.NativeSelect() {
+			return nil, false
+		}
+		return s, true
+	}
+	if _, ok := cur.(Selector); !ok {
+		return nil, false
+	}
+	return s, true
+}
+
+// NativeSelector reports whether d answers select(σ) as a single
+// native command.
+//
+// Deprecated: use SelectorOf, which additionally returns the Selector
+// to issue the command through.
+func NativeSelector(d Document) bool {
+	_, ok := SelectorOf(d)
 	return ok
 }
 
 // Select advances from p to the first sibling to the right whose label
-// satisfies sigma, using the Document's native SelectRight if it has
-// one and an r/f scan otherwise. When fromSelf is true, p itself is a
-// candidate.
+// satisfies sigma, using the Document's native SelectRight when the
+// SelectorOf probe grants it and an r/f scan otherwise. When fromSelf
+// is true, p itself is a candidate.
 func Select(d Document, p ID, sigma Predicate, fromSelf bool) (ID, error) {
-	if s, ok := d.(Selector); ok {
+	if s, ok := SelectorOf(d); ok {
 		return s.SelectRight(p, sigma, fromSelf)
 	}
 	cur := p

@@ -1,0 +1,202 @@
+package regioncache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mix/internal/xmltree"
+)
+
+// nodeBytes approximates the retained size of one cached node beyond its
+// label: the struct, the child-slice slot in its parent, map overhead.
+const nodeBytes = 48
+
+// Entry is the cached partial tree for one Key: labels and child-list
+// prefixes of the explored region of a virtual answer document. An entry
+// has no holes — what is known is a *prefix* of each child list plus a
+// completeness bit, which is exactly what left-to-right DOM-VXD
+// navigation discovers.
+//
+// All reads copy immutable values out under a read lock (copy-on-read);
+// writers only ever extend the known region, and because an entry is
+// pinned to one (generation, registry version), concurrent writers can
+// only publish identical data — merge races are benign.
+type Entry struct {
+	key Key
+	c   *Cache
+
+	// lastUse is the cache clock at the last Entry() open; guarded by
+	// c.mu (coarse LRU: touched per open, not per navigation).
+	lastUse int64
+	// dead marks an entry evicted from the cache map; sessions holding
+	// it keep reading/writing (they stay self-consistent) but its bytes
+	// no longer count against the budget.
+	dead atomic.Bool
+
+	mu    sync.RWMutex
+	root  *cnode
+	bytes int64
+}
+
+// cnode is one node of the cached partial tree.
+type cnode struct {
+	label      string
+	labelKnown bool
+	kids       []*cnode // known prefix of the child list
+	complete   bool     // kids is the entire child list
+}
+
+func newEntry(c *Cache, k Key) *Entry {
+	return &Entry{key: k, c: c, root: &cnode{}, bytes: nodeBytes}
+}
+
+// Key returns the entry's identity.
+func (e *Entry) Key() Key { return e.key }
+
+// node walks the cached tree to path; nil if any step is unknown.
+// Caller holds e.mu (read or write).
+func (e *Entry) node(path []int) *cnode {
+	n := e.root
+	for _, i := range path {
+		if i < 0 || i >= len(n.kids) {
+			return nil
+		}
+		n = n.kids[i]
+	}
+	return n
+}
+
+// account publishes a byte delta to the owning cache (unless evicted).
+// Caller must NOT hold e.mu.
+func (e *Entry) account(delta int64) {
+	if delta == 0 || e.dead.Load() {
+		return
+	}
+	e.c.addBytes(delta)
+}
+
+// lookupLabel returns the cached label of the node at path.
+func (e *Entry) lookupLabel(path []int) (string, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.node(path)
+	if n == nil || !n.labelKnown {
+		return "", false
+	}
+	return n.label, true
+}
+
+// storeLabel records the label of the node at path.
+func (e *Entry) storeLabel(path []int, label string) {
+	e.mu.Lock()
+	var delta int64
+	if n := e.node(path); n != nil && !n.labelKnown {
+		n.label, n.labelKnown = label, true
+		delta = int64(len(label))
+		e.bytes += delta
+	}
+	e.mu.Unlock()
+	e.account(delta)
+}
+
+// lookupChild reports whether the node at path has a child at index i:
+// known=false means the cache cannot answer; otherwise ok reports
+// existence. i==0 answers d, i==n+1 answers r from child n.
+func (e *Entry) lookupChild(path []int, i int) (ok, known bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.node(path)
+	if n == nil {
+		return false, false
+	}
+	if i < len(n.kids) {
+		return true, true
+	}
+	if n.complete {
+		return false, true
+	}
+	return false, false
+}
+
+// storeChild records the outcome of navigating to child i of the node
+// at path: exists extends the known prefix (only when i is exactly the
+// frontier), !exists marks the child list complete at length i.
+func (e *Entry) storeChild(path []int, i int, exists bool) {
+	e.mu.Lock()
+	var delta int64
+	if n := e.node(path); n != nil && !n.complete {
+		if exists && i == len(n.kids) {
+			n.kids = append(n.kids, &cnode{})
+			delta = nodeBytes
+			e.bytes += delta
+		} else if !exists && i == len(n.kids) {
+			n.complete = true
+		}
+	}
+	e.mu.Unlock()
+	e.account(delta)
+}
+
+// MergeTree publishes a materialized fragment rooted at the entry's
+// root into the cache. Hole children (xmltree.IsHole) and everything to
+// their right are skipped — only the index-stable prefix of each child
+// list is merged, and a child list with no hole is marked complete.
+// This is the publication path for buffer prefetchers, whose open trees
+// contain holes standing for zero or more unexplored siblings.
+func (e *Entry) MergeTree(t *xmltree.Tree) {
+	if t == nil || t.IsHole() {
+		return
+	}
+	e.mu.Lock()
+	before := e.bytes
+	e.merge(e.root, t)
+	delta := e.bytes - before
+	e.mu.Unlock()
+	e.account(delta)
+}
+
+// merge folds t into n. Caller holds e.mu for writing.
+func (e *Entry) merge(n *cnode, t *xmltree.Tree) {
+	if !n.labelKnown {
+		n.label, n.labelKnown = t.Label, true
+		e.bytes += int64(len(t.Label))
+	}
+	stable := len(t.Children)
+	for i, c := range t.Children {
+		if c.IsHole() {
+			stable = i
+			break
+		}
+	}
+	for i := 0; i < stable; i++ {
+		if i == len(n.kids) {
+			n.kids = append(n.kids, &cnode{})
+			e.bytes += nodeBytes
+		}
+		e.merge(n.kids[i], t.Children[i])
+	}
+	if stable == len(t.Children) && !n.complete {
+		n.complete = true
+	}
+}
+
+// Snapshot returns a deep copy of the explored region as a tree, with a
+// hole node appended to every incomplete child list — the same open-tree
+// rendering the buffer component uses. Unexplored labels render as the
+// empty string. It is an inspection/testing aid.
+func (e *Entry) Snapshot() *xmltree.Tree {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return snapNode(e.root)
+}
+
+func snapNode(n *cnode) *xmltree.Tree {
+	t := &xmltree.Tree{Label: n.label}
+	for _, k := range n.kids {
+		t.Children = append(t.Children, snapNode(k))
+	}
+	if !n.complete {
+		t.Children = append(t.Children, xmltree.Hole("unexplored"))
+	}
+	return t
+}

@@ -1,0 +1,34 @@
+package regioncache
+
+import (
+	"strconv"
+
+	"mix/internal/algebra"
+)
+
+// Fingerprint renders a canonical identity for an algebra plan: the
+// plan's operator-tree rendering with every variable renamed to v0, v1,
+// … in order of first appearance. View composition generates fresh
+// variable prefixes from a per-mediator counter (view1~, view2~, …), so
+// the same query compiled on two mediator instances — or twice on one —
+// produces textually different plans; canonical renaming maps them to
+// the same fingerprint, which is what lets sessions share cache entries.
+func Fingerprint(p algebra.Op) string {
+	n := 0
+	names := map[string]string{}
+	canon, err := algebra.RenameVars(p, func(v string) string {
+		c, ok := names[v]
+		if !ok {
+			c = "v" + strconv.Itoa(n)
+			n++
+			names[v] = c
+		}
+		return c
+	})
+	if err != nil {
+		// Plans with operators RenameVars cannot rebuild still get a
+		// deterministic (just not cross-mediator canonical) identity.
+		return algebra.String(p)
+	}
+	return algebra.String(canon)
+}

@@ -1,0 +1,215 @@
+// Package regioncache implements a cross-session shared cache of
+// *explored regions* of virtual answer documents.
+//
+// The paper's lazy mediators evaluate a view only as far as one client's
+// navigation demands — but they re-derive every explored fragment for
+// every client. At scale (the ROADMAP's millions-of-users north star)
+// redundant source navigations across sessions dominate: N clients
+// glancing at the first results of the same view each pay the full
+// join/descent cost. The region cache makes concurrent sessions cheaper
+// than linear: the first session to explore a region of an answer
+// document publishes what it saw, and every later session navigating the
+// same region is answered from the cache with *zero* source navigations.
+//
+// # Key scheme
+//
+// Cached regions are keyed by
+//
+//	(generation, registry version, view name, canonical plan fingerprint)
+//
+// plus, within an entry, the node's *path* — the sequence of child
+// indices from the answer root. The generation is the cache's
+// invalidation epoch (bumped when the mediator's source registry
+// changes); the registry version counts source registrations on the
+// compiling engine; the fingerprint is the canonical rendering of the
+// final algebra plan with variables renamed to a deterministic order, so
+// the same query text compiled by different mediator instances (whose
+// fresh-variable counters differ) maps to the same entry.
+//
+// # Copy-on-read, never the lazy streams
+//
+// An entry stores plain labels and child-count structure — an "open
+// tree" like the buffer component's, but without holes: what is known is
+// a prefix of each child list plus a completeness bit. Serving a hit
+// copies immutable strings out of the entry and never touches any
+// session's single-consumer lazy streams; a miss drives the session's
+// own engine (exactly what an uncached client would have done) and then
+// publishes the result. Because every entry is pinned to one
+// (generation, registry version) pair, concurrent sessions can only
+// publish identical answers, so merge races are benign.
+//
+// # Invalidation, never staleness
+//
+// Invalidate bumps the generation and drops every older entry. Sessions
+// that opened a view before the bump keep their (now unreachable) entry
+// and stay consistent with their own engine's sources; sessions opened
+// after the bump start a fresh entry. A cache can therefore serve stale
+// *sessions*, but never a stale *answer*: a hit always agrees with what
+// the session's own engine would have derived.
+package regioncache
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one cached virtual document region (see the package
+// comment for the key scheme).
+type Key struct {
+	// Generation is the cache invalidation epoch the entry was created
+	// in; entries from older generations are never served to new opens.
+	Generation uint64
+	// Registry is the compiling engine's source-registry version.
+	Registry uint64
+	// Name names the view(s) the plan was composed from ("" for plain
+	// queries).
+	Name string
+	// Fingerprint is the canonical plan fingerprint (Fingerprint).
+	Fingerprint string
+}
+
+// Cache is a concurrency-safe, cross-session region cache. The zero
+// value is not usable; create with New.
+type Cache struct {
+	maxBytes int64
+
+	gen atomic.Uint64
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	bytesSaved atomic.Int64
+	evictions  atomic.Int64
+
+	mu      sync.Mutex
+	clock   int64
+	bytes   int64
+	entries map[Key]*Entry
+}
+
+// New returns an empty cache. maxBytes caps the approximate retained
+// size; when exceeded, least-recently-opened entries are evicted whole.
+// maxBytes <= 0 means unlimited.
+func New(maxBytes int64) *Cache {
+	return &Cache{maxBytes: maxBytes, entries: map[Key]*Entry{}}
+}
+
+// Generation returns the current invalidation epoch.
+func (c *Cache) Generation() uint64 { return c.gen.Load() }
+
+// Invalidate bumps the generation and drops every entry created under an
+// older one. Call it whenever the source registry feeding the cached
+// views changes (new source data, replaced registration); sessions
+// opened afterwards re-derive and re-publish against the new epoch. It
+// returns the new generation.
+func (c *Cache) Invalidate() uint64 {
+	g := c.gen.Add(1)
+	c.mu.Lock()
+	for k, e := range c.entries {
+		if k.Generation < g {
+			c.dropLocked(k, e)
+		}
+	}
+	c.mu.Unlock()
+	return g
+}
+
+// Entry returns the shared entry for (name, fingerprint) under the
+// current generation and the given registry version, creating it if
+// needed. The entry is what cache-aware documents and buffer publishers
+// read and write.
+func (c *Cache) Entry(name, fingerprint string, registry uint64) *Entry {
+	return c.EntryAt(c.gen.Load(), name, fingerprint, registry)
+}
+
+// EntryAt is Entry pinned to a generation sampled earlier — at
+// engine-build time, not at query-open time. An engine built before an
+// Invalidate that opens a view afterwards must not publish its (now
+// stale) derivations where fresh engines read, so when gen is no longer
+// current the entry returned is *detached*: private to the caller,
+// unaccounted, and never shared through the cache map. The stale
+// session stays self-consistent; nobody else sees its data.
+func (c *Cache) EntryAt(gen uint64, name, fingerprint string, registry uint64) *Entry {
+	k := Key{Generation: gen, Registry: registry, Name: name, Fingerprint: fingerprint}
+	if gen != c.gen.Load() {
+		e := newEntry(c, k)
+		e.dead.Store(true)
+		return e
+	}
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = newEntry(c, k)
+		c.entries[k] = e
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.mu.Unlock()
+	return e
+}
+
+// dropLocked removes an entry, releasing its bytes. Caller holds c.mu.
+func (c *Cache) dropLocked(k Key, e *Entry) {
+	delete(c.entries, k)
+	e.dead.Store(true)
+	e.mu.Lock()
+	c.bytes -= e.bytes
+	e.mu.Unlock()
+	c.evictions.Add(1)
+}
+
+// addBytes accounts newly retained bytes and evicts LRU entries while
+// over budget.
+func (c *Cache) addBytes(n int64) {
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.bytes += n
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		type cand struct {
+			k   Key
+			e   *Entry
+			use int64
+		}
+		cands := make([]cand, 0, len(c.entries))
+		for k, e := range c.entries {
+			cands = append(cands, cand{k, e, e.lastUse})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].use < cands[j].use })
+		for _, cd := range cands {
+			if c.bytes <= c.maxBytes {
+				break
+			}
+			c.dropLocked(cd.k, cd.e)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Generation uint64 `json:"generation"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	Hits       int64  `json:"hits"`        // navigations answered without touching an engine
+	Misses     int64  `json:"misses"`      // navigations that drove a lazy engine
+	BytesSaved int64  `json:"bytes_saved"` // label bytes served from the cache
+	Evictions  int64  `json:"evictions"`   // entries dropped by budget or invalidation
+}
+
+// Stats returns current totals.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Generation: c.gen.Load(),
+		Entries:    entries,
+		Bytes:      bytes,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		BytesSaved: c.bytesSaved.Load(),
+		Evictions:  c.evictions.Load(),
+	}
+}

@@ -93,6 +93,21 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	if st.Cache != nil {
+		gauge("mix_region_cache_generation", "region cache invalidation epoch", int64(st.Cache.Generation))
+		gauge("mix_region_cache_entries", "live region cache entries", st.Cache.Entries)
+		gauge("mix_region_cache_bytes", "approximate bytes retained by the region cache", st.Cache.Bytes)
+		counter("mix_region_cache_hits_total", "navigations answered from the shared region cache", st.Cache.Hits)
+		counter("mix_region_cache_misses_total", "navigations that drove a lazy engine", st.Cache.Misses)
+		counter("mix_region_cache_bytes_saved_total", "label bytes served from the region cache", st.Cache.BytesSaved)
+		counter("mix_region_cache_evictions_total", "region cache entries dropped by budget or invalidation", st.Cache.Evictions)
+	}
+	if st.Pool != nil {
+		gauge("mix_engine_pool_idle", "engines parked for reuse", st.Pool.Idle)
+		counter("mix_engine_pool_created_total", "engines built by the mediator factory", st.Pool.Created)
+		counter("mix_engine_pool_reused_total", "sessions served by a recycled engine", st.Pool.Reused)
+	}
+
 	telemetry.WritePrometheus(w, "mix_command_duration_seconds",
 		"wire command service latency by op", "op", s.cmdHist)
 	telemetry.WritePrometheus(w, "mix_operator_duration_seconds",

@@ -16,7 +16,7 @@ import (
 // TestStatsOpOverWire drives a live VXDP connection and checks both the
 // server-wide counters and the per-session block of the stats response.
 func TestStatsOpOverWire(t *testing.T) {
-	_, addr := start(t, server.Config{})
+	_, addr := start(t)
 	c, err := vxdp.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +70,7 @@ func TestStatsOpOverWire(t *testing.T) {
 // sum of live per-session counters while each session's own block stays
 // private to it.
 func TestStatsAggregatesAcrossSessions(t *testing.T) {
-	_, addr := start(t, server.Config{})
+	_, addr := start(t)
 	c1, err := vxdp.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +118,7 @@ func mustRoot(t *testing.T, c *vxdp.Client) nav.ID {
 // the client gets the span forest behind its navigations, consecutive
 // calls partition the stream, and a non-tracing server returns nothing.
 func TestTraceOpOverWire(t *testing.T) {
-	_, addr := start(t, server.Config{Trace: true})
+	_, addr := start(t, server.WithTrace(true))
 	c, err := vxdp.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +158,7 @@ func TestTraceOpOverWire(t *testing.T) {
 }
 
 func TestTraceOpDisabled(t *testing.T) {
-	_, addr := start(t, server.Config{})
+	_, addr := start(t)
 	c, err := vxdp.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -183,7 +183,7 @@ func TestTraceOpDisabled(t *testing.T) {
 // navigations as they happen, /healthz reports liveness, and the pprof
 // index is mounted.
 func TestHTTPSidecar(t *testing.T) {
-	srv, addr := start(t, server.Config{Trace: true})
+	srv, addr := start(t, server.WithTrace(true))
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 

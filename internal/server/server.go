@@ -36,17 +36,34 @@ import (
 
 	"mix/internal/mediator"
 	"mix/internal/metrics"
+	"mix/internal/regioncache"
 	"mix/internal/telemetry"
+	"mix/internal/trace"
 	"mix/internal/vxdp"
 )
 
-// Config configures a Server. The zero value serves with no session
-// limit and no timeouts.
+// Factory builds the mediator behind one pooled engine: register
+// sources and define views here. It is called concurrently from
+// session goroutines, so shared underlying state (trees, LXP clients)
+// must be immutable or internally synchronized. The server's shared
+// region cache is passed (nil when caching is off) so the factory can
+// install it *before* registering sources — mediator.SetRegionCache
+// first, then RegisterLXP — which is what lets LXP prefetch fills
+// publish into the cache.
+type Factory func(cache *regioncache.Cache) (*mediator.Mediator, error)
+
+// Config configures a Server.
+//
+// Deprecated: construct servers with New and functional options
+// (WithMaxSessions, WithIdleTimeout, WithTrace, WithRegionCache, …);
+// a literal Config is accepted only through NewFromConfig, the
+// compatibility shim for the pre-options API.
 type Config struct {
-	// NewMediator builds the per-session mediator: register sources and
-	// define views here. Required. It is called concurrently from
-	// session goroutines, so shared underlying state (trees, LXP
-	// clients) must be immutable or internally synchronized.
+	// NewMediator builds the per-session mediator.
+	//
+	// Deprecated: pass a Factory to New. A Config shimmed through
+	// NewFromConfig has the region cache installed only after the
+	// factory returns, so LXP sources cannot publish into it.
 	NewMediator func() (*mediator.Mediator, error)
 	// MaxSessions caps concurrently active sessions; connections beyond
 	// the cap are refused with an error frame (0 = unlimited).
@@ -69,7 +86,48 @@ type Config struct {
 	// lxp.Counting wrappers) to expose on the /metrics endpoint. The
 	// server only reads them.
 	SourceCounters map[string]*metrics.Counters
+	// RegionCache, when non-nil, is shared across all sessions: regions
+	// of answer documents explored by one session are served to every
+	// other without re-deriving them (see internal/regioncache).
+	RegionCache *regioncache.Cache
+	// EnginePool reuses mediator engines across sequential sessions
+	// instead of building one per session. On by default under New;
+	// off under the deprecated NewFromConfig shim.
+	EnginePool bool
+
+	factory Factory
 }
+
+// Option configures a Server (see New).
+type Option func(*Config)
+
+// WithMaxSessions caps concurrently active sessions (0 = unlimited).
+func WithMaxSessions(n int) Option { return func(c *Config) { c.MaxSessions = n } }
+
+// WithIdleTimeout evicts sessions idle for d (0 = never).
+func WithIdleTimeout(d time.Duration) Option { return func(c *Config) { c.IdleTimeout = d } }
+
+// WithMaxLifetime evicts sessions d after accept, busy or not (0 = never).
+func WithMaxLifetime(d time.Duration) Option { return func(c *Config) { c.MaxLifetime = d } }
+
+// WithLogger routes structured lifecycle events to l (nil = discard).
+func WithLogger(l *slog.Logger) Option { return func(c *Config) { c.Logger = l } }
+
+// WithTrace toggles per-session navigation-span recording.
+func WithTrace(on bool) Option { return func(c *Config) { c.Trace = on } }
+
+// WithSourceCounters exposes per-source counters on /metrics.
+func WithSourceCounters(m map[string]*metrics.Counters) Option {
+	return func(c *Config) { c.SourceCounters = m }
+}
+
+// WithRegionCache installs the shared cross-session region cache.
+func WithRegionCache(rc *regioncache.Cache) Option {
+	return func(c *Config) { c.RegionCache = rc }
+}
+
+// WithEnginePool toggles cross-session engine reuse (on by default).
+func WithEnginePool(on bool) Option { return func(c *Config) { c.EnginePool = on } }
 
 // Server is a mixd instance. Create with New, run with Serve, stop with
 // Shutdown.
@@ -91,6 +149,17 @@ type Server struct {
 
 	active, total, evicted, denied atomic.Int64
 
+	// cache is the shared region cache (nil = caching off); pool holds
+	// idle engines released by finished sessions for reuse. epoch counts
+	// BumpRegistry calls: engines built under an older epoch are
+	// discarded at release instead of re-pooled, so a registry change
+	// can never hand stale sources to a new session.
+	cache                   *regioncache.Cache
+	epoch                   atomic.Uint64
+	poolMu                  sync.Mutex
+	pool                    []*pooledEngine
+	poolCreated, poolReused atomic.Int64
+
 	mu       sync.Mutex
 	l        net.Listener
 	sessions map[uint64]*session
@@ -99,11 +168,43 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// New returns an unstarted Server.
-func New(cfg Config) (*Server, error) {
+// New returns an unstarted Server whose sessions draw engines built by
+// factory from a shared pool. Defaults: no session limit, no timeouts,
+// tracing off, engine pooling on, no region cache; override with
+// options.
+func New(factory Factory, opts ...Option) (*Server, error) {
+	if factory == nil {
+		return nil, errors.New("server: mediator factory is required")
+	}
+	cfg := Config{EnginePool: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.factory = factory
+	return newServer(cfg)
+}
+
+// NewFromConfig returns an unstarted Server for a literal Config.
+//
+// Deprecated: use New with functional options. This shim keeps the
+// pre-options semantics: one engine per session (unless EnginePool is
+// set) and a region cache installed only after NewMediator returns.
+func NewFromConfig(cfg Config) (*Server, error) {
 	if cfg.NewMediator == nil {
 		return nil, errors.New("server: Config.NewMediator is required")
 	}
+	newMediator := cfg.NewMediator
+	cfg.factory = func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		m, err := newMediator()
+		if err == nil && rc != nil {
+			m.SetRegionCache(rc)
+		}
+		return m, err
+	}
+	return newServer(cfg)
+}
+
+func newServer(cfg Config) (*Server, error) {
 	log := cfg.Logger
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -111,12 +212,97 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:      cfg,
 		log:      log,
+		cache:    cfg.RegionCache,
 		nav:      &metrics.Counters{},
 		cmdHist:  telemetry.NewRegistry(),
 		opHist:   telemetry.NewRegistry(),
 		sessions: map[uint64]*session{},
 	}, nil
 }
+
+// pooledEngine is one reusable engine: a mediator plus the trace
+// recorder wired into it (non-nil iff the server traces). Engines are
+// handed to at most one session at a time; lazy evaluation state is
+// per-query, so sequential reuse shares nothing but immutable sources
+// and the region cache.
+type pooledEngine struct {
+	med   *mediator.Mediator
+	rec   *trace.Recorder
+	epoch uint64 // server epoch the engine was built under
+}
+
+// acquireEngine pops an idle engine or builds a fresh one.
+func (s *Server) acquireEngine() (*pooledEngine, error) {
+	s.poolMu.Lock()
+	if n := len(s.pool); n > 0 {
+		pe := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		s.poolMu.Unlock()
+		s.poolReused.Add(1)
+		return pe, nil
+	}
+	s.poolMu.Unlock()
+	// Sample the epoch before building: an engine whose build races a
+	// BumpRegistry is conservatively treated as stale and dropped at
+	// release (its cache entries detach on their own — see
+	// regioncache.EntryAt).
+	epoch := s.epoch.Load()
+	m, err := s.cfg.factory(s.cache)
+	if err != nil {
+		return nil, err
+	}
+	pe := &pooledEngine{med: m, epoch: epoch}
+	if s.cfg.Trace {
+		// One recorder per engine: spans accumulate until the owning
+		// session's next trace command, and every finished span feeds
+		// the server's per-operator histograms.
+		pe.rec = trace.New()
+		pe.rec.Limit = traceLimit
+		opHist := s.opHist
+		pe.rec.Sink = func(label, op string, d time.Duration) {
+			opHist.Histogram(label + "/" + op).Observe(d)
+		}
+		m.SetTracer(pe.rec)
+	}
+	s.poolCreated.Add(1)
+	return pe, nil
+}
+
+// releaseEngine returns an engine to the pool (or drops it when pooling
+// is off). Spans the departing session never fetched are discarded so
+// the next session starts with a clean trace.
+func (s *Server) releaseEngine(pe *pooledEngine) {
+	if pe == nil {
+		return
+	}
+	pe.rec.Take()
+	if !s.cfg.EnginePool || pe.epoch != s.epoch.Load() {
+		return
+	}
+	s.poolMu.Lock()
+	s.pool = append(s.pool, pe)
+	s.poolMu.Unlock()
+}
+
+// BumpRegistry declares that the data behind the factory's sources
+// changed: it invalidates the shared region cache (sessions opened
+// afterwards re-derive and re-publish under a fresh generation) and
+// flushes the engine pool (so their engines are rebuilt by the factory
+// against the new data). Live sessions keep their current engines and
+// their now-detached cache entries — they stay self-consistent, never
+// mixing old and new data, until they reopen.
+func (s *Server) BumpRegistry() {
+	s.epoch.Add(1)
+	if s.cache != nil {
+		s.cache.Invalidate()
+	}
+	s.poolMu.Lock()
+	s.pool = nil
+	s.poolMu.Unlock()
+}
+
+// RegionCache returns the shared region cache (nil when caching is off).
+func (s *Server) RegionCache() *regioncache.Cache { return s.cache }
 
 // Serve accepts VXDP sessions on l until Shutdown is called or the
 // listener fails. It returns nil after a clean Shutdown.
@@ -183,6 +369,8 @@ func (s *Server) dropSession(sess *session) {
 	// still holding the lock, so Stats never double-counts or misses it.
 	s.nav.Add(sess.nav.Snapshot())
 	s.mu.Unlock()
+	s.releaseEngine(sess.eng)
+	sess.eng = nil
 	s.active.Add(-1)
 	s.log.Info("session closed", "session", sess.id,
 		"msgs", sess.msgs.Load(), "navs", sess.nav.Navigations(),
@@ -252,7 +440,7 @@ func (s *Server) Stats() vxdp.Stats {
 		n = n.Add(sess.nav.Snapshot())
 	}
 	s.mu.Unlock()
-	return vxdp.Stats{
+	st := vxdp.Stats{
 		SessionsActive:  s.active.Load(),
 		SessionsTotal:   s.total.Load(),
 		SessionsEvicted: s.evicted.Load(),
@@ -265,4 +453,27 @@ func (s *Server) Stats() vxdp.Stats {
 		Select:          n.Select,
 		Root:            n.Root,
 	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &vxdp.CacheStats{
+			Generation: cs.Generation,
+			Entries:    int64(cs.Entries),
+			Bytes:      cs.Bytes,
+			Hits:       cs.Hits,
+			Misses:     cs.Misses,
+			BytesSaved: cs.BytesSaved,
+			Evictions:  cs.Evictions,
+		}
+	}
+	if s.cfg.EnginePool {
+		s.poolMu.Lock()
+		idle := int64(len(s.pool))
+		s.poolMu.Unlock()
+		st.Pool = &vxdp.PoolStats{
+			Idle:    idle,
+			Created: s.poolCreated.Load(),
+			Reused:  s.poolReused.Load(),
+		}
+	}
+	return st
 }

@@ -10,6 +10,7 @@ import (
 
 	"mix/internal/mediator"
 	"mix/internal/nav"
+	"mix/internal/regioncache"
 	"mix/internal/server"
 	"mix/internal/vxdp"
 	"mix/internal/workload"
@@ -21,18 +22,17 @@ CONSTRUCT <answer> <med_home> $H $S {$S} </med_home> {$H} </answer> {}
 WHERE homesSrc homes.home $H AND $H zip._ $V1
 AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2`
 
-func start(t *testing.T, cfg server.Config) (*server.Server, string) {
+func start(t *testing.T, opts ...server.Option) (*server.Server, string) {
 	t.Helper()
 	homes, schools := workload.HomesSchools(10, 10, 3, 5)
-	if cfg.NewMediator == nil {
-		cfg.NewMediator = func() (*mediator.Mediator, error) {
-			m := mediator.New(mediator.DefaultOptions())
-			m.RegisterTree("homesSrc", homes)
-			m.RegisterTree("schoolsSrc", schools)
-			return m, nil
-		}
+	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		m := mediator.New(mediator.DefaultOptions())
+		m.SetRegionCache(rc)
+		m.RegisterTree("homesSrc", homes)
+		m.RegisterTree("schoolsSrc", schools)
+		return m, nil
 	}
-	srv, err := server.New(cfg)
+	srv, err := server.New(factory, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,13 +52,16 @@ func start(t *testing.T, cfg server.Config) (*server.Server, string) {
 }
 
 func TestConfigRequiresFactory(t *testing.T) {
-	if _, err := server.New(server.Config{}); err == nil {
-		t.Fatal("New accepted a config without NewMediator")
+	if _, err := server.New(nil); err == nil {
+		t.Fatal("New accepted a nil factory")
+	}
+	if _, err := server.NewFromConfig(server.Config{}); err == nil {
+		t.Fatal("NewFromConfig accepted a config without NewMediator")
 	}
 }
 
 func TestSessionLimit(t *testing.T) {
-	srv, addr := start(t, server.Config{MaxSessions: 2})
+	srv, addr := start(t, server.WithMaxSessions(2))
 	c1, err := vxdp.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -105,7 +108,7 @@ func TestSessionLimit(t *testing.T) {
 }
 
 func TestIdleEviction(t *testing.T) {
-	srv, addr := start(t, server.Config{IdleTimeout: 80 * time.Millisecond})
+	srv, addr := start(t, server.WithIdleTimeout(80*time.Millisecond))
 	c, err := vxdp.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +139,7 @@ func TestIdleEviction(t *testing.T) {
 }
 
 func TestMaxLifetimeEviction(t *testing.T) {
-	srv, addr := start(t, server.Config{MaxLifetime: 150 * time.Millisecond})
+	srv, addr := start(t, server.WithMaxLifetime(150*time.Millisecond))
 	c, err := vxdp.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -161,7 +164,8 @@ func TestMaxLifetimeEviction(t *testing.T) {
 
 func TestGracefulShutdownDrains(t *testing.T) {
 	homes, schools := workload.HomesSchools(10, 10, 3, 5)
-	srv, err := server.New(server.Config{NewMediator: func() (*mediator.Mediator, error) {
+	// The deprecated shim still builds a working server.
+	srv, err := server.NewFromConfig(server.Config{NewMediator: func() (*mediator.Mediator, error) {
 		m := mediator.New(mediator.DefaultOptions())
 		m.RegisterTree("homesSrc", homes)
 		m.RegisterTree("schoolsSrc", schools)
@@ -218,7 +222,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 // per-session views at different paces; every one sees the full,
 // correct answer (single-consumer lazy streams are session-private).
 func TestConcurrentSessionsShareNothing(t *testing.T) {
-	_, addr := start(t, server.Config{})
+	_, addr := start(t)
 
 	homes, schools := workload.HomesSchools(10, 10, 3, 5)
 	m := mediator.New(mediator.DefaultOptions())

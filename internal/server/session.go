@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"mix/internal/mediator"
 	"mix/internal/metrics"
 	"mix/internal/nav"
 	"mix/internal/trace"
@@ -37,7 +36,7 @@ type session struct {
 	msgs  atomic.Int64
 	opens atomic.Int64
 
-	med     *mediator.Mediator
+	eng     *pooledEngine   // acquired at the first open, released on drop
 	doc     nav.Document
 	rec     *trace.Recorder // non-nil iff the server traces
 	handles map[uint64]nav.ID
@@ -161,29 +160,20 @@ func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 	}
 }
 
-// open compiles the query on this session's private engine (created on
-// first use) and resets the handle table.
+// open compiles the query on this session's pooled engine (acquired on
+// first use) and resets the handle table. The engine is exclusively
+// this session's until dropSession releases it; the shared region
+// cache behind it makes regions other sessions explored free.
 func (s *session) open(query string) error {
-	if s.med == nil {
-		m, err := s.srv.cfg.NewMediator()
+	if s.eng == nil {
+		pe, err := s.srv.acquireEngine()
 		if err != nil {
 			return fmt.Errorf("creating session mediator: %v", err)
 		}
-		s.med = m
-		if s.srv.cfg.Trace {
-			// One recorder per session: spans from this session's engine
-			// accumulate until the client's next trace command, and every
-			// finished span feeds the server's per-operator histograms.
-			s.rec = trace.New()
-			s.rec.Limit = traceLimit
-			opHist := s.srv.opHist
-			s.rec.Sink = func(label, op string, d time.Duration) {
-				opHist.Histogram(label + "/" + op).Observe(d)
-			}
-			s.med.SetTracer(s.rec)
-		}
+		s.eng = pe
+		s.rec = pe.rec
 	}
-	res, err := s.med.Query(query)
+	res, err := s.eng.med.Query(query)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,153 @@
+package server_test
+
+// Cache correctness under concurrency: N sessions navigate the same
+// view while the source registry is mutated mid-flight. The invariant
+// is "invalidation, never staleness" — whatever a session explores must
+// be byte-identical to what an *uncached* engine over some registry
+// state would have answered; a blend of two states is a failure. Run
+// with -race (the CI stress step does).
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mix/internal/mediator"
+	"mix/internal/nav"
+	"mix/internal/regioncache"
+	"mix/internal/server"
+	"mix/internal/vxdp"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+func TestRegistryMutationStress(t *testing.T) {
+	const versions = 3
+	type dataset struct {
+		homes, schools *xmltree.Tree
+		want           string
+	}
+	data := make([]dataset, versions)
+	expected := map[string]int{}
+	for v := range data {
+		homes, schools := workload.HomesSchools(8+2*v, 8+2*v, 3, int64(11*v+5))
+		m := mediator.New(mediator.DefaultOptions())
+		m.RegisterTree("homesSrc", homes)
+		m.RegisterTree("schoolsSrc", schools)
+		res, err := m.Query(joinQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := res.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := xmltree.MarshalXML(tree)
+		data[v] = dataset{homes, schools, want}
+		if _, dup := expected[want]; dup {
+			t.Fatal("test needs distinguishable datasets")
+		}
+		expected[want] = v
+	}
+
+	var version atomic.Int64
+	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		d := data[version.Load()]
+		m := mediator.New(mediator.DefaultOptions())
+		m.SetRegionCache(rc)
+		m.RegisterTree("homesSrc", d.homes)
+		m.RegisterTree("schoolsSrc", d.schools)
+		return m, nil
+	}
+	srv, err := server.New(factory, server.WithRegionCache(regioncache.New(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		l.Close()
+		<-done
+	}()
+	addr := l.Addr().String()
+
+	// The mutator swaps the dataset and declares the change, repeatedly,
+	// while sessions are mid-exploration.
+	stop := make(chan struct{})
+	var mutations atomic.Int64
+	var mutWG sync.WaitGroup
+	mutWG.Add(1)
+	go func() {
+		defer mutWG.Done()
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			version.Store(i % versions)
+			srv.BumpRegistry()
+			mutations.Add(1)
+		}
+	}()
+
+	const sessions = 8
+	const opensPerSession = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*opensPerSession)
+	fail := func(err error) { errs <- err }
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opensPerSession; i++ {
+				c, err := vxdp.Dial(addr)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := c.Open(joinQuery); err != nil {
+					c.Close()
+					fail(err)
+					return
+				}
+				tree, err := nav.Materialize(c)
+				c.Close()
+				if err != nil {
+					fail(err)
+					return
+				}
+				got := xmltree.MarshalXML(tree)
+				if _, ok := expected[got]; !ok {
+					fail(&stale{got})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	mutWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if mutations.Load() == 0 {
+		t.Fatal("mutator never ran; the stress proved nothing")
+	}
+	if st := srv.Stats(); st.Cache == nil || st.Cache.Generation == 0 {
+		t.Fatalf("registry mutations did not advance the cache generation: %+v", st.Cache)
+	}
+}
+
+type stale struct{ got string }
+
+func (s *stale) Error() string {
+	return "explored answer matches no registry state (stale or blended cache): " + s.got
+}

@@ -283,10 +283,9 @@ func (d *Doc) Fetch(p nav.ID) (string, error) {
 	return d.Inner.Fetch(p)
 }
 
-// NativeSelect reports whether the wrapped document answers select(σ)
-// natively (see nav.NativeSelector); tracing does not change the
-// navigation command set.
-func (d *Doc) NativeSelect() bool { return nav.NativeSelector(d.Inner) }
+// Unwrap exposes the wrapped document to capability probes
+// (nav.SelectorOf); tracing does not change the navigation command set.
+func (d *Doc) Unwrap() nav.Document { return d.Inner }
 
 // SelectRight implements nav.Selector. A natively answered select is
 // one span; over a document without native select it falls back to the
@@ -294,7 +293,7 @@ func (d *Doc) NativeSelect() bool { return nav.NativeSelector(d.Inner) }
 // exactly the commands the source answers — keeping trace totals equal
 // to counter totals at the same boundary.
 func (d *Doc) SelectRight(p nav.ID, sigma nav.Predicate, fromSelf bool) (nav.ID, error) {
-	if s, ok := d.Inner.(nav.Selector); ok && nav.NativeSelector(d.Inner) {
+	if s, ok := nav.SelectorOf(d.Inner); ok {
 		sp := d.Rec.Begin(d.Label, string(nav.OpSelect))
 		defer d.Rec.End(sp)
 		return s.SelectRight(p, sigma, fromSelf)

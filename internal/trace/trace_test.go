@@ -140,7 +140,7 @@ func TestDocSelectBilling(t *testing.T) {
 	// Non-native: the scan is billed hop by hop.
 	r2 := trace.New()
 	doc2 := trace.NewDoc(plainDoc{d: nav.NewTreeDoc(sibTree())}, trace.SourcePrefix+"s", r2)
-	if doc2.NativeSelect() {
+	if _, ok := nav.SelectorOf(doc2); ok {
 		t.Fatal("plainDoc reported native select")
 	}
 	root2, _ := doc2.Root()

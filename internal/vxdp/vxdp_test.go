@@ -13,6 +13,7 @@ import (
 
 	"mix/internal/mediator"
 	"mix/internal/nav"
+	"mix/internal/regioncache"
 	"mix/internal/server"
 	"mix/internal/vxdp"
 	"mix/internal/workload"
@@ -26,18 +27,17 @@ AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2`
 
 // startServer runs a mixd instance over the homes/schools workload on a
 // loopback listener and returns its address.
-func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+func startServer(t *testing.T, opts ...server.Option) (*server.Server, string) {
 	t.Helper()
 	homes, schools := workload.HomesSchools(12, 12, 4, 7)
-	if cfg.NewMediator == nil {
-		cfg.NewMediator = func() (*mediator.Mediator, error) {
-			m := mediator.New(mediator.DefaultOptions())
-			m.RegisterTree("homesSrc", homes)
-			m.RegisterTree("schoolsSrc", schools)
-			return m, nil
-		}
+	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		m := mediator.New(mediator.DefaultOptions())
+		m.SetRegionCache(rc)
+		m.RegisterTree("homesSrc", homes)
+		m.RegisterTree("schoolsSrc", schools)
+		return m, nil
 	}
-	srv, err := server.New(cfg)
+	srv, err := server.New(factory, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func localAnswer(t *testing.T, query string) *xmltree.Tree {
 }
 
 func TestRemoteNavigationEqualsLocal(t *testing.T) {
-	_, addr := startServer(t, server.Config{})
+	_, addr := startServer(t)
 	c := dialOpen(t, addr, joinQuery)
 	got, err := nav.Materialize(c)
 	if err != nil {
@@ -102,7 +102,7 @@ func TestRemoteNavigationEqualsLocal(t *testing.T) {
 func TestClientIsADocument(t *testing.T) {
 	// The mediator.Element veneer and the exploration helpers must work
 	// over the wire unchanged.
-	_, addr := startServer(t, server.Config{})
+	_, addr := startServer(t)
 	c := dialOpen(t, addr, joinQuery)
 	root, err := mediator.Wrap(c)
 	if err != nil {
@@ -136,7 +136,7 @@ func TestClientIsADocument(t *testing.T) {
 }
 
 func TestSelectLabelAndPath(t *testing.T) {
-	_, addr := startServer(t, server.Config{})
+	_, addr := startServer(t)
 	c := dialOpen(t, addr, joinQuery)
 	// nav.Path uses nav.Select, which falls back to an r/f scan over
 	// the wire; SelectLabel does it in one round trip. Both must agree.
@@ -180,7 +180,7 @@ func TestSelectLabelAndPath(t *testing.T) {
 }
 
 func TestBatchPipelines(t *testing.T) {
-	_, addr := startServer(t, server.Config{})
+	_, addr := startServer(t)
 	c := dialOpen(t, addr, joinQuery)
 
 	// Scan the first k child labels one command per frame…
@@ -219,7 +219,7 @@ func TestBatchPipelines(t *testing.T) {
 }
 
 func TestBatchBottomPropagates(t *testing.T) {
-	_, addr := startServer(t, server.Config{})
+	_, addr := startServer(t)
 	// A view with a single leaf-ish document: scan far past the end.
 	c := dialOpen(t, addr, joinQuery)
 	b := c.NewBatch()
@@ -241,7 +241,7 @@ func TestBatchBottomPropagates(t *testing.T) {
 }
 
 func TestBatchAt(t *testing.T) {
-	_, addr := startServer(t, server.Config{})
+	_, addr := startServer(t)
 	c := dialOpen(t, addr, joinQuery)
 	root, err := c.Root()
 	if err != nil {
@@ -260,7 +260,7 @@ func TestBatchAt(t *testing.T) {
 }
 
 func TestForeignIDRejected(t *testing.T) {
-	_, addr := startServer(t, server.Config{})
+	_, addr := startServer(t)
 	c1 := dialOpen(t, addr, joinQuery)
 	c2 := dialOpen(t, addr, joinQuery)
 	root1, err := c1.Root()
@@ -276,7 +276,7 @@ func TestForeignIDRejected(t *testing.T) {
 }
 
 func TestOpenErrors(t *testing.T) {
-	_, addr := startServer(t, server.Config{})
+	_, addr := startServer(t)
 	c, err := vxdp.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +306,7 @@ func TestOpenErrors(t *testing.T) {
 }
 
 func TestStatsOverWire(t *testing.T) {
-	srv, addr := startServer(t, server.Config{})
+	srv, addr := startServer(t)
 	c := dialOpen(t, addr, joinQuery)
 	if _, err := nav.Materialize(c); err != nil {
 		t.Fatal(err)
@@ -333,7 +333,7 @@ func TestStatsOverWire(t *testing.T) {
 // TestMalformedFramesDoNotKillServer feeds hostile bytes to the
 // listener; the server must stay up for well-behaved clients.
 func TestMalformedFramesDoNotKillServer(t *testing.T) {
-	_, addr := startServer(t, server.Config{})
+	_, addr := startServer(t)
 
 	// Hostile length prefix (4 GiB frame).
 	conn, err := net.Dial("tcp", addr)

@@ -138,6 +138,32 @@ type Stats struct {
 	// Session, present only in responses to the stats command, describes
 	// the asking session itself.
 	Session *SessionStats `json:"session,omitempty"`
+	// Cache, present when the server runs a shared region cache,
+	// reports cross-session cache effectiveness.
+	Cache *CacheStats `json:"cache,omitempty"`
+	// Pool, present when the server pools engines across sessions,
+	// reports engine reuse.
+	Pool *PoolStats `json:"pool,omitempty"`
+}
+
+// CacheStats mirrors the server's region-cache totals on the wire (see
+// internal/regioncache): hits are navigations answered with zero source
+// navigations, bytes_saved the label bytes served from the cache.
+type CacheStats struct {
+	Generation uint64 `json:"generation"`
+	Entries    int64  `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	Hits       int64  `json:"hits"`
+	Misses     int64  `json:"misses"`
+	BytesSaved int64  `json:"bytes_saved"`
+	Evictions  int64  `json:"evictions"`
+}
+
+// PoolStats reports cross-session engine reuse.
+type PoolStats struct {
+	Idle    int64 `json:"idle"`    // engines parked, ready for the next session
+	Created int64 `json:"created"` // engines built by the factory
+	Reused  int64 `json:"reused"`  // sessions served by a recycled engine
 }
 
 // SessionStats describes one session from the server's point of view:

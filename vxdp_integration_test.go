@@ -17,6 +17,7 @@ import (
 
 	"mix/internal/mediator"
 	"mix/internal/nav"
+	"mix/internal/regioncache"
 	"mix/internal/server"
 	"mix/internal/vxdp"
 	"mix/internal/workload"
@@ -55,10 +56,11 @@ WHERE homesSrc homes.home $H AND $H price._ $P
 ORDERBY $P`},
 }
 
-func mixdFactory() func() (*mediator.Mediator, error) {
+func mixdFactory() server.Factory {
 	homes, schools := workload.HomesSchools(25, 25, 6, 13)
-	return func() (*mediator.Mediator, error) {
+	return func(rc *regioncache.Cache) (*mediator.Mediator, error) {
 		m := mediator.New(mediator.DefaultOptions())
+		m.SetRegionCache(rc)
 		m.RegisterTree("homesSrc", homes)
 		m.RegisterTree("schoolsSrc", schools)
 		if err := m.DefineView("homeview", homesSchoolsViewDef); err != nil {
@@ -69,10 +71,9 @@ func mixdFactory() func() (*mediator.Mediator, error) {
 }
 
 // startMixd runs the daemon in-process on a loopback listener.
-func startMixd(t *testing.T, cfg server.Config) (*server.Server, string) {
+func startMixd(t *testing.T, opts ...server.Option) (*server.Server, string) {
 	t.Helper()
-	cfg.NewMediator = mixdFactory()
-	srv, err := server.New(cfg)
+	srv, err := server.New(mixdFactory(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +97,11 @@ func startMixd(t *testing.T, cfg server.Config) (*server.Server, string) {
 // TestRemoteCorpusByteIdentical: for every corpus query, full remote
 // exploration is byte-identical to in-process lazy evaluation.
 func TestRemoteCorpusByteIdentical(t *testing.T) {
-	_, addr := startMixd(t, server.Config{})
+	_, addr := startMixd(t)
 	factory := mixdFactory()
 	for _, tc := range queryCorpus {
 		t.Run(tc.name, func(t *testing.T) {
-			local, err := factory()
+			local, err := factory(nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -139,9 +140,9 @@ func TestRemoteCorpusByteIdentical(t *testing.T) {
 // labels in a batch — and every fully explored answer is byte-identical
 // to in-process lazy evaluation.
 func TestMixdTwentyConcurrentSessions(t *testing.T) {
-	srv, addr := startMixd(t, server.Config{MaxSessions: 64})
+	srv, addr := startMixd(t, server.WithMaxSessions(64))
 
-	local, err := mixdFactory()()
+	local, err := mixdFactory()(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestMixdTwentyConcurrentSessions(t *testing.T) {
 // asserts the batched version takes strictly fewer round trips while
 // returning the same labels.
 func TestBatchedNavigationReducesMessages(t *testing.T) {
-	_, addr := startMixd(t, server.Config{})
+	_, addr := startMixd(t)
 	const k = 10
 
 	c1, err := vxdp.Dial(addr)
@@ -308,7 +309,7 @@ func TestBatchedNavigationReducesMessages(t *testing.T) {
 // TestMixdIdleEviction: a session that stops navigating is evicted
 // after the configured idle timeout while an active one survives.
 func TestMixdIdleEviction(t *testing.T) {
-	srv, addr := startMixd(t, server.Config{IdleTimeout: 100 * time.Millisecond})
+	srv, addr := startMixd(t, server.WithIdleTimeout(100*time.Millisecond))
 
 	idle, err := vxdp.Dial(addr)
 	if err != nil {
