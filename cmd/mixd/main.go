@@ -40,7 +40,6 @@ import (
 	"syscall"
 	"time"
 
-	"mix/internal/buffer"
 	"mix/internal/lxp"
 	"mix/internal/mediator"
 	"mix/internal/metrics"
@@ -85,6 +84,9 @@ func main() {
 	traceOn := flag.Bool("trace", false, "record per-session navigation traces (wire trace command, operator histograms)")
 	cacheMax := flag.Int64("cache-max-bytes", 64<<20, "region cache budget in bytes; LRU-evicts whole entries over it (0 = unlimited)")
 	cacheOff := flag.Bool("cache-off", false, "disable the cross-session region cache entirely")
+	hashJoin := flag.Bool("hash-join", true, "compile equi-joins to the incremental hash join (false = always nested loops)")
+	parallelJoin := flag.Bool("parallel-join", false, "derive the two inputs of multi-source joins concurrently (trades lazy exploration for latency overlap)")
+	lxpBatch := flag.Int("lxp-batch", 8, "coalesce up to this many holes per LXP fill round trip (0 or 1 = single-hole fills)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
@@ -132,8 +134,12 @@ func main() {
 		viewTexts[name] = string(text)
 	}
 
+	mopts := mediator.DefaultOptions()
+	mopts.Engine.HashJoin = *hashJoin
+	mopts.Engine.Parallel = *parallelJoin
+	mopts.LXPBatch = *lxpBatch
 	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
-		m := mediator.New(mediator.DefaultOptions())
+		m := mediator.New(mopts)
 		// Cache before sources, so LXP prefetch fills publish into it.
 		m.SetRegionCache(rc)
 		for _, spec := range specs {
@@ -241,15 +247,12 @@ func openSource(name, loc string) (sourceSpec, error) {
 		}
 		// The LXP client serializes concurrent use, so sessions share
 		// the connection (and its counters); each session buffers
-		// independently.
+		// independently (with batching and region-cache publishing
+		// wired up by RegisterLXP).
 		counting := &lxp.Counting{Inner: client, Counters: &metrics.Counters{}}
 		return sourceSpec{name: name, counters: counting.Counters, register: func(m *mediator.Mediator) error {
-			b, err := buffer.New(counting, uri)
-			if err != nil {
-				return err
-			}
-			m.RegisterSource(name, b)
-			return nil
+			_, err := m.RegisterLXP(name, counting, uri)
+			return err
 		}}, nil
 	}
 	if rest, ok := strings.CutPrefix(loc, "demo:"); ok {

@@ -19,6 +19,16 @@ type Cond interface {
 	Eval(b ValueGetter) (bool, error)
 	// Vars returns the variables the condition references.
 	Vars() []string
+	// EquiKeys returns the variable pairs whose equality the condition
+	// *implies*: every [2]string{a, b} is a conjunct a = b of the
+	// condition, so any binding satisfying the condition has equal (in
+	// the Eval sense) values for a and b. Engines use the pairs to
+	// compile a Join into a hash equi-join; a nil result means the
+	// condition has no top-level conjunctive variable equality and the
+	// join must fall back to nested loops. The extraction is structural
+	// and conservative: disjunctions, negations and literal comparisons
+	// contribute nothing.
+	EquiKeys() [][2]string
 	fmt.Stringer
 }
 
@@ -163,6 +173,15 @@ func (c *Cmp) Vars() []string {
 	return out
 }
 
+// EquiKeys implements Cond: a variable-to-variable equality is the base
+// case of the extraction.
+func (c *Cmp) EquiKeys() [][2]string {
+	if c.Op == OpEq && c.L.Var != "" && c.R.Var != "" {
+		return [][2]string{{c.L.Var, c.R.Var}}
+	}
+	return nil
+}
+
 func (c *Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
 
 // And is conjunction.
@@ -179,6 +198,10 @@ func (a *And) Eval(b ValueGetter) (bool, error) {
 
 // Vars implements Cond.
 func (a *And) Vars() []string { return append(a.L.Vars(), a.R.Vars()...) }
+
+// EquiKeys implements Cond: a conjunction implies the equalities implied
+// by either side.
+func (a *And) EquiKeys() [][2]string { return append(a.L.EquiKeys(), a.R.EquiKeys()...) }
 
 func (a *And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
 
@@ -197,6 +220,10 @@ func (o *Or) Eval(b ValueGetter) (bool, error) {
 // Vars implements Cond.
 func (o *Or) Vars() []string { return append(o.L.Vars(), o.R.Vars()...) }
 
+// EquiKeys implements Cond: a disjunction implies neither side's
+// equalities.
+func (o *Or) EquiKeys() [][2]string { return nil }
+
 func (o *Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
 
 // Not is negation.
@@ -211,6 +238,9 @@ func (n *Not) Eval(b ValueGetter) (bool, error) {
 // Vars implements Cond.
 func (n *Not) Vars() []string { return n.C.Vars() }
 
+// EquiKeys implements Cond.
+func (n *Not) EquiKeys() [][2]string { return nil }
+
 func (n *Not) String() string { return fmt.Sprintf("NOT %s", n.C) }
 
 // True is the always-true condition (turns Join into a product).
@@ -221,6 +251,9 @@ func (True) Eval(ValueGetter) (bool, error) { return true, nil }
 
 // Vars implements Cond.
 func (True) Vars() []string { return nil }
+
+// EquiKeys implements Cond.
+func (True) EquiKeys() [][2]string { return nil }
 
 func (True) String() string { return "true" }
 
@@ -243,5 +276,8 @@ func (m *LabelMatch) Eval(b ValueGetter) (bool, error) {
 
 // Vars implements Cond.
 func (m *LabelMatch) Vars() []string { return []string{m.Var} }
+
+// EquiKeys implements Cond.
+func (m *LabelMatch) EquiKeys() [][2]string { return nil }
 
 func (m *LabelMatch) String() string { return fmt.Sprintf("label($%s) = %q", m.Var, m.Label) }

@@ -57,13 +57,26 @@ type Buffer struct {
 	pending       []*node // unfilled holes, in discovery order
 	fills         int
 	prefetchFills int
+	roundTrips    int // wire round trips (a batched fill is one trip)
+	batchedFills  int // holes filled as part of a multi-hole round trip
 	stopped       bool
 	dirty         bool // a splice happened since the last Publish
+
+	prefetchErrs    int   // prefetch fills that failed
+	lastPrefetchErr error // most recent prefetch failure (nil if none)
 
 	// Prefetch, when > 0, makes every demand-driven fill also fill up
 	// to Prefetch additional pending holes synchronously. For the
 	// asynchronous strategy use StartPrefetch instead.
 	Prefetch int
+
+	// Batch, when > 1, coalesces up to this many holes into one
+	// fill_many round trip (lxp.FillMany): the chase_first demand path
+	// batches sibling holes of the hole it must fill anyway, and the
+	// prefetchers batch across the whole pending list. 0 or 1 keeps the
+	// one-hole-per-round-trip behavior (and the plain fill message), so
+	// the default changes nothing on the wire.
+	Batch int
 
 	// Publish, when non-nil, observes the open tree after every splice
 	// (demand or prefetch): it receives a fresh snapshot with holes for
@@ -117,6 +130,58 @@ func (b *Buffer) PendingHoles() int {
 	return n
 }
 
+// RoundTrips returns the number of wire round trips issued so far; with
+// batching enabled it can be much smaller than Fills.
+func (b *Buffer) RoundTrips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.roundTrips
+}
+
+// LastPrefetchError returns the most recent prefetch failure, nil if
+// prefetching has never failed. Prefetching is best-effort — a failure
+// never surfaces on the demand path unless the demand path hits it too
+// — so this is how operators find out prefetch has been dying.
+func (b *Buffer) LastPrefetchError() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastPrefetchErr
+}
+
+// Stats is a snapshot of the buffer's fill accounting.
+type Stats struct {
+	Fills             int    // fill requests issued (holes filled)
+	DemandFills       int    // fills the client's navigation waited for
+	PrefetchFills     int    // fills issued by the prefetchers
+	RoundTrips        int    // wire round trips (batched fills share one)
+	BatchedFills      int    // holes filled via multi-hole round trips
+	PendingHoles      int    // known unexplored holes
+	PrefetchErrors    int    // prefetch fills that failed
+	LastPrefetchError string // most recent prefetch failure ("" if none)
+}
+
+// Stats returns a consistent snapshot of the buffer's accounting.
+func (b *Buffer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := Stats{
+		Fills:          b.fills,
+		DemandFills:    b.fills - b.prefetchFills,
+		PrefetchFills:  b.prefetchFills,
+		RoundTrips:     b.roundTrips,
+		BatchedFills:   b.batchedFills,
+		PendingHoles:   len(b.pending),
+		PrefetchErrors: b.prefetchErrs,
+	}
+	if b.root.hole {
+		s.PendingHoles++
+	}
+	if b.lastPrefetchErr != nil {
+		s.LastPrefetchError = b.lastPrefetchErr.Error()
+	}
+	return s
+}
+
 // Root implements nav.Document. Resolving the root may require filling
 // the root hole (the paper's get_root only returns a handle).
 func (b *Buffer) Root() (nav.ID, error) {
@@ -166,6 +231,7 @@ func (b *Buffer) graft(t *xmltree.Tree, parent *node) *node {
 func (b *Buffer) fillLocked(h *node) ([]*xmltree.Tree, error) {
 	h.inFlight = true
 	b.fills++
+	b.roundTrips++
 	b.mu.Unlock()
 	trees, err := b.srv.Fill(h.holeID)
 	if err == nil {
@@ -180,8 +246,43 @@ func (b *Buffer) fillLocked(h *node) ([]*xmltree.Tree, error) {
 	return trees, nil
 }
 
+// fillManyLocked issues one batched fill for holes with mu released
+// during the wire round trip; every hole is flagged inFlight. The
+// progress rules are enforced per hole, exactly as for single fills.
+// The caller is responsible for splicing.
+func (b *Buffer) fillManyLocked(holes []*node) (map[string][]*xmltree.Tree, error) {
+	ids := make([]string, len(holes))
+	for i, h := range holes {
+		h.inFlight = true
+		ids[i] = h.holeID
+	}
+	b.fills += len(holes)
+	b.batchedFills += len(holes)
+	b.roundTrips++
+	b.mu.Unlock()
+	res, err := lxp.FillMany(b.srv, ids)
+	if err == nil {
+		for _, id := range ids {
+			if err = lxp.ValidateFill(id, res[id]); err != nil {
+				break
+			}
+		}
+	}
+	b.mu.Lock()
+	for _, h := range holes {
+		h.inFlight = false
+	}
+	if err != nil {
+		b.cond.Broadcast()
+		return nil, err
+	}
+	return res, nil
+}
+
 // expand fills the hole child h of parent p and splices the result in
-// its place. Caller holds mu. If another goroutine is already filling
+// its place; with batching enabled, other hole children of p ride the
+// same round trip (the chase_first frontier is where sibling holes
+// accumulate). Caller holds mu. If another goroutine is already filling
 // h, expand waits for it instead.
 func (b *Buffer) expand(p *node, h *node) error {
 	if h.inFlight {
@@ -193,12 +294,62 @@ func (b *Buffer) expand(p *node, h *node) error {
 	if !h.hole {
 		return nil // already resolved
 	}
-	trees, err := b.fillLocked(h)
-	if err != nil {
-		return err
+	group := []*node{h}
+	if b.Batch > 1 {
+		for _, c := range p.children {
+			if len(group) >= b.Batch {
+				break
+			}
+			if c != h && c.hole && !c.inFlight {
+				group = append(group, c)
+			}
+		}
 	}
-	if !h.hole {
-		return nil // lost a race; result discarded
+	return b.expandGroup(group)
+}
+
+// expandGroup fills a set of non-in-flight holes — possibly under
+// different parents — in one round trip and splices each result in
+// place. Caller holds mu.
+func (b *Buffer) expandGroup(group []*node) error {
+	var fills map[string][]*xmltree.Tree
+	if len(group) == 1 {
+		// Single hole: use the plain fill message, so unbatched buffers
+		// are wire-identical to the pre-batching protocol.
+		trees, err := b.fillLocked(group[0])
+		if err != nil {
+			return err
+		}
+		fills = map[string][]*xmltree.Tree{group[0].holeID: trees}
+	} else {
+		var err error
+		if fills, err = b.fillManyLocked(group); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	for _, h := range group {
+		if !h.hole {
+			continue // lost a race; result discarded
+		}
+		if err := b.splice(h, fills[h.holeID]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	b.cond.Broadcast()
+	if firstErr != nil {
+		return firstErr
+	}
+	b.syncPrefetch()
+	return nil
+}
+
+// splice replaces the resolved hole h with the trees its fill returned.
+// Caller holds mu.
+func (b *Buffer) splice(h *node, trees []*xmltree.Tree) error {
+	p := h.parent
+	if p == nil {
+		return fmt.Errorf("buffer: internal error: splice on the root hole")
 	}
 	idx := -1
 	for i, c := range p.children {
@@ -222,12 +373,7 @@ func (b *Buffer) expand(p *node, h *node) error {
 	h.hole = false // mark resolved for waiters holding the old pointer
 	b.removePending(h)
 	b.dirty = true
-	if err := b.checkNoAdjacentHoles(p); err != nil {
-		return err
-	}
-	b.cond.Broadcast()
-	b.syncPrefetch()
-	return nil
+	return b.checkNoAdjacentHoles(p)
 }
 
 // maybePublish snapshots and publishes the open tree if it changed
@@ -269,24 +415,36 @@ func (b *Buffer) checkNoAdjacentHoles(p *node) error {
 }
 
 // syncPrefetch fills up to b.Prefetch pending holes synchronously
-// (most recently discovered first). Caller holds mu.
+// (most recently discovered first; each may coalesce siblings when
+// batching is on). Caller holds mu. Prefetching is best-effort: a
+// failure stops this round but is recorded (see Stats) rather than
+// surfaced, since the demand path will rediscover a real error.
 func (b *Buffer) syncPrefetch() {
 	for i := 0; i < b.Prefetch && len(b.pending) > 0; i++ {
 		h := b.pending[len(b.pending)-1]
 		if h.parent == nil || h.inFlight {
 			return
 		}
-		if b.expand(h.parent, h) != nil {
-			return // prefetching is best-effort
+		if err := b.expand(h.parent, h); err != nil {
+			b.notePrefetchErr(err)
+			return
 		}
 	}
 }
 
+// notePrefetchErr records a best-effort prefetch failure. Caller holds mu.
+func (b *Buffer) notePrefetchErr(err error) {
+	b.prefetchErrs++
+	b.lastPrefetchErr = err
+}
+
 // StartPrefetch launches the asynchronous prefetcher: a background
-// goroutine that keeps filling pending holes (oldest first) while the
-// client navigates. Stop it with StopPrefetch; fills already on the
-// wire complete. Prefetch errors are swallowed — the demand path will
-// rediscover them.
+// goroutine that keeps filling pending holes (oldest first, batched
+// across parents up to Batch per round trip) while the client
+// navigates. Stop it with StopPrefetch; fills already on the wire
+// complete. Prefetch errors stop the prefetcher and are recorded (see
+// Stats/LastPrefetchError) — the demand path will rediscover a real
+// error.
 func (b *Buffer) StartPrefetch() {
 	b.mu.Lock()
 	b.stopped = false
@@ -300,14 +458,20 @@ func (b *Buffer) StartPrefetch() {
 			if b.stopped {
 				return
 			}
-			var h *node
+			maxBatch := b.Batch
+			if maxBatch < 1 {
+				maxBatch = 1
+			}
+			var group []*node
 			for _, cand := range b.pending {
 				if !cand.inFlight && cand.parent != nil {
-					h = cand
-					break
+					group = append(group, cand)
+					if len(group) >= maxBatch {
+						break
+					}
 				}
 			}
-			if h == nil {
+			if len(group) == 0 {
 				if len(b.pending) == 0 && !b.root.hole {
 					return // fully explored: nothing left to prefetch
 				}
@@ -315,7 +479,8 @@ func (b *Buffer) StartPrefetch() {
 				continue
 			}
 			before := b.fills
-			if b.expand(h.parent, h) != nil {
+			if err := b.expandGroup(group); err != nil {
+				b.notePrefetchErr(err)
 				return
 			}
 			b.prefetchFills += b.fills - before

@@ -28,16 +28,33 @@ import (
 //   - NativeSelect — the select(σ) command is part of NC and pushed to
 //     the sources, upgrading label selections from browsable to
 //     bounded browsable (Section 2, Example 1). E3 toggles it.
+//   - HashJoin — joins whose condition implies a variable equality
+//     (Cond.EquiKeys) probe an incrementally-built hash index over the
+//     inner stream instead of scanning it per outer binding; the index
+//     grows only as far as probing forces the inner stream, so laziness
+//     is preserved. Requires JoinCache (the index memoizes the inner
+//     derivation); non-equi conditions fall back to nested loops.
+//   - Parallel — joins whose two inputs read disjoint source sets
+//     derive both inputs concurrently (bounded worker pool, first error
+//     cancels the sibling). The inputs are drained eagerly when the
+//     join is first pulled, trading input laziness for wall-clock
+//     overlap of the sources' round trips; see parallel.go. Requires
+//     JoinCache (the drained inputs are replayed like the inner cache).
 type Options struct {
 	JoinCache    bool
 	PathCache    bool
 	GroupCache   bool
 	NativeSelect bool
+	HashJoin     bool
+	Parallel     bool
 }
 
-// DefaultOptions enables all caches and leaves NC = {d, r, f}.
+// DefaultOptions enables all caches and the hash equi-join, and leaves
+// NC = {d, r, f}. Parallel input derivation is opt-in: it trades the
+// lazy "explore only what the client demands" contract for latency
+// overlap, which only pays off on high-latency sources.
 func DefaultOptions() Options {
-	return Options{JoinCache: true, PathCache: true, GroupCache: true}
+	return Options{JoinCache: true, PathCache: true, GroupCache: true, HashJoin: true}
 }
 
 // Engine compiles algebra plans against a registry of named sources.
@@ -570,7 +587,7 @@ func (e *Engine) compileFusedLabelScan(gd *algebra.GetDescendants, label string)
 type selectScanList struct {
 	doc     nav.Document
 	sel     nav.Selector // from nav.SelectorOf(doc); nil = generic scan
-	parent  nav.ID // when !started: the parent; else: the previous match
+	parent  nav.ID       // when !started: the parent; else: the previous match
 	label   string
 	started bool
 }
@@ -667,6 +684,16 @@ func (e *Engine) compileJoin(op *algebra.Join) (builder, error) {
 	}
 	cond := op.Cond
 	cache := e.opts.JoinCache
+	if e.opts.Parallel && cache {
+		if l, r, ok := e.parallelPair(op, left, right); ok {
+			left, right = l, r
+		}
+	}
+	if e.opts.HashJoin && cache {
+		if lk, rk, ok := equiJoinKeys(op); ok {
+			return e.compileHashJoin(cond, lk, rk, left, right), nil
+		}
+	}
 	return func() (stream, error) {
 		ls, err := left()
 		if err != nil {

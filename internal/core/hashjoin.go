@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+
+	"mix/internal/algebra"
+)
+
+// Hash equi-join.
+//
+// When a Join's condition implies variable equalities (Cond.EquiKeys),
+// the inner stream does not have to be scanned once per outer binding:
+// inner bindings are filed into a hash index keyed on the atomic form of
+// their key variables, and each outer binding probes only the bucket its
+// own key hashes to. The full original condition is still evaluated on
+// every probed pair — the hash key is a *necessary* condition for
+// equality (structural tree equality implies equal text content, and
+// atomic equality is literally the key), never a sufficient one — so
+// residual conjuncts and the element-vs-leaf comparison cases keep their
+// exact nested-loops semantics, and the surviving pairs come out in the
+// same (outer-major, inner-order) order nested loops produces.
+//
+// Laziness is preserved the same way the memoized inner cache preserves
+// it: the index ingests the inner stream one binding at a time, only
+// when a probe exhausts the already-indexed prefix of its bucket. A
+// query whose client never forces the join never builds the index; a
+// client that stops after the first answer indexes only as much of the
+// inner input as that answer needed.
+
+// equiJoinKeys splits the condition's implied equalities into key-variable
+// lists for the two sides of the join. Pairs that do not bridge the two
+// sides (both variables from one input) are ignored — they are still
+// enforced by the residual condition evaluation. ok reports whether at
+// least one bridging pair exists.
+func equiJoinKeys(op *algebra.Join) (lk, rk []string, ok bool) {
+	pairs := op.Cond.EquiKeys()
+	if len(pairs) == 0 {
+		return nil, nil, false
+	}
+	lv, rv := varSet(op.Left.OutVars()), varSet(op.Right.OutVars())
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		switch {
+		case lv[a] && rv[b]:
+			lk, rk = append(lk, a), append(rk, b)
+		case lv[b] && rv[a]:
+			lk, rk = append(lk, b), append(rk, a)
+		}
+	}
+	return lk, rk, len(lk) > 0
+}
+
+func varSet(vars []string) map[string]bool {
+	m := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		m[v] = true
+	}
+	return m
+}
+
+// atomKey materializes the key variables of b and combines their atomic
+// forms (leaf label, or text content for elements — the same reduction
+// Cmp equality applies to mixed comparisons) into one bucket key.
+func atomKey(b *binding, vars []string) (string, error) {
+	var sb strings.Builder
+	for _, v := range vars {
+		t, err := b.Value(v)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(valueAtom(t))
+		sb.WriteByte(0)
+	}
+	return sb.String(), nil
+}
+
+// hashIndex is the incrementally-built index over the inner stream. It
+// is shared, mutable state behind the persistent probe streams — safe
+// because buckets only ever grow, in inner-stream order, so replaying a
+// probe stream re-reads a (possibly longer) prefix of the same bucket.
+type hashIndex struct {
+	inner   stream // unconsumed remainder of the inner stream; nil when done
+	keys    []string
+	buckets map[string][]*binding
+	done    bool
+}
+
+// advance ingests one more inner binding into the index, reporting
+// whether there was one.
+func (h *hashIndex) advance() (bool, error) {
+	if h.done {
+		return false, nil
+	}
+	b, rest, err := h.inner.next()
+	if err != nil {
+		return false, err
+	}
+	if b == nil {
+		h.done, h.inner = true, nil
+		return false, nil
+	}
+	k, err := atomKey(b, h.keys)
+	if err != nil {
+		return false, err
+	}
+	h.buckets[k] = append(h.buckets[k], b)
+	h.inner = rest
+	return true, nil
+}
+
+// hashProbeStream yields the join pairs for one outer binding: the
+// bucket entries matching its key, filtered by the full condition, with
+// the index advanced on demand when the indexed prefix runs out.
+type hashProbeStream struct {
+	idx  *hashIndex
+	lb   *binding
+	key  string
+	pos  int // next unexamined position in the bucket
+	cond algebra.Cond
+}
+
+func (p hashProbeStream) next() (*binding, stream, error) {
+	pos := p.pos
+	for {
+		bucket := p.idx.buckets[p.key]
+		for pos < len(bucket) {
+			merged := merge(p.lb, bucket[pos])
+			pos++
+			ok, err := p.cond.Eval(merged)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				rest := hashProbeStream{idx: p.idx, lb: p.lb, key: p.key, pos: pos, cond: p.cond}
+				return merged, rest, nil
+			}
+		}
+		more, err := p.idx.advance()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !more {
+			return nil, nil, nil
+		}
+	}
+}
+
+// compileHashJoin builds the hash equi-join stream: outer bindings flow
+// through unchanged, each expanding into a probe of the shared index.
+// The index itself plays the role of the memoized inner cache, so the
+// inner input is derived at most once per join stream.
+func (e *Engine) compileHashJoin(cond algebra.Cond, leftKeys, rightKeys []string, left, right builder) builder {
+	return func() (stream, error) {
+		ls, err := left()
+		if err != nil {
+			return nil, err
+		}
+		idx := &hashIndex{inner: deferStream(right), keys: rightKeys, buckets: map[string][]*binding{}}
+		return flatMapStream{in: ls, fn: func(lb *binding) (stream, error) {
+			k, err := atomKey(lb, leftKeys)
+			if err != nil {
+				return nil, err
+			}
+			return hashProbeStream{idx: idx, lb: lb, key: k, cond: cond}, nil
+		}}, nil
+	}
+}

@@ -238,8 +238,9 @@ func (c *countingCond) Eval(b algebra.ValueGetter) (bool, error) {
 	*c.n++
 	return c.inner.Eval(b)
 }
-func (c *countingCond) Vars() []string { return c.inner.Vars() }
-func (c *countingCond) String() string { return c.inner.String() }
+func (c *countingCond) Vars() []string        { return c.inner.Vars() }
+func (c *countingCond) EquiKeys() [][2]string { return c.inner.EquiKeys() }
+func (c *countingCond) String() string        { return c.inner.String() }
 
 // E10Rewriting measures the preprocessing rewriting phase (Section 3):
 // pushing a selective condition below a join. In a fully pipelined lazy

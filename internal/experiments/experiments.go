@@ -99,6 +99,7 @@ var registry = map[string]func() Table{
 	"E10": E10Rewriting,
 	"E11": E11AsyncPrefetch,
 	"E12": E12RegionCache,
+	"E13": E13ParallelPipeline,
 }
 
 // IDs returns all experiment ids in order.

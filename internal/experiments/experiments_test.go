@@ -8,10 +8,10 @@ import (
 
 func TestIDsAndRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
-		t.Fatalf("want 12 experiments, got %v", ids)
+	if len(ids) != 13 {
+		t.Fatalf("want 13 experiments, got %v", ids)
 	}
-	if ids[0] != "E1" || ids[11] != "E12" {
+	if ids[0] != "E1" || ids[12] != "E13" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 	if _, err := Run("E99"); err == nil {
@@ -118,6 +118,50 @@ func TestE10Shape(t *testing.T) {
 		if sRewr != n {
 			t.Fatalf("row %d: rewritten σ evals = %d, want %d", i, sRewr, n)
 		}
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	tb := E13ParallelPipeline()
+	byMetric := map[string][]string{}
+	for _, row := range tb.Rows {
+		byMetric[row[0]+"/"+row[1]] = row
+		if row[1] == "identical answer" && row[2] != "yes" {
+			t.Fatalf("case %q produced a different answer: %v", row[0], row)
+		}
+	}
+	// Batching must at least halve the round trips (the acceptance bar);
+	// the hash join must beat the N·M nested-loops evaluation count.
+	// Wall-clock rows are informational and not asserted.
+	trips := byMetric["batched fills/LXP round trips"]
+	if trips == nil {
+		t.Fatalf("missing round-trip row: %v", tb.Rows)
+	}
+	t1, err := strconv.ParseInt(trips[2], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := strconv.ParseInt(trips[3], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*t8 > t1 {
+		t.Fatalf("batching below 2x: %d vs %d round trips", t1, t8)
+	}
+	evals := byMetric["hash equi-join/condition evaluations"]
+	if evals == nil {
+		t.Fatalf("missing eval row: %v", tb.Rows)
+	}
+	e0, err := strconv.ParseInt(evals[2], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := strconv.ParseInt(evals[3], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 10*e1 > e0 {
+		t.Fatalf("hash join below 10x: %d vs %d condition evaluations", e0, e1)
 	}
 }
 

@@ -37,6 +37,43 @@ type Server interface {
 	Fill(holeID string) ([]*xmltree.Tree, error)
 }
 
+// BatchServer is implemented by servers that can fill several holes in
+// one protocol round trip:
+//
+//	fill_many([id…]) → {id: [T], …}
+//
+// Each hole's result obeys the same well-formedness rules as a single
+// fill (callers apply ValidateFill per hole). Single-hole Fill remains
+// the compatibility baseline: a buffer only batches when told to, and
+// FillMany degrades to per-hole Fill against servers that lack the
+// extension.
+type BatchServer interface {
+	Server
+	// FillMany fills every listed hole, returning the results keyed by
+	// hole identifier. A missing key means the hole stands for nothing
+	// (the empty fill).
+	FillMany(holeIDs []string) (map[string][]*xmltree.Tree, error)
+}
+
+// FillMany fills the listed holes through srv: in one round trip when
+// srv implements BatchServer, hole-by-hole otherwise. It is the helper
+// buffers (and the wire server) call so batching is purely an
+// optimization, never a compatibility requirement.
+func FillMany(srv Server, holeIDs []string) (map[string][]*xmltree.Tree, error) {
+	if bs, ok := srv.(BatchServer); ok {
+		return bs.FillMany(holeIDs)
+	}
+	out := make(map[string][]*xmltree.Tree, len(holeIDs))
+	for _, id := range holeIDs {
+		trees, err := srv.Fill(id)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = trees
+	}
+	return out, nil
+}
+
 // ProtocolError reports a violation of the LXP well-formedness rules.
 type ProtocolError struct {
 	HoleID string
@@ -135,6 +172,37 @@ func (c *Counting) Fill(holeID string) ([]*xmltree.Tree, error) {
 	return trees, err
 }
 
+// FillMany implements BatchServer. When the inner server batches, the
+// whole batch is one message carrying len(holeIDs) fills; otherwise it
+// degrades to the counted per-hole path, so the counters always reflect
+// what actually crossed the wire.
+func (c *Counting) FillMany(holeIDs []string) (map[string][]*xmltree.Tree, error) {
+	bs, ok := c.Inner.(BatchServer)
+	if !ok {
+		out := make(map[string][]*xmltree.Tree, len(holeIDs))
+		for _, id := range holeIDs {
+			trees, err := c.Fill(id)
+			if err != nil {
+				return nil, err
+			}
+			out[id] = trees
+		}
+		return out, nil
+	}
+	c.Counters.Msgs.Add(1)
+	c.Counters.Fills.Add(int64(len(holeIDs)))
+	for _, id := range holeIDs {
+		c.Counters.Bytes.Add(int64(len(id)))
+	}
+	res, err := bs.FillMany(holeIDs)
+	for _, trees := range res {
+		for _, t := range trees {
+			c.Counters.Bytes.Add(int64(len(xmltree.MarshalXML(t))))
+		}
+	}
+	return res, err
+}
+
 // TreeServer is the simplest possible wrapper: it serves one in-memory
 // tree with a configurable chunk size — every fill returns up to Chunk
 // children of the requested node followed by a continuation hole, and
@@ -178,6 +246,20 @@ func (s *TreeServer) Fill(holeID string) ([]*xmltree.Tree, error) {
 		return nil, fmt.Errorf("lxp: stale hole id %q", holeID)
 	}
 	return s.renderChildren(node, pathString(path), start), nil
+}
+
+// FillMany implements BatchServer (trivially, since the tree is local:
+// the point is that the *wire* pays one round trip for the batch).
+func (s *TreeServer) FillMany(holeIDs []string) (map[string][]*xmltree.Tree, error) {
+	out := make(map[string][]*xmltree.Tree, len(holeIDs))
+	for _, id := range holeIDs {
+		trees, err := s.Fill(id)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = trees
+	}
+	return out, nil
 }
 
 // render returns t either inline (small enough) or as label[hole].

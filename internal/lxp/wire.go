@@ -45,15 +45,17 @@ func fromWire(w wireTree) *xmltree.Tree {
 }
 
 type request struct {
-	Op  string `json:"op"` // "get_root" | "fill"
-	URI string `json:"uri,omitempty"`
-	ID  string `json:"id,omitempty"`
+	Op  string   `json:"op"` // "get_root" | "fill" | "fill_many"
+	URI string   `json:"uri,omitempty"`
+	ID  string   `json:"id,omitempty"`
+	IDs []string `json:"ids,omitempty"` // fill_many only
 }
 
 type response struct {
-	Hole  string     `json:"hole,omitempty"`
-	Trees []wireTree `json:"trees"`
-	Err   string     `json:"error,omitempty"`
+	Hole  string                `json:"hole,omitempty"`
+	Trees []wireTree            `json:"trees"`
+	Many  map[string][]wireTree `json:"many,omitempty"` // fill_many only
+	Err   string                `json:"error,omitempty"`
 }
 
 func writeFrame(w io.Writer, v any) error {
@@ -154,6 +156,26 @@ func (c *Client) Fill(holeID string) ([]*xmltree.Tree, error) {
 	return trees, nil
 }
 
+// FillMany implements BatchServer: the whole batch crosses the wire in
+// one fill_many round trip. The remote end answers per-hole fills for
+// any backend, so a batched client never requires a batched wrapper —
+// only the framing changes.
+func (c *Client) FillMany(holeIDs []string) (map[string][]*xmltree.Tree, error) {
+	resp, err := c.roundTrip(request{Op: "fill_many", IDs: holeIDs})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]*xmltree.Tree, len(resp.Many))
+	for id, ws := range resp.Many {
+		trees := make([]*xmltree.Tree, len(ws))
+		for i, w := range ws {
+			trees[i] = fromWire(w)
+		}
+		out[id] = trees
+	}
+	return out, nil
+}
+
 // Serve answers LXP requests on l with srv until l is closed. Each
 // connection is handled on its own goroutine; Serve returns the
 // listener's accept error (net.ErrClosed after a clean Close).
@@ -204,6 +226,22 @@ func handleRequest(req request, srv Server) response {
 			resp.Trees = make([]wireTree, len(trees))
 			for i, t := range trees {
 				resp.Trees[i] = toWire(t)
+			}
+		}
+	case "fill_many":
+		// FillMany degrades to per-hole fills for non-batching backends,
+		// so the single round trip is guaranteed server-side either way.
+		res, err := FillMany(srv, req.IDs)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Many = make(map[string][]wireTree, len(res))
+			for id, trees := range res {
+				ws := make([]wireTree, len(trees))
+				for i, t := range trees {
+					ws[i] = toWire(t)
+				}
+				resp.Many[id] = ws
 			}
 		}
 	default:

@@ -34,13 +34,18 @@ import (
 
 // Options configure a Mediator.
 type Options struct {
-	// Engine options (operator caches, native select).
+	// Engine options (operator caches, native select, hash join,
+	// parallel input derivation).
 	Engine core.Options
 	// Rewrite enables the navigational-complexity rewriting phase.
 	Rewrite bool
+	// LXPBatch, when > 1, makes sources registered with RegisterLXP
+	// coalesce up to this many holes per fill round trip (the buffer's
+	// Batch knob over lxp.FillMany). 0 or 1 keeps single-hole fills.
+	LXPBatch int
 }
 
-// DefaultOptions enables all caches and rewriting.
+// DefaultOptions enables all caches, the hash equi-join, and rewriting.
 func DefaultOptions() Options {
 	return Options{Engine: core.DefaultOptions(), Rewrite: true}
 }
@@ -56,9 +61,10 @@ type Mediator struct {
 	eager  *eager.Evaluator
 	cache  *regioncache.Cache
 
-	mu    sync.Mutex
-	views map[string]algebra.Op // tupleDestroy-rooted view plans
-	nview int
+	mu      sync.Mutex
+	views   map[string]algebra.Op // tupleDestroy-rooted view plans
+	nview   int
+	buffers map[string]*buffer.Buffer // LXP buffers by source name
 }
 
 // New creates a mediator.
@@ -109,6 +115,7 @@ func (m *Mediator) RegisterLXP(name string, srv lxp.Server, uri string) (*buffer
 	if err != nil {
 		return nil, fmt.Errorf("mediator: opening LXP source %q: %w", name, err)
 	}
+	b.Batch = m.opts.LXPBatch
 	doc := nav.Document(b)
 	if m.cache != nil {
 		// Pin the source's cache entry to the registry version the
@@ -121,7 +128,29 @@ func (m *Mediator) RegisterLXP(name string, srv lxp.Server, uri string) (*buffer
 		doc = regioncache.NewDoc(entry, b)
 	}
 	m.RegisterSource(name, doc)
+	m.mu.Lock()
+	if m.buffers == nil {
+		m.buffers = map[string]*buffer.Buffer{}
+	}
+	m.buffers[name] = b
+	m.mu.Unlock()
 	return b, nil
+}
+
+// BufferStats returns per-source fill accounting for every LXP source
+// registered through RegisterLXP (round trips, batched fills, prefetch
+// errors); the server's stats op surfaces it to clients.
+func (m *Mediator) BufferStats() map[string]buffer.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.buffers) == 0 {
+		return nil
+	}
+	out := make(map[string]buffer.Stats, len(m.buffers))
+	for name, b := range m.buffers {
+		out[name] = b.Stats()
+	}
+	return out
 }
 
 // DefineView registers a XMAS view definition under the given name.

@@ -205,7 +205,7 @@ func (d *Doc) Right(p nav.ID) (nav.ID, error) {
 		if !ok {
 			return nil, nil
 		}
-		return &rid{d: d, path: childPath(parent, i + 1)}, nil
+		return &rid{d: d, path: childPath(parent, i+1)}, nil
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -95,8 +95,8 @@ func TestPartialExplorationResolvesFrontierOnly(t *testing.T) {
 	warm := nav.NewCountingDoc(nav.NewTreeDoc(sampleTree()))
 	d2 := NewDoc(entry, warm)
 	root2, _ := d2.Root()
-	b, _ := d2.Down(root2)    // hit
-	h, _ := d2.Down(b)        // hit
+	b, _ := d2.Down(root2)                 // hit
+	h, _ := d2.Down(b)                     // hit
 	if _, err := d2.Fetch(h); err != nil { // hit
 		t.Fatal(err)
 	}

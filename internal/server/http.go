@@ -107,6 +107,12 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("mix_engine_pool_created_total", "engines built by the mediator factory", st.Pool.Created)
 		counter("mix_engine_pool_reused_total", "sessions served by a recycled engine", st.Pool.Reused)
 	}
+	if st.Parallel != nil {
+		counter("mix_parallel_joins_total", "joins that derived their two inputs concurrently", st.Parallel.Joins)
+		counter("mix_parallel_inline_total", "input drains run inline because the worker pool was saturated", st.Parallel.Inline)
+		counter("mix_parallel_errors_total", "concurrent input drains that failed", st.Parallel.Errors)
+		counter("mix_parallel_canceled_total", "concurrent input drains cancelled by the sibling's error", st.Parallel.Canceled)
+	}
 
 	telemetry.WritePrometheus(w, "mix_command_duration_seconds",
 		"wire command service latency by op", "op", s.cmdHist)

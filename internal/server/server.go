@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mix/internal/core"
 	"mix/internal/mediator"
 	"mix/internal/metrics"
 	"mix/internal/regioncache"
@@ -473,6 +474,14 @@ func (s *Server) Stats() vxdp.Stats {
 			Idle:    idle,
 			Created: s.poolCreated.Load(),
 			Reused:  s.poolReused.Load(),
+		}
+	}
+	if ps := core.ParallelSnapshot(); ps != (core.ParallelStats{}) {
+		st.Parallel = &vxdp.ParallelStats{
+			Joins:    ps.Joins,
+			Inline:   ps.Inline,
+			Errors:   ps.Errors,
+			Canceled: ps.Canceled,
 		}
 	}
 	return st

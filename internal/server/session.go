@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync/atomic"
 	"time"
 
+	"mix/internal/buffer"
 	"mix/internal/metrics"
 	"mix/internal/nav"
 	"mix/internal/trace"
@@ -36,7 +38,7 @@ type session struct {
 	msgs  atomic.Int64
 	opens atomic.Int64
 
-	eng     *pooledEngine   // acquired at the first open, released on drop
+	eng     *pooledEngine // acquired at the first open, released on drop
 	doc     nav.Document
 	rec     *trace.Recorder // non-nil iff the server traces
 	handles map[uint64]nav.ID
@@ -110,6 +112,35 @@ func (s *session) arm() {
 	_ = s.conn.SetReadDeadline(dl)
 }
 
+// sourceStats converts the mediator's per-source buffer accounting into
+// its wire form, sorted by source name for stable output.
+func sourceStats(m map[string]buffer.Stats) []vxdp.SourceStats {
+	if len(m) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]vxdp.SourceStats, 0, len(names))
+	for _, name := range names {
+		bs := m[name]
+		out = append(out, vxdp.SourceStats{
+			Name:              name,
+			Fills:             int64(bs.Fills),
+			DemandFills:       int64(bs.DemandFills),
+			PrefetchFills:     int64(bs.PrefetchFills),
+			RoundTrips:        int64(bs.RoundTrips),
+			BatchedFills:      int64(bs.BatchedFills),
+			PendingHoles:      int64(bs.PendingHoles),
+			PrefetchErrors:    int64(bs.PrefetchErrors),
+			LastPrefetchError: bs.LastPrefetchError,
+		})
+	}
+	return out
+}
+
 func errResp(format string, args ...any) vxdp.Response {
 	return vxdp.Response{NavResult: vxdp.NavResult{Err: fmt.Sprintf(format, args...)}}
 }
@@ -145,6 +176,9 @@ func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 			Fetch:    n.Fetch,
 			Select:   n.Select,
 			Root:     n.Root,
+		}
+		if s.eng != nil {
+			st.Session.Sources = sourceStats(s.eng.med.BufferStats())
 		}
 		return vxdp.Response{Stats: &st}, false
 	case vxdp.OpTrace:

@@ -144,6 +144,35 @@ type Stats struct {
 	// Pool, present when the server pools engines across sessions,
 	// reports engine reuse.
 	Pool *PoolStats `json:"pool,omitempty"`
+	// Parallel, present when any join has derived its inputs
+	// concurrently, reports the parallel-derivation counters.
+	Parallel *ParallelStats `json:"parallel,omitempty"`
+}
+
+// ParallelStats mirrors core.ParallelStats on the wire: joins whose two
+// inputs were drained concurrently, and how those drains went.
+type ParallelStats struct {
+	Joins    int64 `json:"joins"`
+	Inline   int64 `json:"inline"`   // drains run inline (worker pool saturated)
+	Errors   int64 `json:"errors"`   // drains failed with their own error
+	Canceled int64 `json:"canceled"` // drains cancelled by the sibling's error
+}
+
+// SourceStats describes one LXP-buffered source of the asking session:
+// its fill/round-trip accounting and the health of its prefetcher.
+// Batched fills make RoundTrips smaller than Fills; a non-empty
+// LastPrefetchError means background prefetching has been failing even
+// though demand navigation may still succeed.
+type SourceStats struct {
+	Name              string `json:"name"`
+	Fills             int64  `json:"fills"`
+	DemandFills       int64  `json:"demand_fills"`
+	PrefetchFills     int64  `json:"prefetch_fills"`
+	RoundTrips        int64  `json:"round_trips"`
+	BatchedFills      int64  `json:"batched_fills"`
+	PendingHoles      int64  `json:"pending_holes"`
+	PrefetchErrors    int64  `json:"prefetch_errors"`
+	LastPrefetchError string `json:"last_prefetch_error,omitempty"`
 }
 
 // CacheStats mirrors the server's region-cache totals on the wire (see
@@ -181,6 +210,10 @@ type SessionStats struct {
 	Fetch    int64  `json:"fetch"`
 	Select   int64  `json:"select"`
 	Root     int64  `json:"root"`
+	// Sources, present when the session's mediator has LXP-buffered
+	// sources, reports their per-source fill accounting (sorted by
+	// name).
+	Sources []SourceStats `json:"sources,omitempty"`
 }
 
 func (s Stats) String() string {
