@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mix/internal/experiments"
+	"mix/internal/telemetry"
 )
 
 // jsonResult is one experiment in the -json output: the measured table
@@ -26,11 +27,18 @@ type jsonResult struct {
 	Headers []string   `json:"headers"`
 	Rows    [][]string `json:"rows"`
 	NsOp    int64      `json:"ns_per_op"`
+	// Memory accounting for the experiment, present with -mem: heap
+	// bytes/objects allocated while it ran and the GC pause time it
+	// induced (runtime/metrics deltas, whole process).
+	AllocBytes   uint64  `json:"alloc_bytes,omitempty"`
+	AllocObjects uint64  `json:"alloc_objects,omitempty"`
+	GCPauseNs    float64 `json:"gc_pause_ns,omitempty"`
 }
 
 func main() {
 	id := flag.String("e", "", "run a single experiment (E1…E10)")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	mem := flag.Bool("mem", false, "report per-experiment allocation and GC-pause deltas")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	flag.Parse()
 
@@ -41,17 +49,28 @@ func main() {
 	tables := make([]experiments.Table, 0, len(ids))
 	results := make([]jsonResult, 0, len(ids))
 	for _, eid := range ids {
+		var before telemetry.MemStats
+		if *mem {
+			before = telemetry.ReadMemStats()
+		}
 		start := time.Now()
 		t, err := experiments.Run(eid)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		tables = append(tables, t)
-		results = append(results, jsonResult{
+		r := jsonResult{
 			ID: t.ID, Title: t.Title, Claim: t.Claim, Expect: t.Expect,
 			Headers: t.Headers, Rows: t.Rows, NsOp: time.Since(start).Nanoseconds(),
-		})
+		}
+		if *mem {
+			d := telemetry.ReadMemStats().Sub(before)
+			r.AllocBytes, r.AllocObjects, r.GCPauseNs = d.AllocBytes, d.AllocObjects, d.GCPauseNs
+			fmt.Fprintf(os.Stderr, "mixbench: %s allocated %d B in %d objects, gc pause %.0f ns\n",
+				t.ID, d.AllocBytes, d.AllocObjects, d.GCPauseNs)
+		}
+		tables = append(tables, t)
+		results = append(results, r)
 	}
 	for i, t := range tables {
 		if i > 0 {

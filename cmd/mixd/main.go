@@ -47,6 +47,7 @@ import (
 	"mix/internal/relational"
 	"mix/internal/server"
 	"mix/internal/telemetry"
+	"mix/internal/vxdp"
 	"mix/internal/workload"
 	"mix/internal/wrapper"
 	"mix/internal/xmltree"
@@ -85,6 +86,8 @@ func main() {
 	cacheMax := flag.Int64("cache-max-bytes", 64<<20, "region cache budget in bytes; LRU-evicts whole entries over it (0 = unlimited)")
 	cacheOff := flag.Bool("cache-off", false, "disable the cross-session region cache entirely")
 	hashJoin := flag.Bool("hash-join", true, "compile equi-joins to the incremental hash join (false = always nested loops)")
+	fingerprints := flag.Bool("fingerprints", true, "key equality-heavy operators by structural fingerprints instead of canonical strings (false = historical behavior)")
+	wireOpt := flag.Bool("wire-opt", true, "pooled frame buffers and the lean LXP codec (false = per-frame allocation, generic encoding/json)")
 	parallelJoin := flag.Bool("parallel-join", false, "derive the two inputs of multi-source joins concurrently (trades lazy exploration for latency overlap)")
 	lxpBatch := flag.Int("lxp-batch", 8, "coalesce up to this many holes per LXP fill round trip (0 or 1 = single-hole fills)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -137,7 +140,10 @@ func main() {
 	mopts := mediator.DefaultOptions()
 	mopts.Engine.HashJoin = *hashJoin
 	mopts.Engine.Parallel = *parallelJoin
+	mopts.Engine.Fingerprints = *fingerprints
 	mopts.LXPBatch = *lxpBatch
+	lxp.SetWireOptimizations(*wireOpt)
+	vxdp.SetPooledBuffers(*wireOpt)
 	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
 		m := mediator.New(mopts)
 		// Cache before sources, so LXP prefetch fills publish into it.

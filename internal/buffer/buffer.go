@@ -60,7 +60,8 @@ type Buffer struct {
 	roundTrips    int // wire round trips (a batched fill is one trip)
 	batchedFills  int // holes filled as part of a multi-hole round trip
 	stopped       bool
-	dirty         bool // a splice happened since the last Publish
+	dirty         bool   // a splice happened since the last Publish
+	slab          []node // current allocation slab for graft (see newNode)
 
 	prefetchErrs    int   // prefetch fills that failed
 	lastPrefetchErr error // most recent prefetch failure (nil if none)
@@ -210,16 +211,35 @@ func (b *Buffer) Root() (nav.ID, error) {
 	return b.root, nil
 }
 
+// nodeChunk sizes the slabs newNode carves buffer nodes from. Slabs
+// are replaced, never regrown, so issued *node IDs stay valid.
+const nodeChunk = 64
+
+// newNode carves one zeroed node from the current slab. Caller holds
+// mu (or, during New, has exclusive access).
+func (b *Buffer) newNode() *node {
+	if len(b.slab) == cap(b.slab) {
+		b.slab = make([]node, 0, nodeChunk)
+	}
+	b.slab = b.slab[:len(b.slab)+1]
+	return &b.slab[len(b.slab)-1]
+}
+
 // graft converts a fill fragment into buffer nodes. Caller holds mu.
 func (b *Buffer) graft(t *xmltree.Tree, parent *node) *node {
+	n := b.newNode()
+	n.parent = parent
 	if t.IsHole() {
-		n := &node{hole: true, holeID: t.HoleID(), parent: parent}
+		n.hole, n.holeID = true, t.HoleID()
 		b.pending = append(b.pending, n)
 		return n
 	}
-	n := &node{label: t.Label, parent: parent}
-	for _, c := range t.Children {
-		n.children = append(n.children, b.graft(c, n))
+	n.label = t.Label
+	if len(t.Children) > 0 {
+		n.children = make([]*node, len(t.Children))
+		for i, c := range t.Children {
+			n.children[i] = b.graft(c, n)
+		}
 	}
 	return n
 }

@@ -40,6 +40,14 @@ import (
 //     join is first pulled, trading input laziness for wall-clock
 //     overlap of the sources' round trips; see parallel.go. Requires
 //     JoinCache (the drained inputs are replayed like the inner cache).
+//   - Fingerprints — equality-heavy operators (distinct, groupBy,
+//     difference, hash-join buckets) key on memoized 128-bit structural
+//     fingerprints instead of canonical subtree strings, and
+//     getDescendants steps a lazily-determinized DFA instead of
+//     recomputing NFA closures per label. Semantics are byte-identical:
+//     fingerprint collisions fall back to full structural comparison
+//     (see keyspace.go), and the DFA is observationally equivalent to
+//     the NFA. Off reproduces the pre-fingerprint behavior exactly.
 type Options struct {
 	JoinCache    bool
 	PathCache    bool
@@ -47,14 +55,17 @@ type Options struct {
 	NativeSelect bool
 	HashJoin     bool
 	Parallel     bool
+	Fingerprints bool
 }
 
-// DefaultOptions enables all caches and the hash equi-join, and leaves
-// NC = {d, r, f}. Parallel input derivation is opt-in: it trades the
-// lazy "explore only what the client demands" contract for latency
-// overlap, which only pays off on high-latency sources.
+// DefaultOptions enables all caches, the hash equi-join and the
+// fingerprint fast paths, and leaves NC = {d, r, f}. Parallel input
+// derivation is opt-in: it trades the lazy "explore only what the
+// client demands" contract for latency overlap, which only pays off on
+// high-latency sources.
 func DefaultOptions() Options {
-	return Options{JoinCache: true, PathCache: true, GroupCache: true, HashJoin: true}
+	return Options{JoinCache: true, PathCache: true, GroupCache: true,
+		HashJoin: true, Fingerprints: true}
 }
 
 // Engine compiles algebra plans against a registry of named sources.
@@ -84,11 +95,15 @@ type Engine struct {
 
 	regMu sync.RWMutex
 	reg   map[string]nav.Document
+
+	// intern canonicalizes the label vocabulary the engine's DFA caches
+	// key on; shared across all plans compiled by this engine.
+	intern *xmltree.Interner
 }
 
 // New returns an Engine with the given options.
 func New(opts Options) *Engine {
-	return &Engine{opts: opts, reg: map[string]nav.Document{}}
+	return &Engine{opts: opts, reg: map[string]nav.Document{}, intern: xmltree.NewInterner()}
 }
 
 // Register makes doc available to plans under the given source name.
@@ -189,8 +204,12 @@ func (e *Engine) Compile(plan algebra.Op) (*Query, error) {
 		}
 	}
 	q := &Query{plan: plan, eng: e, topVars: plan.OutVars(), regVer: e.RegistryVersion()}
+	c := &compiler{e: e}
+	if e.opts.Fingerprints {
+		c.ks = newKeyspace()
+	}
 	if td, ok := plan.(*algebra.TupleDestroy); ok {
-		inb, err := e.compile(td.Input)
+		inb, err := c.compile(td.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +230,7 @@ func (e *Engine) Compile(plan algebra.Op) (*Query, error) {
 		}}
 		return q, nil
 	}
-	b, err := e.compile(plan)
+	b, err := c.compile(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -339,43 +358,43 @@ func (q *Query) Materialize() (*xmltree.Tree, error) {
 // compile builds the stream constructor for a plan node, wrapping it
 // with a traced stream when a tracer is installed (the per-operator
 // boundary of the observability layer).
-func (e *Engine) compile(p algebra.Op) (builder, error) {
-	b, err := e.compileOp(p)
-	if err != nil || e.tracer == nil {
+func (c *compiler) compile(p algebra.Op) (builder, error) {
+	b, err := c.compileOp(p)
+	if err != nil || c.e.tracer == nil {
 		return b, err
 	}
-	return traceStreamBuilder(b, opLabel(p), e.tracer), nil
+	return traceStreamBuilder(b, opLabel(p), c.e.tracer), nil
 }
 
 // compileOp dispatches compilation per operator.
-func (e *Engine) compileOp(p algebra.Op) (builder, error) {
+func (c *compiler) compileOp(p algebra.Op) (builder, error) {
 	switch op := p.(type) {
 	case *algebra.Source:
-		return e.compileSource(op)
+		return c.compileSource(op)
 	case *algebra.GetDescendants:
-		return e.compileGetDescendants(op)
+		return c.compileGetDescendants(op)
 	case *algebra.Select:
-		return e.compileSelect(op)
+		return c.compileSelect(op)
 	case *algebra.Join:
-		return e.compileJoin(op)
+		return c.compileJoin(op)
 	case *algebra.GroupBy:
-		return e.compileGroupBy(op)
+		return c.compileGroupBy(op)
 	case *algebra.Concatenate:
-		return e.compileConcatenate(op)
+		return c.compileConcatenate(op)
 	case *algebra.CreateElement:
-		return e.compileCreateElement(op)
+		return c.compileCreateElement(op)
 	case *algebra.OrderBy:
-		return e.compileOrderBy(op)
+		return c.compileOrderBy(op)
 	case *algebra.Project:
-		return e.compileProject(op)
+		return c.compileProject(op)
 	case *algebra.Union:
-		return e.compileBinaryConcat(op.Left, op.Right)
+		return c.compileBinaryConcat(op.Left, op.Right)
 	case *algebra.Difference:
-		return e.compileDifference(op)
+		return c.compileDifference(op)
 	case *algebra.Distinct:
-		return e.compileDistinct(op)
+		return c.compileDistinct(op)
 	case *algebra.WrapList:
-		return e.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
+		return c.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
 			v, err := b.node(op.Var)
 			if err != nil {
 				return nil, err
@@ -383,11 +402,11 @@ func (e *Engine) compileOp(p algebra.Op) (builder, error) {
 			return b.with(op.Out, NewElem(xmltree.ListLabel, singletonList(v))), nil
 		})
 	case *algebra.Const:
-		return e.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
+		return c.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
 			return b.with(op.Out, FromTree(op.Value)), nil
 		})
 	case *algebra.Rename:
-		return e.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
+		return c.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
 			if _, err := b.node(op.From); err != nil {
 				return nil, err
 			}
@@ -401,8 +420,8 @@ func (e *Engine) compileOp(p algebra.Op) (builder, error) {
 }
 
 // compilePerBinding compiles a pure per-binding transformation.
-func (e *Engine) compilePerBinding(input algebra.Op, fn func(*binding) (*binding, error)) (builder, error) {
-	in, err := e.compile(input)
+func (c *compiler) compilePerBinding(input algebra.Op, fn func(*binding) (*binding, error)) (builder, error) {
+	in, err := c.compile(input)
 	if err != nil {
 		return nil, err
 	}
@@ -415,16 +434,16 @@ func (e *Engine) compilePerBinding(input algebra.Op, fn func(*binding) (*binding
 	}, nil
 }
 
-func (e *Engine) compileSource(op *algebra.Source) (builder, error) {
-	doc, ok := e.lookup(op.URL)
+func (c *compiler) compileSource(op *algebra.Source) (builder, error) {
+	doc, ok := c.e.lookup(op.URL)
 	if !ok {
 		return nil, fmt.Errorf("core: unregistered source %q", op.URL)
 	}
-	if e.tracer != nil {
+	if c.e.tracer != nil {
 		// Source boundary: every navigation answered by this source
 		// becomes a span, so trace totals equal the counter totals a
 		// CountingDoc measures at the same boundary.
-		doc = trace.NewDoc(doc, trace.SourcePrefix+op.URL, e.tracer)
+		doc = trace.NewDoc(doc, trace.SourcePrefix+op.URL, c.e.tracer)
 	}
 	varName := op.Var
 	return func() (stream, error) {
@@ -433,12 +452,20 @@ func (e *Engine) compileSource(op *algebra.Source) (builder, error) {
 	}, nil
 }
 
-func (e *Engine) compileGetDescendants(op *algebra.GetDescendants) (builder, error) {
-	in, err := e.compile(op.Input)
+func (c *compiler) compileGetDescendants(op *algebra.GetDescendants) (builder, error) {
+	in, err := c.compile(op.Input)
 	if err != nil {
 		return nil, err
 	}
 	nfa := pathexpr.Compile(op.Path)
+	// With fingerprints on, the descent steps a lazily-determinized DFA
+	// shared by all streams of this operator: repeated label transitions
+	// are O(1) map hits instead of ε-closure recomputations, and the
+	// per-step state is a single int rather than an allocated state set.
+	var dfa *pathexpr.DFA
+	if c.e.opts.Fingerprints {
+		dfa = pathexpr.NewDFA(nfa, c.e.intern)
+	}
 	parent, out := op.Parent, op.Out
 	raw := func() (stream, error) {
 		s, err := in()
@@ -450,11 +477,16 @@ func (e *Engine) compileGetDescendants(op *algebra.GetDescendants) (builder, err
 			if err != nil {
 				return nil, err
 			}
-			matches := pathMatchList{nfa: nfa, siblings: childrenOf(pv), state: nfa.Start()}
+			var matches list
+			if dfa != nil {
+				matches = dfaMatchList{dfa: dfa, siblings: childrenOf(pv), state: dfa.Start()}
+			} else {
+				matches = pathMatchList{nfa: nfa, siblings: childrenOf(pv), state: nfa.Start()}
+			}
 			return nodeStream{l: matches, base: b, out: out}, nil
 		}}, nil
 	}
-	if e.opts.PathCache {
+	if c.e.opts.PathCache {
 		// The operator-level cache of Section 3: the explored part of
 		// the descent is kept by the operator itself, so re-iterations
 		// (e.g. as the inner of an uncached join, or a client
@@ -518,19 +550,56 @@ func (p pathMatchList) next() (Node, list, error) {
 	}
 }
 
-func (e *Engine) compileSelect(op *algebra.Select) (builder, error) {
+// dfaMatchList is pathMatchList over the lazy DFA: identical traversal
+// and output order, but each label transition is a memoized map hit and
+// the carried state is an int id instead of a state-set slice.
+type dfaMatchList struct {
+	dfa      *pathexpr.DFA
+	siblings list
+	state    int
+}
+
+func (p dfaMatchList) next() (Node, list, error) {
+	sibs := p.siblings
+	for {
+		c, rest, err := sibs.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if c == nil {
+			return nil, nil, nil
+		}
+		label, err := c.Label()
+		if err != nil {
+			return nil, nil, err
+		}
+		st2 := p.dfa.Step(p.state, label)
+		if p.dfa.Alive(st2) {
+			inner := dfaMatchList{dfa: p.dfa, siblings: childrenOf(c), state: st2}
+			var own list = inner
+			if p.dfa.Accepting(st2) {
+				own = consList{head: c, tail: inner}
+			}
+			cont := dfaMatchList{dfa: p.dfa, siblings: rest, state: p.state}
+			return concatList{a: own, b: cont}.next()
+		}
+		sibs = rest
+	}
+}
+
+func (c *compiler) compileSelect(op *algebra.Select) (builder, error) {
 	// Fusion: a label selection directly over a one-step wildcard
 	// getDescendants is served with the select(σ) source command when
 	// NC includes it (Example 1's upgrade to bounded browsable).
-	if e.opts.NativeSelect {
+	if c.e.opts.NativeSelect {
 		if lm, ok := op.Cond.(*algebra.LabelMatch); ok {
 			if gd, ok := op.Input.(*algebra.GetDescendants); ok &&
 				gd.Out == lm.Var && gd.Path.String() == "_" {
-				return e.compileFusedLabelScan(gd, lm.Label)
+				return c.compileFusedLabelScan(gd, lm.Label)
 			}
 		}
 	}
-	in, err := e.compile(op.Input)
+	in, err := c.compile(op.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -549,8 +618,8 @@ func (e *Engine) compileSelect(op *algebra.Select) (builder, error) {
 // compileFusedLabelScan compiles σ_label(getDescendants(parent, _ → out))
 // into a child scan that jumps between matches with the select(σ)
 // navigation command.
-func (e *Engine) compileFusedLabelScan(gd *algebra.GetDescendants, label string) (builder, error) {
-	in, err := e.compile(gd.Input)
+func (c *compiler) compileFusedLabelScan(gd *algebra.GetDescendants, label string) (builder, error) {
+	in, err := c.compile(gd.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -673,25 +742,25 @@ func asSourceBacked(v Node) (sourceBacked, bool) {
 	}
 }
 
-func (e *Engine) compileJoin(op *algebra.Join) (builder, error) {
-	left, err := e.compile(op.Left)
+func (c *compiler) compileJoin(op *algebra.Join) (builder, error) {
+	left, err := c.compile(op.Left)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.compile(op.Right)
+	right, err := c.compile(op.Right)
 	if err != nil {
 		return nil, err
 	}
 	cond := op.Cond
-	cache := e.opts.JoinCache
-	if e.opts.Parallel && cache {
-		if l, r, ok := e.parallelPair(op, left, right); ok {
+	cache := c.e.opts.JoinCache
+	if c.e.opts.Parallel && cache {
+		if l, r, ok := c.e.parallelPair(op, left, right); ok {
 			left, right = l, r
 		}
 	}
-	if e.opts.HashJoin && cache {
+	if c.e.opts.HashJoin && cache {
 		if lk, rk, ok := equiJoinKeys(op); ok {
-			return e.compileHashJoin(cond, lk, rk, left, right), nil
+			return c.compileHashJoin(cond, lk, rk, left, right), nil
 		}
 	}
 	return func() (stream, error) {
@@ -727,8 +796,8 @@ func (e *Engine) compileJoin(op *algebra.Join) (builder, error) {
 	}, nil
 }
 
-func (e *Engine) compileConcatenate(op *algebra.Concatenate) (builder, error) {
-	in, err := e.compile(op.Input)
+func (c *compiler) compileConcatenate(op *algebra.Concatenate) (builder, error) {
+	in, err := c.compile(op.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -753,8 +822,8 @@ func (e *Engine) compileConcatenate(op *algebra.Concatenate) (builder, error) {
 	}, nil
 }
 
-func (e *Engine) compileCreateElement(op *algebra.CreateElement) (builder, error) {
-	in, err := e.compile(op.Input)
+func (c *compiler) compileCreateElement(op *algebra.CreateElement) (builder, error) {
+	in, err := c.compile(op.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -797,8 +866,8 @@ func (e *Engine) compileCreateElement(op *algebra.CreateElement) (builder, error
 	}, nil
 }
 
-func (e *Engine) compileOrderBy(op *algebra.OrderBy) (builder, error) {
-	in, err := e.compile(op.Input)
+func (c *compiler) compileOrderBy(op *algebra.OrderBy) (builder, error) {
+	in, err := c.compile(op.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -855,11 +924,16 @@ func valueAtom(t *xmltree.Tree) string {
 	if t.IsLeaf() {
 		return t.Label
 	}
+	// Single-leaf element (the Text("zip","92093") shape): the text
+	// content is exactly the leaf's label — skip the builder.
+	if len(t.Children) == 1 && t.Children[0].IsLeaf() {
+		return t.Children[0].Label
+	}
 	return t.TextContent()
 }
 
-func (e *Engine) compileProject(op *algebra.Project) (builder, error) {
-	in, err := e.compile(op.Input)
+func (c *compiler) compileProject(op *algebra.Project) (builder, error) {
+	in, err := c.compile(op.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -880,12 +954,12 @@ func (e *Engine) compileProject(op *algebra.Project) (builder, error) {
 	}, nil
 }
 
-func (e *Engine) compileBinaryConcat(l, r algebra.Op) (builder, error) {
-	lb, err := e.compile(l)
+func (c *compiler) compileBinaryConcat(l, r algebra.Op) (builder, error) {
+	lb, err := c.compile(l)
 	if err != nil {
 		return nil, err
 	}
-	rb, err := e.compile(r)
+	rb, err := c.compile(r)
 	if err != nil {
 		return nil, err
 	}
@@ -898,16 +972,17 @@ func (e *Engine) compileBinaryConcat(l, r algebra.Op) (builder, error) {
 	}, nil
 }
 
-func (e *Engine) compileDifference(op *algebra.Difference) (builder, error) {
-	lb, err := e.compile(op.Left)
+func (c *compiler) compileDifference(op *algebra.Difference) (builder, error) {
+	lb, err := c.compile(op.Left)
 	if err != nil {
 		return nil, err
 	}
-	rb, err := e.compile(op.Right)
+	rb, err := c.compile(op.Right)
 	if err != nil {
 		return nil, err
 	}
 	vars := op.Left.OutVars()
+	ks := c.ks
 	return func() (stream, error) {
 		ls, err := lb()
 		if err != nil {
@@ -928,14 +1003,14 @@ func (e *Engine) compileDifference(op *algebra.Difference) (builder, error) {
 				}
 				seen = make(map[string]bool, len(all))
 				for _, r := range all {
-					k, err := r.key(vars)
+					k, err := r.key(ks, vars)
 					if err != nil {
 						return false, err
 					}
 					seen[k] = true
 				}
 			}
-			k, err := b.key(vars)
+			k, err := b.key(ks, vars)
 			if err != nil {
 				return false, err
 			}
@@ -944,18 +1019,19 @@ func (e *Engine) compileDifference(op *algebra.Difference) (builder, error) {
 	}, nil
 }
 
-func (e *Engine) compileDistinct(op *algebra.Distinct) (builder, error) {
-	in, err := e.compile(op.Input)
+func (c *compiler) compileDistinct(op *algebra.Distinct) (builder, error) {
+	in, err := c.compile(op.Input)
 	if err != nil {
 		return nil, err
 	}
 	vars := op.Input.OutVars()
+	ks := c.ks
 	return func() (stream, error) {
 		s, err := in()
 		if err != nil {
 			return nil, err
 		}
-		return distinctStream{in: s, vars: vars, seen: nil}, nil
+		return distinctStream{in: s, ks: ks, vars: vars, seen: nil}, nil
 	}, nil
 }
 
@@ -963,6 +1039,7 @@ func (e *Engine) compileDistinct(op *algebra.Distinct) (builder, error) {
 // persistently: each tail carries its own extended copy.
 type distinctStream struct {
 	in   stream
+	ks   *keyspace
 	vars []string
 	seen map[string]bool
 }
@@ -975,7 +1052,7 @@ func (d distinctStream) next() (*binding, stream, error) {
 		if err != nil || h == nil {
 			return nil, nil, err
 		}
-		k, err := h.key(d.vars)
+		k, err := h.key(d.ks, d.vars)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -985,7 +1062,7 @@ func (d distinctStream) next() (*binding, stream, error) {
 				next[s] = true
 			}
 			next[k] = true
-			return h, distinctStream{in: t, vars: d.vars, seen: next}, nil
+			return h, distinctStream{in: t, ks: d.ks, vars: d.vars, seen: next}, nil
 		}
 		in = t
 	}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"testing"
+
+	"mix/internal/algebra"
+	"mix/internal/pathexpr"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+// Fingerprint-path identity and collision-fallback tests. The contract
+// under test: Options.Fingerprints changes only the cost of operator
+// keys, bucket keys and path stepping — never a byte of the answer —
+// and even under total fingerprint collision (every value hashed to one
+// bucket) the Equal-based fallback alone keeps answers correct.
+
+func fpOpts() Options {
+	o := DefaultOptions()
+	o.Fingerprints = true
+	return o
+}
+
+func noFpOpts() Options {
+	o := DefaultOptions()
+	o.Fingerprints = false
+	return o
+}
+
+// keyPlans returns plans exercising every fingerprint consumer:
+// distinct, groupBy, difference, orderBy, and wildcard/recursive path
+// descent, over the homes/schools workload.
+func keyPlans() map[string]algebra.Op {
+	homesZip := func() algebra.Op {
+		gd := &algebra.GetDescendants{
+			Input:  &algebra.Source{URL: "homesSrc", Var: "r1"},
+			Parent: "r1", Path: pathexpr.MustParse("home"), Out: "H",
+		}
+		return &algebra.GetDescendants{Input: gd, Parent: "H",
+			Path: pathexpr.MustParse("zip._"), Out: "V1"}
+	}
+	schoolsZip := func() algebra.Op {
+		gd := &algebra.GetDescendants{
+			Input:  &algebra.Source{URL: "schoolsSrc", Var: "r2"},
+			Parent: "r2", Path: pathexpr.MustParse("school"), Out: "S",
+		}
+		return &algebra.GetDescendants{Input: gd, Parent: "S",
+			Path: pathexpr.MustParse("zip._"), Out: "V2"}
+	}
+	return map[string]algebra.Op{
+		"distinct": &algebra.Distinct{
+			Input: &algebra.Project{Input: homesZip(), Keep: []string{"V1"}}},
+		"groupBy": &algebra.GroupBy{
+			Input: homesZip(), By: []string{"V1"}, Var: "H", Out: "G"},
+		"difference": &algebra.Difference{
+			Left: &algebra.Project{Input: homesZip(), Keep: []string{"V1"}},
+			Right: &algebra.Project{
+				Input: &algebra.Rename{Input: schoolsZip(), From: "V2", To: "V1"},
+				Keep:  []string{"V1"}}},
+		"orderBy": &algebra.OrderBy{Input: homesZip(), Keys: []string{"V1"}},
+		"hashJoin": hashZipPlan(
+			algebra.Eq(algebra.V("V1"), algebra.V("V2"))),
+		"recursivePath": &algebra.GetDescendants{
+			Input:  &algebra.Source{URL: "homesSrc", Var: "r1"},
+			Parent: "r1", Path: pathexpr.MustParse("(home|zip)*._"), Out: "X"},
+	}
+}
+
+// TestFingerprintsByteIdentical: every plan answers byte-identically
+// with fingerprints on and off.
+func TestFingerprintsByteIdentical(t *testing.T) {
+	homes, schools := workload.HomesSchools(30, 30, 5, 11)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools}
+	for name, plan := range keyPlans() {
+		t.Run(name, func(t *testing.T) {
+			eOff, _ := engineWith(noFpOpts(), srcs)
+			eOn, _ := engineWith(fpOpts(), srcs)
+			want := xmltree.MarshalXML(mustMaterialize(t, mustCompile(t, eOff, plan)))
+			got := xmltree.MarshalXML(mustMaterialize(t, mustCompile(t, eOn, plan)))
+			if got != want {
+				t.Errorf("fingerprints changed the answer\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestFingerprintsNavigationIdentical: the fast path must not change
+// what is navigated either — same per-source command counts.
+func TestFingerprintsNavigationIdentical(t *testing.T) {
+	homes, schools := workload.HomesSchools(20, 20, 4, 3)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools}
+	for name, plan := range keyPlans() {
+		t.Run(name, func(t *testing.T) {
+			eOff, cOff := engineWith(noFpOpts(), srcs)
+			eOn, cOn := engineWith(fpOpts(), srcs)
+			mustMaterialize(t, mustCompile(t, eOff, plan))
+			mustMaterialize(t, mustCompile(t, eOn, plan))
+			for src, c := range cOff {
+				if got, want := cOn[src].Counters.Snapshot(), c.Counters.Snapshot(); got != want {
+					t.Errorf("source %s: navigations with fingerprints %+v, without %+v",
+						src, got, want)
+				}
+			}
+		})
+	}
+}
+
+// withCollidingFingerprints forces every structural fingerprint to one
+// value for the duration of fn, so keyspace disambiguation carries the
+// entire correctness burden.
+func withCollidingFingerprints(fn func()) {
+	origTree, origAtom := treeFP, atomFP
+	treeFP = func(*xmltree.Tree) xmltree.Fingerprint {
+		return xmltree.Fingerprint{Hi: 0xdead, Lo: 0xbeef}
+	}
+	atomFP = func(*xmltree.Tree) xmltree.Fingerprint {
+		return xmltree.Fingerprint{Hi: 0xdead, Lo: 0xbeef}
+	}
+	defer func() { treeFP, atomFP = origTree, origAtom }()
+	fn()
+}
+
+// TestFingerprintCollisionFallback: with every value forced into one
+// fingerprint bucket, answers must still be byte-identical to the
+// canonical-key engine — the Equal fallback in keyspace.resolve (and
+// the full condition re-check in the hash join) is the only thing
+// separating values, and it must be enough.
+func TestFingerprintCollisionFallback(t *testing.T) {
+	homes, schools := workload.HomesSchools(25, 25, 4, 17)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools}
+	for name, plan := range keyPlans() {
+		t.Run(name, func(t *testing.T) {
+			eOff, _ := engineWith(noFpOpts(), srcs)
+			want := xmltree.MarshalXML(mustMaterialize(t, mustCompile(t, eOff, plan)))
+			var got string
+			withCollidingFingerprints(func() {
+				eOn, _ := engineWith(fpOpts(), srcs)
+				got = xmltree.MarshalXML(mustMaterialize(t, mustCompile(t, eOn, plan)))
+			})
+			if got != want {
+				t.Errorf("collision fallback broke the answer\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestKeyspaceSlots exercises resolve directly: equal tuples share a
+// slot, distinct colliding tuples get distinct slots, across
+// interleaved orders.
+func TestKeyspaceSlots(t *testing.T) {
+	ks := newKeyspace()
+	a := []*xmltree.Tree{xmltree.Text("zip", "92093")}
+	a2 := []*xmltree.Tree{xmltree.Text("zip", "92093")} // equal to a
+	b := []*xmltree.Tree{xmltree.Text("zip", "91220")}  // distinct
+	key := "samekey"
+	if got := ks.resolve(key, a); got != 0 {
+		t.Errorf("first tuple slot = %d, want 0", got)
+	}
+	if got := ks.resolve(key, b); got != 1 {
+		t.Errorf("colliding distinct tuple slot = %d, want 1", got)
+	}
+	if got := ks.resolve(key, a2); got != 0 {
+		t.Errorf("equal tuple re-resolved to %d, want 0", got)
+	}
+	if got := ks.resolve(key, b); got != 1 {
+		t.Errorf("second distinct tuple re-resolved to %d, want 1", got)
+	}
+	if got := ks.resolve("otherkey", b); got != 0 {
+		t.Errorf("different key must start at slot 0, got %d", got)
+	}
+}
+
+// TestHashJoinFingerprintIdenticalToNested is the PR 4 identity suite
+// run with fingerprints on: hash-join answers (equi, residual, masked)
+// must equal nested-loops answers byte for byte.
+func TestHashJoinFingerprintIdenticalToNested(t *testing.T) {
+	homes, schools := workload.HomesSchools(40, 40, 7, 21)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools}
+	conds := map[string]algebra.Cond{
+		"equi": algebra.Eq(algebra.V("V1"), algebra.V("V2")),
+		"residual": &algebra.And{
+			L: algebra.Eq(algebra.V("V1"), algebra.V("V2")),
+			R: &algebra.Cmp{Op: algebra.OpNeq, L: algebra.V("H"), R: algebra.V("S")}},
+		"masked": maskedCond{algebra.Eq(algebra.V("V1"), algebra.V("V2"))},
+	}
+	for name, cond := range conds {
+		t.Run(name, func(t *testing.T) {
+			plan := hashZipPlan(cond)
+			nested, _ := engineWith(nestedOpts(), srcs)
+			want := xmltree.MarshalXML(mustMaterialize(t, mustCompile(t, nested, plan)))
+			hashed := hashOpts()
+			hashed.Fingerprints = true
+			fp, _ := engineWith(hashed, srcs)
+			got := xmltree.MarshalXML(mustMaterialize(t, mustCompile(t, fp, plan)))
+			if got != want {
+				t.Errorf("fingerprint hash join diverged\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestAtomFingerprintBridgesElementLeaf: an equi-join between an
+// element value and a leaf value whose atoms agree must pair them —
+// the reason bucket keys hash atoms, not structure.
+func TestAtomFingerprintBridgesElementLeaf(t *testing.T) {
+	// left values are zip[92093]-style elements, right values raw leaves.
+	left := xmltree.Elem("l", xmltree.Text("zip", "92093"), xmltree.Text("zip", "91220"))
+	right := xmltree.Elem("r", xmltree.Leaf("92093"), xmltree.Leaf("00000"))
+	srcs := map[string]*xmltree.Tree{"L": left, "R": right}
+	plan := &algebra.Join{
+		Left: &algebra.GetDescendants{
+			Input:  &algebra.Source{URL: "L", Var: "rl"},
+			Parent: "rl", Path: pathexpr.MustParse("zip"), Out: "X"},
+		Right: &algebra.GetDescendants{
+			Input:  &algebra.Source{URL: "R", Var: "rr"},
+			Parent: "rr", Path: pathexpr.MustParse("_"), Out: "Y"},
+		Cond: algebra.Eq(algebra.V("X"), algebra.V("Y")),
+	}
+	eFp, _ := engineWith(fpOpts(), srcs)
+	got := mustMaterialize(t, mustCompile(t, eFp, plan))
+	eOff, _ := engineWith(noFpOpts(), srcs)
+	want := mustMaterialize(t, mustCompile(t, eOff, plan))
+	if !xmltree.Equal(got, want) {
+		t.Fatalf("element/leaf bridging broke: got %v want %v", got, want)
+	}
+	// Exactly one pair: zip[92093] with leaf 92093.
+	if n := got.CountLabel("b"); n != 1 {
+		t.Fatalf("expected 1 joined pair, got %d", n)
+	}
+}
+
+func distinctGroupPlan() algebra.Op {
+	gd := &algebra.GetDescendants{
+		Input:  &algebra.Source{URL: "homesSrc", Var: "r1"},
+		Parent: "r1", Path: pathexpr.MustParse("home"), Out: "H",
+	}
+	zip := &algebra.GetDescendants{Input: gd, Parent: "H",
+		Path: pathexpr.MustParse("zip._"), Out: "V"}
+	return &algebra.GroupBy{
+		Input: &algebra.Distinct{Input: &algebra.Project{Input: zip, Keep: []string{"H", "V"}}},
+		By:    []string{"V"}, Var: "H", Out: "G"}
+}
+
+func benchKeys(b *testing.B, opts Options) {
+	homes, _ := workload.HomesSchools(120, 1, 9, 5)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes}
+	plan := distinctGroupPlan()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := engineWith(opts, srcs)
+		q, err := e.Compile(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Materialize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistinctGroupKeysCanonical(b *testing.B)   { benchKeys(b, noFpOpts()) }
+func BenchmarkDistinctGroupKeysFingerprint(b *testing.B) { benchKeys(b, fpOpts()) }
+
+// benchDetailKeys drives the E14 workload: distinct+groupBy whose keys
+// digest large home payloads while the answer stays one slim row per
+// zip, so key construction dominates the allocation profile.
+func benchDetailKeys(b *testing.B, opts Options) {
+	homes := workload.DetailedHomes(160, 200, 12, 7)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes}
+	plan := workload.DistinctZipGroupsPlan("homesSrc")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := engineWith(opts, srcs)
+		q, err := e.Compile(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Materialize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistinctDetailKeysCanonical(b *testing.B)   { benchDetailKeys(b, noFpOpts()) }
+func BenchmarkDistinctDetailKeysFingerprint(b *testing.B) { benchDetailKeys(b, fpOpts()) }

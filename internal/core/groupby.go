@@ -12,13 +12,14 @@ import (
 // scans the input for the next binding with the same group-by list (the
 // paper's next(pb, pg)). With GroupCache the input scan and the grouped
 // value lists are memoized, the optimization the appendix describes.
-func (e *Engine) compileGroupBy(op *algebra.GroupBy) (builder, error) {
-	in, err := e.compile(op.Input)
+func (c *compiler) compileGroupBy(op *algebra.GroupBy) (builder, error) {
+	in, err := c.compile(op.Input)
 	if err != nil {
 		return nil, err
 	}
 	by, varName, out := op.By, op.Var, op.Out
-	cache := e.opts.GroupCache
+	cache := c.e.opts.GroupCache
+	ks := c.ks
 	return func() (stream, error) {
 		input := deferStream(in)
 		if cache {
@@ -34,7 +35,7 @@ func (e *Engine) compileGroupBy(op *algebra.GroupBy) (builder, error) {
 			b := newBinding().with(out, NewElem(xmltree.ListLabel, maybeMemo(values, cache)))
 			return consStream{head: b, tail: emptyStream{}}, nil
 		}
-		return groupsStream{in: input, by: by, varName: varName, out: out,
+		return groupsStream{in: input, ks: ks, by: by, varName: varName, out: out,
 			seen: nil, cache: cache}, nil
 	}, nil
 }
@@ -71,6 +72,7 @@ func (v valueList) next() (Node, list, error) {
 // into earlier positions remain valid.
 type groupsStream struct {
 	in      stream
+	ks      *keyspace
 	by      []string
 	varName string
 	out     string
@@ -88,7 +90,7 @@ func (g groupsStream) next() (*binding, stream, error) {
 		if b == nil {
 			return nil, nil, nil
 		}
-		k, err := b.key(g.by)
+		k, err := b.key(g.ks, g.by)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -99,7 +101,7 @@ func (g groupsStream) next() (*binding, stream, error) {
 		// New group: its member list starts here and continues through
 		// the remainder of the input with the same group-by list.
 		members := filterStream{in: consStream{head: b, tail: t},
-			pred: sameKeyPred(g.by, k)}
+			pred: sameKeyPred(g.ks, g.by, k)}
 		values := valueList{in: members, varName: g.varName}
 		// The output binding keeps the group-by variables (sharing the
 		// group head's links, and therefore its memoized values) and
@@ -111,14 +113,14 @@ func (g groupsStream) next() (*binding, stream, error) {
 			seen2[s] = true
 		}
 		seen2[k] = true
-		return ob, groupsStream{in: t, by: g.by, varName: g.varName,
+		return ob, groupsStream{in: t, ks: g.ks, by: g.by, varName: g.varName,
 			out: g.out, seen: seen2, cache: g.cache}, nil
 	}
 }
 
-func sameKeyPred(by []string, key string) func(*binding) (bool, error) {
+func sameKeyPred(ks *keyspace, by []string, key string) func(*binding) (bool, error) {
 	return func(b *binding) (bool, error) {
-		k, err := b.key(by)
+		k, err := b.key(ks, by)
 		if err != nil {
 			return false, err
 		}

@@ -74,6 +74,25 @@ func atomKey(b *binding, vars []string) (string, error) {
 	return sb.String(), nil
 }
 
+// atomKeyFP is the fingerprint bucket key: 16 bytes per key variable,
+// hashing the value's *atomic form* (AtomFingerprint), never its
+// structure — atom equality is what Cmp applies to mixed element/leaf
+// comparisons, so the bucket key stays a necessary condition for the
+// join condition. Collisions are harmless here (unlike operator keys):
+// the full condition is re-evaluated on every probed pair anyway, so a
+// colliding pair merely costs one wasted evaluation.
+func atomKeyFP(b *binding, vars []string) (string, error) {
+	raw := make([]byte, 0, len(vars)*16)
+	for _, v := range vars {
+		t, err := b.Value(v)
+		if err != nil {
+			return "", err
+		}
+		raw = atomFP(t).AppendKey(raw)
+	}
+	return string(raw), nil
+}
+
 // hashIndex is the incrementally-built index over the inner stream. It
 // is shared, mutable state behind the persistent probe streams — safe
 // because buckets only ever grow, in inner-stream order, so replaying a
@@ -81,6 +100,7 @@ func atomKey(b *binding, vars []string) (string, error) {
 type hashIndex struct {
 	inner   stream // unconsumed remainder of the inner stream; nil when done
 	keys    []string
+	keyFn   func(*binding, []string) (string, error) // atomKey or atomKeyFP
 	buckets map[string][]*binding
 	done    bool
 }
@@ -99,7 +119,7 @@ func (h *hashIndex) advance() (bool, error) {
 		h.done, h.inner = true, nil
 		return false, nil
 	}
-	k, err := atomKey(b, h.keys)
+	k, err := h.keyFn(b, h.keys)
 	if err != nil {
 		return false, err
 	}
@@ -149,15 +169,20 @@ func (p hashProbeStream) next() (*binding, stream, error) {
 // through unchanged, each expanding into a probe of the shared index.
 // The index itself plays the role of the memoized inner cache, so the
 // inner input is derived at most once per join stream.
-func (e *Engine) compileHashJoin(cond algebra.Cond, leftKeys, rightKeys []string, left, right builder) builder {
+func (c *compiler) compileHashJoin(cond algebra.Cond, leftKeys, rightKeys []string, left, right builder) builder {
+	keyFn := atomKey
+	if c.e.opts.Fingerprints {
+		keyFn = atomKeyFP
+	}
 	return func() (stream, error) {
 		ls, err := left()
 		if err != nil {
 			return nil, err
 		}
-		idx := &hashIndex{inner: deferStream(right), keys: rightKeys, buckets: map[string][]*binding{}}
+		idx := &hashIndex{inner: deferStream(right), keys: rightKeys, keyFn: keyFn,
+			buckets: map[string][]*binding{}}
 		return flatMapStream{in: ls, fn: func(lb *binding) (stream, error) {
-			k, err := atomKey(lb, leftKeys)
+			k, err := keyFn(lb, leftKeys)
 			if err != nil {
 				return nil, err
 			}

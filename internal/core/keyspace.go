@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/binary"
+	"strings"
+	"sync"
+
+	"mix/internal/xmltree"
+)
+
+// Fingerprint-backed operator keys.
+//
+// distinct, groupBy and difference need a map key that is equal exactly
+// when the tuples of variable values are structurally equal. The
+// canonical-string key (binding.key's fallback path) has that property
+// but costs a full serialization of every subtree per first use. With
+// Options.Fingerprints the key is instead the concatenation of the
+// values' 16-byte structural fingerprints — constant-size per variable
+// — made *exact* by a keyspace: a per-query table that remembers, for
+// each fingerprint key, the distinct value tuples that produced it.
+// The first tuple owns the bare key; a colliding tuple (equal
+// fingerprints, unequal trees — astronomically rare, but the semantics
+// must not depend on that) is detected by tuple-wise xmltree.Equal
+// against the stored representatives and gets the key extended with its
+// slot index, so different tuples never share a key and equal tuples
+// always do.
+//
+// The keyspace is scoped to one compiled query (created per Compile,
+// threaded by the compiler), which bounds retention: it can never
+// outlive the bindings whose trees it references, and keys from
+// different queries — or from the same plan compiled twice — are never
+// mixed. It is mutex-guarded because parallel join derivation may
+// compute keys on two goroutines.
+
+// compiler carries the per-compile state threaded through plan
+// compilation: the engine (options, registry, tracer) and, with
+// fingerprints enabled, the query-scoped keyspace. Engine.Compile may
+// be called concurrently, so per-compile state lives here rather than
+// on the Engine.
+type compiler struct {
+	e  *Engine
+	ks *keyspace // nil when Options.Fingerprints is off
+}
+
+// keyspace disambiguates fingerprint collisions within one query.
+type keyspace struct {
+	mu   sync.Mutex
+	reps map[string][][]*xmltree.Tree // fp key → distinct tuples seen
+}
+
+func newKeyspace() *keyspace { return &keyspace{reps: map[string][][]*xmltree.Tree{}} }
+
+// resolve returns the collision slot of the tuple under key: 0 for the
+// first tuple observed with this fingerprint key (the overwhelmingly
+// common case), i > 0 for the i-th structurally distinct tuple that
+// collided with it. Equal tuples always resolve to the same slot.
+func (ks *keyspace) resolve(key string, tuple []*xmltree.Tree) int {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	reps := ks.reps[key]
+	for i, rep := range reps {
+		if tuplesEqual(rep, tuple) {
+			return i
+		}
+	}
+	ks.reps[key] = append(reps, tuple)
+	return len(reps)
+}
+
+func tuplesEqual(a, b []*xmltree.Tree) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !xmltree.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Test hooks: fingerprint computations used for operator and hash-join
+// keys, swappable so collision-fallback tests can force every value
+// into one bucket and assert the Equal-based disambiguation alone
+// produces correct answers.
+var (
+	treeFP = (*xmltree.Tree).Fingerprint
+	atomFP = (*xmltree.Tree).AtomFingerprint
+)
+
+// fpKey computes the fingerprint-backed operator key for the values of
+// vars: the concatenated per-value fingerprints, plus a collision-slot
+// suffix when the keyspace has seen a different tuple under the same
+// fingerprints. Materialized trees are memoized on the binding links
+// exactly like the canonical path.
+func (b *binding) fpKey(ks *keyspace, vars []string) (string, error) {
+	raw := make([]byte, 0, len(vars)*16)
+	tuple := make([]*xmltree.Tree, len(vars))
+	for i, v := range vars {
+		t, err := b.Value(v)
+		if err != nil {
+			return "", err
+		}
+		tuple[i] = t
+		raw = treeFP(t).AppendKey(raw)
+	}
+	if slot := ks.resolve(string(raw), tuple); slot > 0 {
+		raw = append(raw, 0xff)
+		raw = binary.AppendUvarint(raw, uint64(slot))
+	}
+	return string(raw), nil
+}
+
+// key returns the operator key for the values of vars — the map key
+// distinct/groupBy/difference deduplicate on. With a keyspace it is the
+// fingerprint key above; without one (fingerprints off) it is the
+// legacy canonical-string key. Results are memoized per binding so the
+// repeated group/member scans of groupBy pay for key construction once.
+// The two key forms never mix: ks is fixed for the life of a query, and
+// bindings do not outlive their query.
+func (b *binding) key(ks *keyspace, vars []string) (string, error) {
+	ck := strings.Join(vars, "\x01")
+	if k, ok := b.keys[ck]; ok {
+		return k, nil
+	}
+	var k string
+	var err error
+	if ks != nil {
+		k, err = b.fpKey(ks, vars)
+	} else {
+		k, err = b.canonKey(vars)
+	}
+	if err != nil {
+		return "", err
+	}
+	if b.keys == nil {
+		b.keys = map[string]string{}
+	}
+	b.keys[ck] = k
+	return k, nil
+}
+
+// canonKey is the canonical-string key: the NUL-joined canonical forms
+// of the values. It is the fingerprints-off path and must stay fast —
+// the builder is pre-sized from the memoized canonical lengths so the
+// concatenation costs one allocation.
+func (b *binding) canonKey(vars []string) (string, error) {
+	links := make([]*binding, len(vars))
+	size := 0
+	for i, v := range vars {
+		l := b.lookup(v)
+		if l == nil {
+			return "", errUnbound(v)
+		}
+		if l.canon == "" {
+			if l.tree == nil {
+				t, err := MaterializeNode(l.val)
+				if err != nil {
+					return "", err
+				}
+				l.tree = t
+			}
+			l.canon = l.tree.Canonical()
+		}
+		links[i] = l
+		size += len(l.canon) + 1
+	}
+	var sb strings.Builder
+	sb.Grow(size)
+	for _, l := range links {
+		sb.WriteString(l.canon)
+		sb.WriteByte(0)
+	}
+	return sb.String(), nil
+}

@@ -290,15 +290,43 @@ func (k treeKids) next() (Node, list, error) {
 // --- materialization --------------------------------------------------------
 
 // MaterializeNode fully explores the subtree under v, navigating
-// whatever sources back it. It is used for condition evaluation
-// (comparing typically-small values like zip codes), the eager
-// baseline, and tests.
+// whatever sources back it. It is used for condition evaluation and
+// operator keys (comparing typically-small values like zip codes), the
+// eager baseline, and tests.
+//
+// Materialization is the hottest allocator in key-heavy plans, so the
+// walk is allocation-aware: nodes and child slices are carved from a
+// per-call arena (O(size/chunk) heap allocations instead of O(size)),
+// and source-backed subtrees are walked by issuing d/r/f commands
+// directly instead of through the boxed Node/list cursors. The direct
+// walk issues exactly the command sequence the generic walk would —
+// Fetch(n), Down(n), then per child: its subtree followed by
+// Right(child) — so wrappers (counting, tracing, region caches) see an
+// unchanged command stream.
 func MaterializeNode(v Node) (*xmltree.Tree, error) {
+	var m materializer
+	return m.node(v)
+}
+
+// materializer is the single-use scratch state of one MaterializeNode
+// call: the tree arena plus a shared child-pointer stack (each nesting
+// level uses the segment above its mark, so one slice serves the whole
+// recursion).
+type materializer struct {
+	arena   xmltree.Arena
+	scratch []*xmltree.Tree
+}
+
+func (m *materializer) node(v Node) (*xmltree.Tree, error) {
+	if s, ok := v.(srcNode); ok {
+		return m.src(s.doc, s.id)
+	}
 	label, err := v.Label()
 	if err != nil {
 		return nil, err
 	}
-	t := &xmltree.Tree{Label: label}
+	t := m.arena.NewNode(label)
+	mark := len(m.scratch)
 	l := v.Children()
 	for {
 		c, rest, err := l.next()
@@ -306,15 +334,45 @@ func MaterializeNode(v Node) (*xmltree.Tree, error) {
 			return nil, err
 		}
 		if c == nil {
-			return t, nil
+			break
 		}
-		ct, err := MaterializeNode(c)
+		ct, err := m.node(c)
 		if err != nil {
 			return nil, err
 		}
-		t.Children = append(t.Children, ct)
+		m.scratch = append(m.scratch, ct)
 		l = rest
 	}
+	t.Children = m.arena.Children(m.scratch[mark:])
+	m.scratch = m.scratch[:mark]
+	return t, nil
+}
+
+// src materializes a source-backed subtree with direct navigation.
+func (m *materializer) src(doc nav.Document, id nav.ID) (*xmltree.Tree, error) {
+	label, err := doc.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	t := m.arena.NewNode(label)
+	c, err := doc.Down(id)
+	if err != nil {
+		return nil, err
+	}
+	mark := len(m.scratch)
+	for c != nil {
+		ct, err := m.src(doc, c)
+		if err != nil {
+			return nil, err
+		}
+		m.scratch = append(m.scratch, ct)
+		if c, err = doc.Right(c); err != nil {
+			return nil, err
+		}
+	}
+	t.Children = m.arena.Children(m.scratch[mark:])
+	m.scratch = m.scratch[:mark]
+	return t, nil
 }
 
 // childrenOf returns the lazy child list of v without navigating yet.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"mix/internal/xmltree"
 )
@@ -152,38 +151,12 @@ func (b *binding) Value(name string) (*xmltree.Tree, error) {
 	return l.tree, nil
 }
 
-// key returns a canonical string for the values of the given variables,
-// used by groupBy/distinct/difference. It materializes those values;
-// both the per-variable canonical forms and the combined key are
-// memoized.
-func (b *binding) key(vars []string) (string, error) {
-	ck := strings.Join(vars, "\x01")
-	if k, ok := b.keys[ck]; ok {
-		return k, nil
-	}
-	out := ""
-	for _, v := range vars {
-		l := b.lookup(v)
-		if l == nil {
-			return "", fmt.Errorf("core: unbound variable $%s", v)
-		}
-		if l.canon == "" {
-			if l.tree == nil {
-				t, err := MaterializeNode(l.val)
-				if err != nil {
-					return "", err
-				}
-				l.tree = t
-			}
-			l.canon = l.tree.Canonical()
-		}
-		out += l.canon + "\x00"
-	}
-	if b.keys == nil {
-		b.keys = map[string]string{}
-	}
-	b.keys[ck] = out
-	return out, nil
+// key (see keyspace.go) returns the operator key for the values of the
+// given variables, used by groupBy/distinct/difference: structural
+// fingerprints under Options.Fingerprints, canonical strings otherwise.
+
+func errUnbound(v string) error {
+	return fmt.Errorf("core: unbound variable $%s", v)
 }
 
 // stream is a persistent lazy list of bindings — the operator output

@@ -16,6 +16,7 @@ package eager
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"mix/internal/algebra"
@@ -72,11 +73,12 @@ func (r row) with(name string, t *xmltree.Tree) row {
 }
 
 func (r row) key(vars []string) string {
-	out := ""
+	var sb strings.Builder
 	for _, v := range vars {
-		out += r[v].Canonical() + "\x00"
+		sb.WriteString(r[v].Canonical())
+		sb.WriteByte(0)
 	}
-	return out
+	return sb.String()
 }
 
 // Eval fully evaluates the plan. For a tupleDestroy-rooted plan the

@@ -100,6 +100,7 @@ var registry = map[string]func() Table{
 	"E11": E11AsyncPrefetch,
 	"E12": E12RegionCache,
 	"E13": E13ParallelPipeline,
+	"E14": E14AllocationPaths,
 }
 
 // IDs returns all experiment ids in order.

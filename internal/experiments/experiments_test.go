@@ -8,10 +8,10 @@ import (
 
 func TestIDsAndRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 {
-		t.Fatalf("want 13 experiments, got %v", ids)
+	if len(ids) != 14 {
+		t.Fatalf("want 14 experiments, got %v", ids)
 	}
-	if ids[0] != "E1" || ids[12] != "E13" {
+	if ids[0] != "E1" || ids[13] != "E14" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 	if _, err := Run("E99"); err == nil {
@@ -191,6 +191,41 @@ func TestE12Shape(t *testing.T) {
 	for _, i := range []int{3, 4} {
 		if src := col(t, tb, i, 3); src == 0 {
 			t.Fatalf("row %d should re-derive at the sources: %v", i, tb.Rows[i])
+		}
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	tb := E14AllocationPaths()
+	byMetric := map[string][]string{}
+	for _, row := range tb.Rows {
+		byMetric[row[0]+"/"+row[1]] = row
+		if row[1] == "identical answer" && row[2] != "yes" {
+			t.Fatalf("case %q produced a different answer: %v", row[0], row)
+		}
+	}
+	// Allocation counts are deterministic enough to bound loosely; the
+	// strict ≥3×/≥2× acceptance numbers are checked on the quiet E14 runs
+	// recorded in BENCH_pr5.json, not under test-runner noise.
+	for metric, floor := range map[string]float64{
+		"fingerprint keys/heap objects per query":       2,
+		"lean pooled codec/heap KB per cold drain":      1.5,
+		"lean pooled codec/heap objects per cold drain": 2,
+	} {
+		row := byMetric[metric]
+		if row == nil {
+			t.Fatalf("missing row %q: %v", metric, tb.Rows)
+		}
+		base, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base < floor*opt {
+			t.Fatalf("%s: %v vs %v below %.1fx floor", metric, base, opt, floor)
 		}
 	}
 }

@@ -1,0 +1,804 @@
+package lxp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"mix/internal/xmltree"
+)
+
+// Lean LXP codec: fill responses carry whole subtree forests, so the
+// generic encoding/json path pays one wireTree struct, one conversion
+// and several small allocations per node, per direction. The lean
+// encoder writes response JSON directly from []*xmltree.Tree, and the
+// lean decoder builds trees straight from the payload — arena nodes,
+// interned labels — without the wireTree intermediary. The bytes on
+// the wire are identical to the encoding/json framing (field order,
+// omitempty holes, "trees":null vs [], sorted "many" keys, HTML-safe
+// string escaping), so either endpoint can run with the optimization
+// off and nothing observable changes.
+
+var wireOptimizations atomic.Bool
+
+func init() { wireOptimizations.Store(true) }
+
+// SetWireOptimizations toggles the lean codec and the pooled frame
+// buffers (default on). Off, encode/decode go through encoding/json
+// exactly as before; frames are byte-identical either way.
+func SetWireOptimizations(on bool) { wireOptimizations.Store(on) }
+
+var (
+	bufGets atomic.Int64 // total pool fetches
+	bufNews atomic.Int64 // fetches that had to allocate
+)
+
+// BufferPoolStats reports total pooled-buffer fetches and how many of
+// them had to allocate, for /metrics; gets-news fetches were served by
+// reuse.
+func BufferPoolStats() (gets, news int64) {
+	return bufGets.Load(), bufNews.Load()
+}
+
+// keepCap bounds what the frame pools retain; catalog-sized fills
+// beyond it go back to the collector instead of staying pinned.
+const keepCap = 1 << 20
+
+// frameEncoder bundles the scratch buffer with a json.Encoder bound to
+// it, so the encoder is recycled along with the bytes (the lean encoder
+// uses only the buffer; the generic fallback uses both).
+type frameEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encBufPool = sync.Pool{New: func() any {
+	bufNews.Add(1)
+	fe := &frameEncoder{}
+	fe.enc = json.NewEncoder(&fe.buf)
+	return fe
+}}
+
+func getEncBuf() *frameEncoder {
+	bufGets.Add(1)
+	fe := encBufPool.Get().(*frameEncoder)
+	fe.buf.Reset()
+	return fe
+}
+
+func putEncBuf(fe *frameEncoder) {
+	if fe.buf.Cap() <= keepCap {
+		encBufPool.Put(fe)
+	}
+}
+
+var payloadPool = sync.Pool{New: func() any {
+	bufNews.Add(1)
+	s := make([]byte, 0, 4096)
+	return &s
+}}
+
+func getPayload(n int) *[]byte {
+	bufGets.Add(1)
+	p := payloadPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putPayload(p *[]byte) {
+	if cap(*p) <= keepCap {
+		payloadPool.Put(p)
+	}
+}
+
+// leanResponse is a response at the tree level, before (encode) or
+// after (decode) the wire. hasTrees distinguishes a fill's "trees":[]
+// from the "trees":null of every other op, mirroring the nil/non-nil
+// split of response.Trees.
+type leanResponse struct {
+	hole     string
+	trees    []*xmltree.Tree
+	hasTrees bool
+	many     map[string][]*xmltree.Tree
+	err      string
+}
+
+// --- encoding ---------------------------------------------------------------
+
+// jsonSafe reports whether s needs no escaping under encoding/json's
+// default (HTML-escaping) encoder.
+func jsonSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeString appends the JSON encoding of s: a raw copy for plain
+// ASCII, encoding/json for anything that needs escaping, so the output
+// matches json.Marshal byte for byte.
+func encodeString(buf *bytes.Buffer, s string) {
+	if jsonSafe(s) {
+		buf.WriteByte('"')
+		buf.WriteString(s)
+		buf.WriteByte('"')
+		return
+	}
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		b = []byte(`""`)
+	}
+	buf.Write(b)
+}
+
+// encodeTree appends the wireTree encoding of t:
+// {"l":label} for leaves, {"l":label,"c":[…]} otherwise.
+func encodeTree(buf *bytes.Buffer, t *xmltree.Tree) {
+	buf.WriteString(`{"l":`)
+	encodeString(buf, t.Label)
+	if len(t.Children) > 0 {
+		buf.WriteString(`,"c":[`)
+		for i, c := range t.Children {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			encodeTree(buf, c)
+		}
+		buf.WriteString(`]`)
+	}
+	buf.WriteByte('}')
+}
+
+func encodeForest(buf *bytes.Buffer, trees []*xmltree.Tree) {
+	buf.WriteByte('[')
+	for i, t := range trees {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		encodeTree(buf, t)
+	}
+	buf.WriteByte(']')
+}
+
+// encodeResponse appends the response JSON, matching
+// json.Marshal(response{…}) byte for byte.
+func encodeResponse(buf *bytes.Buffer, lr *leanResponse) {
+	buf.WriteByte('{')
+	if lr.hole != "" {
+		buf.WriteString(`"hole":`)
+		encodeString(buf, lr.hole)
+		buf.WriteByte(',')
+	}
+	buf.WriteString(`"trees":`)
+	if lr.hasTrees {
+		encodeForest(buf, lr.trees)
+	} else {
+		buf.WriteString("null")
+	}
+	if len(lr.many) > 0 { // mirror encoding/json omitempty: empty maps vanish
+		buf.WriteString(`,"many":{`)
+		ids := make([]string, 0, len(lr.many))
+		for id := range lr.many {
+			ids = append(ids, id)
+		}
+		sortStrings(ids)
+		for i, id := range ids {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			encodeString(buf, id)
+			buf.WriteByte(':')
+			encodeForest(buf, lr.many[id])
+		}
+		buf.WriteByte('}')
+	}
+	if lr.err != "" {
+		buf.WriteString(`,"error":`)
+		encodeString(buf, lr.err)
+	}
+	buf.WriteByte('}')
+}
+
+// sortStrings is an allocation-free insertion sort: many maps are
+// small, and json.Marshal sorts map keys, so we must too.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// writeLeanFrame writes one length-prefixed lean-encoded response
+// frame, assembled in a pooled buffer and sent with a single Write.
+func writeLeanFrame(w io.Writer, lr *leanResponse) error {
+	fe := getEncBuf()
+	defer putEncBuf(fe)
+	buf := &fe.buf
+	buf.Write([]byte{0, 0, 0, 0})
+	encodeResponse(buf, lr)
+	frame := buf.Bytes()
+	if len(frame)-4 > maxFrame {
+		return fmt.Errorf("lxp: frame of %d bytes exceeds limit", len(frame)-4)
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	_, err := w.Write(frame)
+	return err
+}
+
+// --- decoding ---------------------------------------------------------------
+
+// decoder is a recursive-descent parser for the response grammar. It
+// accepts any JSON object (unknown fields are skipped, fields may come
+// in any order, whitespace is allowed) so it interoperates with
+// non-lean peers; trees are built from an arena with interned labels.
+type decoder struct {
+	b       []byte
+	i       int
+	depth   int // open {/[ nesting, bounded like encoding/json
+	in      *xmltree.Interner
+	arena   *xmltree.Arena
+	scratch []*xmltree.Tree
+}
+
+// maxDecodeDepth mirrors encoding/json's nesting bound, so inputs the
+// generic decoder rejects as too deep are rejected here too (and the
+// recursion cannot exhaust the stack).
+const maxDecodeDepth = 10000
+
+var errBadJSON = fmt.Errorf("lxp: malformed response payload")
+
+// decodeResponse parses one response payload. in may be nil (labels
+// are then plain strings); arena may be nil (a throwaway arena is used
+// then). A long-lived caller such as Client passes a persistent arena
+// so node chunks amortize across many small frames.
+// The result is written into lr (reset first) so short-lived callers
+// can keep it on the stack.
+func decodeResponse(payload []byte, in *xmltree.Interner, arena *xmltree.Arena, lr *leanResponse) error {
+	if arena == nil {
+		arena = new(xmltree.Arena)
+	}
+	d := decoder{b: payload, in: in, arena: arena}
+	*lr = leanResponse{}
+	if d.null() {
+		// json.Unmarshal treats a null document as a no-op.
+		d.ws()
+		if d.i != len(d.b) {
+			return errBadJSON
+		}
+		return nil
+	}
+	if err := d.object(func(key string) error {
+		switch key {
+		case "hole":
+			if d.null() {
+				return nil // null into a string field is a no-op
+			}
+			s, err := d.str(false)
+			lr.hole = s
+			return err
+		case "trees":
+			if d.null() {
+				return nil
+			}
+			trees, err := d.forest()
+			lr.trees, lr.hasTrees = trees, true
+			return err
+		case "many":
+			if d.null() {
+				return nil
+			}
+			if lr.many == nil { // duplicate "many" keys merge, as encoding/json does
+				lr.many = map[string][]*xmltree.Tree{}
+			}
+			return d.object(func(id string) error {
+				if d.null() {
+					lr.many[id] = []*xmltree.Tree{}
+					return nil
+				}
+				trees, err := d.forest()
+				lr.many[id] = trees
+				return err
+			})
+		case "error":
+			if d.null() {
+				return nil
+			}
+			s, err := d.str(false)
+			lr.err = s
+			return err
+		default:
+			return d.skip()
+		}
+	}); err != nil {
+		return err
+	}
+	d.ws()
+	if d.i != len(d.b) {
+		return errBadJSON
+	}
+	return nil
+}
+
+func (d *decoder) ws() {
+	for d.i < len(d.b) {
+		switch d.b[d.i] {
+		case ' ', '\t', '\n', '\r':
+			d.i++
+		default:
+			return
+		}
+	}
+}
+
+func (d *decoder) expect(c byte) error {
+	d.ws()
+	if d.i >= len(d.b) || d.b[d.i] != c {
+		return errBadJSON
+	}
+	d.i++
+	return nil
+}
+
+// null consumes a literal null if present.
+func (d *decoder) null() bool {
+	d.ws()
+	if d.i+4 <= len(d.b) && string(d.b[d.i:d.i+4]) == "null" {
+		d.i += 4
+		return true
+	}
+	return false
+}
+
+// object parses {"key":value,…}, calling field for every value; field
+// must consume it.
+func (d *decoder) object(field func(key string) error) error {
+	if err := d.expect('{'); err != nil {
+		return err
+	}
+	if d.depth++; d.depth > maxDecodeDepth {
+		return errBadJSON
+	}
+	defer func() { d.depth-- }()
+	d.ws()
+	if d.i < len(d.b) && d.b[d.i] == '}' {
+		d.i++
+		return nil
+	}
+	for {
+		key, err := d.str(false)
+		if err != nil {
+			return err
+		}
+		if err := d.expect(':'); err != nil {
+			return err
+		}
+		if err := field(key); err != nil {
+			return err
+		}
+		d.ws()
+		if d.i >= len(d.b) {
+			return errBadJSON
+		}
+		switch d.b[d.i] {
+		case ',':
+			d.i++
+		case '}':
+			d.i++
+			return nil
+		default:
+			return errBadJSON
+		}
+	}
+}
+
+// str parses a JSON string. Plain strings are sliced (and, for
+// interned labels, deduplicated without allocating on repeats);
+// escaped strings fall back to encoding/json for exact semantics.
+func (d *decoder) str(intern bool) (string, error) {
+	if err := d.expect('"'); err != nil {
+		return "", err
+	}
+	start := d.i
+	for d.i < len(d.b) {
+		switch c := d.b[d.i]; {
+		case c == '"':
+			raw := d.b[start:d.i]
+			d.i++
+			if intern && d.in != nil {
+				return d.in.InternBytes(raw), nil
+			}
+			return string(raw), nil
+		case c == '\\' || c < 0x20 || c >= 0x80:
+			// Escapes, control bytes and non-ASCII (which json coerces
+			// to valid UTF-8) take the exact-semantics path.
+			return d.strSlow(start - 1)
+		default:
+			d.i++
+		}
+	}
+	return "", errBadJSON
+}
+
+// strSlow re-scans an escaped string token from its opening quote and
+// hands it to encoding/json.
+func (d *decoder) strSlow(open int) (string, error) {
+	i := open + 1
+	for i < len(d.b) {
+		switch d.b[i] {
+		case '\\':
+			i += 2
+		case '"':
+			var s string
+			if err := json.Unmarshal(d.b[open:i+1], &s); err != nil {
+				return "", errBadJSON
+			}
+			d.i = i + 1
+			if d.in != nil {
+				s = d.in.Intern(s)
+			}
+			return s, nil
+		default:
+			i++
+		}
+	}
+	return "", errBadJSON
+}
+
+// forest parses [tree,…]. The returned slice is arena-backed (collected
+// through the shared scratch stack) and always non-nil, preserving the
+// "trees":[] vs null distinction.
+func (d *decoder) forest() ([]*xmltree.Tree, error) {
+	if err := d.expect('['); err != nil {
+		return nil, err
+	}
+	if d.depth++; d.depth > maxDecodeDepth {
+		return nil, errBadJSON
+	}
+	defer func() { d.depth-- }()
+	d.ws()
+	if d.i < len(d.b) && d.b[d.i] == ']' {
+		d.i++
+		return []*xmltree.Tree{}, nil
+	}
+	mark := len(d.scratch)
+	for {
+		t, err := d.tree(false)
+		if err != nil {
+			return nil, err
+		}
+		d.scratch = append(d.scratch, t)
+		d.ws()
+		if d.i >= len(d.b) {
+			return nil, errBadJSON
+		}
+		switch d.b[d.i] {
+		case ',':
+			d.i++
+		case ']':
+			d.i++
+			out := d.arena.Children(d.scratch[mark:])
+			d.scratch = d.scratch[:mark]
+			return out, nil
+		default:
+			return nil, errBadJSON
+		}
+	}
+}
+
+// tree parses one wireTree object into an arena-backed node. A null
+// element decodes as a zero node, matching []wireTree semantics.
+// holeChild marks the child of a hole element: its label is the hole
+// identifier — unique for the session, so interning it would only grow
+// the interner's table without ever deduplicating anything.
+func (d *decoder) tree(holeChild bool) (*xmltree.Tree, error) {
+	if d.null() {
+		return d.arena.NewNode(""), nil
+	}
+	t := d.arena.NewNode("")
+	mark := len(d.scratch)
+	err := d.object(func(key string) error {
+		switch key {
+		case "l":
+			if d.null() {
+				return nil
+			}
+			s, err := d.str(!holeChild)
+			t.Label = s
+			return err
+		case "c":
+			d.scratch = d.scratch[:mark] // duplicate "c" keys: last wins
+			if d.null() {
+				return nil
+			}
+			if err := d.expect('['); err != nil {
+				return err
+			}
+			if d.depth++; d.depth > maxDecodeDepth {
+				return errBadJSON
+			}
+			defer func() { d.depth-- }()
+			d.ws()
+			if d.i < len(d.b) && d.b[d.i] == ']' {
+				d.i++
+				return nil
+			}
+			for {
+				c, err := d.tree(t.Label == xmltree.HoleLabel)
+				if err != nil {
+					return err
+				}
+				d.scratch = append(d.scratch, c)
+				d.ws()
+				if d.i >= len(d.b) {
+					return errBadJSON
+				}
+				switch d.b[d.i] {
+				case ',':
+					d.i++
+				case ']':
+					d.i++
+					return nil
+				default:
+					return errBadJSON
+				}
+			}
+		default:
+			return d.skip()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Children = d.arena.Children(d.scratch[mark:])
+	d.scratch = d.scratch[:mark]
+	return t, nil
+}
+
+// skip consumes one JSON value of any kind.
+func (d *decoder) skip() error {
+	d.ws()
+	if d.i >= len(d.b) {
+		return errBadJSON
+	}
+	switch c := d.b[d.i]; c {
+	case '"':
+		_, err := d.str(false)
+		return err
+	case '{':
+		return d.object(func(string) error { return d.skip() })
+	case '[':
+		if err := d.expect('['); err != nil {
+			return err
+		}
+		if d.depth++; d.depth > maxDecodeDepth {
+			return errBadJSON
+		}
+		defer func() { d.depth-- }()
+		d.ws()
+		if d.i < len(d.b) && d.b[d.i] == ']' {
+			d.i++
+			return nil
+		}
+		for {
+			if err := d.skip(); err != nil {
+				return err
+			}
+			d.ws()
+			if d.i >= len(d.b) {
+				return errBadJSON
+			}
+			switch d.b[d.i] {
+			case ',':
+				d.i++
+			case ']':
+				d.i++
+				return nil
+			default:
+				return errBadJSON
+			}
+		}
+	default: // number, true, false, null
+		start := d.i
+		for d.i < len(d.b) {
+			switch d.b[d.i] {
+			case ',', '}', ']', ' ', '\t', '\n', '\r':
+				if d.i == start {
+					return errBadJSON
+				}
+				return nil
+			default:
+				d.i++
+			}
+		}
+		if d.i == start {
+			return errBadJSON
+		}
+		return nil
+	}
+}
+
+// --- requests ---------------------------------------------------------------
+
+// encodeRequest writes req exactly as json.Marshal renders the request
+// struct: field order op, uri, id, ids, with omitempty semantics.
+func encodeRequest(buf *bytes.Buffer, req request) {
+	buf.WriteString(`{"op":`)
+	encodeString(buf, req.Op)
+	if req.URI != "" {
+		buf.WriteString(`,"uri":`)
+		encodeString(buf, req.URI)
+	}
+	if req.ID != "" {
+		buf.WriteString(`,"id":`)
+		encodeString(buf, req.ID)
+	}
+	if len(req.IDs) > 0 {
+		buf.WriteString(`,"ids":[`)
+		for i, id := range req.IDs {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			encodeString(buf, id)
+		}
+		buf.WriteByte(']')
+	}
+	buf.WriteByte('}')
+}
+
+// writeRequest writes one request frame: lean into a pooled buffer when
+// wire optimizations are on, encoding/json otherwise. The frame bytes
+// are identical either way.
+func writeRequest(w io.Writer, req request) error {
+	if !wireOptimizations.Load() {
+		return writeFrame(w, req)
+	}
+	fe := getEncBuf()
+	defer putEncBuf(fe)
+	buf := &fe.buf
+	buf.Write([]byte{0, 0, 0, 0})
+	encodeRequest(buf, req)
+	frame := buf.Bytes()
+	if len(frame)-4 > maxFrame {
+		return fmt.Errorf("lxp: frame of %d bytes exceeds limit", len(frame)-4)
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	_, err := w.Write(frame)
+	return err
+}
+
+// decodeRequest parses one request payload with the same tolerance as
+// decodeResponse: any field order, whitespace, unknown fields skipped,
+// null fields ignored.
+func decodeRequest(payload []byte) (request, error) {
+	d := decoder{b: payload}
+	var req request
+	if d.null() {
+		d.ws()
+		if d.i != len(d.b) {
+			return req, errBadJSON
+		}
+		return req, nil
+	}
+	if err := d.object(func(key string) error {
+		switch key {
+		case "op":
+			if d.null() {
+				return nil
+			}
+			s, err := d.str(false)
+			req.Op = s
+			return err
+		case "uri":
+			if d.null() {
+				return nil
+			}
+			s, err := d.str(false)
+			req.URI = s
+			return err
+		case "id":
+			if d.null() {
+				return nil
+			}
+			s, err := d.str(false)
+			req.ID = s
+			return err
+		case "ids":
+			if d.null() {
+				return nil
+			}
+			ids, err := d.stringArray()
+			req.IDs = ids
+			return err
+		default:
+			return d.skip()
+		}
+	}); err != nil {
+		return req, err
+	}
+	d.ws()
+	if d.i != len(d.b) {
+		return req, errBadJSON
+	}
+	return req, nil
+}
+
+// stringArray parses ["s",…]; null elements decode as "", matching
+// encoding/json's []string semantics.
+func (d *decoder) stringArray() ([]string, error) {
+	if err := d.expect('['); err != nil {
+		return nil, err
+	}
+	if d.depth++; d.depth > maxDecodeDepth {
+		return nil, errBadJSON
+	}
+	defer func() { d.depth-- }()
+	d.ws()
+	out := []string{}
+	if d.i < len(d.b) && d.b[d.i] == ']' {
+		d.i++
+		return out, nil
+	}
+	for {
+		if d.null() {
+			out = append(out, "")
+		} else {
+			s, err := d.str(false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		d.ws()
+		if d.i >= len(d.b) {
+			return nil, errBadJSON
+		}
+		switch d.b[d.i] {
+		case ',':
+			d.i++
+		case ']':
+			d.i++
+			return out, nil
+		default:
+			return nil, errBadJSON
+		}
+	}
+}
+
+// readRequest reads one request frame from r, through a pooled payload
+// and the lean parser when wire optimizations are on. Decoded strings
+// never alias the pooled payload.
+func readRequest(r io.Reader, req *request) error {
+	if !wireOptimizations.Load() {
+		return readFrame(r, req)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("lxp: frame of %d bytes exceeds limit", n)
+	}
+	p := getPayload(int(n))
+	defer putPayload(p)
+	if _, err := io.ReadFull(r, *p); err != nil {
+		return err
+	}
+	rq, err := decodeRequest(*p)
+	if err != nil {
+		return err
+	}
+	*req = rq
+	return nil
+}

@@ -1,0 +1,416 @@
+package lxp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mix/internal/xmltree"
+)
+
+// nastyTree exercises every string-escaping regime: plain ASCII,
+// JSON-special characters, HTML-escaped characters, non-ASCII and
+// control bytes.
+func nastyTree() *xmltree.Tree {
+	return xmltree.Elem("root",
+		xmltree.Text("plain", "value"),
+		xmltree.Text(`qu"ote`, `back\slash`),
+		xmltree.Text("html<&>", "a<b"),
+		xmltree.Text("héllo", "wörld ☃"),
+		xmltree.Text("ctl\x01\n", "\t"),
+		xmltree.Elem("empty"),
+	)
+}
+
+func codecResponses() map[string]leanResponse {
+	return map[string]leanResponse{
+		"hole":       {hole: "root"},
+		"fill":       {trees: []*xmltree.Tree{nastyTree(), xmltree.Leaf("x")}, hasTrees: true},
+		"fillEmpty":  {trees: []*xmltree.Tree{}, hasTrees: true},
+		"error":      {err: `bad <hole> "id"`},
+		"holeNasty":  {hole: "a/b:3\x02é"},
+		"manyEmpty":  {many: map[string][]*xmltree.Tree{}},
+		"manySorted": {many: map[string][]*xmltree.Tree{"z": {xmltree.Leaf("1")}, "a": {}, "m<&>": {nastyTree()}}},
+	}
+}
+
+// wireFromLean is the test-side inverse of leanFromWire.
+func wireFromLean(lr leanResponse) response {
+	resp := response{Hole: lr.hole, Err: lr.err}
+	if lr.hasTrees {
+		resp.Trees = make([]wireTree, len(lr.trees))
+		for i, t := range lr.trees {
+			resp.Trees[i] = toWire(t)
+		}
+	}
+	if lr.many != nil {
+		resp.Many = make(map[string][]wireTree, len(lr.many))
+		for id, trees := range lr.many {
+			ws := make([]wireTree, len(trees))
+			for i, t := range trees {
+				ws[i] = toWire(t)
+			}
+			resp.Many[id] = ws
+		}
+	}
+	return resp
+}
+
+func leanEqual(a, b *leanResponse) bool {
+	if a.hole != b.hole || a.err != b.err || a.hasTrees != b.hasTrees {
+		return false
+	}
+	forestEq := func(x, y []*xmltree.Tree) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !xmltree.Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if !forestEq(a.trees, b.trees) {
+		return false
+	}
+	if len(a.many) != len(b.many) || (a.many == nil) != (b.many == nil) {
+		return false
+	}
+	for id, x := range a.many {
+		y, ok := b.many[id]
+		if !ok || !forestEq(x, y) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLeanEncodeMatchesJSON: the lean encoder must reproduce
+// json.Marshal of the wire structs byte for byte.
+func TestLeanEncodeMatchesJSON(t *testing.T) {
+	for name, lr := range codecResponses() {
+		lr := lr
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			encodeResponse(&buf, &lr)
+			want, err := json.Marshal(wireFromLean(lr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := buf.String(); got != string(want) {
+				t.Errorf("lean encoding diverged\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestLeanDecodeMatchesJSON: the lean decoder must agree with
+// encoding/json on canonical payloads and on reordered / whitespaced /
+// unknown-field variants.
+func TestLeanDecodeMatchesJSON(t *testing.T) {
+	var payloads []string
+	for _, lr := range codecResponses() {
+		b, err := json.Marshal(wireFromLean(lr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, string(b))
+	}
+	payloads = append(payloads,
+		` { "trees" : null } `,
+		`{"trees":[{"c":[{"l":"orphan"}],"l":"late","x":[1,2,{"y":null}]}]}`,
+		`{"error":"boom","hole":"h","trees":[]}`,
+		`{"unknown":123e4,"trees":null,"other":true}`,
+		`{"trees":[{"l":"A 😀"}]}`,
+		`null`,
+	)
+	for _, payload := range payloads {
+		got := new(leanResponse)
+		err := decodeResponse([]byte(payload), xmltree.NewInterner(), nil, got)
+		if err != nil {
+			t.Errorf("lean decode failed on %q: %v", payload, err)
+			continue
+		}
+		var resp response
+		if err := json.Unmarshal([]byte(payload), &resp); err != nil {
+			t.Fatalf("generic decode failed on %q: %v", payload, err)
+		}
+		want := leanFromWire(resp)
+		if !leanEqual(got, &want) {
+			t.Errorf("decoders disagree on %q\n lean: %+v\n json: %+v", payload, got, want)
+		}
+	}
+}
+
+// TestLeanDecodeRejects: malformed payloads must error, not panic.
+func TestLeanDecodeRejects(t *testing.T) {
+	for _, payload := range []string{
+		"", "{", `{"trees":}`, `{"trees":[}`, `{"trees":[{]}`, `[1]`, `5`,
+		`{"trees":null}x`, `{"hole":"a"`, `{"trees":[{"l":"a"},]}`, `{"trees":truex}`,
+	} {
+		if err := decodeResponse([]byte(payload), nil, nil, new(leanResponse)); err == nil {
+			t.Errorf("lean decode accepted malformed payload %q", payload)
+		}
+	}
+}
+
+// FuzzLeanCodecRoundTrip builds a forest from the fuzz input, checks
+// the lean encoding is byte-identical to encoding/json, and that both
+// decoders read it back to the same trees.
+func FuzzLeanCodecRoundTrip(f *testing.F) {
+	f.Add("root", "a\x00b<c", []byte{3, 1, 0, 2, 9})
+	f.Add("", "héllo☃", []byte{0})
+	f.Add(`h"ole`, "\x1f\\", []byte{5, 5, 5, 5, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, hole, label string, shape []byte) {
+		// shape drives a tiny deterministic tree builder.
+		var build func(depth int) *xmltree.Tree
+		i := 0
+		build = func(depth int) *xmltree.Tree {
+			n := xmltree.Elem(label + string(rune('a'+depth)))
+			if i >= len(shape) || depth > 4 {
+				return n
+			}
+			kids := int(shape[i]) % 4
+			i++
+			for k := 0; k < kids; k++ {
+				n.Children = append(n.Children, build(depth+1))
+			}
+			return n
+		}
+		lr := leanResponse{hole: hole, trees: []*xmltree.Tree{build(0), xmltree.Leaf(label)}, hasTrees: true}
+		var buf bytes.Buffer
+		encodeResponse(&buf, &lr)
+		want, err := json.Marshal(wireFromLean(lr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != string(want) {
+			t.Fatalf("lean encoding diverged\n got: %s\nwant: %s", buf.String(), want)
+		}
+		got := new(leanResponse)
+		if err := decodeResponse(buf.Bytes(), xmltree.NewInterner(), nil, got); err != nil {
+			t.Fatalf("lean decode of own encoding failed: %v", err)
+		}
+		var resp response
+		if err := json.Unmarshal(buf.Bytes(), &resp); err != nil {
+			t.Fatalf("generic decode of lean encoding failed: %v", err)
+		}
+		fromJSON := leanFromWire(resp)
+		if !leanEqual(got, &fromJSON) {
+			t.Fatalf("decoders disagree on round-tripped payload %s", buf.String())
+		}
+	})
+}
+
+// FuzzLeanDecode feeds arbitrary payloads to the lean decoder: it must
+// never panic, must accept whatever encoding/json accepts, and must
+// agree with it on every canonical (re-encodable) payload.
+func FuzzLeanDecode(f *testing.F) {
+	f.Add([]byte(`{"trees":[{"l":"a","c":[{"l":"b"}]}]}`))
+	f.Add([]byte(`{"hole":"root","trees":null}`))
+	f.Add([]byte(`{"trees":null,"many":{"a":[],"b":[{"l":"x"}]}}`))
+	f.Add([]byte(`{"trees":[null,{"l":null,"c":null}]}`))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		got := new(leanResponse)
+		leanErr := decodeResponse(payload, xmltree.NewInterner(), nil, got)
+		var resp response
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			return // generic rejects; lean may be laxer about skipped values
+		}
+		if leanErr != nil {
+			t.Fatalf("generic decoder accepts %q, lean rejects: %v", payload, leanErr)
+		}
+		// On canonical payloads (re-encoding reproduces the input, so
+		// no duplicate-key merge games) the values must agree exactly.
+		re, err := json.Marshal(resp)
+		if err != nil || !bytes.Equal(re, payload) {
+			return
+		}
+		want := leanFromWire(resp)
+		if !leanEqual(got, &want) {
+			t.Fatalf("decoders disagree on canonical payload %q", payload)
+		}
+	})
+}
+
+func benchForest() leanResponse {
+	var trees []*xmltree.Tree
+	for i := 0; i < 40; i++ {
+		trees = append(trees, xmltree.Elem("book",
+			xmltree.Text("title", "the art of navigation"),
+			xmltree.Text("author", "doe, j."),
+			xmltree.Text("price", "42"),
+			xmltree.Elem("tags", xmltree.Leaf("lazy"), xmltree.Leaf("views")),
+		))
+	}
+	return leanResponse{trees: trees, hasTrees: true}
+}
+
+func BenchmarkEncodeResponseJSON(b *testing.B) {
+	lr := benchForest()
+	resp := wireFromLean(lr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeResponseLean(b *testing.B) {
+	lr := benchForest()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		encodeResponse(&buf, &lr)
+	}
+}
+
+func BenchmarkDecodeResponseJSON(b *testing.B) {
+	payload, _ := json.Marshal(wireFromLean(benchForest()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var resp response
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			b.Fatal(err)
+		}
+		_ = leanFromWire(resp)
+	}
+}
+
+func BenchmarkDecodeResponseLean(b *testing.B) {
+	payload, _ := json.Marshal(wireFromLean(benchForest()))
+	in := xmltree.NewInterner()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := decodeResponse(payload, in, nil, new(leanResponse)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- request codec ----------------------------------------------------------
+
+func codecRequests() map[string]request {
+	return map[string]request{
+		"getRoot":  {Op: "get_root", URI: "mem://catalog"},
+		"fill":     {Op: "fill", ID: "0/2:5"},
+		"fillMany": {Op: "fill_many", IDs: []string{"a:0", "b:1", "c<&>:2"}},
+		"emptyIDs": {Op: "fill_many", IDs: nil},
+		"nasty":    {Op: "fill", ID: "hé\"llo\\☃\x01"},
+		"bare":     {Op: "close"},
+	}
+}
+
+func TestLeanEncodeRequestMatchesJSON(t *testing.T) {
+	for name, req := range codecRequests() {
+		var buf bytes.Buffer
+		encodeRequest(&buf, req)
+		want, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: lean encoding diverges\n got: %s\nwant: %s", name, buf.Bytes(), want)
+		}
+	}
+}
+
+func TestLeanDecodeRequestMatchesJSON(t *testing.T) {
+	payloads := map[string][]byte{}
+	for name, req := range codecRequests() {
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[name] = b
+	}
+	payloads["spacing"] = []byte(" { \"op\" : \"fill\" , \"id\" : \"x:0\" } ")
+	payloads["reordered"] = []byte(`{"ids":["a"],"unknown":{"x":[1,null]},"op":"fill_many"}`)
+	payloads["nulls"] = []byte(`{"op":null,"uri":null,"id":null,"ids":null}`)
+	payloads["nullElem"] = []byte(`{"op":"fill_many","ids":["a",null,"b"]}`)
+	payloads["null"] = []byte(`null`)
+	for name, payload := range payloads {
+		var want request
+		if err := json.Unmarshal(payload, &want); err != nil {
+			t.Fatalf("%s: oracle rejects payload: %v", name, err)
+		}
+		got, err := decodeRequest(payload)
+		if err != nil {
+			t.Errorf("%s: lean decoder rejects %s: %v", name, payload, err)
+			continue
+		}
+		if got.Op != want.Op || got.URI != want.URI || got.ID != want.ID {
+			t.Errorf("%s: scalar mismatch\n got: %+v\nwant: %+v", name, got, want)
+		}
+		if len(got.IDs) != len(want.IDs) {
+			t.Errorf("%s: ids mismatch\n got: %+v\nwant: %+v", name, got, want)
+			continue
+		}
+		for i := range got.IDs {
+			if got.IDs[i] != want.IDs[i] {
+				t.Errorf("%s: ids[%d] = %q, want %q", name, i, got.IDs[i], want.IDs[i])
+			}
+		}
+	}
+}
+
+func TestLeanDecodeRequestRejects(t *testing.T) {
+	for _, payload := range []string{
+		``, `{`, `{"op"}`, `{"op":"x"`, `{"op":"x"}y`,
+		`{"ids":["a"`, `{"ids":["a",]}`, `{"ids":"a"}`, `{"ids":[,]}`,
+		`[]`, `"fill"`,
+	} {
+		if _, err := decodeRequest([]byte(payload)); err == nil {
+			t.Errorf("lean decoder accepted malformed request %q", payload)
+		}
+	}
+}
+
+func FuzzLeanDecodeRequest(f *testing.F) {
+	for _, req := range codecRequests() {
+		b, _ := json.Marshal(req)
+		f.Add(b)
+	}
+	f.Add([]byte(`{"op":"fill_many","ids":["a",null],"junk":[{"x":1}]}`))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var want request
+		oracleErr := json.Unmarshal(payload, &want)
+		got, leanErr := decodeRequest(payload)
+		if oracleErr != nil {
+			return // lean may be laxer on skipped malformed tokens
+		}
+		if leanErr != nil {
+			t.Fatalf("oracle accepts, lean rejects %q: %v", payload, leanErr)
+		}
+		canonical, _ := json.Marshal(want)
+		re, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// On canonical payloads the decoders must agree exactly.
+		if bytes.Equal(canonical, payloadWithoutSpace(payload)) && !bytes.Equal(re, canonical) {
+			t.Fatalf("decode mismatch on canonical payload %q\n got: %s\nwant: %s", payload, re, canonical)
+		}
+		// Always: scalar fields agree (no duplicate-key or null games can
+		// make encoding/json and the lean decoder diverge on strings).
+		if got.Op != want.Op || got.URI != want.URI || got.ID != want.ID || len(got.IDs) != len(want.IDs) {
+			t.Fatalf("request mismatch on %q\n got: %+v\nwant: %+v", payload, got, want)
+		}
+		for i := range got.IDs {
+			if got.IDs[i] != want.IDs[i] {
+				t.Fatalf("ids[%d] mismatch on %q: %q vs %q", i, payload, got.IDs[i], want.IDs[i])
+			}
+		}
+	})
+}
+
+func payloadWithoutSpace(p []byte) []byte {
+	var buf bytes.Buffer
+	if json.Compact(&buf, p) != nil {
+		return p
+	}
+	return buf.Bytes()
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"strings"
 	"testing"
+
+	"mix/internal/xmltree"
 )
 
 // FuzzReadFrame: no byte stream may panic the LXP codec; truncated,
@@ -29,18 +31,60 @@ func FuzzReadFrame(f *testing.F) {
 }
 
 // FuzzParseHoleID: hole identifiers arrive off the wire, so no input
-// may panic the parser.
+// may panic the parser — and the allocation-free walkHoleID used by
+// Fill must agree with the reference parseHoleID on every input.
 func FuzzParseHoleID(f *testing.F) {
 	for _, seed := range []string{"root", "0/2:5", ":0", "0:", "/:0", "9999999999999999999:0", "0//1:2", "a:b"} {
 		f.Add(seed)
 	}
+	srv := &TreeServer{Tree: deepTree(4, 3)}
 	f.Fuzz(func(t *testing.T, id string) {
 		path, start, err := parseHoleID(id)
 		if err == nil && start < 0 {
 			t.Fatalf("parseHoleID(%q) accepted negative start %d", id, start)
 		}
-		_ = path
+		node, _, wstart, werr := srv.walkHoleID(id)
+		if err != nil {
+			// walkHoleID may also report "stale" where the reference
+			// parser succeeds; it must never accept what the parser
+			// rejects for being malformed.
+			if werr == nil {
+				t.Fatalf("walkHoleID(%q) accepted what parseHoleID rejects (%v)", id, err)
+			}
+			return
+		}
+		if werr != nil {
+			if !strings.Contains(werr.Error(), "stale") {
+				t.Fatalf("walkHoleID(%q) = %v, parseHoleID accepts %v/%d", id, werr, path, start)
+			}
+			return
+		}
+		// rest is id[:colon] verbatim; on non-canonical input (leading
+		// zeros) it differs from pathString(path) but still names the
+		// same node, so continuation ids remain self-consistent.
+		if wstart != start {
+			t.Fatalf("walkHoleID(%q) start = %d, want %d", id, wstart, start)
+		}
+		want := srv.Tree
+		for _, idx := range path {
+			want = want.Child(idx)
+		}
+		if node != want {
+			t.Fatalf("walkHoleID(%q) reached the wrong node", id)
+		}
 	})
+}
+
+// deepTree builds a uniform tree of the given depth and fan-out, so
+// walkHoleID has real paths to resolve.
+func deepTree(depth, fanout int) *xmltree.Tree {
+	t := xmltree.Leaf("n")
+	if depth > 0 {
+		for i := 0; i < fanout; i++ {
+			t.Children = append(t.Children, deepTree(depth-1, fanout))
+		}
+	}
+	return t
 }
 
 // TestReadFrameRejectsHostileLength: the length prefix is checked

@@ -20,6 +20,7 @@ package lxp
 
 import (
 	"fmt"
+	"strconv"
 
 	"mix/internal/metrics"
 	"mix/internal/xmltree"
@@ -226,26 +227,66 @@ type TreeServer struct {
 // exactly one document.
 func (s *TreeServer) GetRoot(string) (string, error) { return "root", nil }
 
-// Fill implements Server.
+// Fill implements Server. Hole identifiers are parsed and walked in
+// one pass: the path prefix of a well-formed id is exactly the path
+// string renderChildren needs, so nothing is re-serialized.
 func (s *TreeServer) Fill(holeID string) ([]*xmltree.Tree, error) {
 	if holeID == "root" {
 		return []*xmltree.Tree{s.render(s.Tree, "")}, nil
 	}
-	path, start, err := parseHoleID(holeID)
+	node, rest, start, err := s.walkHoleID(holeID)
 	if err != nil {
 		return nil, err
-	}
-	node := s.Tree
-	for _, idx := range path {
-		node = node.Child(idx)
-		if node == nil {
-			return nil, fmt.Errorf("lxp: stale hole id %q", holeID)
-		}
 	}
 	if start > len(node.Children) {
 		return nil, fmt.Errorf("lxp: stale hole id %q", holeID)
 	}
-	return s.renderChildren(node, pathString(path), start), nil
+	return s.renderChildren(node, rest, start), nil
+}
+
+// walkHoleID parses "p/q/…:start", walking the tree as the child-index
+// path is decoded, and returns the node it names, the path prefix
+// (id[:colon]) and the start offset.
+func (s *TreeServer) walkHoleID(id string) (node *xmltree.Tree, rest string, start int, err error) {
+	colon := -1
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == ':' {
+			colon = i
+			break
+		}
+	}
+	if colon < 0 {
+		return nil, "", 0, fmt.Errorf("lxp: malformed hole id %q", id)
+	}
+	if start, err = strconv.Atoi(id[colon+1:]); err != nil || start < 0 {
+		return nil, "", 0, fmt.Errorf("lxp: malformed hole id %q", id)
+	}
+	rest = id[:colon]
+	node = s.Tree
+	if rest == "" {
+		return node, rest, start, nil
+	}
+	cur, has := 0, false
+	for i := 0; i <= len(rest); i++ {
+		if i == len(rest) || rest[i] == '/' {
+			if !has {
+				return nil, "", 0, fmt.Errorf("lxp: malformed hole id %q", id)
+			}
+			node = node.Child(cur)
+			if node == nil {
+				return nil, "", 0, fmt.Errorf("lxp: stale hole id %q", id)
+			}
+			cur, has = 0, false
+			continue
+		}
+		c := rest[i]
+		if c < '0' || c > '9' {
+			return nil, "", 0, fmt.Errorf("lxp: malformed hole id %q", id)
+		}
+		cur = cur*10 + int(c-'0')
+		has = true
+	}
+	return node, rest, start, nil
 }
 
 // FillMany implements BatchServer (trivially, since the tree is local:
@@ -263,14 +304,37 @@ func (s *TreeServer) FillMany(holeIDs []string) (map[string][]*xmltree.Tree, err
 }
 
 // render returns t either inline (small enough) or as label[hole].
+// Inline subtrees alias the served tree — fills are read-only, and
+// every consumer (wire encoding, buffer grafting) only reads them — so
+// no copy is made.
 func (s *TreeServer) render(t *xmltree.Tree, path string) *xmltree.Tree {
 	if t.IsLeaf() {
-		return xmltree.Leaf(t.Label)
+		return t
 	}
 	if s.InlineLimit <= 0 || t.Size() <= s.InlineLimit {
-		return t.Clone()
+		return t
 	}
-	return xmltree.Elem(t.Label, xmltree.Hole(path+":0"))
+	return elemHole(t.Label, path+":0")
+}
+
+// elemHole builds label[hole[id]] — the shape render mints for every
+// non-inlined child — from a single allocation.
+func elemHole(label, id string) *xmltree.Tree {
+	h := &struct {
+		elem xmltree.Tree
+		ec   [1]*xmltree.Tree
+		hole xmltree.Tree
+		hc   [1]*xmltree.Tree
+		leaf xmltree.Tree
+	}{}
+	h.leaf.Label = id
+	h.hc[0] = &h.leaf
+	h.hole.Label = xmltree.HoleLabel
+	h.hole.Children = h.hc[:]
+	h.ec[0] = &h.hole
+	h.elem.Label = label
+	h.elem.Children = h.ec[:]
+	return &h.elem
 }
 
 func (s *TreeServer) renderChildren(node *xmltree.Tree, path string, start int) []*xmltree.Tree {
@@ -278,29 +342,36 @@ func (s *TreeServer) renderChildren(node *xmltree.Tree, path string, start int) 
 	if s.Chunk > 0 && start+s.Chunk < end {
 		end = start + s.Chunk
 	}
-	var out []*xmltree.Tree
+	n := end - start
+	if end < len(node.Children) {
+		n++
+	}
+	out := make([]*xmltree.Tree, 0, n)
 	for i := start; i < end; i++ {
-		childPath := fmt.Sprintf("%d", i)
+		childPath := strconv.Itoa(i)
 		if path != "" {
 			childPath = path + "/" + childPath
 		}
 		out = append(out, s.render(node.Children[i], childPath))
 	}
 	if end < len(node.Children) {
-		out = append(out, xmltree.Hole(fmt.Sprintf("%s:%d", path, end)))
+		out = append(out, xmltree.Hole(path+":"+strconv.Itoa(end)))
 	}
 	return out
 }
 
 func pathString(path []int) string {
-	out := ""
+	if len(path) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, 3*len(path))
 	for i, p := range path {
 		if i > 0 {
-			out += "/"
+			b = append(b, '/')
 		}
-		out += fmt.Sprintf("%d", p)
+		b = strconv.AppendInt(b, int64(p), 10)
 	}
-	return out
+	return string(b)
 }
 
 func parseHoleID(id string) (path []int, start int, err error) {
@@ -314,7 +385,7 @@ func parseHoleID(id string) (path []int, start int, err error) {
 	if colon < 0 {
 		return nil, 0, fmt.Errorf("lxp: malformed hole id %q", id)
 	}
-	if _, err := fmt.Sscanf(id[colon+1:], "%d", &start); err != nil || start < 0 {
+	if start, err = strconv.Atoi(id[colon+1:]); err != nil || start < 0 {
 		return nil, 0, fmt.Errorf("lxp: malformed hole id %q", id)
 	}
 	rest := id[:colon]

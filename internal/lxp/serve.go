@@ -93,11 +93,11 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 	w := bufio.NewWriter(conn)
 	for {
 		var req request
-		if err := readFrame(r, &req); err != nil {
+		if err := readRequest(r, &req); err != nil {
 			// Closed, corrupted, or woken by Shutdown's deadline.
 			return
 		}
-		if err := writeFrame(w, handleRequest(req, t.Srv)); err != nil {
+		if err := writeResponse(w, req, t.Srv); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {

@@ -59,16 +59,30 @@ type response struct {
 }
 
 func writeFrame(w io.Writer, v any) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
+	if !wireOptimizations.Load() {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err = w.Write(payload)
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	fe := getEncBuf()
+	defer putEncBuf(fe)
+	fe.buf.Write([]byte{0, 0, 0, 0})
+	if err := fe.enc.Encode(v); err != nil {
 		return err
 	}
-	_, err = w.Write(payload)
+	// drop Encode's trailing newline so frames match json.Marshal
+	frame := fe.buf.Bytes()
+	frame = frame[:len(frame)-1]
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	_, err := w.Write(frame)
 	return err
 }
 
@@ -81,21 +95,31 @@ func readFrame(r io.Reader, v any) error {
 	if n > maxFrame {
 		return fmt.Errorf("lxp: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if !wireOptimizations.Load() {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return err
+		}
+		return json.Unmarshal(payload, v)
+	}
+	p := getPayload(int(n))
+	defer putPayload(p)
+	if _, err := io.ReadFull(r, *p); err != nil {
 		return err
 	}
-	return json.Unmarshal(payload, v)
+	return json.Unmarshal(*p, v)
 }
 
 // Client is the buffer-side endpoint of a networked LXP session. It
 // implements Server, so a buffer cannot tell a remote wrapper from a
 // local one. Safe for concurrent use (requests are serialized).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	intern *xmltree.Interner // label dedup for lean decoding
+	arena  xmltree.Arena     // node storage for lean decoding, amortized across frames
 }
 
 // Dial connects to an LXP server.
@@ -109,51 +133,101 @@ func Dial(addr string) (*Client, error) {
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn),
+		intern: xmltree.NewInterner()}
 }
 
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-func (c *Client) roundTrip(req request) (response, error) {
+// roundTrip sends req and decodes the reply into lr, which short-lived
+// callers keep on the stack.
+func (c *Client) roundTrip(req request, lr *leanResponse) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.w, req); err != nil {
-		return response{}, err
+	if err := writeRequest(c.w, req); err != nil {
+		return err
 	}
 	if err := c.w.Flush(); err != nil {
-		return response{}, err
+		return err
+	}
+	if wireOptimizations.Load() {
+		var hdr [4]byte
+		if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+			return err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			return fmt.Errorf("lxp: frame of %d bytes exceeds limit", n)
+		}
+		p := getPayload(int(n))
+		defer putPayload(p)
+		if _, err := io.ReadFull(c.r, *p); err != nil {
+			return err
+		}
+		// Decoded trees never alias the pooled payload: labels are
+		// interned or copied, nodes live in the decoder's arena.
+		if err := decodeResponse(*p, c.intern, &c.arena, lr); err != nil {
+			return err
+		}
+		if lr.err != "" {
+			return errors.New("lxp: remote: " + lr.err)
+		}
+		return nil
 	}
 	var resp response
 	if err := readFrame(c.r, &resp); err != nil {
-		return response{}, err
+		return err
 	}
 	if resp.Err != "" {
-		return response{}, errors.New("lxp: remote: " + resp.Err)
+		return errors.New("lxp: remote: " + resp.Err)
 	}
-	return resp, nil
+	*lr = leanFromWire(resp)
+	return nil
+}
+
+// leanFromWire converts a generically-decoded response to tree form.
+func leanFromWire(resp response) leanResponse {
+	lr := leanResponse{hole: resp.Hole, err: resp.Err}
+	if resp.Trees != nil {
+		lr.hasTrees = true
+		lr.trees = make([]*xmltree.Tree, len(resp.Trees))
+		for i, w := range resp.Trees {
+			lr.trees[i] = fromWire(w)
+		}
+	}
+	if resp.Many != nil {
+		lr.many = make(map[string][]*xmltree.Tree, len(resp.Many))
+		for id, ws := range resp.Many {
+			trees := make([]*xmltree.Tree, len(ws))
+			for i, w := range ws {
+				trees[i] = fromWire(w)
+			}
+			lr.many[id] = trees
+		}
+	}
+	return lr
 }
 
 // GetRoot implements Server.
 func (c *Client) GetRoot(uri string) (string, error) {
-	resp, err := c.roundTrip(request{Op: "get_root", URI: uri})
-	if err != nil {
+	var resp leanResponse
+	if err := c.roundTrip(request{Op: "get_root", URI: uri}, &resp); err != nil {
 		return "", err
 	}
-	return resp.Hole, nil
+	return resp.hole, nil
 }
 
 // Fill implements Server.
 func (c *Client) Fill(holeID string) ([]*xmltree.Tree, error) {
-	resp, err := c.roundTrip(request{Op: "fill", ID: holeID})
-	if err != nil {
+	var resp leanResponse
+	if err := c.roundTrip(request{Op: "fill", ID: holeID}, &resp); err != nil {
 		return nil, err
 	}
-	trees := make([]*xmltree.Tree, len(resp.Trees))
-	for i, w := range resp.Trees {
-		trees[i] = fromWire(w)
+	if resp.trees == nil {
+		return []*xmltree.Tree{}, nil
 	}
-	return trees, nil
+	return resp.trees, nil
 }
 
 // FillMany implements BatchServer: the whole batch crosses the wire in
@@ -161,19 +235,25 @@ func (c *Client) Fill(holeID string) ([]*xmltree.Tree, error) {
 // any backend, so a batched client never requires a batched wrapper —
 // only the framing changes.
 func (c *Client) FillMany(holeIDs []string) (map[string][]*xmltree.Tree, error) {
-	resp, err := c.roundTrip(request{Op: "fill_many", IDs: holeIDs})
-	if err != nil {
+	var resp leanResponse
+	if err := c.roundTrip(request{Op: "fill_many", IDs: holeIDs}, &resp); err != nil {
 		return nil, err
 	}
-	out := make(map[string][]*xmltree.Tree, len(resp.Many))
-	for id, ws := range resp.Many {
-		trees := make([]*xmltree.Tree, len(ws))
-		for i, w := range ws {
-			trees[i] = fromWire(w)
-		}
-		out[id] = trees
+	if resp.many == nil {
+		return map[string][]*xmltree.Tree{}, nil
 	}
-	return out, nil
+	return resp.many, nil
+}
+
+// writeResponse answers one request on w, through the lean encoder
+// when wire optimizations are on and the generic one otherwise; the
+// frames are byte-identical.
+func writeResponse(w io.Writer, req request, srv Server) error {
+	if wireOptimizations.Load() {
+		lr := answerRequest(req, srv)
+		return writeLeanFrame(w, &lr)
+	}
+	return writeFrame(w, handleRequest(req, srv))
 }
 
 // Serve answers LXP requests on l with srv until l is closed. Each
@@ -195,10 +275,10 @@ func serveConn(conn net.Conn, srv Server) {
 	w := bufio.NewWriter(conn)
 	for {
 		var req request
-		if err := readFrame(r, &req); err != nil {
+		if err := readRequest(r, &req); err != nil {
 			return // connection closed or corrupted; drop it
 		}
-		if err := writeFrame(w, handleRequest(req, srv)); err != nil {
+		if err := writeResponse(w, req, srv); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -207,45 +287,62 @@ func serveConn(conn net.Conn, srv Server) {
 	}
 }
 
-// handleRequest dispatches one LXP request to srv.
-func handleRequest(req request, srv Server) response {
-	var resp response
+// answerRequest dispatches one LXP request to srv, at the tree level.
+func answerRequest(req request, srv Server) leanResponse {
+	var lr leanResponse
 	switch req.Op {
 	case "get_root":
 		id, err := srv.GetRoot(req.URI)
 		if err != nil {
-			resp.Err = err.Error()
+			lr.err = err.Error()
 		} else {
-			resp.Hole = id
+			lr.hole = id
 		}
 	case "fill":
 		trees, err := srv.Fill(req.ID)
 		if err != nil {
-			resp.Err = err.Error()
+			lr.err = err.Error()
 		} else {
-			resp.Trees = make([]wireTree, len(trees))
-			for i, t := range trees {
-				resp.Trees[i] = toWire(t)
-			}
+			lr.trees, lr.hasTrees = trees, true
 		}
 	case "fill_many":
 		// FillMany degrades to per-hole fills for non-batching backends,
 		// so the single round trip is guaranteed server-side either way.
 		res, err := FillMany(srv, req.IDs)
 		if err != nil {
-			resp.Err = err.Error()
+			lr.err = err.Error()
 		} else {
-			resp.Many = make(map[string][]wireTree, len(res))
-			for id, trees := range res {
-				ws := make([]wireTree, len(trees))
-				for i, t := range trees {
-					ws[i] = toWire(t)
-				}
-				resp.Many[id] = ws
+			if res == nil {
+				res = map[string][]*xmltree.Tree{}
 			}
+			lr.many = res
 		}
 	default:
-		resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		lr.err = fmt.Sprintf("unknown op %q", req.Op)
+	}
+	return lr
+}
+
+// handleRequest dispatches one LXP request to srv, in wire structs —
+// the generic-codec path.
+func handleRequest(req request, srv Server) response {
+	lr := answerRequest(req, srv)
+	resp := response{Hole: lr.hole, Err: lr.err}
+	if lr.hasTrees {
+		resp.Trees = make([]wireTree, len(lr.trees))
+		for i, t := range lr.trees {
+			resp.Trees[i] = toWire(t)
+		}
+	}
+	if lr.many != nil {
+		resp.Many = make(map[string][]wireTree, len(lr.many))
+		for id, trees := range lr.many {
+			ws := make([]wireTree, len(trees))
+			for i, t := range trees {
+				ws[i] = toWire(t)
+			}
+			resp.Many[id] = ws
+		}
 	}
 	return resp
 }

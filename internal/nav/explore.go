@@ -14,7 +14,9 @@ import (
 
 // Materialize fully explores doc depth-first using only d, r and f and
 // returns the resulting tree. It is the observational equivalence
-// oracle: two Documents are equivalent iff Materialize agrees.
+// oracle: two Documents are equivalent iff Materialize agrees. Result
+// nodes are arena-allocated; the command sequence is exactly the
+// per-node Fetch/Down/…/Right walk it has always been.
 func Materialize(doc Document) (*xmltree.Tree, error) {
 	root, err := doc.Root()
 	if err != nil {
@@ -23,12 +25,20 @@ func Materialize(doc Document) (*xmltree.Tree, error) {
 	if root == nil {
 		return nil, fmt.Errorf("nav: document has no root")
 	}
-	return materializeFrom(doc, root, 0)
+	var m treeExplorer
+	return m.materializeFrom(doc, root, 0)
+}
+
+// treeExplorer carries the allocation state of one Materialize call: an
+// arena for result nodes and a shared child-collection stack.
+type treeExplorer struct {
+	arena   xmltree.Arena
+	scratch []*xmltree.Tree
 }
 
 const maxDepth = 10_000
 
-func materializeFrom(doc Document, p ID, depth int) (*xmltree.Tree, error) {
+func (m *treeExplorer) materializeFrom(doc Document, p ID, depth int) (*xmltree.Tree, error) {
 	if depth > maxDepth {
 		return nil, fmt.Errorf("nav: document deeper than %d (cycle in virtual document?)", maxDepth)
 	}
@@ -36,22 +46,25 @@ func materializeFrom(doc Document, p ID, depth int) (*xmltree.Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &xmltree.Tree{Label: label}
+	t := m.arena.NewNode(label)
 	child, err := doc.Down(p)
 	if err != nil {
 		return nil, err
 	}
+	mark := len(m.scratch)
 	for child != nil {
-		ct, err := materializeFrom(doc, child, depth+1)
+		ct, err := m.materializeFrom(doc, child, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		t.Children = append(t.Children, ct)
+		m.scratch = append(m.scratch, ct)
 		child, err = doc.Right(child)
 		if err != nil {
 			return nil, err
 		}
 	}
+	t.Children = m.arena.Children(m.scratch[mark:])
+	m.scratch = m.scratch[:mark]
 	return t, nil
 }
 
@@ -75,8 +88,9 @@ func ExploreFirst(doc Document, k int) (*xmltree.Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	var m treeExplorer
 	for i := 0; child != nil && i < k; i++ {
-		ct, err := materializeFrom(doc, child, 1)
+		ct, err := m.materializeFrom(doc, child, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +160,8 @@ func Path(doc Document, labels ...string) (ID, error) {
 
 // Subtree materializes the subtree rooted at p.
 func Subtree(doc Document, p ID) (*xmltree.Tree, error) {
-	return materializeFrom(doc, p, 0)
+	var m treeExplorer
+	return m.materializeFrom(doc, p, 0)
 }
 
 // Equivalent reports whether two documents materialize to structurally

@@ -21,6 +21,8 @@ package nav
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mix/internal/xmltree"
 )
@@ -189,14 +191,65 @@ var ErrForeignID = fmt.Errorf("nav: foreign node id")
 
 // TreeDoc is a Document over a materialized xmltree.Tree. Node IDs are
 // *treeNode pointers carrying parent/position so Right is O(1).
+//
+// IDs are allocated once per node and cached on the parent (kids), so
+// repeated navigation over the same region — the common case for the
+// lazy engine's re-scans — allocates nothing after the first visit.
+// The cache trades memory proportional to the visited region for
+// alloc-free warm navigation; it never changes which commands are
+// issued or billed.
 type TreeDoc struct {
 	root *treeNode
+
+	// mu guards carving new ID chunks; chunk is the current chunk and
+	// is replaced (never regrown) so issued *treeNode IDs stay valid.
+	mu    sync.Mutex
+	chunk []treeNode
 }
 
 type treeNode struct {
 	t      *xmltree.Tree
 	parent *treeNode
 	idx    int // position among parent's children
+
+	// kids caches this node's child IDs. built is an atomic
+	// publication flag: kids is written before built.Store(true), and
+	// readers only touch kids after built.Load() reports true, so a
+	// TreeDoc shared by concurrent sessions stays race-free without a
+	// per-node allocation.
+	kids  []treeNode
+	built atomic.Bool
+}
+
+const treeDocChunk = 64
+
+// children returns the cached child-ID slice, carving it from the
+// doc's chunk arena on first use.
+func (d *TreeDoc) children(n *treeNode) []treeNode {
+	if n.built.Load() {
+		return n.kids
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n.built.Load() {
+		return n.kids
+	}
+	m := len(n.t.Children)
+	if cap(d.chunk)-len(d.chunk) < m {
+		c := treeDocChunk
+		if m > c {
+			c = m
+		}
+		d.chunk = make([]treeNode, 0, c)
+	}
+	ks := d.chunk[len(d.chunk) : len(d.chunk)+m : len(d.chunk)+m]
+	d.chunk = d.chunk[:len(d.chunk)+m]
+	for i, c := range n.t.Children {
+		ks[i].t, ks[i].parent, ks[i].idx = c, n, i
+	}
+	n.kids = ks
+	n.built.Store(true)
+	return ks
 }
 
 // NewTreeDoc returns a Document exposing t.
@@ -224,7 +277,7 @@ func (d *TreeDoc) Down(p ID) (ID, error) {
 	if len(n.t.Children) == 0 {
 		return nil, nil
 	}
-	return &treeNode{t: n.t.Children[0], parent: n, idx: 0}, nil
+	return &d.children(n)[0], nil
 }
 
 // Right implements Document.
@@ -236,7 +289,7 @@ func (d *TreeDoc) Right(p ID) (ID, error) {
 	if n.parent == nil || n.idx+1 >= len(n.parent.t.Children) {
 		return nil, nil
 	}
-	return &treeNode{t: n.parent.t.Children[n.idx+1], parent: n.parent, idx: n.idx + 1}, nil
+	return &d.children(n.parent)[n.idx+1], nil
 }
 
 // Fetch implements Document.
@@ -270,7 +323,7 @@ func (d *TreeDoc) SelectRight(p ID, sigma Predicate, fromSelf bool) (ID, error) 
 	sibs := n.parent.t.Children
 	for i := start; i < len(sibs); i++ {
 		if sigma(sibs[i].Label) {
-			return &treeNode{t: sibs[i], parent: n.parent, idx: i}, nil
+			return &d.children(n.parent)[i], nil
 		}
 	}
 	return nil, nil

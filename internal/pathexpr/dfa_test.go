@@ -1,0 +1,229 @@
+package pathexpr
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDFAMatchesAgreeWithNFA(t *testing.T) {
+	exprs := []string{
+		"a", "_", "a.b", "a|b", "a*", "a+", "a?",
+		"a*.x", "(a|b).c", "(a.b)*", "_._", "(a|_)*.z",
+		"home.zip._", "a.(b|c)+.d?",
+	}
+	seqs := [][]string{
+		nil,
+		{"a"}, {"b"}, {"z"},
+		{"a", "b"}, {"a", "x"}, {"a", "a", "x"},
+		{"home", "zip", "92093"},
+		{"a", "b", "c", "d"},
+		{"a", "a", "a", "a", "a", "x"},
+	}
+	for _, src := range exprs {
+		nfa := Compile(MustParse(src))
+		dfa := NewDFA(nfa, nil)
+		for _, seq := range seqs {
+			if got, want := dfa.Matches(seq), nfa.Matches(seq); got != want {
+				t.Errorf("%q on %v: dfa=%v nfa=%v", src, seq, got, want)
+			}
+		}
+	}
+}
+
+func TestDFAStatewiseEquivalence(t *testing.T) {
+	// Step/Accepting/Alive must agree with the NFA at every prefix, not
+	// just the final Matches verdict — the lazy descent consults all
+	// three at each node.
+	nfa := Compile(MustParse("(a|b)*.x.y?"))
+	dfa := NewDFA(nfa, nil)
+	seq := []string{"a", "b", "a", "x", "y", "z"}
+	ns, ds := nfa.Start(), dfa.Start()
+	for i, l := range seq {
+		ns, ds = nfa.Step(ns, l), dfa.Step(ds, l)
+		if nfa.Accepting(ns) != dfa.Accepting(ds) {
+			t.Fatalf("prefix %v: accepting disagrees", seq[:i+1])
+		}
+		if nfa.Alive(ns) != dfa.Alive(ds) {
+			t.Fatalf("prefix %v: alive disagrees", seq[:i+1])
+		}
+	}
+}
+
+func TestDFACachesTransitions(t *testing.T) {
+	nfa := Compile(MustParse("a*.x"))
+	dfa := NewDFA(nfa, nil)
+	h0, m0, _ := DFAStats()
+	s := dfa.Start()
+	dfa.Step(s, "a") // miss
+	dfa.Step(s, "a") // hit
+	dfa.Step(s, "a") // hit
+	h1, m1, _ := DFAStats()
+	if m1-m0 != 1 {
+		t.Errorf("misses = %d, want 1", m1-m0)
+	}
+	if h1-h0 != 2 {
+		t.Errorf("hits = %d, want 2", h1-h0)
+	}
+}
+
+func TestDFADeadStateSticks(t *testing.T) {
+	nfa := Compile(MustParse("a.b"))
+	dfa := NewDFA(nfa, nil)
+	s := dfa.Start()
+	s = dfa.Step(s, "z") // no match possible
+	if dfa.Alive(s) {
+		t.Fatalf("dead state reports alive")
+	}
+	if dfa.Step(s, "a") != s {
+		t.Errorf("stepping from the dead state must stay dead")
+	}
+	if dfa.Accepting(s) {
+		t.Errorf("dead state accepting")
+	}
+}
+
+func TestDFAConcurrent(t *testing.T) {
+	nfa := Compile(MustParse("(a|b)*.x"))
+	dfa := NewDFA(nfa, nil)
+	labels := []string{"a", "b", "x", "z"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				s := dfa.Start()
+				var seq []string
+				for j := 0; j < r.Intn(6); j++ {
+					l := labels[r.Intn(len(labels))]
+					seq = append(seq, l)
+					s = dfa.Step(s, l)
+				}
+				if got, want := dfa.Accepting(s), nfa.Matches(seq); got != want {
+					t.Errorf("seq %v: dfa=%v nfa=%v", seq, got, want)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// randExpr builds a random path-expression string from a byte budget —
+// shared by the fuzz target below and FuzzDFAMatchesNFA's corpus.
+func randExpr(r *rand.Rand, depth int) string {
+	labels := []string{"a", "b", "c", "_"}
+	if depth <= 0 || r.Intn(3) == 0 {
+		return labels[r.Intn(len(labels))]
+	}
+	switch r.Intn(6) {
+	case 0:
+		return randExpr(r, depth-1) + "." + randExpr(r, depth-1)
+	case 1:
+		return "(" + randExpr(r, depth-1) + "|" + randExpr(r, depth-1) + ")"
+	case 2:
+		return "(" + randExpr(r, depth-1) + ")*"
+	case 3:
+		return "(" + randExpr(r, depth-1) + ")+"
+	case 4:
+		return "(" + randExpr(r, depth-1) + ")?"
+	default:
+		return labels[r.Intn(len(labels))]
+	}
+}
+
+func TestDFARandomizedEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	alphabet := []string{"a", "b", "c", "d"}
+	for i := 0; i < 300; i++ {
+		src := randExpr(r, 3)
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("randExpr produced unparsable %q: %v", src, err)
+		}
+		nfa := Compile(e)
+		dfa := NewDFA(nfa, nil)
+		for j := 0; j < 20; j++ {
+			seq := make([]string, r.Intn(7))
+			for k := range seq {
+				seq[k] = alphabet[r.Intn(len(alphabet))]
+			}
+			if got, want := dfa.Matches(seq), nfa.Matches(seq); got != want {
+				t.Fatalf("%q on %v: dfa=%v nfa=%v", src, seq, got, want)
+			}
+		}
+	}
+}
+
+// FuzzDFAMatchesNFA asserts the lazy DFA is observationally equivalent
+// to the raw NFA: same Matches verdict, and same Accepting/Alive at
+// every prefix. The first input byte string selects/derives a path
+// expression; the second drives the label sequence.
+func FuzzDFAMatchesNFA(f *testing.F) {
+	f.Add("a*.x", "aax")
+	f.Add("(a|b).c", "bc")
+	f.Add("home.zip._", "hzq")
+	f.Add("(a.b)*", "abab")
+	f.Add("a.(b|c)+.d?", "abcd")
+	f.Fuzz(func(t *testing.T, exprSrc, seqBytes string) {
+		if len(exprSrc) > 64 || len(seqBytes) > 32 {
+			return
+		}
+		e, err := Parse(exprSrc)
+		if err != nil {
+			return // invalid expression: nothing to compare
+		}
+		nfa := Compile(e)
+		dfa := NewDFA(nfa, nil)
+		// Map each input byte to a small label alphabet plus the
+		// occasional multi-byte label so interned keys get exercised.
+		labels := []string{"a", "b", "c", "x", "home", "zip", "_lit"}
+		ns, ds := nfa.Start(), dfa.Start()
+		var prefix []string
+		for i := 0; i < len(seqBytes); i++ {
+			l := labels[int(seqBytes[i])%len(labels)]
+			prefix = append(prefix, l)
+			ns, ds = nfa.Step(ns, l), dfa.Step(ds, l)
+			if nfa.Accepting(ns) != dfa.Accepting(ds) {
+				t.Fatalf("expr %q prefix %v: accepting disagrees (nfa=%v)",
+					exprSrc, prefix, nfa.Accepting(ns))
+			}
+			if nfa.Alive(ns) != dfa.Alive(ds) {
+				t.Fatalf("expr %q prefix %v: alive disagrees (nfa=%v)",
+					exprSrc, prefix, nfa.Alive(ns))
+			}
+		}
+		seq := strings.Split(strings.Join(prefix, "\x00"), "\x00")
+		if len(prefix) == 0 {
+			seq = nil
+		}
+		if got, want := dfa.Matches(seq), nfa.Matches(seq); got != want {
+			t.Fatalf("expr %q seq %v: dfa=%v nfa=%v", exprSrc, seq, got, want)
+		}
+	})
+}
+
+func BenchmarkStepNFA(b *testing.B) {
+	nfa := Compile(MustParse("(a|b)*.zip._"))
+	start := nfa.Start()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := nfa.Step(start, "a")
+		s = nfa.Step(s, "zip")
+		nfa.Step(s, "92093")
+	}
+}
+
+func BenchmarkStepDFA(b *testing.B) {
+	dfa := NewDFA(Compile(MustParse("(a|b)*.zip._")), nil)
+	start := dfa.Start()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := dfa.Step(start, "a")
+		s = dfa.Step(s, "zip")
+		dfa.Step(s, "92093")
+	}
+}

@@ -6,7 +6,11 @@ import (
 	"net/http/pprof"
 	"sort"
 
+	"mix/internal/lxp"
+	"mix/internal/pathexpr"
 	"mix/internal/telemetry"
+	"mix/internal/vxdp"
+	"mix/internal/xmltree"
 )
 
 // Handler returns the HTTP sidecar served by mixd -http: Prometheus
@@ -113,6 +117,29 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("mix_parallel_errors_total", "concurrent input drains that failed", st.Parallel.Errors)
 		counter("mix_parallel_canceled_total", "concurrent input drains cancelled by the sibling's error", st.Parallel.Canceled)
 	}
+
+	fpComputed, fpHits := xmltree.FingerprintStats()
+	counter("mix_fp_computed_total", "structural fingerprints computed", fpComputed)
+	counter("mix_fp_cache_hits_total", "fingerprint requests served from the per-tree memo", fpHits)
+
+	dfaHits, dfaMisses, dfaStates := pathexpr.DFAStats()
+	counter("mix_dfa_cache_hits_total", "path-DFA transitions served from cache", dfaHits)
+	counter("mix_dfa_cache_misses_total", "path-DFA transitions built from NFA subset construction", dfaMisses)
+	gauge("mix_dfa_states", "materialized lazy-DFA states across live matchers", dfaStates)
+
+	vg, vn := vxdp.BufferPoolStats()
+	counter("mix_vxdp_buffer_gets_total", "VXDP frame-buffer pool fetches", vg)
+	counter("mix_vxdp_buffer_allocs_total", "VXDP frame-buffer pool fetches that allocated", vn)
+	lg, ln := lxp.BufferPoolStats()
+	counter("mix_lxp_buffer_gets_total", "LXP frame-buffer pool fetches", lg)
+	counter("mix_lxp_buffer_allocs_total", "LXP frame-buffer pool fetches that allocated", ln)
+
+	mem := telemetry.ReadMemStats()
+	counter("mix_heap_alloc_bytes_total", "cumulative heap bytes allocated", int64(mem.AllocBytes))
+	counter("mix_heap_alloc_objects_total", "cumulative heap objects allocated", int64(mem.AllocObjects))
+	gauge("mix_heap_live_bytes", "bytes of live heap objects", int64(mem.HeapBytes))
+	counter("mix_gc_cycles_total", "completed GC cycles", int64(mem.GCCycles))
+	counter("mix_gc_pause_ns_total", "estimated total stop-the-world GC pause", int64(mem.GCPauseNs))
 
 	telemetry.WritePrometheus(w, "mix_command_duration_seconds",
 		"wire command service latency by op", "op", s.cmdHist)

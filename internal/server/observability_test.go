@@ -238,6 +238,12 @@ func TestHTTPSidecar(t *testing.T) {
 		`mix_navigations_total{kind="root"} 1`,
 		"mix_command_duration_seconds_count", // command latency histogram populated
 		"mix_operator_duration_seconds",      // operator histograms (tracing on)
+		"mix_fp_computed_total",              // allocation-path counters (PR 5)
+		"mix_dfa_cache_hits_total",
+		"mix_vxdp_buffer_gets_total",
+		"mix_lxp_buffer_gets_total",
+		"mix_heap_alloc_bytes_total",
+		"mix_gc_pause_ns_total",
 	} {
 		if !strings.Contains(after, want) {
 			t.Fatalf("metrics after navigation missing %q:\n%s", want, after)

@@ -1,0 +1,90 @@
+package vxdp
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Pooled encode/decode scratch. WriteFrame marshals into a pooled
+// buffer (header and payload leave in a single Write) and ReadFrame
+// reads payloads into pooled byte slices; encoding/json copies every
+// string it decodes, so recycling the payload after Unmarshal is safe.
+// The pools turn the per-frame garbage of a navigation-heavy session
+// into a handful of steady-state buffers.
+
+var pooledBuffers atomic.Bool
+
+func init() { pooledBuffers.Store(true) }
+
+// SetPooledBuffers toggles the pooled frame buffers (default on). Off,
+// WriteFrame/ReadFrame allocate per call, reproducing the historical
+// behavior byte for byte — the frames themselves are identical either
+// way.
+func SetPooledBuffers(on bool) { pooledBuffers.Store(on) }
+
+var (
+	bufGets atomic.Int64 // total pool fetches
+	bufNews atomic.Int64 // fetches that had to allocate
+)
+
+// BufferPoolStats reports total pooled-buffer fetches and how many of
+// them had to allocate, for /metrics; gets-news fetches were served by
+// reuse.
+func BufferPoolStats() (gets, news int64) {
+	return bufGets.Load(), bufNews.Load()
+}
+
+// keepCap bounds what the pools retain: the occasional oversized frame
+// is returned to the collector rather than pinned forever.
+const keepCap = 1 << 16
+
+// frameEncoder bundles the scratch buffer with a json.Encoder bound to
+// it, so the encoder itself is recycled along with the bytes.
+type frameEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	bufNews.Add(1)
+	fe := &frameEncoder{}
+	fe.enc = json.NewEncoder(&fe.buf)
+	return fe
+}}
+
+func getEncBuf() *frameEncoder {
+	bufGets.Add(1)
+	fe := encPool.Get().(*frameEncoder)
+	fe.buf.Reset()
+	return fe
+}
+
+func putEncBuf(fe *frameEncoder) {
+	if fe.buf.Cap() <= keepCap {
+		encPool.Put(fe)
+	}
+}
+
+var payloadPool = sync.Pool{New: func() any {
+	bufNews.Add(1)
+	s := make([]byte, 0, 4096)
+	return &s
+}}
+
+func getPayload(n int) *[]byte {
+	bufGets.Add(1)
+	p := payloadPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putPayload(p *[]byte) {
+	if cap(*p) <= keepCap {
+		payloadPool.Put(p)
+	}
+}

@@ -1,0 +1,73 @@
+package vxdp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPooledFramesByteIdentical: the pooled WriteFrame path must emit
+// exactly the bytes of the historical per-call-allocation path, and
+// both ReadFrame paths must decode them identically.
+func TestPooledFramesByteIdentical(t *testing.T) {
+	defer SetPooledBuffers(true)
+	values := []any{
+		Request{Cmd: Cmd{Op: OpOpen}, Query: "b[./bib/book]{./bib/book}"},
+		Request{Cmd: Cmd{Op: OpSelect, ID: 7, Label: "a<b&c", Self: true}},
+		Response{NavResult: NavResult{OK: true, Label: "héllo\x01"}},
+		Response{Results: []NavResult{{OK: true, ID: 3}, {}, {Err: "boom"}}},
+	}
+	for _, v := range values {
+		var pooled, plain bytes.Buffer
+		SetPooledBuffers(true)
+		if err := WriteFrame(&pooled, v); err != nil {
+			t.Fatal(err)
+		}
+		SetPooledBuffers(false)
+		if err := WriteFrame(&plain, v); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pooled.Bytes(), plain.Bytes()) {
+			t.Fatalf("pooled frame diverges for %+v\npooled: %q\n plain: %q", v, pooled.Bytes(), plain.Bytes())
+		}
+		var a, b Response
+		SetPooledBuffers(true)
+		if err := ReadFrame(bytes.NewReader(pooled.Bytes()), &a); err != nil {
+			t.Fatal(err)
+		}
+		SetPooledBuffers(false)
+		if err := ReadFrame(bytes.NewReader(plain.Bytes()), &b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gets, news := BufferPoolStats()
+	if gets == 0 || news > gets {
+		t.Fatalf("implausible pool stats: gets=%d news=%d", gets, news)
+	}
+}
+
+func BenchmarkWriteFramePooled(b *testing.B) {
+	resp := Response{Results: []NavResult{{OK: true, ID: 3}, {OK: true, Label: "book"}, {}}}
+	SetPooledBuffers(true)
+	var sink bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if err := WriteFrame(&sink, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteFrameUnpooled(b *testing.B) {
+	resp := Response{Results: []NavResult{{OK: true, ID: 3}, {OK: true, Label: "book"}, {}}}
+	SetPooledBuffers(false)
+	defer SetPooledBuffers(true)
+	var sink bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if err := WriteFrame(&sink, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

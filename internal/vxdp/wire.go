@@ -222,26 +222,49 @@ func (s Stats) String() string {
 		s.Msgs, s.Navs, s.Down, s.Right, s.Fetch, s.Select, s.Root)
 }
 
-// WriteFrame writes v as one length-prefixed JSON frame.
+// WriteFrame writes v as one length-prefixed JSON frame. With pooled
+// buffers on (the default), header and payload are assembled in a
+// recycled buffer and leave in a single Write.
 func WriteFrame(w io.Writer, v any) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
+	if !pooledBuffers.Load() {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if len(payload) > MaxFrame {
+			return fmt.Errorf("vxdp: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err = w.Write(payload)
 		return err
 	}
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("vxdp: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	fe := getEncBuf()
+	defer putEncBuf(fe)
+	fe.buf.Write([]byte{0, 0, 0, 0})
+	if err := fe.enc.Encode(v); err != nil {
 		return err
 	}
-	_, err = w.Write(payload)
+	// Encode appends a newline that json.Marshal would not produce;
+	// drop it so the frame bytes are identical to the unpooled path.
+	frame := fe.buf.Bytes()
+	frame = frame[:len(frame)-1]
+	n := len(frame) - 4
+	if n > MaxFrame {
+		return fmt.Errorf("vxdp: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(n))
+	_, err := w.Write(frame)
 	return err
 }
 
 // ReadFrame reads one length-prefixed JSON frame into v. Truncated,
 // malformed, and oversized frames return errors; no input can panic.
+// With pooled buffers on, the payload lands in a recycled slice —
+// encoding/json copies everything it decodes, so v never aliases it.
 func ReadFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -251,9 +274,17 @@ func ReadFrame(r io.Reader, v any) error {
 	if n > MaxFrame {
 		return fmt.Errorf("vxdp: frame of %d bytes exceeds limit %d", n, MaxFrame)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if !pooledBuffers.Load() {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return err
+		}
+		return json.Unmarshal(payload, v)
+	}
+	p := getPayload(int(n))
+	defer putPayload(p)
+	if _, err := io.ReadFull(r, *p); err != nil {
 		return err
 	}
-	return json.Unmarshal(payload, v)
+	return json.Unmarshal(*p, v)
 }

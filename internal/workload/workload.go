@@ -229,3 +229,54 @@ func RecursivePlan(src string) algebra.Op {
 		Label: algebra.LabelSpec{Const: "result"}, Children: "XS", Out: "A"}
 	return &algebra.TupleDestroy{Input: ans, Var: "A"}
 }
+
+// DetailedHomes generates a homes source whose home elements carry,
+// besides their zip leaf, a rich nested listing[…] payload of roughly
+// detailNodes nodes (rooms with name/area/features, photo captions).
+// The fan-out directly under home stays tiny — a zip._ scan prunes the
+// listing immediately — but any operator that *keys* on $H must digest
+// the whole payload, which is what makes this the workload of the
+// key-allocation experiment (E14). Deterministic in seed.
+func DetailedHomes(nHomes, detailNodes, zips int, seed int64) *xmltree.Tree {
+	r := rand.New(rand.NewSource(seed))
+	homes := xmltree.Elem("homes")
+	for i := 0; i < nHomes; i++ {
+		listing := xmltree.Elem("listing")
+		n := 1
+		for room := 0; n < detailNodes; room++ {
+			rm := xmltree.Elem("room",
+				xmltree.Text("name", fmt.Sprintf("room-%d-%d", i, room)),
+				xmltree.Text("area", fmt.Sprintf("%d", 9+r.Intn(40))))
+			n += 5
+			for f := 0; f < 3 && n < detailNodes; f++ {
+				rm.Children = append(rm.Children,
+					xmltree.Text("feature", fmt.Sprintf("feature-%d", r.Intn(16))))
+				n += 2
+			}
+			listing.Children = append(listing.Children, rm)
+		}
+		homes.Children = append(homes.Children, xmltree.Elem("home",
+			xmltree.Text("zip", fmt.Sprintf("91%03d", r.Intn(zips))),
+			listing,
+		))
+	}
+	return homes
+}
+
+// DistinctZipGroupsPlan is the E14 plan over a DetailedHomes source:
+// distinct home/zip pairs — whose keys digest the full home payload —
+// grouped by zip, with everything but the zip projected away so the
+// answer is one slim b[zip[…]] row per distinct zip. Key digestion
+// dominates; rendering is negligible.
+func DistinctZipGroupsPlan(src string) algebra.Op {
+	gd := &algebra.GetDescendants{
+		Input:  &algebra.Source{URL: src, Var: "r"},
+		Parent: "r", Path: pathexpr.MustParse("home"), Out: "H",
+	}
+	zip := &algebra.GetDescendants{Input: gd, Parent: "H",
+		Path: pathexpr.MustParse("zip._"), Out: "V"}
+	d := &algebra.Distinct{
+		Input: &algebra.Project{Input: zip, Keep: []string{"H", "V"}}}
+	g := &algebra.GroupBy{Input: d, By: []string{"V"}, Var: "H", Out: "G"}
+	return &algebra.Project{Input: g, Keep: []string{"V"}}
+}

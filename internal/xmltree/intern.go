@@ -1,0 +1,84 @@
+package xmltree
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Interner deduplicates label strings. XML documents repeat a small
+// vocabulary of element names over an arbitrarily large node count, so
+// interning the labels of decoded trees collapses the per-node string
+// allocations of a whole catalog to one allocation per *distinct*
+// label. Engines intern the labels their DFA caches key on; LXP clients
+// intern the labels of every tree they decode off the wire.
+//
+// An Interner is safe for concurrent use. It grows with the label
+// vocabulary (not the document size); callers that decode untrusted
+// input with unbounded vocabularies should scope the interner to the
+// connection so it is released with it.
+type Interner struct {
+	mu   sync.Mutex
+	m    map[string]string
+	hits atomic.Int64
+	miss atomic.Int64
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner { return &Interner{m: make(map[string]string)} }
+
+// Intern returns the canonical copy of s, registering it on first use.
+func (in *Interner) Intern(s string) string {
+	if in == nil {
+		return s
+	}
+	in.mu.Lock()
+	if c, ok := in.m[s]; ok {
+		in.mu.Unlock()
+		in.hits.Add(1)
+		return c
+	}
+	in.m[s] = s
+	in.mu.Unlock()
+	in.miss.Add(1)
+	return s
+}
+
+// InternBytes returns the canonical string equal to b, allocating a new
+// string only the first time a given byte content is seen. The common
+// case — a label already interned — performs no allocation at all: the
+// map lookup keyed by string(b) does not materialize the conversion.
+func (in *Interner) InternBytes(b []byte) string {
+	if in == nil {
+		return string(b)
+	}
+	in.mu.Lock()
+	if c, ok := in.m[string(b)]; ok {
+		in.mu.Unlock()
+		in.hits.Add(1)
+		return c
+	}
+	s := string(b)
+	in.m[s] = s
+	in.mu.Unlock()
+	in.miss.Add(1)
+	return s
+}
+
+// Len returns the number of distinct strings interned.
+func (in *Interner) Len() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.m)
+}
+
+// Stats returns how many Intern calls were answered from the pool
+// (hits) versus registered a new string (misses).
+func (in *Interner) Stats() (hits, misses int64) {
+	if in == nil {
+		return 0, 0
+	}
+	return in.hits.Load(), in.miss.Load()
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // HoleLabel is the reserved element name for holes in open trees
@@ -39,7 +40,23 @@ const ListLabel = "list"
 type Tree struct {
 	Label    string
 	Children []*Tree
+
+	// Memoized structural fingerprint (see fingerprint.go). fpState
+	// moves fpUnset → fpBusy → fpSet; fpHi/fpLo are published by the
+	// single fpBusy winner and read only after observing fpSet, so the
+	// memo is race-free without a lock. The fields piggyback on the
+	// immutability convention: fingerprinting a tree that is still
+	// being mutated is a caller bug.
+	fpState    atomic.Uint32
+	fpHi, fpLo uint64
 }
+
+// fingerprint memo states.
+const (
+	fpUnset uint32 = iota
+	fpBusy
+	fpSet
+)
 
 // Leaf returns a new leaf tree carrying the atomic datum d.
 func Leaf(d string) *Tree { return &Tree{Label: d} }
@@ -54,8 +71,20 @@ func Elem(d string, children ...*Tree) *Tree {
 func Text(label, content string) *Tree { return Elem(label, Leaf(content)) }
 
 // Hole returns a hole element hole[id] representing an unexplored part
-// of an open tree.
-func Hole(id string) *Tree { return Elem(HoleLabel, Leaf(id)) }
+// of an open tree. Chunked servers mint holes in bulk, so both nodes
+// and the child list come from a single allocation.
+func Hole(id string) *Tree {
+	h := &struct {
+		elem     Tree
+		children [1]*Tree
+		leaf     Tree
+	}{}
+	h.leaf.Label = id
+	h.children[0] = &h.leaf
+	h.elem.Label = HoleLabel
+	h.elem.Children = h.children[:]
+	return &h.elem
+}
 
 // IsLeaf reports whether t has no children.
 func (t *Tree) IsLeaf() bool { return len(t.Children) == 0 }
