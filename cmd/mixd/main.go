@@ -21,6 +21,14 @@
 // -cache-max-bytes bounds it (whole-entry LRU eviction), -cache-off
 // disables it. SIGINT/SIGTERM shut the daemon down gracefully.
 //
+// Clustering: -cluster joins a sharded mediator fleet. Sessions are
+// routed over a consistent-hash ring keyed by (view name, canonical
+// plan fingerprint) — proxied or redirected to the owning node per
+// -cluster-mode — and each node's region cache becomes the L1 of a
+// two-tier cache whose L2 is the owning peer (see internal/cluster and
+// the README's Clustering quick start). All fleet members must be
+// configured with identical -src/-view sets, in the same order.
+//
 // Observability: -http addr serves /metrics (Prometheus), /healthz, and
 // /debug/pprof/*; -trace enables per-session navigation tracing (the
 // wire trace command and per-operator latency histograms); -log-level
@@ -40,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"mix/internal/cluster"
 	"mix/internal/lxp"
 	"mix/internal/mediator"
 	"mix/internal/metrics"
@@ -90,6 +99,13 @@ func main() {
 	wireOpt := flag.Bool("wire-opt", true, "pooled frame buffers and the lean LXP codec (false = per-frame allocation, generic encoding/json)")
 	parallelJoin := flag.Bool("parallel-join", false, "derive the two inputs of multi-source joins concurrently (trades lazy exploration for latency overlap)")
 	lxpBatch := flag.Int("lxp-batch", 8, "coalesce up to this many holes per LXP fill round trip (0 or 1 = single-hole fills)")
+	clusterOn := flag.Bool("cluster", false, "join a sharded mediator fleet: route sessions over a consistent-hash ring and share explored regions with -peers")
+	nodeAddr := flag.String("node", "", "advertised cluster address of this node (default: -addr); every peer must know it by exactly this string")
+	peers := flag.String("peers", "", "comma-separated advertised addresses of the other fleet members (all nodes must be configured with identical -src/-view sets, in the same order)")
+	clusterMode := flag.String("cluster-mode", "proxy", "what to do with sessions another node owns: proxy (forward transparently), redirect (tell the client to redial), or local (serve locally, share regions only)")
+	clusterVnodes := flag.Int("cluster-vnodes", 64, "virtual nodes per member on the consistent-hash ring")
+	clusterHealth := flag.Duration("cluster-health", 2*time.Second, "peer health-check (ping) interval")
+	clusterFlush := flag.Duration("cluster-flush", 500*time.Millisecond, "interval between sweeps publishing locally explored regions to their owner nodes")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
@@ -168,12 +184,52 @@ func main() {
 		server.WithTrace(*traceOn),
 		server.WithSourceCounters(sourceCounters),
 	}
+	var rc *regioncache.Cache
 	if !*cacheOff {
-		options = append(options, server.WithRegionCache(regioncache.New(*cacheMax)))
+		rc = regioncache.New(*cacheMax)
+		options = append(options, server.WithRegionCache(rc))
+	}
+	var node *cluster.Node
+	if *clusterOn {
+		if rc == nil {
+			fatal("clustering needs the region cache; drop -cache-off")
+		}
+		self := *nodeAddr
+		if self == "" {
+			self = *addr
+		}
+		mode, err := cluster.ParseMode(*clusterMode)
+		if err != nil {
+			fatal("parsing -cluster-mode", "err", err.Error())
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:           self,
+			Peers:          peerList,
+			Replicas:       *clusterVnodes,
+			Mode:           mode,
+			HealthInterval: *clusterHealth,
+			FlushInterval:  *clusterFlush,
+			Logger:         logger,
+		}, rc)
+		if err != nil {
+			fatal("configuring cluster", "err", err.Error())
+		}
+		options = append(options, server.WithCluster(node))
+		logger.Info("cluster member", "self", self, "members", len(node.Members()), "mode", string(mode))
 	}
 	srv, err := server.New(factory, options...)
 	if err != nil {
 		fatal("configuring server", "err", err.Error())
+	}
+	if node != nil {
+		node.Start()
+		defer node.Stop()
 	}
 
 	l, err := net.Listen("tcp", *addr)

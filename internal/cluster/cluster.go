@@ -1,0 +1,592 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mix/internal/regioncache"
+	"mix/internal/vxdp"
+)
+
+// Mode selects what a node does with an open whose key another member
+// owns.
+type Mode string
+
+const (
+	// ModeProxy (the default) forwards the open — and every later
+	// command of the session — to the owner over a per-session VXDP
+	// connection. Transparent to any client.
+	ModeProxy Mode = "proxy"
+	// ModeRedirect answers the open with the owner's address; a
+	// redirect-capable client (vxdp.Client) redials the owner itself,
+	// saving the double hop on every later navigation.
+	ModeRedirect Mode = "redirect"
+	// ModeLocal serves every session locally and relies purely on the
+	// L2 region tier to share explored regions across the fleet.
+	ModeLocal Mode = "local"
+)
+
+// ParseMode validates a -cluster-mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeProxy, ModeRedirect, ModeLocal:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("cluster: unknown mode %q (want proxy, redirect, or local)", s)
+}
+
+// Config configures a cluster node.
+type Config struct {
+	// Self is this node's advertised address — the one peers dial and
+	// the ring hashes. Must appear consistent across the fleet.
+	Self string
+	// Peers lists the other members' advertised addresses. Self is
+	// added implicitly if absent; an empty list is a 1-node cluster.
+	Peers []string
+	// Replicas is the virtual-node count per member (DefaultReplicas
+	// when <= 0).
+	Replicas int
+	// Mode is the routing mode (ModeProxy when empty).
+	Mode Mode
+	// HealthInterval spaces the liveness pings (default 2s). Pings
+	// double as keep-alives for the control links, so keep it well
+	// under the servers' idle timeout.
+	HealthInterval time.Duration
+	// FlushInterval spaces the L2 flusher sweeps that publish locally
+	// explored regions to their owners (default 500ms; <0 disables the
+	// background flusher — Flush can still be called manually).
+	FlushInterval time.Duration
+	// DialTimeout bounds connecting to a peer (default 1s).
+	DialTimeout time.Duration
+	// CallTimeout bounds one control-link round trip (default 2s).
+	CallTimeout time.Duration
+	// FailAfter is how many consecutive transport failures mark a peer
+	// down (default 2).
+	FailAfter int
+	// MaxBackoff caps the exponential redial backoff of a down peer
+	// (default 30s).
+	MaxBackoff time.Duration
+	// Logger receives peer up/down transitions (slog.Default when nil).
+	Logger *slog.Logger
+}
+
+func (c *Config) fill() {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.Mode == "" {
+		c.Mode = ModeProxy
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 500 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+}
+
+// MaxRegionWire bounds the encoded size of a region shipped over the L2
+// protocol: comfortably under vxdp.MaxFrame so the enclosing frame —
+// key, envelope — always fits. Larger regions simply stay node-local.
+const MaxRegionWire = vxdp.MaxFrame - 4096
+
+// Node is one member's view of the fleet: the ring, the peer control
+// links with their health state, the L2 region tier (it implements
+// regioncache.Remote), and the background health/flush loops.
+type Node struct {
+	cfg   Config
+	log   *slog.Logger
+	ring  *Ring
+	cache *regioncache.Cache
+	peers map[string]*peer // keyed by advertised address; excludes Self
+
+	ownedLocal atomic.Int64
+	proxied    atomic.Int64
+	redirected atomic.Int64
+	degraded   atomic.Int64
+	l2Hits     atomic.Int64
+	l2Misses   atomic.Int64
+	l2Serves   atomic.Int64
+	l2Fills    atomic.Int64
+	invalSent  atomic.Int64
+	invalRecv  atomic.Int64
+
+	// flushed remembers the Mutations() count last published per key,
+	// so sweeps only ship regions that grew since.
+	flushMu sync.Mutex
+	flushed map[regioncache.Key]int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a node over cache (which must be non-nil: the cluster's
+// whole point is the shared region tier) and installs it as the cache's
+// remote tier. Call Start to begin health checking and flushing.
+func New(cfg Config, cache *regioncache.Cache) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: node needs an advertised self address")
+	}
+	if cache == nil {
+		return nil, errors.New("cluster: node needs a region cache")
+	}
+	cfg.fill()
+	if _, err := ParseMode(string(cfg.Mode)); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(append([]string{cfg.Self}, cfg.Peers...), cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		ring:    ring,
+		cache:   cache,
+		peers:   map[string]*peer{},
+		flushed: map[regioncache.Key]int64{},
+		stop:    make(chan struct{}),
+	}
+	for _, m := range ring.Members() {
+		if m != cfg.Self {
+			n.peers[m] = newPeer(m, cfg)
+		}
+	}
+	cache.SetRemote(n)
+	return n, nil
+}
+
+// Start launches the health-check and flush loops.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		n.wg.Add(1)
+		go n.healthLoop()
+		if n.cfg.FlushInterval > 0 {
+			n.wg.Add(1)
+			go n.flushLoop()
+		}
+	})
+}
+
+// Stop halts the loops and closes all peer control links. The node must
+// not be used afterwards.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.wg.Wait()
+		for _, p := range n.peers {
+			p.close()
+		}
+	})
+}
+
+// Self returns this node's advertised address.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Mode returns the routing mode.
+func (n *Node) Mode() Mode { return n.cfg.Mode }
+
+// Members returns the fleet's member addresses, sorted.
+func (n *Node) Members() []string { return n.ring.Members() }
+
+// Owner returns the member owning the (view name, fingerprint) key.
+func (n *Node) Owner(name, fingerprint string) string {
+	return n.ring.Owner(RouteKey(name, fingerprint))
+}
+
+// IsSelf reports whether addr is this node.
+func (n *Node) IsSelf(addr string) bool { return addr == n.cfg.Self }
+
+// Alive reports whether addr is believed up. Self is always alive;
+// unknown addresses never are.
+func (n *Node) Alive(addr string) bool {
+	if addr == n.cfg.Self {
+		return true
+	}
+	p := n.peers[addr]
+	return p != nil && p.alive()
+}
+
+// DialOwner opens a fresh connection to a peer for a proxied session
+// (distinct from the shared control link, so a slow proxied session
+// cannot stall health checks or region traffic).
+func (n *Node) DialOwner(addr string) (net.Conn, error) {
+	if _, ok := n.peers[addr]; !ok {
+		return nil, fmt.Errorf("cluster: %s is not a peer", addr)
+	}
+	return net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+}
+
+// ReportFailure records a transport failure observed outside the
+// control link (e.g. a proxied session's connection dying), pushing the
+// peer toward down.
+func (n *Node) ReportFailure(addr string) {
+	if p := n.peers[addr]; p != nil {
+		p.noteFailure(errors.New("cluster: session transport failure"))
+	}
+}
+
+// Routing/telemetry counters, incremented by the server layer.
+
+// RecordOwnedLocal counts an open served locally because this node owns
+// its key.
+func (n *Node) RecordOwnedLocal() { n.ownedLocal.Add(1) }
+
+// RecordProxied counts a command forwarded to an owner.
+func (n *Node) RecordProxied() { n.proxied.Add(1) }
+
+// RecordRedirected counts an open answered with a redirect.
+func (n *Node) RecordRedirected() { n.redirected.Add(1) }
+
+// RecordDegraded counts a session served locally because its owner was
+// down (or lost mid-session).
+func (n *Node) RecordDegraded() { n.degraded.Add(1) }
+
+// RecordL2Serve counts a region_get this node answered with a region.
+func (n *Node) RecordL2Serve() { n.l2Serves.Add(1) }
+
+// RecordL2Fill counts a region_put region this node merged.
+func (n *Node) RecordL2Fill() { n.l2Fills.Add(1) }
+
+// RecordInvalRecv counts an invalidation broadcast this node applied.
+func (n *Node) RecordInvalRecv() { n.invalRecv.Add(1) }
+
+// Fetch implements regioncache.Remote: the L2 lookup behind every
+// locally created cache entry. Keys this node owns (or whose owner is
+// down) miss immediately — the owner's L1 *is* the L2, so there is
+// nowhere else to ask.
+func (n *Node) Fetch(k regioncache.Key) *regioncache.Region {
+	owner := n.ring.Owner(RouteKey(k.Name, k.Fingerprint))
+	if owner == n.cfg.Self {
+		return nil
+	}
+	p := n.peers[owner]
+	if p == nil || !p.alive() {
+		return nil
+	}
+	var reg *regioncache.Region
+	err := p.do(func(c *vxdp.Client) error {
+		var err error
+		reg, err = c.RegionGet(wireKey(k))
+		return err
+	})
+	if err != nil || reg == nil || reg.Empty() {
+		n.l2Misses.Add(1)
+		return nil
+	}
+	n.l2Hits.Add(1)
+	return reg
+}
+
+// Flush publishes every locally explored region whose key another
+// member owns — and which grew since its last publication — to its
+// owner via region_put. Safe to call concurrently with serving; the
+// background flush loop calls it every FlushInterval.
+func (n *Node) Flush() {
+	gen := n.cache.Generation()
+	n.pruneFlushed(gen)
+	n.cache.ForEach(func(e *regioncache.Entry) {
+		k := e.Key()
+		if k.Generation != gen {
+			return // dead epoch; peers dropped it too
+		}
+		owner := n.ring.Owner(RouteKey(k.Name, k.Fingerprint))
+		if owner == n.cfg.Self {
+			return
+		}
+		mut := e.Mutations()
+		n.flushMu.Lock()
+		last, seen := n.flushed[k]
+		n.flushMu.Unlock()
+		if seen && mut == last {
+			return
+		}
+		p := n.peers[owner]
+		if p == nil || !p.alive() {
+			return
+		}
+		reg := e.Export()
+		if reg.Empty() {
+			n.markFlushed(k, mut)
+			return
+		}
+		if enc, err := json.Marshal(reg); err != nil || len(enc) > MaxRegionWire {
+			// Oversized regions stay node-local; remember the count so
+			// the sweep does not re-encode them every interval.
+			n.markFlushed(k, mut)
+			return
+		}
+		err := p.do(func(c *vxdp.Client) error {
+			return c.RegionPut(wireKey(k), reg)
+		})
+		if err == nil {
+			n.markFlushed(k, mut)
+		}
+	})
+}
+
+func (n *Node) markFlushed(k regioncache.Key, mut int64) {
+	n.flushMu.Lock()
+	n.flushed[k] = mut
+	n.flushMu.Unlock()
+}
+
+// pruneFlushed forgets publication state for dead generations, so the
+// map cannot grow across invalidation epochs.
+func (n *Node) pruneFlushed(gen uint64) {
+	n.flushMu.Lock()
+	for k := range n.flushed {
+		if k.Generation != gen {
+			delete(n.flushed, k)
+		}
+	}
+	n.flushMu.Unlock()
+}
+
+// BroadcastInvalidate tells every peer to raise its region-cache
+// generation to gen. Fire-and-forget with per-peer timeouts: peers that
+// are down converge at their next successful health ping, because pings
+// return the generation and the health loop re-broadcasts on skew.
+func (n *Node) BroadcastInvalidate(gen uint64) {
+	for _, p := range n.peers {
+		p := p
+		n.invalSent.Add(1)
+		go func() {
+			_ = p.do(func(c *vxdp.Client) error {
+				_, err := c.Invalidate(gen)
+				return err
+			})
+		}()
+	}
+}
+
+// Stats snapshots the node's counters for vxdp.Stats / metrics.
+func (n *Node) Stats() *vxdp.ClusterStats {
+	up, down := int64(0), int64(0)
+	for _, p := range n.peers {
+		if p.alive() {
+			up++
+		} else {
+			down++
+		}
+	}
+	return &vxdp.ClusterStats{
+		Self:       n.cfg.Self,
+		Members:    int64(len(n.ring.Members())),
+		PeersUp:    up,
+		PeersDown:  down,
+		OwnedLocal: n.ownedLocal.Load(),
+		Proxied:    n.proxied.Load(),
+		Redirected: n.redirected.Load(),
+		Degraded:   n.degraded.Load(),
+		L2Hits:     n.l2Hits.Load(),
+		L2Misses:   n.l2Misses.Load(),
+		L2Serves:   n.l2Serves.Load(),
+		L2Fills:    n.l2Fills.Load(),
+		InvalSent:  n.invalSent.Load(),
+		InvalRecv:  n.invalRecv.Load(),
+	}
+}
+
+func (n *Node) healthLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.healthCheck()
+		}
+	}
+}
+
+// healthCheck pings every peer. Beyond liveness, the ping returns the
+// peer's cache generation: if a peer lags ours (it was down during a
+// BroadcastInvalidate), re-send the invalidation so the fleet
+// converges.
+func (n *Node) healthCheck() {
+	gen := n.cache.Generation()
+	for _, p := range n.peers {
+		var peerGen uint64
+		err := p.do(func(c *vxdp.Client) error {
+			var err error
+			peerGen, err = c.Ping()
+			return err
+		})
+		if err != nil || peerGen >= gen {
+			continue
+		}
+		_ = p.do(func(c *vxdp.Client) error {
+			_, err := c.Invalidate(gen)
+			return err
+		})
+	}
+}
+
+func (n *Node) flushLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.Flush()
+		}
+	}
+}
+
+func wireKey(k regioncache.Key) vxdp.RegionKey {
+	return vxdp.RegionKey{Gen: k.Generation, Registry: k.Registry, Name: k.Name, Fingerprint: k.Fingerprint}
+}
+
+// CacheKey converts a wire region key back to the cache's.
+func CacheKey(k vxdp.RegionKey) regioncache.Key {
+	return regioncache.Key{Generation: k.Gen, Registry: k.Registry, Name: k.Name, Fingerprint: k.Fingerprint}
+}
+
+// --- peer -----------------------------------------------------------------
+
+// peer is one fleet member as seen from this node: a lazily dialed
+// control link used for pings and region traffic, plus health state
+// with consecutive-failure marking and exponential redial backoff.
+type peer struct {
+	addr        string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	failAfter   int
+	maxBackoff  time.Duration
+	log         *slog.Logger
+
+	downFlag atomic.Bool // readable without mu for fast Alive checks
+
+	mu           sync.Mutex
+	conn         net.Conn
+	client       *vxdp.Client
+	fails        int
+	backoff      time.Duration
+	backoffUntil time.Time
+}
+
+func newPeer(addr string, cfg Config) *peer {
+	return &peer{
+		addr:        addr,
+		dialTimeout: cfg.DialTimeout,
+		callTimeout: cfg.CallTimeout,
+		failAfter:   cfg.FailAfter,
+		maxBackoff:  cfg.MaxBackoff,
+		log:         cfg.Logger,
+	}
+}
+
+var errPeerDown = errors.New("cluster: peer down")
+
+func (p *peer) alive() bool { return !p.downFlag.Load() }
+
+// do runs one control-link call under the peer's call timeout. A down
+// peer fails fast until its backoff expires, after which the next call
+// is the redial probe. Transport errors drop the link and count toward
+// down; in-band remote errors (vxdp.ErrRemote) leave health untouched.
+func (p *peer) do(f func(*vxdp.Client) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.downFlag.Load() && time.Now().Before(p.backoffUntil) {
+		return errPeerDown
+	}
+	if p.client == nil {
+		conn, err := net.DialTimeout("tcp", p.addr, p.dialTimeout)
+		if err != nil {
+			p.failLocked(err)
+			return err
+		}
+		p.conn = conn
+		p.client = vxdp.NewClient(conn)
+	}
+	_ = p.conn.SetDeadline(time.Now().Add(p.callTimeout))
+	err := f(p.client)
+	if err == nil || errors.Is(err, vxdp.ErrRemote) {
+		_ = p.conn.SetDeadline(time.Time{})
+		p.recoverLocked()
+		return err
+	}
+	p.dropLinkLocked()
+	p.failLocked(err)
+	return err
+}
+
+// noteFailure records an out-of-band transport failure (proxy conn
+// death).
+func (p *peer) noteFailure(err error) {
+	p.mu.Lock()
+	p.failLocked(err)
+	p.mu.Unlock()
+}
+
+func (p *peer) recoverLocked() {
+	if p.downFlag.Load() {
+		p.log.Info("cluster: peer up", "peer", p.addr)
+	}
+	p.downFlag.Store(false)
+	p.fails = 0
+	p.backoff = 0
+}
+
+func (p *peer) failLocked(err error) {
+	p.fails++
+	if p.fails < p.failAfter && !p.downFlag.Load() {
+		return
+	}
+	if !p.downFlag.Load() {
+		p.log.Warn("cluster: peer down", "peer", p.addr, "err", err)
+	}
+	p.downFlag.Store(true)
+	if p.backoff == 0 {
+		p.backoff = 500 * time.Millisecond
+	} else if p.backoff < p.maxBackoff {
+		p.backoff *= 2
+		if p.backoff > p.maxBackoff {
+			p.backoff = p.maxBackoff
+		}
+	}
+	p.backoffUntil = time.Now().Add(p.backoff)
+}
+
+func (p *peer) dropLinkLocked() {
+	if p.conn != nil {
+		_ = p.conn.Close()
+	}
+	p.conn = nil
+	p.client = nil
+}
+
+func (p *peer) close() {
+	p.mu.Lock()
+	p.dropLinkLocked()
+	p.mu.Unlock()
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real route keys: view name + NUL + fingerprint.
+		keys[i] = RouteKey(fmt.Sprintf("view%d", i%7), fmt.Sprintf("S0:p%d(v0,v1)|cmp%d", i, i*31))
+	}
+	return keys
+}
+
+func members(n int) []string {
+	ms := make([]string, n)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("10.0.0.%d:7800", i+1)
+	}
+	return ms
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	ms := members(4)
+	a, err := NewRing(ms, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same membership presented in reverse (and with duplicates) must
+	// route identically: ownership is a pure function of the set.
+	rev := []string{ms[3], ms[1], ms[2], ms[0], ms[1]}
+	b, err := NewRing(rev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q depends on member order: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(members(4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(20000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 members own keys: %v", len(counts), counts)
+	}
+	// With 64 vnodes each member's share concentrates around 25%; allow
+	// a wide statistical corridor so the test is not flaky, while still
+	// catching a broken hash (which collapses to one member).
+	for m, c := range counts {
+		share := float64(c) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys, outside [10%%, 45%%]: %v", m, 100*share, counts)
+		}
+	}
+}
+
+// TestRingRebalanceOnAdd checks the consistent-hashing contract the
+// cluster depends on: growing the fleet from N to N+1 members moves
+// only about 1/(N+1) of the keys, and every key that moves, moves to
+// the new member — nobody else's keys shuffle among the old members.
+func TestRingRebalanceOnAdd(t *testing.T) {
+	old, err := NewRing(members(4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing(members(5), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newcomer := members(5)[4]
+	keys := ringKeys(20000)
+	moved := 0
+	for _, k := range keys {
+		was, is := old.Owner(k), grown.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != newcomer {
+			t.Fatalf("key %q moved %q -> %q, not to the new member %q", k, was, is, newcomer)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Expected share is 1/5 = 20%; the corridor tolerates vnode noise
+	// but catches full reshuffles (~80% for modulo hashing).
+	if frac < 0.08 || frac > 0.40 {
+		t.Errorf("adding a 5th member moved %.1f%% of keys, outside [8%%, 40%%]", 100*frac)
+	}
+}
+
+// TestRingRebalanceOnRemove is the inverse: removing a member moves
+// exactly that member's keys, and they redistribute across survivors.
+func TestRingRebalanceOnRemove(t *testing.T) {
+	ms := members(4)
+	old, err := NewRing(ms, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := NewRing(ms[:3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := ms[3]
+	keys := ringKeys(20000)
+	moved := 0
+	for _, k := range keys {
+		was, is := old.Owner(k), shrunk.Owner(k)
+		if was == removed {
+			moved++
+			if is == removed {
+				t.Fatalf("key %q still owned by removed member %q", k, removed)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q owned by surviving %q moved to %q on unrelated removal", k, was, is)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.08 || frac > 0.45 {
+		t.Errorf("removed member owned %.1f%% of keys, outside [8%%, 45%%]", 100*frac)
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r, err := NewRing([]string{"solo:7800"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(100) {
+		if got := r.Owner(k); got != "solo:7800" {
+			t.Fatalf("single-member ring routed %q to %q", k, got)
+		}
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Fatal("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{"a", ""}, 64); err == nil {
+		t.Fatal("NewRing with empty member succeeded")
+	}
+}

@@ -266,13 +266,22 @@ func memoBuilder(b builder) builder {
 // uncached.
 func (q *Query) SetCacheName(name string) {
 	q.cacheName = name
-	if name != "" && q.eng.cache != nil && q.fingerprint == "" {
+	// The fingerprint is computed even without an engine cache: cluster
+	// routing hashes (name, fingerprint) to pick the owner node whether
+	// or not this node caches locally.
+	if name != "" && q.fingerprint == "" {
 		q.fingerprint = regioncache.Fingerprint(q.plan)
 	}
 }
 
 // CacheName returns the region-cache name set by SetCacheName.
 func (q *Query) CacheName() string { return q.cacheName }
+
+// Fingerprint returns the canonical plan fingerprint computed by
+// SetCacheName ("" before it is called or for unnamed queries). With
+// CacheName it identifies the same answer document across engines — the
+// region-cache key and the cluster routing key.
+func (q *Query) Fingerprint() string { return q.fingerprint }
 
 // Document returns the virtual answer document. For tupleDestroy-rooted
 // plans this is the constructed answer element; for other plans it is

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"time"
+
+	"mix/internal/cluster"
+	"mix/internal/mediator"
+	"mix/internal/metrics"
+	"mix/internal/nav"
+	"mix/internal/regioncache"
+	"mix/internal/server"
+	"mix/internal/vxdp"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+// E15ClusterL2 measures the two-tier region cache of a mixd fleet: in a
+// 3-node cluster (local routing mode), the first node to explore a
+// virtual answer pays the full lazy-derivation cost at the sources;
+// after its explored region is published to the key's owner, *any other
+// node* serving the same query fills its cache from the owner over the
+// wire (an L2 hit) and answers with zero source navigations — the
+// single-node warm behaviour of E12, extended across processes.
+//
+// Sessions are real VXDP clients materializing the homeview answer
+// through loopback servers, so the counts include everything the wire
+// path adds. All measured quantities are navigation and cache counters.
+func E15ClusterL2() Table {
+	t := Table{
+		ID:    "E15",
+		Title: "Clustered two-tier region cache (cold vs warm, 1 vs 3 nodes)",
+		Claim: "Sharding sessions by (view, plan fingerprint) lets a fleet share " +
+			"explored regions: one node's exploration warms every node, so " +
+			"cross-node warm sessions cost the sources nothing.",
+		Expect: "the cold sessions (rows 1 and 3) pay identical source navigations " +
+			"whether standalone or clustered; after one flush the warm cross-node " +
+			"session fills from the owner (l2 hits > 0) with 0 source navigations, " +
+			"the owner itself serves from the absorbed fill, and every answer is " +
+			"byte-identical.",
+		Headers: []string{"session", "client cmds", "source navs", "l2 hits", "answer"},
+	}
+	const viewDef = `
+CONSTRUCT <allhomes>
+  <med_home> $H $S {$S} </med_home> {$H}
+</allhomes> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2
+AND $V1 = $V2
+`
+	const query = `
+CONSTRUCT <out> $M {$M} </out> {}
+WHERE homeview allhomes.med_home $M`
+	homes, schools := workload.HomesSchools(60, 60, 12, 42)
+
+	// Every engine a node's pool builds shares that node's source
+	// counters, so "source navs" is a per-node total no matter how many
+	// pooled engines served the session.
+	factory := func(src *metrics.Counters) server.Factory {
+		return func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+			m := mediator.New(mediator.DefaultOptions())
+			m.SetRegionCache(rc)
+			m.RegisterSource("homesSrc", &nav.CountingDoc{Doc: nav.NewTreeDoc(homes), Counters: src})
+			m.RegisterSource("schoolsSrc", &nav.CountingDoc{Doc: nav.NewTreeDoc(schools), Counters: src})
+			if err := m.DefineView("homeview", viewDef); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+	}
+
+	type member struct {
+		srv  *server.Server
+		node *cluster.Node // nil for the standalone baseline
+		addr string
+		src  *metrics.Counters
+		done chan error
+	}
+	quiet := slog.New(slog.DiscardHandler)
+
+	// boot starts n servers on loopback; for n > 1 they form a cluster
+	// in local mode (no proxying — pure L2 region sharing) with the
+	// background flusher off, so publication happens only at the
+	// explicit Flush below and every counter is deterministic.
+	boot := func(n int) []*member {
+		listeners := make([]net.Listener, n)
+		addrs := make([]string, n)
+		for i := range listeners {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				panic(err)
+			}
+			listeners[i], addrs[i] = l, l.Addr().String()
+		}
+		fleet := make([]*member, n)
+		for i := range fleet {
+			src := &metrics.Counters{}
+			rc := regioncache.New(0)
+			opts := []server.Option{server.WithRegionCache(rc), server.WithLogger(quiet)}
+			var node *cluster.Node
+			if n > 1 {
+				peers := make([]string, 0, n-1)
+				for j, a := range addrs {
+					if j != i {
+						peers = append(peers, a)
+					}
+				}
+				var err error
+				node, err = cluster.New(cluster.Config{
+					Self: addrs[i], Peers: peers, Mode: cluster.ModeLocal,
+					HealthInterval: time.Hour, FlushInterval: -1, Logger: quiet,
+				}, rc)
+				if err != nil {
+					panic(err)
+				}
+				opts = append(opts, server.WithCluster(node))
+			}
+			srv, err := server.New(factory(src), opts...)
+			if err != nil {
+				panic(err)
+			}
+			done := make(chan error, 1)
+			go func(l net.Listener) { done <- srv.Serve(l) }(listeners[i])
+			if node != nil {
+				node.Start()
+			}
+			fleet[i] = &member{srv: srv, node: node, addr: addrs[i], src: src, done: done}
+		}
+		return fleet
+	}
+	halt := func(fleet []*member) {
+		for _, m := range fleet {
+			if m.node != nil {
+				m.node.Stop()
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = m.srv.Shutdown(ctx)
+			cancel()
+			<-m.done
+		}
+	}
+
+	// session materializes the whole answer through one node and
+	// reports client commands, the fleet-wide source navigations it
+	// caused, and the entry node's L2 hits.
+	session := func(fleet []*member, entry int) (client, source, l2 int64, answer string) {
+		srcBefore := int64(0)
+		for _, m := range fleet {
+			srcBefore += m.src.Navigations()
+		}
+		l2Before := int64(0)
+		if n := fleet[entry].node; n != nil {
+			l2Before = n.Stats().L2Hits
+		}
+		c, err := vxdp.Dial(fleet[entry].addr)
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		if err := c.Open(query); err != nil {
+			panic(err)
+		}
+		cd := nav.NewCountingDoc(c)
+		tree, err := nav.Materialize(cd)
+		if err != nil {
+			panic(err)
+		}
+		for _, m := range fleet {
+			source += m.src.Navigations()
+		}
+		source -= srcBefore
+		if n := fleet[entry].node; n != nil {
+			l2 = n.Stats().L2Hits - l2Before
+		}
+		return cd.Counters.Navigations(), source, l2, xmltree.MarshalXML(tree)
+	}
+
+	var want string
+	row := func(label string, fleet []*member, entry int) {
+		client, source, l2, answer := session(fleet, entry)
+		if want == "" {
+			want = answer
+		}
+		verdict := "identical"
+		if answer != want {
+			verdict = "DIFFERS"
+		}
+		t.Rows = append(t.Rows, []string{label, itoa(client), itoa(source), itoa(l2), verdict})
+	}
+
+	solo := boot(1)
+	row("1 node: cold", solo, 0)
+	row("1 node: warm (L1)", solo, 0)
+	halt(solo)
+
+	fleet := boot(3)
+	defer halt(fleet)
+	// The ring decides which member owns this query's region; route the
+	// cold session through one non-owner and the warm one through the
+	// other, so the warm fill must cross the wire.
+	probe, err := factory(&metrics.Counters{})(nil)
+	if err != nil {
+		panic(err)
+	}
+	res, err := probe.Query(query)
+	if err != nil {
+		panic(err)
+	}
+	name, fp := res.CacheKey()
+	ownerAddr := fleet[0].node.Owner(name, fp)
+	owner := 0
+	for i, m := range fleet {
+		if m.addr == ownerAddr {
+			owner = i
+		}
+	}
+	cold, warm := (owner+1)%3, (owner+2)%3
+
+	row("3 nodes: cold via non-owner", fleet, cold)
+	fleet[cold].node.Flush() // publish the explored region to its owner
+	row("3 nodes: warm via other non-owner (L2)", fleet, warm)
+	row("3 nodes: warm via owner (absorbed fill)", fleet, owner)
+	return t
+}

@@ -101,6 +101,7 @@ var registry = map[string]func() Table{
 	"E12": E12RegionCache,
 	"E13": E13ParallelPipeline,
 	"E14": E14AllocationPaths,
+	"E15": E15ClusterL2,
 }
 
 // IDs returns all experiment ids in order.

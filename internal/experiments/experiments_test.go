@@ -8,10 +8,10 @@ import (
 
 func TestIDsAndRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
-		t.Fatalf("want 14 experiments, got %v", ids)
+	if len(ids) != 15 {
+		t.Fatalf("want 15 experiments, got %v", ids)
 	}
-	if ids[0] != "E1" || ids[13] != "E14" {
+	if ids[0] != "E1" || ids[14] != "E15" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 	if _, err := Run("E99"); err == nil {
@@ -227,5 +227,31 @@ func TestE14Shape(t *testing.T) {
 		if base < floor*opt {
 			t.Fatalf("%s: %v vs %v below %.1fx floor", metric, base, opt, floor)
 		}
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	tb := E15ClusterL2()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if tb.Rows[i][4] != "identical" {
+			t.Fatalf("row %d: answer not byte-identical: %v", i, tb.Rows[i])
+		}
+	}
+	// Cold sessions (rows 1 and 3) pay the same source cost whether
+	// standalone or clustered; every warm session pays zero.
+	if a, b := col(t, tb, 0, 2), col(t, tb, 2, 2); a != b || a == 0 {
+		t.Fatalf("cold source navs: standalone %d vs clustered %d, want equal and nonzero", a, b)
+	}
+	for _, i := range []int{1, 3, 4} {
+		if src := col(t, tb, i, 2); src != 0 {
+			t.Fatalf("warm row %d: %d source navigations, want 0", i, src)
+		}
+	}
+	// The cross-node warm session must have filled over the wire.
+	if l2 := col(t, tb, 3, 3); l2 == 0 {
+		t.Fatal("warm cross-node session recorded no L2 hits")
 	}
 }

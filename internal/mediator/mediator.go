@@ -187,6 +187,14 @@ type Result struct {
 // root handle) performs no source access.
 func (r *Result) Document() nav.Document { return r.query.Document() }
 
+// CacheKey returns the (view name, canonical plan fingerprint) pair
+// that identifies this query's answer document across mediator
+// instances — the region-cache entry key and the cluster session
+// routing key.
+func (r *Result) CacheKey() (name, fingerprint string) {
+	return r.query.CacheName(), r.query.Fingerprint()
+}
+
 // Root returns the answer root as a client-library element.
 func (r *Result) Root() (*Element, error) { return Wrap(r.Document()) }
 

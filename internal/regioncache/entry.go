@@ -11,6 +11,20 @@ import (
 // label: the struct, the child-slice slot in its parent, map overhead.
 const nodeBytes = 48
 
+// keyFixedBytes approximates the fixed retained size of one entry's key
+// and bookkeeping beyond its strings: two uint64s, the map bucket slot,
+// the Entry struct itself.
+const keyFixedBytes = 96
+
+// keyOverhead is the retained size of an entry's key: the view name and
+// fingerprint strings (interned nowhere — every entry carries its own)
+// plus the fixed struct overhead. Counting it keeps L1 and L2 byte
+// budgets comparable across nodes whose views differ only in how long
+// their names and canonical plans are.
+func keyOverhead(k Key) int64 {
+	return keyFixedBytes + int64(len(k.Name)) + int64(len(k.Fingerprint))
+}
+
 // Entry is the cached partial tree for one Key: labels and child-list
 // prefixes of the explored region of a virtual answer document. An entry
 // has no holes — what is known is a *prefix* of each child list plus a
@@ -33,6 +47,10 @@ type Entry struct {
 	// no longer count against the budget.
 	dead atomic.Bool
 
+	// mut counts mutations that extended the known region; the cluster
+	// L2 flusher uses it to skip entries unchanged since the last flush.
+	mut atomic.Int64
+
 	mu    sync.RWMutex
 	root  *cnode
 	bytes int64
@@ -47,11 +65,19 @@ type cnode struct {
 }
 
 func newEntry(c *Cache, k Key) *Entry {
-	return &Entry{key: k, c: c, root: &cnode{}, bytes: nodeBytes}
+	return &Entry{key: k, c: c, root: &cnode{}, bytes: nodeBytes + keyOverhead(k)}
 }
 
 // Key returns the entry's identity.
 func (e *Entry) Key() Key { return e.key }
+
+// Mutations returns the number of region-extending writes so far; a
+// value unchanged since a previous call means the explored region is
+// unchanged too.
+func (e *Entry) Mutations() int64 { return e.mut.Load() }
+
+// touch records one region-extending write.
+func (e *Entry) touch() { e.mut.Add(1) }
 
 // node walks the cached tree to path; nil if any step is unknown.
 // Caller holds e.mu (read or write).
@@ -90,12 +116,17 @@ func (e *Entry) lookupLabel(path []int) (string, bool) {
 func (e *Entry) storeLabel(path []int, label string) {
 	e.mu.Lock()
 	var delta int64
+	changed := false
 	if n := e.node(path); n != nil && !n.labelKnown {
 		n.label, n.labelKnown = label, true
 		delta = int64(len(label))
 		e.bytes += delta
+		changed = true
 	}
 	e.mu.Unlock()
+	if changed {
+		e.touch()
+	}
 	e.account(delta)
 }
 
@@ -124,16 +155,22 @@ func (e *Entry) lookupChild(path []int, i int) (ok, known bool) {
 func (e *Entry) storeChild(path []int, i int, exists bool) {
 	e.mu.Lock()
 	var delta int64
+	changed := false
 	if n := e.node(path); n != nil && !n.complete {
 		if exists && i == len(n.kids) {
 			n.kids = append(n.kids, &cnode{})
 			delta = nodeBytes
 			e.bytes += delta
+			changed = true
 		} else if !exists && i == len(n.kids) {
 			n.complete = true
+			changed = true
 		}
 	}
 	e.mu.Unlock()
+	if changed {
+		e.touch()
+	}
 	e.account(delta)
 }
 
@@ -152,6 +189,7 @@ func (e *Entry) MergeTree(t *xmltree.Tree) {
 	e.merge(e.root, t)
 	delta := e.bytes - before
 	e.mu.Unlock()
+	e.touch()
 	e.account(delta)
 }
 

@@ -1,0 +1,125 @@
+package regioncache
+
+// Region is the wire-portable rendering of an entry's explored region:
+// the cnode tree with its labelKnown/complete bits made explicit, so a
+// peer can merge exactly what this node knows — no more, no less. It is
+// the payload of the cluster L2 protocol's region_get/region_put ops
+// (see internal/cluster and the vxdp region commands); JSON tags are
+// single letters because region frames carry whole explored subtrees.
+//
+// Unlike Entry.Snapshot's open-tree rendering, a Region distinguishes
+// "label unknown" from "label is the empty string", and "child list
+// complete" from "more children may exist" — the two bits the cache's
+// correctness rests on.
+type Region struct {
+	// Label is the node's label, meaningful only when Known.
+	Label string `json:"l,omitempty"`
+	// Known reports that Label was actually fetched.
+	Known bool `json:"k,omitempty"`
+	// Kids is the known prefix of the child list.
+	Kids []*Region `json:"c,omitempty"`
+	// Complete reports that Kids is the entire child list.
+	Complete bool `json:"z,omitempty"`
+}
+
+// maxRegionDepth bounds Merge recursion so a hostile or corrupted peer
+// frame cannot overflow the stack. Deeper tails are simply dropped —
+// the cache then treats them as unexplored, which is always safe.
+const maxRegionDepth = 512
+
+// Nodes returns the number of nodes in the region (bounded walk, for
+// stats and tests).
+func (r *Region) Nodes() int {
+	if r == nil {
+		return 0
+	}
+	n := 1
+	for _, k := range r.Kids {
+		n += k.Nodes()
+	}
+	return n
+}
+
+// Equal reports structural equality of two regions (testing aid).
+func (r *Region) Equal(o *Region) bool {
+	if r == nil || o == nil {
+		return r == nil && o == nil
+	}
+	if r.Known != o.Known || r.Complete != o.Complete || len(r.Kids) != len(o.Kids) {
+		return false
+	}
+	if r.Known && r.Label != o.Label {
+		return false
+	}
+	for i := range r.Kids {
+		if !r.Kids[i].Equal(o.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Export renders the entry's explored region for the wire. The result
+// shares no memory with the entry (labels are immutable strings; the
+// node structure is freshly allocated).
+func (e *Entry) Export() *Region {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return exportNode(e.root)
+}
+
+func exportNode(n *cnode) *Region {
+	r := &Region{Label: n.label, Known: n.labelKnown, Complete: n.complete}
+	if len(n.kids) > 0 {
+		r.Kids = make([]*Region, len(n.kids))
+		for i, k := range n.kids {
+			r.Kids[i] = exportNode(k)
+		}
+	}
+	return r
+}
+
+// Empty reports whether the region carries no information beyond an
+// unexplored root — the export of a freshly created entry.
+func (r *Region) Empty() bool {
+	return r == nil || (!r.Known && !r.Complete && len(r.Kids) == 0)
+}
+
+// Merge folds a peer's region into the entry, extending what is known
+// and never contradicting it: labels only fill in where unknown, child
+// lists only grow, completeness only switches on. Because both sides
+// derived from the same (generation, registry version, view,
+// fingerprint) answer document, concurrent merges can only agree —
+// exactly the benign-race argument of MergeTree.
+func (e *Entry) Merge(r *Region) {
+	if r == nil {
+		return
+	}
+	e.mu.Lock()
+	before := e.bytes
+	e.mergeRegion(e.root, r, 0)
+	delta := e.bytes - before
+	e.mu.Unlock()
+	e.touch()
+	e.account(delta)
+}
+
+func (e *Entry) mergeRegion(n *cnode, r *Region, depth int) {
+	if depth > maxRegionDepth {
+		return
+	}
+	if r.Known && !n.labelKnown {
+		n.label, n.labelKnown = r.Label, true
+		e.bytes += int64(len(r.Label))
+	}
+	for i, k := range r.Kids {
+		if i == len(n.kids) {
+			n.kids = append(n.kids, &cnode{})
+			e.bytes += nodeBytes
+		}
+		e.mergeRegion(n.kids[i], k, depth+1)
+	}
+	if r.Complete && !n.complete {
+		n.complete = true
+	}
+}

@@ -1,0 +1,191 @@
+package regioncache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKeyOverheadAccounting: the byte budget must charge each entry for
+// its key — name and fingerprint strings plus fixed overhead — not just
+// its tree nodes, and release exactly as much when the entry drops.
+func TestKeyOverheadAccounting(t *testing.T) {
+	c := New(0)
+	name, fp := "homeview", strings.Repeat("S0:p(v0,v1)|", 20)
+	e := c.Entry(name, fp, 1)
+	want := int64(nodeBytes) + keyFixedBytes + int64(len(name)) + int64(len(fp))
+	if got := c.Stats().Bytes; got != want {
+		t.Fatalf("bytes after bare entry = %d, want %d (node %d + key fixed %d + strings %d)",
+			got, want, nodeBytes, keyFixedBytes, len(name)+len(fp))
+	}
+	// A second entry with a longer key costs proportionally more.
+	fp2 := fp + strings.Repeat("x", 1000)
+	c.Entry(name, fp2, 1)
+	want += int64(nodeBytes) + keyFixedBytes + int64(len(name)) + int64(len(fp2))
+	if got := c.Stats().Bytes; got != want {
+		t.Fatalf("bytes after second entry = %d, want %d", got, want)
+	}
+	// Dropping everything returns the budget to exactly zero: creation
+	// accounting and drop accounting are symmetric.
+	c.Invalidate()
+	if got := c.Stats().Bytes; got != 0 {
+		t.Fatalf("bytes after invalidate = %d, want 0", got)
+	}
+	_ = e
+}
+
+// TestKeyOverheadDrivesEviction: entries whose *keys* dominate their
+// size must still respect the byte budget — a cache fed thousands of
+// long-fingerprint entries with empty trees stays bounded.
+func TestKeyOverheadDrivesEviction(t *testing.T) {
+	const budget = 64 << 10
+	c := New(budget)
+	fpBase := strings.Repeat("f", 1024)
+	for i := 0; i < 1000; i++ {
+		c.Entry("v", fpBase+string(rune('a'+i%26))+string(rune('a'+i/26%26))+string(rune('a'+i/676)), 1)
+	}
+	st := c.Stats()
+	// One entry may be admitted over budget before eviction catches up.
+	slack := int64(nodeBytes + keyFixedBytes + len(fpBase) + 8)
+	if st.Bytes > budget+slack {
+		t.Fatalf("bytes = %d exceeds budget %d (+%d slack); key overhead not evicting", st.Bytes, budget, slack)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite 1000 long-key entries against a 64KiB budget")
+	}
+}
+
+func buildEntry(c *Cache) *Entry {
+	e := c.Entry("v", "fp", 1)
+	// <a> <b> x y </b> <c/> ... </a> with the ... frontier unknown.
+	e.storeLabel(nil, "a")
+	e.storeChild(nil, 0, true)
+	e.storeLabel([]int{0}, "b")
+	e.storeChild([]int{0}, 0, true)
+	e.storeLabel([]int{0, 0}, "x")
+	e.storeChild([]int{0}, 1, true)
+	e.storeLabel([]int{0, 1}, "y")
+	e.storeChild([]int{0}, 2, false) // b complete
+	e.storeChild(nil, 1, true)
+	e.storeLabel([]int{1}, "c")
+	return e
+}
+
+// TestRegionExportMergeRoundTrip: Export then Merge reproduces the
+// exact region — the identity the L2 wire protocol depends on.
+func TestRegionExportMergeRoundTrip(t *testing.T) {
+	c := New(0)
+	src := buildEntry(c)
+	reg := src.Export()
+	if reg.Empty() {
+		t.Fatal("export of a populated entry is empty")
+	}
+
+	c2 := New(0)
+	dst := c2.Entry("v", "fp", 1)
+	dst.Merge(reg)
+	if !dst.Export().Equal(reg) {
+		t.Fatalf("merge(export(e)) ≠ e")
+	}
+	// Merged labels must actually serve lookups.
+	if l, ok := dst.lookupLabel([]int{0, 1}); !ok || l != "y" {
+		t.Fatalf("lookupLabel after merge = %q, %v", l, ok)
+	}
+	if ok, known := dst.lookupChild([]int{0}, 2); !known || ok {
+		t.Fatal("completeness bit lost in round trip")
+	}
+}
+
+// TestMergeOnlyExtends: merging a sparser region into a fuller entry
+// must never erase labels, shrink child prefixes, or clear the
+// completeness bit — remote data can only add knowledge.
+func TestMergeOnlyExtends(t *testing.T) {
+	c := New(0)
+	e := buildEntry(c)
+	before := e.Export()
+	e.Merge(&Region{Known: true, Label: "WRONG", Kids: []*Region{{}}})
+	after := e.Export()
+	if !after.Equal(before) {
+		t.Fatalf("merging a sparser region changed the entry\nbefore: %+v\nafter:  %+v", before, after)
+	}
+	// And byte accounting moved only for genuinely new knowledge (none
+	// here beyond what the sparse region could add — nothing).
+	if e.Mutations() == 0 {
+		t.Fatal("building the entry never bumped Mutations")
+	}
+}
+
+// TestMergeDepthCap: a pathologically deep (or adversarial) region
+// merges without recursing past the cap — no stack blowout from a
+// malicious peer.
+func TestMergeDepthCap(t *testing.T) {
+	deep := &Region{Known: true, Label: "d0"}
+	cur := deep
+	for i := 1; i < 4*maxRegionDepth; i++ {
+		next := &Region{Known: true, Label: "d"}
+		cur.Kids = []*Region{next}
+		cur = next
+	}
+	c := New(0)
+	e := c.Entry("v", "fp", 1)
+	e.Merge(deep) // must return, not overflow
+	if l, ok := e.lookupLabel(nil); !ok || l != "d0" {
+		t.Fatalf("root label after deep merge = %q, %v", l, ok)
+	}
+}
+
+// TestMutationsCounter: region-extending writes bump Mutations, reads
+// and re-writes of known data do not — the flusher's dirtiness signal.
+func TestMutationsCounter(t *testing.T) {
+	c := New(0)
+	e := c.Entry("v", "fp", 1)
+	if e.Mutations() != 0 {
+		t.Fatalf("fresh entry has %d mutations", e.Mutations())
+	}
+	e.storeLabel(nil, "a")
+	m1 := e.Mutations()
+	if m1 == 0 {
+		t.Fatal("storeLabel did not bump Mutations")
+	}
+	e.lookupLabel(nil)
+	e.storeLabel(nil, "a") // already known: no new knowledge
+	if e.Mutations() != m1 {
+		t.Fatalf("re-storing a known label bumped Mutations %d -> %d", m1, e.Mutations())
+	}
+	e.storeChild(nil, 0, true)
+	if e.Mutations() == m1 {
+		t.Fatal("storeChild did not bump Mutations")
+	}
+}
+
+// TestAbsorb: peer-published regions merge into the live entry only
+// under the current generation; stale-generation puts are dropped and
+// create nothing.
+func TestAbsorb(t *testing.T) {
+	c := New(0)
+	reg := &Region{Known: true, Label: "a", Complete: true}
+	k := Key{Generation: 0, Registry: 1, Name: "v", Fingerprint: "fp"}
+	if !c.Absorb(k, reg) {
+		t.Fatal("absorb at current generation rejected")
+	}
+	e := c.Peek(k)
+	if e == nil {
+		t.Fatal("absorb did not create the entry")
+	}
+	if !e.Export().Equal(reg) {
+		t.Fatal("absorbed region differs")
+	}
+
+	c.Invalidate() // generation 1; the gen-0 entry is swept
+	if c.Peek(k) != nil {
+		t.Fatal("stale entry survived invalidation")
+	}
+	if c.Absorb(k, reg) {
+		t.Fatal("absorb of a stale-generation region accepted")
+	}
+	if c.Peek(k) != nil {
+		t.Fatal("stale absorb left an entry behind")
+	}
+	if c.Absorb(Key{Generation: 1, Registry: 1, Name: "v", Fingerprint: "fp"}, reg) != true {
+		t.Fatal("absorb at the new generation rejected")
+	}
+}

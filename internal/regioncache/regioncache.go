@@ -69,6 +69,17 @@ type Key struct {
 	Fingerprint string
 }
 
+// Remote is the second cache tier behind this (L1) cache: typically the
+// cluster peer that owns a key's region under consistent-hash routing
+// (see internal/cluster). Fetch is called once per locally created
+// entry, outside any cache lock, with the entry's exact key — including
+// its generation, so a pinned-generation session can never be answered
+// with data from a different epoch. A nil result is a miss; the caller
+// falls back to its own lazy engine and sources.
+type Remote interface {
+	Fetch(k Key) *Region
+}
+
 // Cache is a concurrency-safe, cross-session region cache. The zero
 // value is not usable; create with New.
 type Cache struct {
@@ -80,6 +91,9 @@ type Cache struct {
 	misses     atomic.Int64
 	bytesSaved atomic.Int64
 	evictions  atomic.Int64
+
+	remoteMu sync.RWMutex
+	remote   Remote
 
 	mu      sync.Mutex
 	clock   int64
@@ -97,6 +111,31 @@ func New(maxBytes int64) *Cache {
 // Generation returns the current invalidation epoch.
 func (c *Cache) Generation() uint64 { return c.gen.Load() }
 
+// SetRemote installs the second cache tier consulted when an entry is
+// first created locally (nil — the default — keeps the cache purely
+// in-process). Install before serving; Fetch may be called from any
+// session goroutine.
+func (c *Cache) SetRemote(r Remote) {
+	c.remoteMu.Lock()
+	c.remote = r
+	c.remoteMu.Unlock()
+}
+
+// fetchRemote fills a freshly created entry from the remote tier, if
+// one is installed. Runs outside c.mu; Merge is concurrency-safe and
+// can only extend the entry, so racing sessions stay correct.
+func (c *Cache) fetchRemote(e *Entry) {
+	c.remoteMu.RLock()
+	r := c.remote
+	c.remoteMu.RUnlock()
+	if r == nil {
+		return
+	}
+	if reg := r.Fetch(e.key); reg != nil {
+		e.Merge(reg)
+	}
+}
+
 // Invalidate bumps the generation and drops every entry created under an
 // older one. Call it whenever the source registry feeding the cached
 // views changes (new source data, replaced registration); sessions
@@ -104,6 +143,31 @@ func (c *Cache) Generation() uint64 { return c.gen.Load() }
 // returns the new generation.
 func (c *Cache) Invalidate() uint64 {
 	g := c.gen.Add(1)
+	c.dropBelow(g)
+	return g
+}
+
+// AdvanceTo raises the generation to gen — the form of invalidation a
+// cluster peer's broadcast carries, so every node lands on the *same*
+// epoch and region keys keep lining up across the fleet. It reports
+// whether the generation actually advanced; gen at or below the current
+// one is a no-op (broadcast echoes converge instead of ping-ponging).
+func (c *Cache) AdvanceTo(gen uint64) bool {
+	for {
+		cur := c.gen.Load()
+		if gen <= cur {
+			return false
+		}
+		if c.gen.CompareAndSwap(cur, gen) {
+			break
+		}
+	}
+	c.dropBelow(gen)
+	return true
+}
+
+// dropBelow drops every entry created under a generation older than g.
+func (c *Cache) dropBelow(g uint64) {
 	c.mu.Lock()
 	for k, e := range c.entries {
 		if k.Generation < g {
@@ -111,7 +175,6 @@ func (c *Cache) Invalidate() uint64 {
 		}
 	}
 	c.mu.Unlock()
-	return g
 }
 
 // Entry returns the shared entry for (name, fingerprint) under the
@@ -134,18 +197,88 @@ func (c *Cache) EntryAt(gen uint64, name, fingerprint string, registry uint64) *
 	if gen != c.gen.Load() {
 		e := newEntry(c, k)
 		e.dead.Store(true)
+		// A pinned-generation session may still fill from a peer that
+		// has not invalidated yet: the key carries the generation, so
+		// the peer either has exactly this epoch's region or misses.
+		c.fetchRemote(e)
 		return e
 	}
 	c.mu.Lock()
 	e, ok := c.entries[k]
-	if !ok {
+	created := !ok
+	if created {
 		e = newEntry(c, k)
 		c.entries[k] = e
+		// Account the entry's fixed footprint — root node plus key
+		// overhead (name + fingerprint bytes) — at creation, so budget
+		// math is symmetric with the subtraction in dropLocked and
+		// comparable across nodes.
+		c.bytes += e.bytes
+		c.evictOverLocked()
 	}
 	c.clock++
 	e.lastUse = c.clock
 	c.mu.Unlock()
+	if created {
+		c.fetchRemote(e)
+	}
 	return e
+}
+
+// Peek returns the live entry for k, or nil: no creation, no LRU touch,
+// no remote fetch. It is how a cluster node answers a peer's region_get
+// without ever starting a fetch chain of its own.
+func (c *Cache) Peek(k Key) *Entry {
+	c.mu.Lock()
+	e := c.entries[k]
+	c.mu.Unlock()
+	return e
+}
+
+// Absorb merges a peer-published region into the live entry for k,
+// creating the entry if needed — WITHOUT consulting the remote tier
+// (the publisher *is* the remote tier; fetching back would loop).
+// Regions for any generation other than the current one are dropped:
+// the publisher lags an invalidation this node already applied. It
+// reports whether the region was merged.
+func (c *Cache) Absorb(k Key, r *Region) bool {
+	if r == nil || k.Generation != c.gen.Load() {
+		return false
+	}
+	c.mu.Lock()
+	// Re-check under the lock so a racing Invalidate cannot leave a
+	// stale-generation entry in the map after dropBelow swept it.
+	if k.Generation != c.gen.Load() {
+		c.mu.Unlock()
+		return false
+	}
+	e, ok := c.entries[k]
+	if !ok {
+		e = newEntry(c, k)
+		c.entries[k] = e
+		c.bytes += e.bytes
+		c.evictOverLocked()
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.mu.Unlock()
+	e.Merge(r)
+	return true
+}
+
+// ForEach calls f for every live entry (snapshotted, then visited
+// outside the cache lock). The cluster L2 flusher uses it to push
+// locally explored regions to their owners.
+func (c *Cache) ForEach(f func(*Entry)) {
+	c.mu.Lock()
+	es := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		es = append(es, e)
+	}
+	c.mu.Unlock()
+	for _, e := range es {
+		f(e)
+	}
 }
 
 // dropLocked removes an entry, releasing its bytes. Caller holds c.mu.
@@ -166,25 +299,32 @@ func (c *Cache) addBytes(n int64) {
 	}
 	c.mu.Lock()
 	c.bytes += n
-	if c.maxBytes > 0 && c.bytes > c.maxBytes {
-		type cand struct {
-			k   Key
-			e   *Entry
-			use int64
-		}
-		cands := make([]cand, 0, len(c.entries))
-		for k, e := range c.entries {
-			cands = append(cands, cand{k, e, e.lastUse})
-		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].use < cands[j].use })
-		for _, cd := range cands {
-			if c.bytes <= c.maxBytes {
-				break
-			}
-			c.dropLocked(cd.k, cd.e)
-		}
-	}
+	c.evictOverLocked()
 	c.mu.Unlock()
+}
+
+// evictOverLocked evicts least-recently-opened entries while the cache
+// is over budget. Caller holds c.mu.
+func (c *Cache) evictOverLocked() {
+	if c.maxBytes <= 0 || c.bytes <= c.maxBytes {
+		return
+	}
+	type cand struct {
+		k   Key
+		e   *Entry
+		use int64
+	}
+	cands := make([]cand, 0, len(c.entries))
+	for k, e := range c.entries {
+		cands = append(cands, cand{k, e, e.lastUse})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].use < cands[j].use })
+	for _, cd := range cands {
+		if c.bytes <= c.maxBytes {
+			break
+		}
+		c.dropLocked(cd.k, cd.e)
+	}
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness.

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+
+	"mix/internal/cluster"
+	"mix/internal/vxdp"
+)
+
+// This file is the server side of mixd -cluster: session routing over
+// the consistent-hash ring (proxy / redirect / degraded-local), the
+// per-session proxy link to an owner node, and the peer-facing L2
+// region protocol (ping / region_get / region_put / invalidate).
+
+// handlePing answers the cluster liveness probe with this node's
+// region-cache generation, so health checks double as epoch-skew
+// detection.
+func (s *Server) handlePing() vxdp.Response {
+	var gen uint64
+	if s.cache != nil {
+		gen = s.cache.Generation()
+	}
+	return vxdp.Response{NavResult: vxdp.NavResult{OK: true}, Gen: gen}
+}
+
+// handleRegionGet serves a peer's L2 fetch from the local L1 — Peek
+// only: no entry creation, no LRU touch, and crucially no remote fetch
+// of our own, so region traffic can never chain through a third node.
+// OK=false is a plain miss; regions too large for one frame miss too
+// (they stay node-local).
+func (s *Server) handleRegionGet(req vxdp.Request) vxdp.Response {
+	miss := vxdp.Response{NavResult: vxdp.NavResult{OK: false}}
+	if s.cache == nil || req.Region == nil {
+		return miss
+	}
+	e := s.cache.Peek(cluster.CacheKey(*req.Region))
+	if e == nil {
+		return miss
+	}
+	reg := e.Export()
+	if reg.Empty() {
+		return miss
+	}
+	if enc, err := json.Marshal(reg); err != nil || len(enc) > cluster.MaxRegionWire {
+		return miss
+	}
+	if s.cluster != nil {
+		s.cluster.RecordL2Serve()
+	}
+	return vxdp.Response{NavResult: vxdp.NavResult{OK: true}, Tree: reg, Gen: s.cache.Generation()}
+}
+
+// handleRegionPut merges a peer-published region into the local L1.
+// Puts for any generation but the current one are ignored (OK=false):
+// the publisher lags an invalidation this node already applied, and its
+// own health loop will bring it forward.
+func (s *Server) handleRegionPut(req vxdp.Request) vxdp.Response {
+	var gen uint64
+	if s.cache != nil {
+		gen = s.cache.Generation()
+	}
+	if s.cache == nil || req.Region == nil || req.Tree == nil {
+		return vxdp.Response{NavResult: vxdp.NavResult{OK: false}, Gen: gen}
+	}
+	merged := s.cache.Absorb(cluster.CacheKey(*req.Region), req.Tree)
+	if merged && s.cluster != nil {
+		s.cluster.RecordL2Fill()
+	}
+	return vxdp.Response{NavResult: vxdp.NavResult{OK: merged}, Gen: s.cache.Generation()}
+}
+
+// handleInvalidate applies a generation broadcast: raise the cache to
+// the target epoch and, if that actually advanced it, flush the engine
+// pool exactly like a local BumpRegistry — pooled engines were built
+// against sources the fleet just declared stale.
+func (s *Server) handleInvalidate(req vxdp.Request) vxdp.Response {
+	if s.cache == nil {
+		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}
+	}
+	if s.cache.AdvanceTo(req.Gen) {
+		s.epoch.Add(1)
+		s.poolMu.Lock()
+		s.pool = nil
+		s.poolMu.Unlock()
+		if s.cluster != nil {
+			s.cluster.RecordInvalRecv()
+		}
+	}
+	return vxdp.Response{NavResult: vxdp.NavResult{OK: true}, Gen: s.cache.Generation()}
+}
+
+// --- session routing ------------------------------------------------------
+
+// proxyLink is a proxied session's private connection to the owner
+// node: one remote VXDP session whose lifetime matches the local one.
+// Distinct from the cluster's shared control link, so a slow navigation
+// cannot stall health checks or region traffic.
+type proxyLink struct {
+	owner string
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+}
+
+func (p *proxyLink) do(req vxdp.Request) (vxdp.Response, error) {
+	if err := vxdp.WriteFrame(p.w, req); err != nil {
+		return vxdp.Response{}, err
+	}
+	if err := p.w.Flush(); err != nil {
+		return vxdp.Response{}, err
+	}
+	var resp vxdp.Response
+	if err := vxdp.ReadFrame(p.r, &resp); err != nil {
+		return vxdp.Response{}, err
+	}
+	return resp, nil
+}
+
+// closeProxy tears down the proxy link, telling the owner's session to
+// end (best effort).
+func (s *session) closeProxy() {
+	if s.proxy == nil {
+		return
+	}
+	_ = vxdp.WriteFrame(s.proxy.w, vxdp.Request{Cmd: vxdp.Cmd{Op: vxdp.OpClose}})
+	_ = s.proxy.w.Flush()
+	_ = s.proxy.conn.Close()
+	s.proxy = nil
+}
+
+// openRouted handles an open frame under cluster routing. Without a
+// cluster (or in local mode, or for an open a peer already proxied to
+// us) it is a plain local open. Otherwise the query is compiled locally
+// — cheap: parse, compose, canonicalize; no source access — to obtain
+// its (view name, plan fingerprint) routing key, and the ring decides:
+//
+//   - this node owns the key → serve locally;
+//   - the owner is down       → serve locally, counted degraded;
+//   - redirect mode           → answer with the owner's address;
+//   - proxy mode              → forward the open (and every later
+//     command) to the owner; if forwarding fails, fall back to local.
+func (s *session) openRouted(req vxdp.Request) vxdp.Response {
+	cl := s.srv.cluster
+	if cl == nil || cl.Mode() == cluster.ModeLocal || req.Proxied {
+		if err := s.open(req.Query); err != nil {
+			return errResp("%v", err)
+		}
+		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}
+	}
+	if err := s.ensureEngine(); err != nil {
+		return errResp("%v", err)
+	}
+	res, err := s.eng.med.Query(req.Query)
+	if err != nil {
+		return errResp("%v", err)
+	}
+	name, fp := res.CacheKey()
+	owner := cl.Owner(name, fp)
+	serveLocal := func() vxdp.Response {
+		s.closeProxy()
+		s.installView(res)
+		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}
+	}
+	if cl.IsSelf(owner) {
+		cl.RecordOwnedLocal()
+		return serveLocal()
+	}
+	if !cl.Alive(owner) {
+		cl.RecordDegraded()
+		return serveLocal()
+	}
+	if cl.Mode() == cluster.ModeRedirect {
+		cl.RecordRedirected()
+		s.closeProxy()
+		// The local doc (if any) dies with the redirect: the client is
+		// about to redial, and open-replaces-view says old handles die.
+		s.doc = nil
+		s.handles = nil
+		return vxdp.Response{Redirect: owner}
+	}
+	resp, err := s.startProxy(owner, req.Query)
+	if err != nil || resp.Err != "" || !resp.OK {
+		// Owner unreachable or refusing (capacity, bad config): degrade
+		// to the answer this node can always give — its own sources.
+		if err != nil {
+			cl.ReportFailure(owner)
+		}
+		s.closeProxy()
+		cl.RecordDegraded()
+		return serveLocal()
+	}
+	cl.RecordProxied()
+	s.doc = nil // the view lives on the owner now
+	s.handles = nil
+	return resp
+}
+
+// startProxy establishes (or reuses) the proxy link to owner and opens
+// the view there. The forwarded open is marked Proxied so the owner
+// serves it locally no matter what its own ring says.
+func (s *session) startProxy(owner, query string) (vxdp.Response, error) {
+	if s.proxy != nil && s.proxy.owner != owner {
+		s.closeProxy()
+	}
+	if s.proxy == nil {
+		conn, err := s.srv.cluster.DialOwner(owner)
+		if err != nil {
+			return vxdp.Response{}, err
+		}
+		s.proxy = &proxyLink{owner: owner, conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	}
+	resp, err := s.proxy.do(vxdp.Request{Cmd: vxdp.Cmd{Op: vxdp.OpOpen}, Query: query, Proxied: true})
+	if err != nil {
+		s.closeProxy()
+		return vxdp.Response{}, err
+	}
+	s.proxyQuery = query
+	return resp, nil
+}
+
+// forward relays one command of a proxied session to the owner. If the
+// owner is lost mid-session the session itself survives: the peer is
+// reported down, the view is reopened locally from this node's own
+// sources, and the in-flight command gets an error telling the client
+// to restart navigation from the root — handles minted by the owner are
+// meaningless here.
+func (s *session) forward(req vxdp.Request) vxdp.Response {
+	resp, err := s.proxy.do(req)
+	if err == nil {
+		s.srv.cluster.RecordProxied()
+		return resp
+	}
+	owner := s.proxy.owner
+	s.srv.cluster.ReportFailure(owner)
+	_ = s.proxy.conn.Close()
+	s.proxy = nil
+	s.srv.cluster.RecordDegraded()
+	query := s.proxyQuery
+	s.proxyQuery = ""
+	if oerr := s.open(query); oerr != nil {
+		return errResp("cluster: owner %s lost and local reopen failed: %v", owner, oerr)
+	}
+	return errResp("cluster: owner %s lost; view reopened locally, restart navigation from root", owner)
+}

@@ -106,6 +106,21 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("mix_region_cache_bytes_saved_total", "label bytes served from the region cache", st.Cache.BytesSaved)
 		counter("mix_region_cache_evictions_total", "region cache entries dropped by budget or invalidation", st.Cache.Evictions)
 	}
+	if st.Cluster != nil {
+		gauge("mix_cluster_members", "fleet members on the consistent-hash ring", st.Cluster.Members)
+		gauge("mix_cluster_peers_up", "peers currently believed alive", st.Cluster.PeersUp)
+		gauge("mix_cluster_peers_down", "peers currently marked down", st.Cluster.PeersDown)
+		counter("mix_cluster_owned_local_total", "opens served locally because this node owns the key", st.Cluster.OwnedLocal)
+		counter("mix_cluster_proxied_total", "commands forwarded to an owner node", st.Cluster.Proxied)
+		counter("mix_cluster_redirected_total", "opens answered with a redirect to the owner", st.Cluster.Redirected)
+		counter("mix_cluster_degraded_total", "sessions served locally because their owner was down", st.Cluster.Degraded)
+		counter("mix_cluster_l2_hits_total", "region cache entry fills answered by a peer", st.Cluster.L2Hits)
+		counter("mix_cluster_l2_misses_total", "peer region fetches that found nothing", st.Cluster.L2Misses)
+		counter("mix_cluster_l2_serves_total", "peer region_get requests answered with a region", st.Cluster.L2Serves)
+		counter("mix_cluster_l2_fills_total", "peer region_put regions merged into the local cache", st.Cluster.L2Fills)
+		counter("mix_cluster_invalidations_sent_total", "invalidation broadcasts fanned out to peers", st.Cluster.InvalSent)
+		counter("mix_cluster_invalidations_recv_total", "invalidation broadcasts applied from peers", st.Cluster.InvalRecv)
+	}
 	if st.Pool != nil {
 		gauge("mix_engine_pool_idle", "engines parked for reuse", st.Pool.Idle)
 		counter("mix_engine_pool_created_total", "engines built by the mediator factory", st.Pool.Created)

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mix/internal/cluster"
 	"mix/internal/core"
 	"mix/internal/mediator"
 	"mix/internal/metrics"
@@ -95,6 +96,12 @@ type Config struct {
 	// instead of building one per session. On by default under New;
 	// off under the deprecated NewFromConfig shim.
 	EnginePool bool
+	// Cluster, when non-nil, makes this server one member of a sharded
+	// mediator fleet: opens are routed over the node's consistent-hash
+	// ring (proxied or redirected to the owning member), the peer-facing
+	// region ops are served, and registry bumps broadcast invalidations
+	// fleet-wide. Requires RegionCache (the node is built over it).
+	Cluster *cluster.Node
 
 	factory Factory
 }
@@ -130,6 +137,11 @@ func WithRegionCache(rc *regioncache.Cache) Option {
 // WithEnginePool toggles cross-session engine reuse (on by default).
 func WithEnginePool(on bool) Option { return func(c *Config) { c.EnginePool = on } }
 
+// WithCluster makes the server a member of a sharded mediator fleet
+// (see internal/cluster). The node must be built over the same region
+// cache passed to WithRegionCache.
+func WithCluster(n *cluster.Node) Option { return func(c *Config) { c.Cluster = n } }
+
 // Server is a mixd instance. Create with New, run with Serve, stop with
 // Shutdown.
 type Server struct {
@@ -156,6 +168,7 @@ type Server struct {
 	// discarded at release instead of re-pooled, so a registry change
 	// can never hand stale sources to a new session.
 	cache                   *regioncache.Cache
+	cluster                 *cluster.Node
 	epoch                   atomic.Uint64
 	poolMu                  sync.Mutex
 	pool                    []*pooledEngine
@@ -210,10 +223,14 @@ func newServer(cfg Config) (*Server, error) {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.Cluster != nil && cfg.RegionCache == nil {
+		return nil, errors.New("server: clustering requires a region cache (WithRegionCache)")
+	}
 	return &Server{
 		cfg:      cfg,
 		log:      log,
 		cache:    cfg.RegionCache,
+		cluster:  cfg.Cluster,
 		nav:      &metrics.Counters{},
 		cmdHist:  telemetry.NewRegistry(),
 		opHist:   telemetry.NewRegistry(),
@@ -292,14 +309,21 @@ func (s *Server) releaseEngine(pe *pooledEngine) {
 // against the new data). Live sessions keep their current engines and
 // their now-detached cache entries — they stay self-consistent, never
 // mixing old and new data, until they reopen.
+// Under -cluster the new generation is broadcast to every peer, so
+// region keys keep lining up fleet-wide: peers that are down converge
+// later via the health loop's generation-skew re-broadcast.
 func (s *Server) BumpRegistry() {
 	s.epoch.Add(1)
+	var gen uint64
 	if s.cache != nil {
-		s.cache.Invalidate()
+		gen = s.cache.Invalidate()
 	}
 	s.poolMu.Lock()
 	s.pool = nil
 	s.poolMu.Unlock()
+	if s.cluster != nil && s.cache != nil {
+		s.cluster.BroadcastInvalidate(gen)
+	}
 }
 
 // RegionCache returns the shared region cache (nil when caching is off).
@@ -364,18 +388,26 @@ func (s *Server) newSession(conn net.Conn) *session {
 }
 
 func (s *Server) dropSession(sess *session) {
+	// Fold the session's counters into the finished-session base FIRST
+	// — before the drop is logged and before any teardown (engine
+	// release, proxy close) that could fail or block — so no exit path
+	// can report the session gone while its navigations are still
+	// unaccounted. The snapshot is taken once and reused for the log
+	// line, so the log always matches what was folded. Folding and
+	// unmapping happen in one critical section, so Stats never
+	// double-counts the session or misses it.
+	navs := sess.nav.Snapshot()
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
-	// Fold the session's counters into the finished-session base while
-	// still holding the lock, so Stats never double-counts or misses it.
-	s.nav.Add(sess.nav.Snapshot())
+	s.nav.Add(navs)
 	s.mu.Unlock()
-	s.releaseEngine(sess.eng)
-	sess.eng = nil
 	s.active.Add(-1)
 	s.log.Info("session closed", "session", sess.id,
-		"msgs", sess.msgs.Load(), "navs", sess.nav.Navigations(),
+		"msgs", sess.msgs.Load(), "navs", navs.Navigations(),
 		"uptime", time.Since(sess.born).Round(time.Millisecond).String())
+	sess.closeProxy()
+	s.releaseEngine(sess.eng)
+	sess.eng = nil
 }
 
 // drainingNow reports whether Shutdown has been initiated.
@@ -475,6 +507,9 @@ func (s *Server) Stats() vxdp.Stats {
 			Created: s.poolCreated.Load(),
 			Reused:  s.poolReused.Load(),
 		}
+	}
+	if s.cluster != nil {
+		st.Cluster = s.cluster.Stats()
 	}
 	if ps := core.ParallelSnapshot(); ps != (core.ParallelStats{}) {
 		st.Parallel = &vxdp.ParallelStats{

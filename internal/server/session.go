@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mix/internal/buffer"
+	"mix/internal/mediator"
 	"mix/internal/metrics"
 	"mix/internal/nav"
 	"mix/internal/trace"
@@ -43,6 +44,13 @@ type session struct {
 	rec     *trace.Recorder // non-nil iff the server traces
 	handles map[uint64]nav.ID
 	nextH   uint64
+
+	// proxy, when non-nil, is the session's link to the cluster node
+	// that owns the open view: every navigation is relayed there.
+	// proxyQuery remembers the open so the view can be reopened locally
+	// if the owner is lost mid-session.
+	proxy      *proxyLink
+	proxyQuery string
 }
 
 // run is the session loop: read a frame, dispatch, respond — until the
@@ -92,7 +100,8 @@ func (s *session) run() {
 func cmdLabel(op string) string {
 	switch op {
 	case vxdp.OpOpen, vxdp.OpRoot, vxdp.OpDown, vxdp.OpRight, vxdp.OpFetch,
-		vxdp.OpSelect, vxdp.OpBatch, vxdp.OpStats, vxdp.OpTrace, vxdp.OpClose:
+		vxdp.OpSelect, vxdp.OpBatch, vxdp.OpStats, vxdp.OpTrace, vxdp.OpClose,
+		vxdp.OpPing, vxdp.OpRegionGet, vxdp.OpRegionPut, vxdp.OpInvalidate:
 		return op
 	}
 	return "other"
@@ -150,17 +159,20 @@ func errResp(format string, args ...any) vxdp.Response {
 func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 	switch req.Op {
 	case vxdp.OpOpen:
-		if err := s.open(req.Query); err != nil {
-			return errResp("%v", err), false
-		}
-		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}, false
+		return s.openRouted(req), false
 	case vxdp.OpRoot, vxdp.OpDown, vxdp.OpRight, vxdp.OpFetch, vxdp.OpSelect:
+		if s.proxy != nil {
+			return s.forward(req), false
+		}
 		if s.doc == nil {
 			return errResp("no view open (send an open frame first)"), false
 		}
 		res := s.navigate(req.Cmd, nil)
 		return vxdp.Response{NavResult: res.nr}, false
 	case vxdp.OpBatch:
+		if s.proxy != nil {
+			return s.forward(req), false
+		}
 		return s.batch(req.Cmds), false
 	case vxdp.OpStats:
 		st := s.srv.Stats()
@@ -182,6 +194,10 @@ func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 		}
 		return vxdp.Response{Stats: &st}, false
 	case vxdp.OpTrace:
+		if s.proxy != nil {
+			// The navigations happened on the owner; so did the spans.
+			return s.forward(req), false
+		}
 		if s.rec == nil {
 			// Tracing disabled (or no view open yet): an empty forest.
 			return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}, false
@@ -189,6 +205,14 @@ func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}, Trace: s.rec.Take()}, false
 	case vxdp.OpClose:
 		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}, true
+	case vxdp.OpPing:
+		return s.srv.handlePing(), false
+	case vxdp.OpRegionGet:
+		return s.srv.handleRegionGet(req), false
+	case vxdp.OpRegionPut:
+		return s.srv.handleRegionPut(req), false
+	case vxdp.OpInvalidate:
+		return s.srv.handleInvalidate(req), false
 	default:
 		return errResp("unknown op %q", req.Op), false
 	}
@@ -199,18 +223,34 @@ func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 // this session's until dropSession releases it; the shared region
 // cache behind it makes regions other sessions explored free.
 func (s *session) open(query string) error {
-	if s.eng == nil {
-		pe, err := s.srv.acquireEngine()
-		if err != nil {
-			return fmt.Errorf("creating session mediator: %v", err)
-		}
-		s.eng = pe
-		s.rec = pe.rec
+	if err := s.ensureEngine(); err != nil {
+		return err
 	}
 	res, err := s.eng.med.Query(query)
 	if err != nil {
 		return err
 	}
+	s.installView(res)
+	return nil
+}
+
+// ensureEngine acquires the session's pooled engine on first use.
+func (s *session) ensureEngine() error {
+	if s.eng != nil {
+		return nil
+	}
+	pe, err := s.srv.acquireEngine()
+	if err != nil {
+		return fmt.Errorf("creating session mediator: %v", err)
+	}
+	s.eng = pe
+	s.rec = pe.rec
+	return nil
+}
+
+// installView makes a compiled query result the session's document and
+// resets the handle table.
+func (s *session) installView(res *mediator.Result) {
 	s.opens.Add(1)
 	// Count every navigation this session answers on its own counters
 	// (folded into the server totals); with tracing on, also root a span
@@ -221,7 +261,6 @@ func (s *session) open(query string) error {
 	}
 	s.handles = map[uint64]nav.ID{}
 	s.nextH = 0
-	return nil
 }
 
 // issue registers a node ID and returns its wire handle.

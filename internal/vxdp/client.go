@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"mix/internal/nav"
+	"mix/internal/regioncache"
 	"mix/internal/trace"
 )
 
@@ -67,6 +68,11 @@ func (c *Client) Close() error {
 // message-count measure the batching experiments compare.
 func (c *Client) RoundTrips() int64 { return c.roundTrips.Load() }
 
+// ErrRemote marks errors the server reported in-band: the transport is
+// healthy, the request itself failed. Cluster health accounting keys on
+// this — errors.Is(err, ErrRemote) means the peer is alive.
+var ErrRemote = errors.New("vxdp: remote error")
+
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -82,17 +88,60 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		return Response{}, err
 	}
 	if resp.Err != "" {
-		return Response{}, errors.New("vxdp: remote: " + resp.Err)
+		return Response{}, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
 	}
 	return resp, nil
 }
 
+// maxRedirects bounds redirect chains on open, so a misconfigured ring
+// (two nodes each claiming the other owns a key) cannot loop a client
+// forever.
+const maxRedirects = 4
+
 // Open compiles the XMAS query on the server and makes its virtual
 // answer the session's document. Opening a second view in the same
 // session replaces the first (all previously issued handles die).
+//
+// Against a clustered server in redirect mode, Open transparently
+// follows the redirect: it redials the owner node, swaps the session's
+// connection, and resends the open there — so every later navigation
+// goes straight to the node whose L1 cache holds the view's regions.
 func (c *Client) Open(query string) error {
-	_, err := c.roundTrip(Request{Cmd: Cmd{Op: OpOpen}, Query: query})
-	return err
+	for hop := 0; ; hop++ {
+		resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpOpen}, Query: query})
+		if err != nil {
+			return err
+		}
+		if resp.Redirect == "" {
+			return nil
+		}
+		if hop >= maxRedirects {
+			return fmt.Errorf("vxdp: open redirected more than %d times (last to %s)", maxRedirects, resp.Redirect)
+		}
+		if err := c.redial(resp.Redirect); err != nil {
+			return err
+		}
+	}
+}
+
+// redial swaps the session's connection for one to addr (best-effort
+// close of the old session first). Handles issued before the swap are
+// dead — exactly the open-replaces-view contract.
+func (c *Client) redial(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("vxdp: following redirect to %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	old := c.conn
+	_ = WriteFrame(c.w, Request{Cmd: Cmd{Op: OpClose}})
+	_ = c.w.Flush()
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	c.mu.Unlock()
+	_ = old.Close()
+	return nil
 }
 
 // handle extracts the wire handle of an ID issued by this client.
@@ -175,6 +224,44 @@ func (c *Client) Trace() ([]*trace.Span, error) {
 		return nil, err
 	}
 	return resp.Trace, nil
+}
+
+// Ping probes the server: a liveness check that also returns the
+// server's region-cache generation. It is the cluster health probe.
+func (c *Client) Ping() (gen uint64, err error) {
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpPing}})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Gen, nil
+}
+
+// RegionGet fetches the server's explored region under key (nil = the
+// server knows nothing under that exact key).
+func (c *Client) RegionGet(key RegionKey) (*regioncache.Region, error) {
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpRegionGet}, Region: &key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tree, nil
+}
+
+// RegionPut merges an explored region into the server's cache under
+// key. The server ignores puts for generations it has moved past.
+func (c *Client) RegionPut(key RegionKey, tree *regioncache.Region) error {
+	_, err := c.roundTrip(Request{Cmd: Cmd{Op: OpRegionPut}, Region: &key, Tree: tree})
+	return err
+}
+
+// Invalidate asks the server to raise its region-cache generation to
+// gen (a no-op when it is already there or past it) and returns the
+// server's resulting generation.
+func (c *Client) Invalidate(gen uint64) (uint64, error) {
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpInvalidate}, Gen: gen})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Gen, nil
 }
 
 // Stats fetches the server's introspection snapshot.
@@ -287,7 +374,7 @@ func (b *Batch) Run() ([]Result, error) {
 	out := make([]Result, len(resp.Results))
 	for i, r := range resp.Results {
 		if r.Err != "" {
-			return nil, errors.New("vxdp: remote: " + r.Err)
+			return nil, fmt.Errorf("%w: %s", ErrRemote, r.Err)
 		}
 		out[i] = Result{Label: r.Label, OK: r.OK}
 		if r.OK && b.cmds[i].Op != OpFetch {

@@ -30,6 +30,14 @@
 //	{"op":"trace"}                   → spans recorded since the last trace
 //	{"op":"close"}                   end the session
 //
+// Cluster peers (mixd -cluster) speak four more ops on ordinary
+// sessions — the L2 region protocol and the health probe:
+//
+//	{"op":"ping"}                    → ok + the node's cache generation
+//	{"op":"region_get","region":K}   → explored region under key K, or ⊥
+//	{"op":"region_put","region":K,"tree":R}   merge region R into K
+//	{"op":"invalidate","gen":G}      raise the cache generation to G
+//
 // and responses are
 //
 //	{"ok":true,"id":H}               a node handle
@@ -55,6 +63,7 @@ import (
 	"fmt"
 	"io"
 
+	"mix/internal/regioncache"
 	"mix/internal/trace"
 )
 
@@ -79,6 +88,15 @@ const (
 	OpStats  = "stats"
 	OpTrace  = "trace"
 	OpClose  = "close"
+
+	// Cluster operations (mixd -cluster; see internal/cluster). ping is
+	// the peer health probe; region_get/region_put move explored regions
+	// between the nodes' caches (the L2 tier); invalidate broadcasts a
+	// generation bump so every node's cache lands on the same epoch.
+	OpPing       = "ping"
+	OpRegionGet  = "region_get"
+	OpRegionPut  = "region_put"
+	OpInvalidate = "invalidate"
 )
 
 // Cmd is one navigation command, either standalone or as a batch step.
@@ -96,11 +114,31 @@ type Cmd struct {
 	Self  bool   `json:"self,omitempty"`
 }
 
+// RegionKey identifies one cached region on the wire: the full
+// regioncache key, generation included, so a peer can only ever answer
+// with data from the exact epoch the asker is pinned to.
+type RegionKey struct {
+	Gen         uint64 `json:"gen"`
+	Registry    uint64 `json:"reg"`
+	Name        string `json:"name"`
+	Fingerprint string `json:"fp"`
+}
+
 // Request is a client→server frame.
 type Request struct {
 	Cmd
 	Query string `json:"query,omitempty"` // open
 	Cmds  []Cmd  `json:"cmds,omitempty"`  // batch
+	// Region keys a region_get/region_put; Tree carries the region_put
+	// payload (the asker's explored region, merged into the owner's L1).
+	Region *RegionKey          `json:"region,omitempty"`
+	Tree   *regioncache.Region `json:"tree,omitempty"`
+	// Gen is the target generation of an invalidate broadcast.
+	Gen uint64 `json:"gen,omitempty"`
+	// Proxied marks an open forwarded by a cluster peer: the receiver
+	// must serve it locally, never re-proxy or redirect, so a
+	// misconfigured ring cannot bounce a session between nodes.
+	Proxied bool `json:"proxied,omitempty"`
 }
 
 // NavResult is the outcome of one navigation command.
@@ -119,6 +157,16 @@ type Response struct {
 	Results []NavResult   `json:"results,omitempty"` // batch
 	Stats   *Stats        `json:"stats,omitempty"`   // stats
 	Trace   []*trace.Span `json:"trace,omitempty"`   // trace
+	// Redirect, on an open response from a clustered server in redirect
+	// mode, names the owner node's address: the client should redial
+	// there and resend the open. Redirect-unaware clients never see it —
+	// the server proxies for them instead.
+	Redirect string `json:"redirect,omitempty"`
+	// Tree is a region_get hit: the owner's explored region for the
+	// requested key (absent = miss).
+	Tree *regioncache.Region `json:"tree,omitempty"`
+	// Gen is the responder's cache generation (ping, invalidate).
+	Gen uint64 `json:"gen,omitempty"`
 }
 
 // Stats is the server introspection snapshot returned by the stats
@@ -147,6 +195,29 @@ type Stats struct {
 	// Parallel, present when any join has derived its inputs
 	// concurrently, reports the parallel-derivation counters.
 	Parallel *ParallelStats `json:"parallel,omitempty"`
+	// Cluster, present when the server runs as a cluster node, reports
+	// ring routing, proxying, and L2 region-cache traffic.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats mirrors cluster.Stats on the wire: how sessions were
+// routed across the ring, how the peer fleet is doing, and how the L2
+// region tier performed.
+type ClusterStats struct {
+	Self       string `json:"self"`
+	Members    int64  `json:"members"`
+	PeersUp    int64  `json:"peers_up"`
+	PeersDown  int64  `json:"peers_down"`
+	OwnedLocal int64  `json:"owned_local"` // opens whose key this node owns
+	Proxied    int64  `json:"proxied"`     // commands forwarded to an owner
+	Redirected int64  `json:"redirected"`  // opens answered with a redirect
+	Degraded   int64  `json:"degraded"`    // opens served locally because the owner was down
+	L2Hits     int64  `json:"l2_hits"`     // entry fills answered by a peer
+	L2Misses   int64  `json:"l2_misses"`   // peer fetches that found nothing
+	L2Serves   int64  `json:"l2_serves"`   // region_get requests answered with a region
+	L2Fills    int64  `json:"l2_fills"`    // region_put regions merged from peers
+	InvalSent  int64  `json:"inval_sent"`  // invalidation broadcasts fanned out
+	InvalRecv  int64  `json:"inval_recv"`  // invalidation broadcasts applied
 }
 
 // ParallelStats mirrors core.ParallelStats on the wire: joins whose two
