@@ -6,7 +6,8 @@
 //	lxpd -addr :7070 -demo books -n 5000
 //	mixq -src amazon=lxp://localhost:7070/doc -q '...'
 //
-// -log-level and -log-json shape the structured log on stderr.
+// -log-level and -log-json shape the structured log on stderr;
+// -slow-ms warn-logs requests that take at least that long to serve.
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	chunk := flag.Int("chunk", 20, "children per fill (0 = all at once)")
 	inline := flag.Int("inline", 64, "max subtree size returned inline (0 = always inline)")
 	grace := flag.Duration("grace", 5*time.Second, "drain deadline for graceful shutdown")
+	slowMs := flag.Int("slow-ms", 0, "warn-log requests that take at least this long to serve (0 = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
@@ -76,6 +78,10 @@ func main() {
 	logger.Info("serving", "addr", l.Addr().String(),
 		"nodes", doc.Size(), "chunk", *chunk, "inline", *inline)
 	srv := lxp.NewTCPServer(&lxp.TreeServer{Tree: doc, Chunk: *chunk, InlineLimit: *inline})
+	if *slowMs > 0 {
+		srv.SlowThreshold = time.Duration(*slowMs) * time.Millisecond
+		srv.Logger = logger
+	}
 
 	// On SIGINT/SIGTERM: stop accepting, drain in-flight connections
 	// with a deadline, exit 0.

@@ -39,13 +39,13 @@ func main() {
 	id := flag.String("e", "", "run a single experiment (E1…E10)")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	mem := flag.Bool("mem", false, "report per-experiment allocation and GC-pause deltas")
-	clusterOnly := flag.Bool("cluster", false, "run only the clustered fleet experiment (E15)")
+	clusterOnly := flag.Bool("cluster", false, "run only the clustered fleet experiments (E15, E16)")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	flag.Parse()
 
 	ids := experiments.IDs()
 	if *clusterOnly {
-		ids = []string{"E15"}
+		ids = []string{"E15", "E16"}
 	}
 	if *id != "" {
 		ids = []string{*id}

@@ -29,9 +29,14 @@
 // the README's Clustering quick start). All fleet members must be
 // configured with identical -src/-view sets, in the same order.
 //
-// Observability: -http addr serves /metrics (Prometheus), /healthz, and
-// /debug/pprof/*; -trace enables per-session navigation tracing (the
-// wire trace command and per-operator latency histograms); -log-level
+// Observability: -http addr serves /metrics (Prometheus), /healthz,
+// /debug/slow (the slow-navigation flight ring; ?format=text renders
+// span trees) and /debug/pprof/*; -trace enables per-session navigation
+// tracing (the wire trace command, per-operator latency histograms,
+// and — under -cluster — fleet tracing: trace contexts propagate across
+// proxy hops and region traffic, so mixq -trace renders one stitched
+// forest with node= tags); -slow-ms sets the flight-recorder threshold
+// (0 retains every traced root, negative disables the ring); -log-level
 // and -log-json shape the structured log on stderr.
 package main
 
@@ -91,7 +96,9 @@ func main() {
 	lifetime := flag.Duration("lifetime", 0, "evict sessions this long after accept (0 = never)")
 	grace := flag.Duration("grace", 5*time.Second, "drain deadline for graceful shutdown")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
-	traceOn := flag.Bool("trace", false, "record per-session navigation traces (wire trace command, operator histograms)")
+	traceOn := flag.Bool("trace", false, "record per-session navigation traces (wire trace command, operator histograms, fleet trace propagation)")
+	slowMs := flag.Int("slow-ms", 100, "retain traced roots at least this slow in the flight ring (/debug/slow, wire slow command); 0 = all, negative = off")
+	slowRing := flag.Int("slow-ring", 0, "slow-navigation flight-ring capacity (0 = default)")
 	cacheMax := flag.Int64("cache-max-bytes", 64<<20, "region cache budget in bytes; LRU-evicts whole entries over it (0 = unlimited)")
 	cacheOff := flag.Bool("cache-off", false, "disable the cross-session region cache entirely")
 	hashJoin := flag.Bool("hash-join", true, "compile equi-joins to the incremental hash join (false = always nested loops)")
@@ -182,6 +189,7 @@ func main() {
 		server.WithMaxLifetime(*lifetime),
 		server.WithLogger(logger),
 		server.WithTrace(*traceOn),
+		server.WithSlowNav(time.Duration(*slowMs)*time.Millisecond, *slowRing),
 		server.WithSourceCounters(sourceCounters),
 	}
 	var rc *regioncache.Cache

@@ -19,8 +19,14 @@
 // -trace records the fan-out behind every client navigation: with -i
 // each command is followed by its span tree (operator pulls down to
 // source navigations, with latencies); otherwise a per-operator summary
-// is printed after evaluation. With -connect the trace comes from the
-// server (which must run with mixd -trace).
+// is printed after evaluation. With -connect the session is
+// fleet-traced: every command carries a trace context, the server (run
+// with mixd -trace) sends back the spans it recorded serving it —
+// across proxy hops and peers when clustered — and mixq stitches them
+// under its own client spans, rendering ONE forest whose spans are
+// node=-tagged with the fleet member that recorded them. -slow dumps
+// the server's slow-navigation flight ring (with -connect; the query
+// is then optional).
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -65,6 +72,7 @@ func main() {
 	plan := flag.Bool("plan", false, "print the final algebra plan")
 	stats := flag.Bool("stats", false, "print per-source navigation counts")
 	traceOn := flag.Bool("trace", false, "print the operator/source fan-out behind each navigation")
+	slowDump := flag.Bool("slow", false, "with -connect: dump the server's slow-navigation flight ring after the query (query optional)")
 	flag.Parse()
 
 	query := *q
@@ -75,7 +83,7 @@ func main() {
 		}
 		query = string(data)
 	}
-	if strings.TrimSpace(query) == "" {
+	if strings.TrimSpace(query) == "" && !(*slowDump && *connect != "") {
 		fmt.Fprintln(os.Stderr, "mixq: no query; use -q or -f (and see -help)")
 		os.Exit(2)
 	}
@@ -84,10 +92,13 @@ func main() {
 		if len(srcs) > 0 || len(views) > 0 || *eager || *plan {
 			fatal(fmt.Errorf("-connect navigates the server's sources and views; -src/-view/-eager/-plan do not apply"))
 		}
-		if err := runRemote(*connect, query, *first, *interactive, *stats, *traceOn); err != nil {
+		if err := runRemote(*connect, query, *first, *interactive, *stats, *traceOn, *slowDump); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *slowDump {
+		fatal(fmt.Errorf("-slow reads a server's flight ring; it needs -connect"))
 	}
 
 	m := mediator.New(mediator.DefaultOptions())
@@ -213,6 +224,7 @@ func printForest(out io.Writer, roots []*trace.Span) {
 		}
 		fmt.Fprintln(out)
 	}
+	printNodes(out, roots)
 }
 
 // printSummary renders the per-(operator, command) aggregation of a
@@ -227,16 +239,51 @@ func printSummary(out io.Writer, roots []*trace.Span) {
 		fmt.Fprintf(out, "  %-28s %-6s %6d %s\n", s.Label, s.Op, s.Count, s.Total.Round(time.Microsecond))
 	}
 	fmt.Fprintf(out, "source navigations: %d\n", trace.SourceNavigations(roots))
+	printNodes(out, roots)
+}
+
+// printNodes renders the per-node span totals of a stitched fleet
+// forest ("nodes: addr1=n addr2=m", sorted); silent for purely local
+// traces, whose spans carry no node tags.
+func printNodes(out io.Writer, roots []*trace.Span) {
+	totals := trace.NodeTotals(roots)
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Fprint(out, "nodes:")
+	for _, name := range names {
+		fmt.Fprintf(out, " %s=%d", name, totals[name])
+	}
+	fmt.Fprintln(out)
 }
 
 // runRemote opens the query as a session on a mixd server and
-// navigates the remote virtual answer.
-func runRemote(addr, query string, first int, interactive, stats, traceOn bool) error {
+// navigates the remote virtual answer. With traceOn the session is
+// fleet-traced client-side: a local recorder roots a span per command
+// and the spans the fleet returns are stitched under it, so the
+// rendered forest is the single cross-node tree.
+func runRemote(addr, query string, first int, interactive, stats, traceOn, slowDump bool) error {
 	client, err := vxdp.Dial(addr)
 	if err != nil {
 		return fmt.Errorf("dialing %s: %w", addr, err)
 	}
 	defer client.Close()
+	var rec *trace.Recorder
+	if traceOn {
+		rec = trace.New()
+		client.SetTracer(rec)
+	}
+	if strings.TrimSpace(query) == "" {
+		// -slow without a query: just dump the ring.
+		return dumpSlow(os.Stdout, client)
+	}
 	if err := client.Open(query); err != nil {
 		return err
 	}
@@ -248,14 +295,13 @@ func runRemote(addr, query string, first int, interactive, stats, traceOn bool) 
 		var after func(io.Writer)
 		if traceOn {
 			after = func(w io.Writer) {
-				roots, err := client.Trace()
-				if err != nil {
-					fmt.Fprintf(w, "trace: %v\n", err)
+				roots := rec.Take()
+				if len(roots) == 0 {
+					fmt.Fprintln(w, "trace: empty")
 					return
 				}
-				if len(roots) == 0 {
-					fmt.Fprintln(w, "trace: empty (is the server running with mixd -trace?)")
-					return
+				if !stitched(roots) {
+					fmt.Fprintln(w, "trace: client spans only (is the server running with mixd -trace?)")
 				}
 				printForest(w, roots)
 			}
@@ -273,14 +319,19 @@ func runRemote(addr, query string, first int, interactive, stats, traceOn bool) 
 	}
 	fmt.Print(xmltree.MarshalIndent(answer))
 	if traceOn {
-		roots, err := client.Trace()
-		if err != nil {
-			return err
-		}
+		roots := rec.Take()
 		if len(roots) == 0 {
-			fmt.Fprintln(os.Stderr, "\ntrace: empty (is the server running with mixd -trace?)")
+			fmt.Fprintln(os.Stderr, "\ntrace: empty")
 		} else {
+			if !stitched(roots) {
+				fmt.Fprintln(os.Stderr, "\ntrace: client spans only (is the server running with mixd -trace?)")
+			}
 			printSummary(os.Stderr, roots)
+		}
+	}
+	if slowDump {
+		if err := dumpSlow(os.Stderr, client); err != nil {
+			return err
 		}
 	}
 	if stats {
@@ -289,6 +340,36 @@ func runRemote(addr, query string, first int, interactive, stats, traceOn bool) 
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "\nround trips: %d\nserver: %s\n", client.RoundTrips(), st)
+	}
+	return nil
+}
+
+// stitched reports whether any root received server-side children — the
+// signal that the fleet actually returned spans to graft.
+func stitched(roots []*trace.Span) bool {
+	for _, sp := range roots {
+		if len(sp.Children) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dumpSlow renders the server's slow-navigation flight ring.
+func dumpSlow(out io.Writer, client *vxdp.Client) error {
+	slow, err := client.Slow()
+	if err != nil {
+		return fmt.Errorf("slow: %w", err)
+	}
+	if len(slow) == 0 {
+		fmt.Fprintln(out, "slow: ring empty (server untraced, threshold unmet, or nothing slow yet)")
+		return nil
+	}
+	fmt.Fprintf(out, "slow navigations retained: %d\n", len(slow))
+	for _, sn := range slow {
+		fmt.Fprintf(out, "\n#%d %s node=%s dur=%s\n", sn.Seq,
+			time.UnixMilli(sn.UnixMs).UTC().Format(time.RFC3339), sn.Node, time.Duration(sn.DurNs))
+		fmt.Fprint(out, trace.Format([]*trace.Span{sn.Root}))
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mix/internal/regioncache"
+	"mix/internal/trace"
 	"mix/internal/vxdp"
 )
 
@@ -205,6 +206,18 @@ func (n *Node) Stop() {
 
 // Self returns this node's advertised address.
 func (n *Node) Self() string { return n.cfg.Self }
+
+// SetTracer makes the node's peer control links fleet-traced: each link
+// gets its own recorder from mk (one per link — concurrent peers
+// sharing a recorder would interleave span stacks), so cross-node L2
+// fetches and invalidation fans record peer-labelled spans that ride
+// back in responses for stitching. Call before Start; a nil mk leaves
+// tracing off.
+func (n *Node) SetTracer(mk func() *trace.Recorder) {
+	for _, p := range n.peers {
+		p.setTracer(mk)
+	}
+}
 
 // Mode returns the routing mode.
 func (n *Node) Mode() Mode { return n.cfg.Mode }
@@ -489,9 +502,20 @@ type peer struct {
 	mu           sync.Mutex
 	conn         net.Conn
 	client       *vxdp.Client
+	mkTracer     func() *trace.Recorder // nil = untraced link
 	fails        int
 	backoff      time.Duration
 	backoffUntil time.Time
+}
+
+// setTracer installs (or clears) the recorder factory used when the
+// control link is (re)dialed. The current link, if any, is dropped so
+// the next call picks up a traced client.
+func (p *peer) setTracer(mk func() *trace.Recorder) {
+	p.mu.Lock()
+	p.mkTracer = mk
+	p.dropLinkLocked()
+	p.mu.Unlock()
 }
 
 func newPeer(addr string, cfg Config) *peer {
@@ -527,6 +551,12 @@ func (p *peer) do(f func(*vxdp.Client) error) error {
 		}
 		p.conn = conn
 		p.client = vxdp.NewClient(conn)
+		if p.mkTracer != nil {
+			if rec := p.mkTracer(); rec != nil {
+				p.client.SetTracer(rec)
+				p.client.SetTraceLabel(trace.PeerLabel)
+			}
+		}
 	}
 	_ = p.conn.SetDeadline(time.Now().Add(p.callTimeout))
 	err := f(p.client)

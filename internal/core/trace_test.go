@@ -141,3 +141,62 @@ func TestUntracedEngineHasNoWrappers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFleetIdentityReachesEngineRoots pins the contract the server's
+// fleet path relies on: arm a session recorder with a remote trace
+// context (and a node name) before a client command enters the engine,
+// and every root the engine's fan-out produces carries the fleet
+// identity — remotely parented, node-tagged, with a minted span id —
+// while interior operator/source spans stay local (no wire bytes).
+func TestFleetIdentityReachesEngineRoots(t *testing.T) {
+	homes, schools := workload.HomesSchools(5, 5, 2, 3)
+	rec := trace.New()
+	rec.Node = "owner-node"
+	e := New(DefaultOptions())
+	e.SetTracer(rec)
+	e.Register("homesSrc", nav.NewTreeDoc(homes))
+	e.Register("schoolsSrc", nav.NewTreeDoc(schools))
+	q, err := e.Compile(workload.HomesSchoolsPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := trace.NewDoc(q.Document(), trace.ClientLabel, rec)
+
+	remote := trace.Context{TraceID: trace.NewTraceID(), SpanID: 4242}
+	rec.SetRemoteParent(remote)
+	root, err := doc.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Down(root); err != nil {
+		t.Fatal(err)
+	}
+	rec.ClearRemoteParent()
+
+	roots := rec.Take()
+	if len(roots) == 0 {
+		t.Fatal("no roots recorded")
+	}
+	var check func(sp *trace.Span, isRoot bool)
+	check = func(sp *trace.Span, isRoot bool) {
+		if isRoot {
+			if sp.Parent != remote.SpanID {
+				t.Fatalf("root %s Parent = %d, want %d", sp.Label, sp.Parent, remote.SpanID)
+			}
+			if sp.ID == 0 {
+				t.Fatalf("root %s has no fleet span id", sp.Label)
+			}
+			if sp.Node != "owner-node" {
+				t.Fatalf("root %s Node = %q, want owner-node", sp.Label, sp.Node)
+			}
+		} else if sp.ID != 0 || sp.Parent != 0 || sp.Node != "" {
+			t.Fatalf("interior span %s carries fleet identity: %+v", sp.Label, sp)
+		}
+		for _, c := range sp.Children {
+			check(c, false)
+		}
+	}
+	for _, r := range roots {
+		check(r, true)
+	}
+}

@@ -102,6 +102,7 @@ var registry = map[string]func() Table{
 	"E13": E13ParallelPipeline,
 	"E14": E14AllocationPaths,
 	"E15": E15ClusterL2,
+	"E16": E16FleetTracing,
 }
 
 // IDs returns all experiment ids in order.

@@ -8,10 +8,10 @@ import (
 
 func TestIDsAndRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
-		t.Fatalf("want 15 experiments, got %v", ids)
+	if len(ids) != 16 {
+		t.Fatalf("want 16 experiments, got %v", ids)
 	}
-	if ids[0] != "E1" || ids[14] != "E15" {
+	if ids[0] != "E1" || ids[15] != "E16" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 	if _, err := Run("E99"); err == nil {
@@ -253,5 +253,35 @@ func TestE15Shape(t *testing.T) {
 	// The cross-node warm session must have filled over the wire.
 	if l2 := col(t, tb, 3, 3); l2 == 0 {
 		t.Fatal("warm cross-node session recorded no L2 hits")
+	}
+}
+
+func TestE16Shape(t *testing.T) {
+	tb := E16FleetTracing()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Tracing is free in navigation terms: identical client commands and
+	// identical fleet-wide source navigations either way.
+	if off, on := col(t, tb, 0, 1), col(t, tb, 1, 1); off != on {
+		t.Fatalf("client cmds differ: off=%d on=%d", off, on)
+	}
+	if off, on := col(t, tb, 0, 2), col(t, tb, 1, 2); off != on {
+		t.Fatalf("source navs differ: off=%d on=%d", off, on)
+	}
+	// Only the traced session yields spans — one stitched forest that
+	// covers both the entry and owner nodes and attributes every source
+	// navigation.
+	if got := col(t, tb, 0, 3); got != 0 {
+		t.Fatalf("untraced session recorded %d spans", got)
+	}
+	if spans, srcSpans := col(t, tb, 1, 3), col(t, tb, 1, 4); spans == 0 || srcSpans == 0 {
+		t.Fatalf("traced session: spans=%d src spans=%d", spans, srcSpans)
+	}
+	if srcSpans, navs := col(t, tb, 1, 4), col(t, tb, 1, 2); srcSpans != navs {
+		t.Fatalf("src spans = %d, counted source navs = %d", srcSpans, navs)
+	}
+	if nodes := col(t, tb, 1, 5); nodes < 2 {
+		t.Fatalf("stitched forest covers %d nodes, want >= 2", nodes)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -18,6 +19,13 @@ import (
 type TCPServer struct {
 	// Srv answers the protocol requests.
 	Srv Server
+	// SlowThreshold, when > 0, logs every request that took at least
+	// this long to serve — the wrapper-side counterpart of mixd's
+	// slow-navigation flight recorder, so a slow fleet trace whose time
+	// sits under src: spans can be chased into the wrapper's own log.
+	SlowThreshold time.Duration
+	// Logger receives the slow-request warnings (slog.Default when nil).
+	Logger *slog.Logger
 
 	mu       sync.Mutex
 	l        net.Listener
@@ -97,8 +105,17 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 			// Closed, corrupted, or woken by Shutdown's deadline.
 			return
 		}
+		start := time.Now()
 		if err := writeResponse(w, req, t.Srv); err != nil {
 			return
+		}
+		if d := time.Since(start); t.SlowThreshold > 0 && d >= t.SlowThreshold {
+			log := t.Logger
+			if log == nil {
+				log = slog.Default()
+			}
+			log.Warn("lxp: slow request", "op", req.Op, "uri", req.URI,
+				"ids", len(req.IDs), "dur", d.Round(time.Microsecond).String())
 		}
 		if err := w.Flush(); err != nil {
 			return

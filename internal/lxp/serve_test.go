@@ -2,7 +2,10 @@ package lxp
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -112,3 +115,53 @@ func (s *slowServer) GetRoot(uri string) (string, error) {
 }
 
 func (s *slowServer) Fill(id string) ([]*xmltree.Tree, error) { return s.inner.Fill(id) }
+
+// TestTCPServerSlowRequestLogging: with a threshold set, every request
+// at least that slow is warn-logged with its op and latency — the
+// wrapper-side counterpart of mixd's slow-navigation flight recorder.
+func TestTCPServerSlowRequestLogging(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(lockedWriter{&buf, &mu}, nil))
+	srv := NewTCPServer(&TreeServer{Tree: demoTree(), Chunk: 4, InlineLimit: 2})
+	srv.SlowThreshold = time.Nanosecond // everything is slow
+	srv.Logger = logger
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetRoot("u"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-done
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "slow request") || !strings.Contains(out, "op=get_root") {
+		t.Fatalf("slow request not logged:\n%s", out)
+	}
+}
+
+// lockedWriter serializes handler writes against the test's read.
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

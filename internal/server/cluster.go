@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"net"
+	"time"
 
 	"mix/internal/cluster"
+	"mix/internal/trace"
 	"mix/internal/vxdp"
 )
 
@@ -71,6 +73,25 @@ func (s *Server) handleRegionPut(req vxdp.Request) vxdp.Response {
 	return vxdp.Response{NavResult: vxdp.NavResult{OK: merged}, Gen: s.cache.Generation()}
 }
 
+// traced wraps a peer-facing region op in a one-shot span when the
+// request carries a trace context: the serving side of cross-node L2
+// traffic shows up in the caller's stitched fleet trace as a
+// cluster-labelled span on this node. Region ops are session-stateless,
+// so the recorder is ephemeral — no per-session recorder to collide
+// with. Untraced peers (and untracing servers) go straight through.
+func (s *Server) traced(ctx *trace.Context, op string, f func() vxdp.Response) vxdp.Response {
+	if ctx == nil || !s.cfg.Trace {
+		return f()
+	}
+	rec := s.newRecorder()
+	rec.SetRemoteParent(*ctx)
+	sp, _ := rec.BeginContext(trace.ClusterLabel, op)
+	resp := f()
+	rec.End(sp)
+	resp.Spans = rec.Take()
+	return resp
+}
+
 // handleInvalidate applies a generation broadcast: raise the cache to
 // the target epoch and, if that actually advanced it, flush the engine
 // pool exactly like a local BumpRegistry — pooled engines were built
@@ -89,6 +110,17 @@ func (s *Server) handleInvalidate(req vxdp.Request) vxdp.Response {
 		}
 	}
 	return vxdp.Response{NavResult: vxdp.NavResult{OK: true}, Gen: s.cache.Generation()}
+}
+
+// proxyTracedOp reports whether a forwarded command gets a proxy span:
+// the navigation commands and batches. Introspection forwards (trace)
+// must not open spans — they would pollute the forest they fetch.
+func proxyTracedOp(op string) bool {
+	switch op {
+	case vxdp.OpRoot, vxdp.OpDown, vxdp.OpRight, vxdp.OpFetch, vxdp.OpSelect, vxdp.OpBatch:
+		return true
+	}
+	return false
 }
 
 // --- session routing ------------------------------------------------------
@@ -149,6 +181,13 @@ func (s *session) openRouted(req vxdp.Request) vxdp.Response {
 		}
 		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}
 	}
+	// The ring is about to decide; record how long the whole routed open
+	// takes under the decision it lands on (degraded fallbacks count as
+	// local — the client got a locally served view either way). This is
+	// the mix_cluster_route_duration_seconds family.
+	start := time.Now()
+	mode := "local"
+	defer func() { s.srv.routeHist.Histogram(mode).Observe(time.Since(start)) }()
 	if err := s.ensureEngine(); err != nil {
 		return errResp("%v", err)
 	}
@@ -172,6 +211,7 @@ func (s *session) openRouted(req vxdp.Request) vxdp.Response {
 		return serveLocal()
 	}
 	if cl.Mode() == cluster.ModeRedirect {
+		mode = "redirect"
 		cl.RecordRedirected()
 		s.closeProxy()
 		// The local doc (if any) dies with the redirect: the client is
@@ -191,6 +231,7 @@ func (s *session) openRouted(req vxdp.Request) vxdp.Response {
 		cl.RecordDegraded()
 		return serveLocal()
 	}
+	mode = "proxy"
 	cl.RecordProxied()
 	s.doc = nil // the view lives on the owner now
 	s.handles = nil
@@ -226,11 +267,47 @@ func (s *session) startProxy(owner, query string) (vxdp.Response, error) {
 // sources, and the in-flight command gets an error telling the client
 // to restart navigation from the root — handles minted by the owner are
 // meaningless here.
+//
+// On a tracing node the hop itself is a span: the proxy opens a span
+// labelled trace.ProxyLabel (parented under the client's context when
+// it sent one), rewrites the forwarded trace context to that span, and
+// stitches the subtree the owner returns under it BEFORE ending — so
+// the flight recorder and any trace reader see the full cross-node
+// tree as one unit. If the original client was tracing, the stitched
+// forest is drained back into the response for the client to graft in
+// turn.
 func (s *session) forward(req vxdp.Request) vxdp.Response {
+	var sp *trace.Span
+	clientCtx := req.TraceCtx
+	if s.rec != nil && proxyTracedOp(req.Op) {
+		if clientCtx != nil {
+			s.rec.SetRemoteParent(*clientCtx)
+		}
+		var ctx trace.Context
+		sp, ctx = s.rec.BeginContext(trace.ProxyLabel, req.Op)
+		s.rec.ClearRemoteParent()
+		req.TraceCtx = &ctx
+	}
 	resp, err := s.proxy.do(req)
 	if err == nil {
+		if sp != nil {
+			if len(resp.Spans) > 0 {
+				trace.Stitch(sp, resp.Spans)
+				resp.Spans = nil
+			}
+			s.rec.End(sp)
+			if clientCtx != nil {
+				resp.Spans = s.rec.Take()
+			}
+		}
 		s.srv.cluster.RecordProxied()
 		return resp
+	}
+	if sp != nil {
+		// The hop failed mid-span: close it (it stays in the recorder as
+		// an orphan the next trace fetch will surface — a useful breadcrumb
+		// for exactly this failure) and fall through to the degrade path.
+		s.rec.End(sp)
 	}
 	owner := s.proxy.owner
 	s.srv.cluster.ReportFailure(owner)

@@ -1,14 +1,17 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"time"
 
 	"mix/internal/lxp"
 	"mix/internal/pathexpr"
 	"mix/internal/telemetry"
+	"mix/internal/trace"
 	"mix/internal/vxdp"
 	"mix/internal/xmltree"
 )
@@ -21,11 +24,14 @@ import (
 //	                 counters, and latency histograms (per wire command
 //	                 always; per operator when tracing is on)
 //	/healthz         200 "ok", or 503 "draining" once Shutdown began
+//	/debug/slow      the slow-navigation flight ring: JSON by default,
+//	                 rendered span trees with ?format=text
 //	/debug/pprof/*   the standard runtime profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/healthz", s.serveHealth)
+	mux.HandleFunc("/debug/slow", s.serveSlow)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -41,6 +47,33 @@ func (s *Server) serveHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// serveSlow dumps the slow-navigation flight ring. JSON (the wire
+// SlowNav shape) by default; ?format=text renders each retained root as
+// an indented span tree headed by when it happened and how slow it was.
+func (s *Server) serveSlow(w http.ResponseWriter, r *http.Request) {
+	resp := s.handleSlow()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.flight == nil {
+			fmt.Fprintln(w, "slow-navigation recorder disabled (start mixd with -trace; -slow-ms >= 0)")
+			return
+		}
+		fmt.Fprintf(w, "slow navigations: %d recorded, %d retained (threshold %s)\n",
+			s.flight.Total(), len(resp.Slow), s.flight.Threshold())
+		for _, sn := range resp.Slow {
+			fmt.Fprintf(w, "\n#%d %s node=%s dur=%s\n", sn.Seq,
+				time.UnixMilli(sn.UnixMs).UTC().Format(time.RFC3339Nano), sn.Node, time.Duration(sn.DurNs))
+			fmt.Fprint(w, trace.Format([]*trace.Span{sn.Root}))
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Total int64          `json:"total"`
+		Slow  []vxdp.SlowNav `json:"slow"`
+	}{Total: s.flight.Total(), Slow: resp.Slow})
 }
 
 func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -121,6 +154,9 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("mix_cluster_invalidations_sent_total", "invalidation broadcasts fanned out to peers", st.Cluster.InvalSent)
 		counter("mix_cluster_invalidations_recv_total", "invalidation broadcasts applied from peers", st.Cluster.InvalRecv)
 	}
+	if s.cfg.Trace {
+		counter("mix_slow_navigations_total", "traced root spans at or over the slow-navigation threshold", s.flight.Total())
+	}
 	if st.Pool != nil {
 		gauge("mix_engine_pool_idle", "engines parked for reuse", st.Pool.Idle)
 		counter("mix_engine_pool_created_total", "engines built by the mediator factory", st.Pool.Created)
@@ -160,4 +196,6 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		"wire command service latency by op", "op", s.cmdHist)
 	telemetry.WritePrometheus(w, "mix_operator_duration_seconds",
 		"per-operator pull latency (populated when tracing is on)", "op", s.opHist)
+	telemetry.WritePrometheus(w, "mix_cluster_route_duration_seconds",
+		"routed open latency by ring decision", "mode", s.routeHist)
 }

@@ -102,6 +102,18 @@ type Config struct {
 	// region ops are served, and registry bumps broadcast invalidations
 	// fleet-wide. Requires RegionCache (the node is built over it).
 	Cluster *cluster.Node
+	// NodeName tags every span this server records (span node= field),
+	// so stitched fleet traces say which member did the work. Defaults
+	// to the cluster self address when clustered, else empty.
+	NodeName string
+	// SlowThreshold is the flight-recorder slowness bar: a traced root
+	// span at least this slow is retained in the slow-navigation ring
+	// (0 retains every root; negative disables the recorder). Only
+	// effective with Trace on — the recorder feeds off root spans.
+	SlowThreshold time.Duration
+	// SlowRing is the flight-recorder capacity in retained roots
+	// (rounded up to a power of two; <= 0 = telemetry.DefaultSlowRing).
+	SlowRing int
 
 	factory Factory
 }
@@ -142,6 +154,18 @@ func WithEnginePool(on bool) Option { return func(c *Config) { c.EnginePool = on
 // cache passed to WithRegionCache.
 func WithCluster(n *cluster.Node) Option { return func(c *Config) { c.Cluster = n } }
 
+// WithNodeName tags recorded spans with this node's name in fleet
+// traces (defaults to the cluster self address when clustered).
+func WithNodeName(name string) Option { return func(c *Config) { c.NodeName = name } }
+
+// WithSlowNav configures the slow-navigation flight recorder: traced
+// root spans at least threshold slow are retained in a ring of the
+// last ring entries. threshold 0 retains every root; negative disables
+// the recorder; ring <= 0 means telemetry.DefaultSlowRing.
+func WithSlowNav(threshold time.Duration, ring int) Option {
+	return func(c *Config) { c.SlowThreshold, c.SlowRing = threshold, ring }
+}
+
 // Server is a mixd instance. Create with New, run with Serve, stop with
 // Shutdown.
 type Server struct {
@@ -156,9 +180,18 @@ type Server struct {
 
 	// cmdHist records wire-command service latency by op; opHist
 	// records per-operator pull latency (fed by trace sinks, so only
-	// populated when Config.Trace is on).
-	cmdHist *telemetry.Registry
-	opHist  *telemetry.Registry
+	// populated when Config.Trace is on); routeHist records open-routing
+	// latency by decision mode (proxy/redirect/local) — the
+	// mix_cluster_route_duration_seconds family.
+	cmdHist   *telemetry.Registry
+	opHist    *telemetry.Registry
+	routeHist *telemetry.Registry
+
+	// nodeName tags recorded spans in fleet traces; flight is the
+	// slow-navigation ring (nil = disabled), fed by every recorder's
+	// RootSink.
+	nodeName string
+	flight   *telemetry.FlightRecorder
 
 	active, total, evicted, denied atomic.Int64
 
@@ -190,7 +223,7 @@ func New(factory Factory, opts ...Option) (*Server, error) {
 	if factory == nil {
 		return nil, errors.New("server: mediator factory is required")
 	}
-	cfg := Config{EnginePool: true}
+	cfg := Config{EnginePool: true, SlowThreshold: DefaultSlowThreshold}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -218,6 +251,10 @@ func NewFromConfig(cfg Config) (*Server, error) {
 	return newServer(cfg)
 }
 
+// DefaultSlowThreshold is the slow-navigation bar New seeds before
+// options run: traced roots at least this slow enter the flight ring.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
 func newServer(cfg Config) (*Server, error) {
 	log := cfg.Logger
 	if log == nil {
@@ -226,16 +263,51 @@ func newServer(cfg Config) (*Server, error) {
 	if cfg.Cluster != nil && cfg.RegionCache == nil {
 		return nil, errors.New("server: clustering requires a region cache (WithRegionCache)")
 	}
-	return &Server{
-		cfg:      cfg,
-		log:      log,
-		cache:    cfg.RegionCache,
-		cluster:  cfg.Cluster,
-		nav:      &metrics.Counters{},
-		cmdHist:  telemetry.NewRegistry(),
-		opHist:   telemetry.NewRegistry(),
-		sessions: map[uint64]*session{},
-	}, nil
+	if cfg.NodeName == "" && cfg.Cluster != nil {
+		cfg.NodeName = cfg.Cluster.Self()
+	}
+	s := &Server{
+		cfg:       cfg,
+		log:       log,
+		cache:     cfg.RegionCache,
+		cluster:   cfg.Cluster,
+		nodeName:  cfg.NodeName,
+		nav:       &metrics.Counters{},
+		cmdHist:   telemetry.NewRegistry(),
+		opHist:    telemetry.NewRegistry(),
+		routeHist: telemetry.NewRegistry(),
+		sessions:  map[uint64]*session{},
+	}
+	if cfg.Trace && cfg.SlowThreshold >= 0 {
+		s.flight = telemetry.NewFlightRecorder(cfg.SlowRing, cfg.SlowThreshold)
+	}
+	if cfg.Trace && s.cluster != nil {
+		// Peer control links get their own recorders: cross-node work a
+		// peer does on our behalf (L2 fetches, invalidation fans) shows
+		// up in fleet traces — one recorder per link, because concurrent
+		// peers sharing one would interleave span stacks.
+		s.cluster.SetTracer(s.newRecorder)
+	}
+	return s, nil
+}
+
+// newRecorder builds a span recorder wired the way every recorder on
+// this server is wired: bounded retention, node-tagged spans, operator
+// latencies sunk into opHist, and completed roots offered to the
+// slow-navigation flight ring.
+func (s *Server) newRecorder() *trace.Recorder {
+	rec := trace.New()
+	rec.Limit = traceLimit
+	rec.Node = s.nodeName
+	opHist := s.opHist
+	rec.Sink = func(label, op string, d time.Duration) {
+		opHist.Histogram(label + "/" + op).Observe(d)
+	}
+	if s.flight != nil {
+		flight, node := s.flight, s.nodeName
+		rec.RootSink = func(sp *trace.Span) { flight.Offer(node, sp) }
+	}
+	return rec
 }
 
 // pooledEngine is one reusable engine: a mediator plus the trace
@@ -273,13 +345,9 @@ func (s *Server) acquireEngine() (*pooledEngine, error) {
 	if s.cfg.Trace {
 		// One recorder per engine: spans accumulate until the owning
 		// session's next trace command, and every finished span feeds
-		// the server's per-operator histograms.
-		pe.rec = trace.New()
-		pe.rec.Limit = traceLimit
-		opHist := s.opHist
-		pe.rec.Sink = func(label, op string, d time.Duration) {
-			opHist.Histogram(label + "/" + op).Observe(d)
-		}
+		// the server's per-operator histograms and the slow-navigation
+		// flight ring.
+		pe.rec = s.newRecorder()
 		m.SetTracer(pe.rec)
 	}
 	s.poolCreated.Add(1)
@@ -510,6 +578,9 @@ func (s *Server) Stats() vxdp.Stats {
 	}
 	if s.cluster != nil {
 		st.Cluster = s.cluster.Stats()
+		if st.Cluster != nil {
+			st.Cluster.Routes = s.routeSnapshot()
+		}
 	}
 	if ps := core.ParallelSnapshot(); ps != (core.ParallelStats{}) {
 		st.Parallel = &vxdp.ParallelStats{
@@ -520,4 +591,50 @@ func (s *Server) Stats() vxdp.Stats {
 		}
 	}
 	return st
+}
+
+// routeSnapshot folds the open-routing latency histograms into their
+// wire form, one row per decision mode, sorted by mode label.
+func (s *Server) routeSnapshot() []vxdp.RouteLatency {
+	labels := s.routeHist.Labels()
+	out := make([]vxdp.RouteLatency, 0, len(labels))
+	for _, mode := range labels {
+		snap := s.routeHist.Histogram(mode).Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		out = append(out, vxdp.RouteLatency{
+			Mode:  mode,
+			Count: snap.Count,
+			P50Us: snap.P50().Microseconds(),
+			P99Us: snap.P99().Microseconds(),
+		})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// handleSlow serves the slow op: the flight ring's retained slow
+// navigations, oldest first. Served node-locally even on proxied
+// sessions — the ring is a per-node diagnostic, and an operator asking
+// this node wants this node's view.
+func (s *Server) handleSlow() vxdp.Response {
+	snaps := s.flight.Snapshot()
+	resp := vxdp.Response{NavResult: vxdp.NavResult{OK: true}}
+	if len(snaps) == 0 {
+		return resp
+	}
+	resp.Slow = make([]vxdp.SlowNav, len(snaps))
+	for i, sn := range snaps {
+		resp.Slow[i] = vxdp.SlowNav{
+			Seq:    sn.Seq,
+			UnixMs: sn.When.UnixMilli(),
+			Node:   sn.Node,
+			DurNs:  int64(sn.Root.Dur),
+			Root:   sn.Root,
+		}
+	}
+	return resp
 }

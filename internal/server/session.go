@@ -101,7 +101,8 @@ func cmdLabel(op string) string {
 	switch op {
 	case vxdp.OpOpen, vxdp.OpRoot, vxdp.OpDown, vxdp.OpRight, vxdp.OpFetch,
 		vxdp.OpSelect, vxdp.OpBatch, vxdp.OpStats, vxdp.OpTrace, vxdp.OpClose,
-		vxdp.OpPing, vxdp.OpRegionGet, vxdp.OpRegionPut, vxdp.OpInvalidate:
+		vxdp.OpPing, vxdp.OpRegionGet, vxdp.OpRegionPut, vxdp.OpInvalidate,
+		vxdp.OpSlow:
 		return op
 	}
 	return "other"
@@ -167,13 +168,19 @@ func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 		if s.doc == nil {
 			return errResp("no view open (send an open frame first)"), false
 		}
+		finish := s.fleetTrace(req.TraceCtx)
 		res := s.navigate(req.Cmd, nil)
-		return vxdp.Response{NavResult: res.nr}, false
+		resp = vxdp.Response{NavResult: res.nr}
+		finish(&resp)
+		return resp, false
 	case vxdp.OpBatch:
 		if s.proxy != nil {
 			return s.forward(req), false
 		}
-		return s.batch(req.Cmds), false
+		finish := s.fleetTrace(req.TraceCtx)
+		resp = s.batch(req.Cmds)
+		finish(&resp)
+		return resp, false
 	case vxdp.OpStats:
 		st := s.srv.Stats()
 		n := s.nav.Snapshot()
@@ -194,27 +201,57 @@ func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 		}
 		return vxdp.Response{Stats: &st}, false
 	case vxdp.OpTrace:
-		if s.proxy != nil {
-			// The navigations happened on the owner; so did the spans.
+		if s.proxy != nil && s.rec == nil {
+			// This node records nothing; the navigations happened on the
+			// owner and so did the spans.
 			return s.forward(req), false
 		}
 		if s.rec == nil {
 			// Tracing disabled (or no view open yet): an empty forest.
 			return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}, false
 		}
+		// On a tracing proxy node the local recorder already holds the
+		// stitched forest — each proxy span carries the owner's subtree
+		// grafted under it (see forward) — so serve it as-is.
 		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}, Trace: s.rec.Take()}, false
+	case vxdp.OpSlow:
+		// Node-local diagnostic: even on a proxied session the operator
+		// asking this node wants this node's flight ring.
+		return s.srv.handleSlow(), false
 	case vxdp.OpClose:
 		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}, true
 	case vxdp.OpPing:
 		return s.srv.handlePing(), false
 	case vxdp.OpRegionGet:
-		return s.srv.handleRegionGet(req), false
+		return s.srv.traced(req.TraceCtx, req.Op, func() vxdp.Response { return s.srv.handleRegionGet(req) }), false
 	case vxdp.OpRegionPut:
-		return s.srv.handleRegionPut(req), false
+		return s.srv.traced(req.TraceCtx, req.Op, func() vxdp.Response { return s.srv.handleRegionPut(req) }), false
 	case vxdp.OpInvalidate:
-		return s.srv.handleInvalidate(req), false
+		return s.srv.traced(req.TraceCtx, req.Op, func() vxdp.Response { return s.srv.handleInvalidate(req) }), false
 	default:
 		return errResp("unknown op %q", req.Op), false
+	}
+}
+
+// noFinish is the fleetTrace finisher for untraced commands: shared so
+// the hot path allocates nothing.
+var noFinish = func(*vxdp.Response) {}
+
+// fleetTrace arms the session recorder for one remotely-parented
+// command: when the request carries a trace context (the client — or a
+// proxying peer — is fleet-tracing), spans recorded while serving it
+// are minted ids and parented under the remote span, and the returned
+// finisher drains them into the response so the caller can stitch them
+// under its own span. Untraced requests get the shared no-op finisher
+// and pay nothing.
+func (s *session) fleetTrace(ctx *trace.Context) func(*vxdp.Response) {
+	if ctx == nil || s.rec == nil {
+		return noFinish
+	}
+	s.rec.SetRemoteParent(*ctx)
+	return func(resp *vxdp.Response) {
+		s.rec.ClearRemoteParent()
+		resp.Spans = s.rec.Take()
 	}
 }
 

@@ -1,0 +1,322 @@
+package server_test
+
+// Fleet tracing end-to-end: a 3-node proxy-mode cluster serving one
+// traced navigation must hand the client a SINGLE stitched forest with
+// spans from at least two nodes, the routing decision must land in the
+// route-latency histograms, and the slow-navigation flight recorder
+// must retain the proxied roots.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mix/internal/cluster"
+	"mix/internal/mediator"
+	"mix/internal/nav"
+	"mix/internal/regioncache"
+	"mix/internal/server"
+	"mix/internal/trace"
+	"mix/internal/vxdp"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+const fleetViewDef = `
+CONSTRUCT <allhomes>
+  <med_home> $H $S {$S} </med_home> {$H}
+</allhomes> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+AND schoolsSrc schools.school $S AND $S zip._ $V2
+AND $V1 = $V2
+`
+
+const fleetQuery = `
+CONSTRUCT <out> $M {$M} </out> {}
+WHERE homeview allhomes.med_home $M`
+
+type fleetMember struct {
+	srv  *server.Server
+	node *cluster.Node
+	addr string
+	name string
+	done chan error
+}
+
+// startFleet boots n tracing mixd instances on loopback listeners,
+// clustered in proxy mode with background timers off, named n0..n(n-1).
+func startFleet(t *testing.T, n int, extra ...server.Option) []*fleetMember {
+	t.Helper()
+	homes, schools := workload.HomesSchools(10, 10, 3, 5)
+	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		m := mediator.New(mediator.DefaultOptions())
+		m.SetRegionCache(rc)
+		m.RegisterTree("homesSrc", homes)
+		m.RegisterTree("schoolsSrc", schools)
+		if err := m.DefineView("homeview", fleetViewDef); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	quiet := slog.New(slog.DiscardHandler)
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i], addrs[i] = l, l.Addr().String()
+	}
+	fleet := make([]*fleetMember, n)
+	for i := range fleet {
+		rc := regioncache.New(0)
+		peers := make([]string, 0, n-1)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		node, err := cluster.New(cluster.Config{
+			Self: addrs[i], Peers: peers, Mode: cluster.ModeProxy,
+			HealthInterval: time.Hour, FlushInterval: -1, Logger: quiet,
+		}, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := "n" + string(rune('0'+i))
+		opts := append([]server.Option{
+			server.WithRegionCache(rc), server.WithCluster(node),
+			server.WithLogger(quiet), server.WithTrace(true),
+			server.WithNodeName(name),
+		}, extra...)
+		srv, err := server.New(factory, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func(l net.Listener) { done <- srv.Serve(l) }(listeners[i])
+		node.Start()
+		fleet[i] = &fleetMember{srv: srv, node: node, addr: addrs[i], name: name, done: done}
+	}
+	t.Cleanup(func() {
+		for _, m := range fleet {
+			m.node.Stop()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = m.srv.Shutdown(ctx)
+			cancel()
+			<-m.done
+		}
+	})
+	return fleet
+}
+
+// nonOwner returns the index of a fleet member that does NOT own the
+// fleet query's routing key, so an open through it must proxy.
+func nonOwner(t *testing.T, fleet []*fleetMember) (entry, owner int) {
+	t.Helper()
+	homes, schools := workload.HomesSchools(10, 10, 3, 5)
+	probe := mediator.New(mediator.DefaultOptions())
+	probe.RegisterTree("homesSrc", homes)
+	probe.RegisterTree("schoolsSrc", schools)
+	if err := probe.DefineView("homeview", fleetViewDef); err != nil {
+		t.Fatal(err)
+	}
+	res, err := probe.Query(fleetQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, fp := res.CacheKey()
+	ownerAddr := fleet[0].node.Owner(name, fp)
+	for i, m := range fleet {
+		if m.addr == ownerAddr {
+			owner = i
+		}
+	}
+	return (owner + 1) % len(fleet), owner
+}
+
+func countSpans(roots []*trace.Span, match func(*trace.Span) bool) int {
+	n := 0
+	var walk func(sp *trace.Span)
+	walk = func(sp *trace.Span) {
+		if match(sp) {
+			n++
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return n
+}
+
+func TestFleetTraceStitchesAcrossNodes(t *testing.T) {
+	fleet := startFleet(t, 3)
+	entry, owner := nonOwner(t, fleet)
+
+	c, err := vxdp.Dial(fleet[entry].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rec := trace.New()
+	c.SetTracer(rec)
+	if err := c.Open(fleetQuery); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nav.Materialize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xmltree.MarshalXML(got), "med_home") {
+		t.Fatal("proxied navigation returned an empty answer")
+	}
+
+	roots := rec.Take()
+	if len(roots) == 0 {
+		t.Fatal("client captured no spans")
+	}
+	for _, r := range roots {
+		if r.Label != trace.ClientLabel {
+			t.Fatalf("forest root label = %q, want %q (ONE forest, rooted at the client)",
+				r.Label, trace.ClientLabel)
+		}
+	}
+	totals := trace.NodeTotals(roots)
+	entryName, ownerName := fleet[entry].name, fleet[owner].name
+	if totals[entryName] == 0 || totals[ownerName] == 0 {
+		t.Fatalf("stitched forest misses a node: totals = %v, want spans from %s and %s",
+			totals, entryName, ownerName)
+	}
+	// The hop itself is attributed: proxy spans on the entry node, with
+	// the owner's work (down to source navigations) stitched below.
+	hops := countSpans(roots, func(sp *trace.Span) bool {
+		return sp.Label == trace.ProxyLabel && sp.Node == entryName
+	})
+	if hops == 0 {
+		t.Fatal("no proxy spans attributed to the entry node")
+	}
+	if n := trace.SourceNavigations(roots); n == 0 {
+		t.Fatal("stitched forest shows no source navigations")
+	}
+}
+
+func TestFleetRouteHistogramInStats(t *testing.T) {
+	fleet := startFleet(t, 3)
+	entry, _ := nonOwner(t, fleet)
+
+	c, err := vxdp.Dial(fleet[entry].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Open(fleetQuery); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil {
+		t.Fatal("clustered node reports no cluster stats")
+	}
+	found := false
+	for _, r := range st.Cluster.Routes {
+		if r.Mode == "proxy" {
+			found = true
+			if r.Count < 1 {
+				t.Fatalf("proxy route count = %d, want >= 1", r.Count)
+			}
+			if r.P99Us < r.P50Us {
+				t.Fatalf("route quantiles inverted: p50=%dus p99=%dus", r.P50Us, r.P99Us)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("stats carry no proxy route latency: %+v", st.Cluster.Routes)
+	}
+
+	// The same histograms feed the Prometheus endpoint.
+	hs := httptest.NewServer(fleet[entry].srv.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `mix_cluster_route_duration_seconds_count{mode="proxy"}`) {
+		t.Fatalf("metrics missing route histogram:\n%s", body)
+	}
+}
+
+func TestFleetSlowRingCapturesProxiedNavigation(t *testing.T) {
+	fleet := startFleet(t, 3, server.WithSlowNav(0, 16)) // threshold 0: record all
+	entry, _ := nonOwner(t, fleet)
+
+	c, err := vxdp.Dial(fleet[entry].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rec := trace.New()
+	c.SetTracer(rec)
+	if err := c.Open(fleetQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nav.Materialize(c); err != nil {
+		t.Fatal(err)
+	}
+
+	slow, err := c.Slow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) == 0 {
+		t.Fatal("entry node's flight recorder retained nothing")
+	}
+	for _, s := range slow {
+		if s.Node != fleet[entry].name {
+			t.Fatalf("slow record node = %q, want %q (slow op is node-local)",
+				s.Node, fleet[entry].name)
+		}
+		if s.Root == nil {
+			t.Fatalf("slow record #%d has no span tree", s.Seq)
+		}
+	}
+
+	// /debug/slow renders the same ring; the counter never forgets.
+	hs := httptest.NewServer(fleet[entry].srv.Handler())
+	defer hs.Close()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/debug/slow"); !strings.Contains(body, `"total"`) {
+		t.Fatalf("/debug/slow JSON missing total:\n%s", body)
+	}
+	if body := get("/debug/slow?format=text"); !strings.Contains(body, trace.ProxyLabel) {
+		t.Fatalf("/debug/slow text shows no proxy spans:\n%s", body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "mix_slow_navigations_total") {
+		t.Fatalf("metrics missing slow-navigation counter:\n%s", body)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mix/internal/trace"
+)
+
+// FlightRecorder is the slow-navigation flight recorder: a fixed-size
+// lock-free ring holding the last N completed root spans whose latency
+// met a threshold, each with its full (possibly cross-node) fan-out
+// attached. When a latency histogram shows a p99 regression, the ring
+// holds the exact span trees that caused it.
+//
+// Offer is wait-free (one atomic ticket plus one pointer store), so it
+// is safe to call from a Recorder's RootSink on the serving path; a
+// nil *FlightRecorder records nothing.
+type FlightRecorder struct {
+	threshold time.Duration
+	mask      uint64
+	seq       atomic.Uint64
+	total     atomic.Int64
+	slots     []atomic.Pointer[SlowNavigation]
+}
+
+// SlowNavigation is one retained slow root: when it completed, where it
+// was recorded, and the span tree behind it.
+type SlowNavigation struct {
+	Seq  uint64
+	When time.Time
+	Node string
+	Root *trace.Span
+}
+
+// DefaultSlowRing is the ring size used when a caller passes size <= 0.
+const DefaultSlowRing = 64
+
+// NewFlightRecorder returns a recorder retaining the last size slow
+// roots (rounded up to a power of two; DefaultSlowRing when <= 0). A
+// root is slow when its duration is at least threshold; threshold 0
+// retains every offered root.
+func NewFlightRecorder(size int, threshold time.Duration) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultSlowRing
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{
+		threshold: threshold,
+		mask:      uint64(n - 1),
+		slots:     make([]atomic.Pointer[SlowNavigation], n),
+	}
+}
+
+// Threshold returns the slowness threshold.
+func (f *FlightRecorder) Threshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.threshold
+}
+
+// Offer records root if its latency meets the threshold; faster roots
+// (and offers on a nil recorder) are dropped without synchronization.
+func (f *FlightRecorder) Offer(node string, root *trace.Span) {
+	if f == nil || root == nil || root.Dur < f.threshold {
+		return
+	}
+	f.total.Add(1)
+	rec := &SlowNavigation{When: time.Now(), Node: node, Root: root}
+	rec.Seq = f.seq.Add(1)
+	f.slots[(rec.Seq-1)&f.mask].Store(rec)
+}
+
+// Total returns how many slow navigations have been recorded since
+// start — the counter behind mix_slow_navigations_total. Unlike the
+// ring, it never forgets.
+func (f *FlightRecorder) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.total.Load()
+}
+
+// Snapshot returns the retained records, oldest first. Concurrent
+// offers may overwrite slots while the snapshot walks them; every
+// returned record is internally consistent (records are immutable once
+// stored), and ordering is restored by sequence number.
+func (f *FlightRecorder) Snapshot() []*SlowNavigation {
+	if f == nil {
+		return nil
+	}
+	out := make([]*SlowNavigation, 0, len(f.slots))
+	for i := range f.slots {
+		if rec := f.slots[i].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mix/internal/trace"
+)
+
+func TestFlightRecorderThresholdFilters(t *testing.T) {
+	f := NewFlightRecorder(8, 10*time.Millisecond)
+	f.Offer("a", &trace.Span{Label: "client", Op: "d", Dur: 9 * time.Millisecond})
+	f.Offer("a", &trace.Span{Label: "client", Op: "d", Dur: 10 * time.Millisecond})
+	f.Offer("a", &trace.Span{Label: "client", Op: "d", Dur: time.Second})
+	f.Offer("a", nil)
+	if got := f.Total(); got != 2 {
+		t.Fatalf("Total = %d, want 2 (sub-threshold and nil offers dropped)", got)
+	}
+	if got := len(f.Snapshot()); got != 2 {
+		t.Fatalf("Snapshot holds %d, want 2", got)
+	}
+}
+
+func TestFlightRecorderZeroThresholdRetainsAll(t *testing.T) {
+	f := NewFlightRecorder(8, 0)
+	f.Offer("a", &trace.Span{Label: "client", Op: "d"}) // Dur 0 still meets 0
+	if f.Total() != 1 {
+		t.Fatal("zero-threshold recorder dropped a zero-duration root")
+	}
+}
+
+func TestFlightRecorderRingWraps(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	for i := 0; i < 10; i++ {
+		f.Offer("a", &trace.Span{Label: "client", Op: "d", Start: time.Duration(i)})
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10 (counter never forgets)", f.Total())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(snap))
+	}
+	// Oldest first, and only the newest four survive (seqs 7..10).
+	for i, rec := range snap {
+		if want := uint64(7 + i); rec.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderSizeRoundsToPowerOfTwo(t *testing.T) {
+	f := NewFlightRecorder(5, 0)
+	for i := 0; i < 20; i++ {
+		f.Offer("a", &trace.Span{Label: "client", Op: "d"})
+	}
+	if got := len(f.Snapshot()); got != 8 {
+		t.Fatalf("size-5 ring retained %d, want 8 (next power of two)", got)
+	}
+	if NewFlightRecorder(0, 0).mask != DefaultSlowRing-1 {
+		t.Fatal("size <= 0 did not fall back to DefaultSlowRing")
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Offer("a", &trace.Span{Dur: time.Hour})
+	if f.Total() != 0 || f.Snapshot() != nil || f.Threshold() != 0 {
+		t.Fatal("nil recorder is not inert")
+	}
+}
+
+func TestFlightRecorderRecordsMetadata(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	root := &trace.Span{Label: "client", Op: "d", Dur: time.Millisecond}
+	before := time.Now()
+	f.Offer("node-b", root)
+	snap := f.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %d records", len(snap))
+	}
+	rec := snap[0]
+	if rec.Node != "node-b" || rec.Root != root || rec.Seq != 1 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.When.Before(before.Add(-time.Second)) || rec.When.After(time.Now().Add(time.Second)) {
+		t.Fatalf("When = %v, not near now", rec.When)
+	}
+}
+
+// TestFlightRecorderConcurrentOffer is the -race guard for the
+// wait-free path: many goroutines offering into a small ring while a
+// reader snapshots must stay safe, lose no counts, and keep every
+// snapshot internally ordered.
+func TestFlightRecorderConcurrentOffer(t *testing.T) {
+	f := NewFlightRecorder(8, 0)
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := f.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i-1].Seq >= snap[i].Seq {
+					panic("snapshot out of order")
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Offer("a", &trace.Span{Label: "client", Op: "d"})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if f.Total() != goroutines*per {
+		t.Fatalf("Total = %d, want %d", f.Total(), goroutines*per)
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+)
+
+// This file is the fleet half of the package: the Dapper-style trace
+// context that rides VXDP request frames so one client navigation keeps
+// a single causal identity while it hops between mediator nodes
+// (proxying, L2 region fetches, invalidation broadcasts). A Context
+// names a trace (128-bit random id) and the span the receiver should
+// parent its roots under (64-bit span id); Stitch (trace.go) grafts the
+// forest a peer returns back under the proxying span.
+
+// TraceID is a 128-bit random trace identifier, shared by every span of
+// one fleet-wide navigation no matter which node recorded it.
+type TraceID struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether t is the unset trace id.
+func (t TraceID) IsZero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+// String renders the id as 32 lowercase hex digits.
+func (t TraceID) String() string { return fmt.Sprintf("%016x%016x", t.Hi, t.Lo) }
+
+// NewTraceID mints a random, non-zero trace id.
+func NewTraceID() TraceID {
+	for {
+		t := TraceID{Hi: rand.Uint64(), Lo: rand.Uint64()}
+		if !t.IsZero() {
+			return t
+		}
+	}
+}
+
+// newSpanID mints a random, non-zero span id (0 is reserved for "no
+// span" — untraced local spans never carry an id).
+func newSpanID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// Context identifies one position in a fleet-wide trace: the trace it
+// belongs to and the span that new remote roots should be parented
+// under. It crosses the wire as "<32 hex>-<16 hex>".
+type Context struct {
+	TraceID TraceID
+	SpanID  uint64
+}
+
+// IsZero reports whether c carries no trace identity.
+func (c Context) IsZero() bool { return c.TraceID.IsZero() && c.SpanID == 0 }
+
+// String renders the context in its wire form.
+func (c Context) String() string {
+	return fmt.Sprintf("%s-%016x", c.TraceID, c.SpanID)
+}
+
+// ParseContext parses the wire form produced by String.
+func ParseContext(s string) (Context, error) {
+	malformed := func() (Context, error) {
+		return Context{}, fmt.Errorf("trace: malformed context %q", s)
+	}
+	if len(s) != 49 || s[32] != '-' {
+		return malformed()
+	}
+	for _, r := range s[:32] + s[33:] {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return malformed()
+		}
+	}
+	var c Context
+	var err error
+	if c.TraceID.Hi, err = strconv.ParseUint(s[:16], 16, 64); err != nil {
+		return malformed()
+	}
+	if c.TraceID.Lo, err = strconv.ParseUint(s[16:32], 16, 64); err != nil {
+		return malformed()
+	}
+	if c.SpanID, err = strconv.ParseUint(s[33:], 16, 64); err != nil {
+		return malformed()
+	}
+	return c, nil
+}
+
+// MarshalJSON encodes the context as its wire string.
+func (c Context) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON decodes the wire string form.
+func (c *Context) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseContext(s)
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}

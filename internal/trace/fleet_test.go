@@ -1,0 +1,229 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"mix/internal/trace"
+)
+
+func TestContextWireRoundTrip(t *testing.T) {
+	c := trace.Context{TraceID: trace.TraceID{Hi: 0xdead, Lo: 0xbeef}, SpanID: 0x1234}
+	s := c.String()
+	if len(s) != 49 || s[32] != '-' {
+		t.Fatalf("wire form = %q, want 32hex-16hex", s)
+	}
+	back, err := trace.ParseContext(s)
+	if err != nil {
+		t.Fatalf("ParseContext(%q): %v", s, err)
+	}
+	if back != c {
+		t.Fatalf("round trip: got %+v, want %+v", back, c)
+	}
+	enc, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec trace.Context
+	if err := json.Unmarshal(enc, &dec); err != nil {
+		t.Fatalf("unmarshal %s: %v", enc, err)
+	}
+	if dec != c {
+		t.Fatalf("JSON round trip: got %+v, want %+v", dec, c)
+	}
+}
+
+func TestParseContextRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"", "-", "abc",
+		"0000000000000000000000000000dead_0000000000001234",  // wrong separator
+		"0000000000000000000000000000DEAD-0000000000001234",  // uppercase hex
+		"0000000000000000000000000000dead-000000000000123",   // short span id
+		"g000000000000000000000000000dead-0000000000001234",  // non-hex
+		"0000000000000000000000000000dead-0000000000001234x", // trailing junk
+	} {
+		if _, err := trace.ParseContext(s); err == nil {
+			t.Errorf("ParseContext(%q) accepted", s)
+		}
+	}
+}
+
+func TestNewTraceIDNonZeroAndDistinct(t *testing.T) {
+	a, b := trace.NewTraceID(), trace.NewTraceID()
+	if a.IsZero() || b.IsZero() {
+		t.Fatal("minted a zero trace id")
+	}
+	if a == b {
+		t.Fatal("two minted trace ids collide")
+	}
+}
+
+func TestBeginContextMintsIdentity(t *testing.T) {
+	r := trace.New()
+	sp, ctx := r.BeginContext("client", "d")
+	r.End(sp)
+	if ctx.IsZero() {
+		t.Fatal("BeginContext returned a zero context")
+	}
+	if sp.ID != ctx.SpanID || sp.ID == 0 {
+		t.Fatalf("span id %d vs context span id %d", sp.ID, ctx.SpanID)
+	}
+	// The same recorder keeps one trace identity across commands.
+	sp2, ctx2 := r.BeginContext("client", "r")
+	r.End(sp2)
+	if ctx2.TraceID != ctx.TraceID {
+		t.Fatalf("trace id changed across commands: %s vs %s", ctx2.TraceID, ctx.TraceID)
+	}
+	if ctx2.SpanID == ctx.SpanID {
+		t.Fatal("two commands share a span id")
+	}
+}
+
+func TestBeginContextNilRecorder(t *testing.T) {
+	var r *trace.Recorder
+	sp, ctx := r.BeginContext("client", "d")
+	if sp != nil || !ctx.IsZero() {
+		t.Fatalf("nil recorder: sp=%v ctx=%v", sp, ctx)
+	}
+	r.SetRemoteParent(trace.Context{SpanID: 1})
+	r.ClearRemoteParent()
+}
+
+func TestSetRemoteParentParentsRoots(t *testing.T) {
+	remote := trace.Context{TraceID: trace.NewTraceID(), SpanID: 77}
+	r := trace.New()
+	r.Node = "node-b"
+	r.SetRemoteParent(remote)
+	sp := r.Begin("client", "d")
+	child := r.Begin("join", "next")
+	r.End(child)
+	r.End(sp)
+	r.ClearRemoteParent()
+	after := r.Begin("client", "r")
+	r.End(after)
+	roots := r.Take()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(roots))
+	}
+	if roots[0].Parent != remote.SpanID {
+		t.Fatalf("armed root Parent = %d, want %d", roots[0].Parent, remote.SpanID)
+	}
+	if roots[0].ID == 0 {
+		t.Fatal("armed root got no fleet id")
+	}
+	if roots[0].Node != "node-b" {
+		t.Fatalf("root Node = %q", roots[0].Node)
+	}
+	if roots[0].Children[0].ID != 0 || roots[0].Children[0].Parent != 0 {
+		t.Fatal("non-root child received fleet identity; should stay local")
+	}
+	if roots[1].Parent != 0 || roots[1].ID != 0 {
+		t.Fatalf("root after ClearRemoteParent still remotely parented: %+v", roots[1])
+	}
+}
+
+func TestStitchClockSkew(t *testing.T) {
+	local := &trace.Span{Label: "proxy", Op: "d", ID: 42, Start: 100 * time.Millisecond}
+	remote := []*trace.Span{
+		{Label: "client", Op: "d", Start: 5 * time.Millisecond, Children: []*trace.Span{
+			{Label: "join", Op: "next", Start: 6 * time.Millisecond},
+		}},
+		{Label: "client", Op: "r", Start: 2 * time.Millisecond, Parent: 99},
+	}
+	trace.Stitch(local, remote)
+	if len(local.Children) != 2 {
+		t.Fatalf("grafted %d children, want 2", len(local.Children))
+	}
+	// The earliest remote root (Start 2ms) aligns with the local span's
+	// start; every remote span shifts by the same 98ms offset.
+	if got := local.Children[1].Start; got != 100*time.Millisecond {
+		t.Fatalf("earliest remote root shifted to %s, want 100ms", got)
+	}
+	if got := local.Children[0].Start; got != 103*time.Millisecond {
+		t.Fatalf("remote root shifted to %s, want 103ms", got)
+	}
+	if got := local.Children[0].Children[0].Start; got != 104*time.Millisecond {
+		t.Fatalf("remote child shifted to %s, want 104ms", got)
+	}
+	// Unparented remote roots inherit the grafting span's id; ones that
+	// already point somewhere keep their link.
+	if local.Children[0].Parent != 42 {
+		t.Fatalf("unparented root Parent = %d, want 42", local.Children[0].Parent)
+	}
+	if local.Children[1].Parent != 99 {
+		t.Fatalf("parented root Parent = %d, want 99 preserved", local.Children[1].Parent)
+	}
+}
+
+func TestStitchNoOps(t *testing.T) {
+	trace.Stitch(nil, []*trace.Span{{}})
+	sp := &trace.Span{}
+	trace.Stitch(sp, nil)
+	if len(sp.Children) != 0 {
+		t.Fatal("stitching nothing grew children")
+	}
+}
+
+func TestNodeTotals(t *testing.T) {
+	forest := []*trace.Span{
+		{Label: "client", Op: "d", Node: "a", Children: []*trace.Span{
+			{Label: "proxy", Op: "d"}, // untagged: inherits a
+			{Label: "client", Op: "d", Node: "b", Children: []*trace.Span{
+				{Label: "join", Op: "next"}, // inherits b
+			}},
+		}},
+		{Label: "client", Op: "r"}, // no tagged ancestor
+	}
+	totals := trace.NodeTotals(forest)
+	if totals["a"] != 2 || totals["b"] != 2 || totals[""] != 1 {
+		t.Fatalf("totals = %v, want a=2 b=2 \"\"=1", totals)
+	}
+}
+
+func TestFormatShowsNodeTags(t *testing.T) {
+	out := trace.Format([]*trace.Span{{Label: "client", Op: "d", Node: "n1"}})
+	if want := "client d 0s node=n1\n"; out != want {
+		t.Fatalf("Format = %q, want %q", out, want)
+	}
+}
+
+// TestRecorderConcurrentSinkLimit hammers one recorder from many
+// goroutines with Sink and Limit set — the -race guard for the
+// RootSink/stack-release changes. Span nesting is meaningless under
+// concurrency (the causal stack assumes one navigation at a time), but
+// the recorder must stay memory-safe and bounded.
+func TestRecorderConcurrentSinkLimit(t *testing.T) {
+	r := trace.New()
+	r.Limit = 8
+	var mu sync.Mutex
+	var sunk, rooted int
+	r.Sink = func(string, string, time.Duration) { mu.Lock(); sunk++; mu.Unlock() }
+	r.RootSink = func(*trace.Span) { mu.Lock(); rooted++; mu.Unlock() }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp, _ := r.BeginContext("client", "d")
+				child := r.Begin("join", "next")
+				r.End(child)
+				r.End(sp)
+				if i%50 == 0 {
+					r.Take()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if roots := r.Take(); len(roots) > 8 {
+		t.Fatalf("Limit leaked: %d roots retained", len(roots))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if sunk == 0 || rooted == 0 {
+		t.Fatalf("sinks never fired: sunk=%d rooted=%d", sunk, rooted)
+	}
+}

@@ -1,0 +1,31 @@
+package trace_test
+
+import (
+	"testing"
+
+	"mix/internal/trace"
+)
+
+// FuzzParseContext asserts the context codec's total-function contract:
+// any input either parses to a context whose wire form is byte-identical
+// to a canonical re-encoding, or is rejected — never a panic, never a
+// context that fails to round-trip.
+func FuzzParseContext(f *testing.F) {
+	f.Add(trace.Context{TraceID: trace.TraceID{Hi: 1, Lo: 2}, SpanID: 3}.String())
+	f.Add("0000000000000000000000000000dead-0000000000001234")
+	f.Add("")
+	f.Add("zzzz")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := trace.ParseContext(s)
+		if err != nil {
+			return
+		}
+		if c.String() != s {
+			t.Fatalf("accepted %q but re-encodes as %q", s, c.String())
+		}
+		back, err := trace.ParseContext(c.String())
+		if err != nil || back != c {
+			t.Fatalf("canonical form does not round-trip: %v %v", back, err)
+		}
+	})
+}

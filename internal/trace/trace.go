@@ -39,15 +39,37 @@ const SourcePrefix = "src:"
 // navigation commands — the roots of a trace forest.
 const ClientLabel = "client"
 
+// ProxyLabel is the conventional label for the span a cluster node
+// opens around a command it forwards to the owner node: the hop itself
+// is attributed, and the owner's forest is stitched under it.
+const ProxyLabel = "proxy"
+
+// ClusterLabel is the conventional label for spans a node opens while
+// serving a peer-facing cluster op (region_get, region_put,
+// invalidate) under a remote trace context.
+const ClusterLabel = "cluster"
+
+// PeerLabel is the conventional label for spans a node's peer control
+// link opens around the L2 region traffic it initiates (region fetches,
+// flush puts, invalidation fans) — the calling side of ClusterLabel.
+const PeerLabel = "peer"
+
 // Span is one traced operation: a client command, an operator pull, or
 // a source navigation. Start is the offset from the recorder's epoch
 // (the first span after the last Take), so a rendered forest reads as a
-// timeline.
+// timeline. Node, ID, and Parent exist only on fleet-traced spans:
+// Node names the recording node, ID is the span's fleet-wide identity,
+// and Parent is the span (possibly on another node) it was opened
+// under. All three are zero for purely local traces, so single-process
+// tracing pays no extra wire bytes.
 type Span struct {
 	Label    string        `json:"label"`
 	Op       string        `json:"op"`
 	Start    time.Duration `json:"start_ns"`
 	Dur      time.Duration `json:"dur_ns"`
+	Node     string        `json:"node,omitempty"`
+	ID       uint64        `json:"id,omitempty"`
+	Parent   uint64        `json:"parent,omitempty"`
 	Children []*Span       `json:"children,omitempty"`
 }
 
@@ -64,12 +86,34 @@ type Recorder struct {
 	// sessions set a limit so an untaken trace cannot grow without
 	// bound.
 	Limit int
+	// Node, when non-empty, is stamped on every root span, so forests
+	// stitched across a fleet keep per-node attribution. Set it before
+	// recording begins.
+	Node string
+	// RootSink, when non-nil, observes every completed *root* span —
+	// one whole client navigation with its full fan-out — outside the
+	// recorder lock. It is the hook behind the slow-navigation flight
+	// recorder. Set it before recording begins.
+	RootSink func(*Span)
 
 	mu    sync.Mutex
 	epoch time.Time
 	roots []*Span
 	stack []*Span
+	// traceID is the fleet identity adopted from (or minted for) the
+	// first BeginContext/SetRemoteParent; remote is the pending remote
+	// parent applied to new roots while remoteOn.
+	traceID  TraceID
+	remote   Context
+	remoteOn bool
 }
+
+// stackRetainCap bounds the causal-stack capacity kept across roots: a
+// deep forest may grow the stack arbitrarily, and without a release the
+// backing array would be retained for the recorder's whole lifetime
+// (sessions keep one recorder per engine). When a pop empties the stack
+// past this capacity the array is dropped for the GC.
+const stackRetainCap = 64
 
 // New returns an empty Recorder.
 func New() *Recorder { return &Recorder{} }
@@ -87,6 +131,14 @@ func (r *Recorder) Begin(label, op string) *Span {
 	}
 	sp := &Span{Label: label, Op: op, Start: time.Since(r.epoch)}
 	if len(r.stack) == 0 {
+		sp.Node = r.Node
+		if r.remoteOn {
+			// A root opened under a remote parent joins the caller's
+			// trace: it gets a fleet identity and points back at the
+			// span on the asking node.
+			sp.ID = newSpanID()
+			sp.Parent = r.remote.SpanID
+		}
 		r.roots = append(r.roots, sp)
 		if r.Limit > 0 && len(r.roots) > r.Limit {
 			drop := len(r.roots) - r.Limit
@@ -108,16 +160,32 @@ func (r *Recorder) End(sp *Span) {
 	}
 	r.mu.Lock()
 	sp.Dur = time.Since(r.epoch) - sp.Start
+	var isRoot bool
 	for i := len(r.stack) - 1; i >= 0; i-- {
 		if r.stack[i] == sp {
-			r.stack = r.stack[:i]
+			if i == 0 {
+				// The outermost open span closed: one whole navigation
+				// completed. Release an overgrown stack array instead
+				// of keeping a deep forest's capacity alive forever.
+				isRoot = true
+				if cap(r.stack) > stackRetainCap {
+					r.stack = nil
+				} else {
+					r.stack = r.stack[:0]
+				}
+			} else {
+				r.stack = r.stack[:i]
+			}
 			break
 		}
 	}
-	sink := r.Sink
+	sink, rootSink := r.Sink, r.RootSink
 	r.mu.Unlock()
 	if sink != nil {
 		sink(sp.Label, sp.Op, sp.Dur)
+	}
+	if isRoot && rootSink != nil {
+		rootSink(sp)
 	}
 }
 
@@ -131,9 +199,96 @@ func (r *Recorder) Take() []*Span {
 	defer r.mu.Unlock()
 	roots := r.roots
 	r.roots = nil
-	r.stack = r.stack[:0]
+	if cap(r.stack) > stackRetainCap {
+		r.stack = nil
+	} else {
+		r.stack = r.stack[:0]
+	}
 	r.epoch = time.Time{}
 	return roots
+}
+
+// --- fleet context ---------------------------------------------------------
+
+// BeginContext opens a span like Begin and returns the fleet Context
+// naming it, minting the recorder's trace id (and the span's id) on
+// first use. The context is what a caller injects into an outgoing
+// request so the receiving node parents its roots under this span. On a
+// nil Recorder it records nothing and returns a zero Context.
+func (r *Recorder) BeginContext(label, op string) (*Span, Context) {
+	if r == nil {
+		return nil, Context{}
+	}
+	sp := r.Begin(label, op)
+	r.mu.Lock()
+	if r.traceID.IsZero() {
+		r.traceID = NewTraceID()
+	}
+	if sp.ID == 0 {
+		sp.ID = newSpanID()
+	}
+	ctx := Context{TraceID: r.traceID, SpanID: sp.ID}
+	r.mu.Unlock()
+	return sp, ctx
+}
+
+// SetRemoteParent arms the recorder so the *next* roots it opens join
+// the remote caller's trace: they adopt ctx's trace id and point their
+// Parent at ctx's span. Pair with ClearRemoteParent around the serving
+// of one traced request. No-op on a nil Recorder.
+func (r *Recorder) SetRemoteParent(ctx Context) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.remote = ctx
+	r.remoteOn = true
+	r.traceID = ctx.TraceID
+	r.mu.Unlock()
+}
+
+// ClearRemoteParent disarms SetRemoteParent.
+func (r *Recorder) ClearRemoteParent() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.remote = Context{}
+	r.remoteOn = false
+	r.mu.Unlock()
+}
+
+// Stitch grafts a peer's returned span forest under the local span that
+// proxied the work, preserving the epoch-relative timeline: the remote
+// recorder's epoch started when it began serving, so the whole remote
+// forest is shifted by the clock-skew offset that aligns its earliest
+// root with the local span's start. Remote roots without a parent link
+// inherit the local span's id.
+func Stitch(local *Span, remote []*Span) {
+	if local == nil || len(remote) == 0 {
+		return
+	}
+	minStart := remote[0].Start
+	for _, sp := range remote[1:] {
+		if sp.Start < minStart {
+			minStart = sp.Start
+		}
+	}
+	offset := local.Start - minStart
+	for _, sp := range remote {
+		shiftSpan(sp, offset)
+		if sp.Parent == 0 && local.ID != 0 {
+			sp.Parent = local.ID
+		}
+		local.Children = append(local.Children, sp)
+	}
+}
+
+func shiftSpan(sp *Span, d time.Duration) {
+	sp.Start += d
+	for _, c := range sp.Children {
+		shiftSpan(c, d)
+	}
 }
 
 // --- analysis -------------------------------------------------------------
@@ -166,6 +321,27 @@ func SourceNavigations(roots []*Span) int64 {
 		n += c
 	}
 	return n
+}
+
+// NodeTotals counts the spans of a (possibly stitched) forest per
+// recording node. Spans without a Node tag inherit the nearest tagged
+// ancestor's; spans with no tagged ancestor at all count under "".
+func NodeTotals(roots []*Span) map[string]int64 {
+	totals := map[string]int64{}
+	var walk func(sp *Span, node string)
+	walk = func(sp *Span, node string) {
+		if sp.Node != "" {
+			node = sp.Node
+		}
+		totals[node]++
+		for _, c := range sp.Children {
+			walk(c, node)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp, "")
+	}
+	return totals
 }
 
 // Summary aggregates a forest per (label, op): span count and total
@@ -221,7 +397,11 @@ func Format(roots []*Span) string {
 	var b strings.Builder
 	var walk func(sp *Span, depth int)
 	walk = func(sp *Span, depth int) {
-		fmt.Fprintf(&b, "%s%s %s %s\n", strings.Repeat("  ", depth), sp.Label, sp.Op, sp.Dur.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%s%s %s %s", strings.Repeat("  ", depth), sp.Label, sp.Op, sp.Dur.Round(time.Microsecond))
+		if sp.Node != "" {
+			fmt.Fprintf(&b, " node=%s", sp.Node)
+		}
+		b.WriteByte('\n')
 		for _, c := range sp.Children {
 			walk(c, depth+1)
 		}

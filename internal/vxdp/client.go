@@ -31,6 +31,14 @@ type Client struct {
 	r    *bufio.Reader
 	w    *bufio.Writer
 
+	// rec, when non-nil, makes the session fleet-traced: every
+	// navigation opens a local span, injects its trace context into the
+	// request, and stitches the spans the server returns under it (see
+	// SetTracer). label overrides the span label (trace.ClientLabel
+	// when empty).
+	rec   *trace.Recorder
+	label string
+
 	roundTrips atomic.Int64
 }
 
@@ -73,10 +81,65 @@ func (c *Client) RoundTrips() int64 { return c.roundTrips.Load() }
 // this — errors.Is(err, ErrRemote) means the peer is alive.
 var ErrRemote = errors.New("vxdp: remote error")
 
+// SetTracer installs a recorder on the session: every subsequent traced
+// command (navigations, batches, region ops — not stats/trace/ping)
+// opens a span in rec, rides the wire with its trace context, and gets
+// the server-side fan-out stitched under it transparently. A nil rec
+// turns tracing back off. The untraced path is untouched — no extra
+// bytes on the wire, no allocations.
+func (c *Client) SetTracer(rec *trace.Recorder) {
+	c.mu.Lock()
+	c.rec = rec
+	c.mu.Unlock()
+}
+
+// SetTraceLabel overrides the label of the spans SetTracer records
+// (trace.ClientLabel when empty). Cluster control links use it so peer
+// traffic is distinguishable from client navigations.
+func (c *Client) SetTraceLabel(label string) {
+	c.mu.Lock()
+	c.label = label
+	c.mu.Unlock()
+}
+
+// tracedOp reports whether a command is worth a span on a traced
+// session: the ops that do engine or cache work. Introspection
+// (stats/trace/slow), the health probe, and close stay span-free.
+func tracedOp(op string) bool {
+	switch op {
+	case OpOpen, OpRoot, OpDown, OpRight, OpFetch, OpSelect, OpBatch,
+		OpRegionGet, OpRegionPut, OpInvalidate:
+		return true
+	}
+	return false
+}
+
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.roundTrips.Add(1)
+	if c.rec == nil || !tracedOp(req.Op) {
+		return c.exchange(req)
+	}
+	label := c.label
+	if label == "" {
+		label = trace.ClientLabel
+	}
+	sp, ctx := c.rec.BeginContext(label, req.Op)
+	if req.TraceCtx == nil {
+		req.TraceCtx = &ctx
+	}
+	resp, err := c.exchange(req)
+	if len(resp.Spans) > 0 {
+		trace.Stitch(sp, resp.Spans)
+		resp.Spans = nil
+	}
+	c.rec.End(sp)
+	return resp, err
+}
+
+// exchange performs one request/response cycle. Callers hold c.mu.
+func (c *Client) exchange(req Request) (Response, error) {
 	if err := WriteFrame(c.w, req); err != nil {
 		return Response{}, err
 	}
@@ -262,6 +325,18 @@ func (c *Client) Invalidate(gen uint64) (uint64, error) {
 		return 0, err
 	}
 	return resp.Gen, nil
+}
+
+// Slow fetches the server's slow-navigation flight ring: the last
+// retained root spans whose latency met the server's -slow-ms
+// threshold, oldest first. Returns nil when the server has tracing
+// disabled or nothing slow has been recorded yet.
+func (c *Client) Slow() ([]SlowNav, error) {
+	resp, err := c.roundTrip(Request{Cmd: Cmd{Op: OpSlow}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Slow, nil
 }
 
 // Stats fetches the server's introspection snapshot.

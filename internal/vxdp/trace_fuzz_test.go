@@ -1,0 +1,92 @@
+package vxdp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mix/internal/trace"
+)
+
+// FuzzTraceWire: the fleet-tracing wire fields — trace_ctx on requests,
+// spans and slow on responses — cross node boundaries, so like the L2
+// region codec they are a trust boundary inside the fleet. No byte
+// stream may panic the codec, and every trace payload that decodes must
+// be stable under a re-encode round trip (pooled buffers included).
+func FuzzTraceWire(f *testing.F) {
+	seed := func(v any) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, v); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	ctx := trace.Context{TraceID: trace.TraceID{Hi: 0xdead, Lo: 0xbeef}, SpanID: 42}
+	forest := []*trace.Span{
+		{Label: "client", Op: "d", Node: "a", ID: 7, Parent: 42, Dur: time.Millisecond,
+			Children: []*trace.Span{
+				{Label: "proxy", Op: "d", Start: time.Microsecond},
+				{Label: "src:homes", Op: "d", Node: "b"},
+			}},
+		{Label: "client", Op: "r", Start: 2 * time.Millisecond},
+	}
+	seed(Request{Cmd: Cmd{Op: OpDown, ID: 3}, TraceCtx: &ctx})
+	seed(Request{Cmd: Cmd{Op: OpOpen}, Query: "q", TraceCtx: &ctx})
+	seed(Response{NavResult: NavResult{OK: true, ID: 9}, Spans: forest})
+	seed(Response{Slow: []SlowNav{
+		{Seq: 1, UnixMs: 1700000000000, Node: "a", DurNs: 12345, Root: forest[0]},
+	}})
+	// Hostile shapes: type confusion on the span array and context field.
+	f.Add([]byte{0, 0, 0, 16, '{', '"', 't', 'r', 'a', 'c', 'e', '_', 'c', 't', 'x', '"', ':', '1', '}', ' '})
+	f.Add([]byte{0, 0, 0, 12, '{', '"', 's', 'p', 'a', 'n', 's', '"', ':', '1', '}', ' '})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := ReadFrame(bytes.NewReader(data), &req); err == nil && req.TraceCtx != nil {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, Request{Cmd: req.Cmd, TraceCtx: req.TraceCtx}); err == nil {
+				var rt Request
+				if err := ReadFrame(&buf, &rt); err != nil {
+					t.Fatalf("re-decode of re-encoded trace_ctx failed: %v", err)
+				}
+				if rt.TraceCtx == nil || *rt.TraceCtx != *req.TraceCtx {
+					t.Fatalf("trace context not stable under re-encode: %v vs %v",
+						rt.TraceCtx, req.TraceCtx)
+				}
+			}
+		}
+		var resp Response
+		if err := ReadFrame(bytes.NewReader(data), &resp); err == nil && len(resp.Spans) > 0 {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, Response{Spans: resp.Spans}); err == nil {
+				var rt Response
+				if err := ReadFrame(&buf, &rt); err != nil {
+					t.Fatalf("re-decode of re-encoded spans failed: %v", err)
+				}
+				if !spansEqual(rt.Spans, resp.Spans) {
+					t.Fatal("span forest not stable under re-encode")
+				}
+			}
+		}
+	})
+}
+
+func spansEqual(a, b []*trace.Span) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] == nil || b[i] == nil {
+			if a[i] != b[i] {
+				return false
+			}
+			continue
+		}
+		if a[i].Label != b[i].Label || a[i].Op != b[i].Op ||
+			a[i].Start != b[i].Start || a[i].Dur != b[i].Dur ||
+			a[i].Node != b[i].Node || a[i].ID != b[i].ID ||
+			a[i].Parent != b[i].Parent || !spansEqual(a[i].Children, b[i].Children) {
+			return false
+		}
+	}
+	return true
+}

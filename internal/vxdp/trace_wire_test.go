@@ -1,0 +1,148 @@
+package vxdp_test
+
+// Fleet-tracing protocol tests: the trace_ctx / spans wire fields, the
+// client's transparent inject/stitch behaviour, and the zero-byte
+// contract for untraced sessions.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mix/internal/nav"
+	"mix/internal/server"
+	"mix/internal/trace"
+	"mix/internal/vxdp"
+	"mix/internal/xmltree"
+)
+
+// TestUntracedFramesCarryNoTraceBytes pins the opt-in contract at the
+// wire level: a session without a tracer must produce frames that are
+// byte-identical to the pre-tracing protocol — no "trace_ctx" on
+// requests, no "spans" or "slow" on responses.
+func TestUntracedFramesCarryNoTraceBytes(t *testing.T) {
+	frames := []any{
+		vxdp.Request{Cmd: vxdp.Cmd{Op: vxdp.OpOpen}, Query: joinQuery},
+		vxdp.Request{Cmd: vxdp.Cmd{Op: vxdp.OpDown, ID: 7}},
+		vxdp.Response{NavResult: vxdp.NavResult{OK: true, ID: 9}},
+		vxdp.Response{NavResult: vxdp.NavResult{OK: true, Label: "answer"}},
+	}
+	for _, fr := range frames {
+		var buf bytes.Buffer
+		if err := vxdp.WriteFrame(&buf, fr); err != nil {
+			t.Fatal(err)
+		}
+		for _, field := range []string{"trace_ctx", "spans", "slow"} {
+			if strings.Contains(buf.String(), field) {
+				t.Fatalf("untraced frame %+v carries %q: %s", fr, field, buf.String())
+			}
+		}
+	}
+}
+
+// TestTracedRoundTripStitchesServerSpans runs a full navigation with a
+// client-side recorder against a tracing server: every navigation
+// command must come back with the server's span subtree stitched under
+// the client's span, tagged with the server's node name — one forest,
+// assembled transparently inside the client.
+func TestTracedRoundTripStitchesServerSpans(t *testing.T) {
+	_, addr := startServer(t, server.WithTrace(true), server.WithNodeName("srv-a"))
+	c := dialOpen(t, addr, joinQuery)
+	rec := trace.New()
+	c.SetTracer(rec)
+
+	got, err := nav.Materialize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localAnswer(t, joinQuery)
+	if xmltree.MarshalXML(got) != xmltree.MarshalXML(want) {
+		t.Fatal("traced navigation changed the answer")
+	}
+
+	roots := rec.Take()
+	if len(roots) == 0 {
+		t.Fatal("client recorder captured no spans")
+	}
+	stitched := 0
+	for _, r := range roots {
+		if r.Label != trace.ClientLabel {
+			t.Fatalf("root label = %q, want %q", r.Label, trace.ClientLabel)
+		}
+		if len(r.Children) > 0 {
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatal("no client span received a stitched server subtree")
+	}
+	totals := trace.NodeTotals(roots)
+	if totals["srv-a"] == 0 {
+		t.Fatalf("no spans attributed to the server node: %v", totals)
+	}
+}
+
+// TestTracedSessionStillServesTraceOp: the server session's own
+// recorder is drained into each traced response, so the legacy trace op
+// must still answer (with whatever is left) instead of erroring.
+func TestTracedSessionStillServesTraceOp(t *testing.T) {
+	_, addr := startServer(t, server.WithTrace(true))
+	c := dialOpen(t, addr, joinQuery)
+	rec := trace.New()
+	c.SetTracer(rec)
+	if _, err := nav.Materialize(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Trace(); err != nil {
+		t.Fatalf("trace op on a fleet-traced session: %v", err)
+	}
+}
+
+// TestSlowOpEmptyWithoutFlightRecorder: the slow op is part of the
+// protocol whether or not the node records slow navigations — a node
+// without a flight recorder answers with an empty ring, not an error.
+func TestSlowOpEmptyWithoutFlightRecorder(t *testing.T) {
+	_, addr := startServer(t) // no tracing → no flight recorder
+	c := dialOpen(t, addr, joinQuery)
+	slow, err := c.Slow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) != 0 {
+		t.Fatalf("flightless node returned %d slow records", len(slow))
+	}
+}
+
+// TestSlowOpReturnsRecordedNavigations: with tracing on and a zero
+// slow threshold (record everything), navigations must appear in the
+// ring with their span trees attached.
+func TestSlowOpReturnsRecordedNavigations(t *testing.T) {
+	_, addr := startServer(t,
+		server.WithTrace(true),
+		server.WithNodeName("srv-a"),
+		server.WithSlowNav(0, 8))
+	c := dialOpen(t, addr, joinQuery)
+	rec := trace.New()
+	c.SetTracer(rec)
+	if _, err := nav.Materialize(c); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := c.Slow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) == 0 {
+		t.Fatal("zero-threshold flight recorder captured nothing")
+	}
+	for _, s := range slow {
+		if s.Root == nil {
+			t.Fatalf("slow record #%d has no root span", s.Seq)
+		}
+		if s.Node != "srv-a" {
+			t.Fatalf("slow record node = %q, want srv-a", s.Node)
+		}
+		if s.UnixMs == 0 {
+			t.Fatal("slow record has no timestamp")
+		}
+	}
+}

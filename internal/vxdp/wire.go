@@ -28,7 +28,15 @@
 //	{"op":"batch","cmds":[C…]}       pipeline: all commands, one frame
 //	{"op":"stats"}                   → server introspection snapshot
 //	{"op":"trace"}                   → spans recorded since the last trace
+//	{"op":"slow"}                    → the node's slow-navigation ring
 //	{"op":"close"}                   end the session
+//
+// Any request may additionally carry "trace_ctx", a fleet trace context
+// (see trace.Context): the server then parents the spans behind the
+// command under the caller's span and returns them in the response's
+// "spans" block, so one navigation that hops across a mediator fleet
+// stitches into a single forest. Untraced sessions never carry either
+// field — they cost zero bytes and zero allocations.
 //
 // Cluster peers (mixd -cluster) speak four more ops on ordinary
 // sessions — the L2 region protocol and the health probe:
@@ -87,6 +95,7 @@ const (
 	OpBatch  = "batch"
 	OpStats  = "stats"
 	OpTrace  = "trace"
+	OpSlow   = "slow"
 	OpClose  = "close"
 
 	// Cluster operations (mixd -cluster; see internal/cluster). ping is
@@ -139,6 +148,10 @@ type Request struct {
 	// must serve it locally, never re-proxy or redirect, so a
 	// misconfigured ring cannot bounce a session between nodes.
 	Proxied bool `json:"proxied,omitempty"`
+	// TraceCtx, when non-nil, asks the server to record the spans
+	// behind this command under the caller's span and return them in
+	// Response.Spans. Absent on untraced sessions (zero wire bytes).
+	TraceCtx *trace.Context `json:"trace_ctx,omitempty"`
 }
 
 // NavResult is the outcome of one navigation command.
@@ -167,6 +180,24 @@ type Response struct {
 	Tree *regioncache.Region `json:"tree,omitempty"`
 	// Gen is the responder's cache generation (ping, invalidate).
 	Gen uint64 `json:"gen,omitempty"`
+	// Spans answers a request that carried a TraceCtx: the span forest
+	// recorded while serving it, roots parented under the caller's
+	// span. The caller stitches it into its own forest (trace.Stitch).
+	Spans []*trace.Span `json:"spans,omitempty"`
+	// Slow answers the slow command: the node's slow-navigation flight
+	// ring, oldest first.
+	Slow []SlowNav `json:"slow,omitempty"`
+}
+
+// SlowNav is one retained slow navigation on the wire: when it
+// completed (wall clock), on which node, how slow it was, and the full
+// (possibly stitched) span tree behind it.
+type SlowNav struct {
+	Seq    uint64      `json:"seq"`
+	UnixMs int64       `json:"unix_ms"`
+	Node   string      `json:"node,omitempty"`
+	DurNs  int64       `json:"dur_ns"`
+	Root   *trace.Span `json:"root"`
 }
 
 // Stats is the server introspection snapshot returned by the stats
@@ -218,6 +249,18 @@ type ClusterStats struct {
 	L2Fills    int64  `json:"l2_fills"`    // region_put regions merged from peers
 	InvalSent  int64  `json:"inval_sent"`  // invalidation broadcasts fanned out
 	InvalRecv  int64  `json:"inval_recv"`  // invalidation broadcasts applied
+	// Routes breaks down session-routing latency by decision mode
+	// (proxy / redirect / local), mirroring the
+	// mix_cluster_route_duration_seconds histograms.
+	Routes []RouteLatency `json:"routes,omitempty"`
+}
+
+// RouteLatency summarizes one routing mode's open-handling latency.
+type RouteLatency struct {
+	Mode  string `json:"mode"`
+	Count int64  `json:"count"`
+	P50Us int64  `json:"p50_us"`
+	P99Us int64  `json:"p99_us"`
 }
 
 // ParallelStats mirrors core.ParallelStats on the wire: joins whose two

@@ -83,4 +83,53 @@ run_fleet() { # mode port1 port2 port3
 
 run_fleet proxy 17871 17872 17873
 run_fleet redirect 17874 17875 17876
+
+# Fleet tracing: boot a traced proxy fleet, navigate through every node
+# with a client-side recorder, and require that at least one session
+# (one entering through a non-owner, so every command hops to the
+# owner) reports a stitched forest with spans from >= 2 nodes.
+run_traced_fleet() { # port1 port2 port3
+    local a=127.0.0.1:$1 b=127.0.0.1:$2 c=127.0.0.1:$3
+    local fleet_pids=()
+    "$tmp/mixd" -addr "$a" -cluster -peers "$b,$c" -trace -slow-ms 0 "${SRCS[@]}" -log-level error &
+    fleet_pids+=($!)
+    "$tmp/mixd" -addr "$b" -cluster -peers "$a,$c" -trace -slow-ms 0 "${SRCS[@]}" -log-level error &
+    fleet_pids+=($!)
+    "$tmp/mixd" -addr "$c" -cluster -peers "$a,$b" -trace -slow-ms 0 "${SRCS[@]}" -log-level error &
+    fleet_pids+=($!)
+    pids+=("${fleet_pids[@]}")
+    for n in "$a" "$b" "$c"; do wait_up "$n"; done
+    local stitched=0
+    for n in "$a" "$b" "$c"; do
+        "$tmp/mixq" -connect "$n" -trace -q "${queries[0]}" >"$tmp/got" 2>"$tmp/trace"
+        if ! cmp -s "$tmp/want.0" "$tmp/got"; then
+            echo "cluster_e2e: traced proxy, node $n answer differs from baseline" >&2
+            diff "$tmp/want.0" "$tmp/got" >&2 || true
+            exit 1
+        fi
+        if ! grep -q '^nodes:' "$tmp/trace"; then
+            echo "cluster_e2e: traced proxy, node $n reported no node-tagged spans" >&2
+            cat "$tmp/trace" >&2
+            exit 1
+        fi
+        # "nodes: addr1=n addr2=m" — count the per-node tags.
+        tags=$(grep '^nodes:' "$tmp/trace" | head -1 | grep -o '=' | wc -l)
+        if [ "$tags" -ge 2 ]; then stitched=$((stitched + 1)); fi
+        # The zero-threshold flight ring must already hold these roots.
+        # (Capture to a file: grep -q would SIGPIPE mixq mid-dump.)
+        "$tmp/mixq" -connect "$n" -slow >"$tmp/slowdump" 2>&1
+        if ! grep -q 'node=' "$tmp/slowdump"; then
+            echo "cluster_e2e: traced proxy, node $n slow ring is empty" >&2
+            exit 1
+        fi
+    done
+    if [ "$stitched" -lt 2 ]; then
+        echo "cluster_e2e: expected >= 2 cross-node forests (one per non-owner entry), got $stitched" >&2
+        exit 1
+    fi
+    for p in "${fleet_pids[@]}"; do kill "$p" 2>/dev/null || true; done
+    echo "cluster_e2e: traced proxy fleet stitched spans from >= 2 nodes"
+}
+
+run_traced_fleet 17877 17878 17879
 echo "cluster_e2e: PASS"
