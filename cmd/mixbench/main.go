@@ -41,7 +41,12 @@ func main() {
 	mem := flag.Bool("mem", false, "report per-experiment allocation and GC-pause deltas")
 	clusterOnly := flag.Bool("cluster", false, "run only the clustered fleet experiments (E15, E16)")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
+	batch := flag.Int("batch", 0, "override the batch width of the vectorized pipeline runs (0 = default, <=1 = scalar)")
 	flag.Parse()
+
+	if *batch != 0 {
+		experiments.SetBatchSize(*batch)
+	}
 
 	ids := experiments.IDs()
 	if *clusterOnly {

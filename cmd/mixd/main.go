@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"mix/internal/cluster"
+	"mix/internal/core"
 	"mix/internal/lxp"
 	"mix/internal/mediator"
 	"mix/internal/metrics"
@@ -106,6 +107,7 @@ func main() {
 	wireOpt := flag.Bool("wire-opt", true, "pooled frame buffers and the lean LXP codec (false = per-frame allocation, generic encoding/json)")
 	parallelJoin := flag.Bool("parallel-join", false, "derive the two inputs of multi-source joins concurrently (trades lazy exploration for latency overlap)")
 	lxpBatch := flag.Int("lxp-batch", 8, "coalesce up to this many holes per LXP fill round trip (0 or 1 = single-hole fills)")
+	batchSize := flag.Int("batch", core.DefaultBatchSize, "move up to this many bindings per operator pull (<=1 = scalar binding-at-a-time pipeline)")
 	clusterOn := flag.Bool("cluster", false, "join a sharded mediator fleet: route sessions over a consistent-hash ring and share explored regions with -peers")
 	nodeAddr := flag.String("node", "", "advertised cluster address of this node (default: -addr); every peer must know it by exactly this string")
 	peers := flag.String("peers", "", "comma-separated advertised addresses of the other fleet members (all nodes must be configured with identical -src/-view sets, in the same order)")
@@ -164,6 +166,7 @@ func main() {
 	mopts.Engine.HashJoin = *hashJoin
 	mopts.Engine.Parallel = *parallelJoin
 	mopts.Engine.Fingerprints = *fingerprints
+	mopts.Engine.BatchSize = *batchSize
 	mopts.LXPBatch = *lxpBatch
 	lxp.SetWireOptimizations(*wireOpt)
 	vxdp.SetPooledBuffers(*wireOpt)

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mix/internal/algebra"
+	"mix/internal/nav"
+	"mix/internal/pathexpr"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+// batchOpts is DefaultOptions with the batch width pinned; bs <= 1
+// compiles the scalar pipeline (the reference the batch one must match
+// byte for byte).
+func batchOpts(bs int) Options {
+	o := DefaultOptions()
+	o.BatchSize = bs
+	return o
+}
+
+// batchPlans is the operator-coverage set for the identity tests: the
+// paper's join+group plan, a hash equi-join, selection (both the
+// fused-scan and the general condition form), distinct over a union,
+// difference, and orderBy — every batch operator class in one sweep.
+func batchPlans() map[string]func() algebra.Op {
+	zips := func(src, rvar, hvar, zvar, inner string) algebra.Op {
+		return &algebra.GetDescendants{
+			Input: &algebra.GetDescendants{
+				Input:  &algebra.Source{URL: src, Var: rvar},
+				Parent: rvar, Path: pathexpr.MustParse(inner), Out: hvar,
+			},
+			Parent: hvar, Path: pathexpr.MustParse("zip._"), Out: zvar,
+		}
+	}
+	homeZips := func() algebra.Op { return zips("homesSrc", "R1", "H", "V1", "home") }
+	schoolZips := func() algebra.Op { return zips("schoolsSrc", "R2", "S", "V2", "school") }
+	projZip := func() algebra.Op {
+		return &algebra.Project{Input: homeZips(), Keep: []string{"V1"}}
+	}
+	return map[string]func() algebra.Op{
+		"fig4": workload.HomesSchoolsPlan,
+		"hash equi-join": func() algebra.Op {
+			return &algebra.Project{
+				Input: &algebra.Join{Left: homeZips(), Right: schoolZips(),
+					Cond: algebra.Eq(algebra.V("V1"), algebra.V("V2"))},
+				Keep: []string{"H", "S"},
+			}
+		},
+		"select condition": func() algebra.Op {
+			return &algebra.Project{
+				Input: &algebra.Select{Input: homeZips(),
+					Cond: algebra.Eq(algebra.V("V1"), algebra.Lit("91000"))},
+				Keep: []string{"H"},
+			}
+		},
+		"distinct over union": func() algebra.Op {
+			return &algebra.Distinct{Input: &algebra.Union{
+				Left: projZip(), Right: projZip()}}
+		},
+		"difference": func() algebra.Op {
+			return &algebra.Difference{
+				Left: projZip(),
+				Right: &algebra.Project{
+					Input: &algebra.Select{Input: homeZips(),
+						Cond: algebra.Eq(algebra.V("V1"), algebra.Lit("91000"))},
+					Keep: []string{"V1"},
+				},
+			}
+		},
+		"orderBy": func() algebra.Op {
+			return &algebra.OrderBy{Input: projZip(), Keys: []string{"V1"}}
+		},
+		"groupBy": func() algebra.Op {
+			return &algebra.GroupBy{Input: homeZips(),
+				By: []string{"V1"}, Var: "H", Out: "G"}
+		},
+	}
+}
+
+// TestBatchSizesByteIdentical is the acceptance bet of the batch
+// pipeline: for every operator class and every batch width — including
+// widths that straddle, divide, and dwarf the stream lengths — the
+// answer bytes AND the per-source navigation counts match the scalar
+// pipeline exactly.
+func TestBatchSizesByteIdentical(t *testing.T) {
+	homes, schools := workload.HomesSchools(23, 17, 5, 3)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools}
+	run := func(t *testing.T, plan algebra.Op, bs int) (string, string) {
+		e, counters := engineWith(batchOpts(bs), srcs)
+		q := mustCompile(t, e, plan)
+		answer := xmltree.MarshalXML(mustMaterialize(t, q))
+		var navs []string
+		for _, name := range []string{"homesSrc", "schoolsSrc"} {
+			c := counters[name].Counters.Snapshot()
+			navs = append(navs, fmt.Sprintf("%s d=%d r=%d f=%d sel=%d root=%d",
+				name, c.Down, c.Right, c.Fetch, c.Select, c.Root))
+		}
+		return answer, strings.Join(navs, "; ")
+	}
+	for name, mk := range batchPlans() {
+		t.Run(name, func(t *testing.T) {
+			wantAnswer, wantNavs := run(t, mk(), 1) // scalar reference
+			for _, bs := range []int{0, 2, 3, 7, 64, 1000} {
+				gotAnswer, gotNavs := run(t, mk(), bs)
+				if gotAnswer != wantAnswer {
+					t.Fatalf("BatchSize=%d answer differs:\n%s\nvs scalar\n%s",
+						bs, gotAnswer, wantAnswer)
+				}
+				if gotNavs != wantNavs {
+					t.Fatalf("BatchSize=%d source navigations differ:\n%s\nvs scalar\n%s",
+						bs, gotNavs, wantNavs)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchFilterEmptyBatches pins the no-false-EOF rule: a filter that
+// rejects whole input batches must keep pulling — an all-rejected batch
+// is not end-of-stream — and a filter that rejects everything must
+// still terminate with the scalar answer (zero rows).
+func TestBatchFilterEmptyBatches(t *testing.T) {
+	homes, _ := workload.HomesSchools(40, 0, 6, 3)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes}
+	zips := &algebra.GetDescendants{
+		Input: &algebra.GetDescendants{
+			Input:  &algebra.Source{URL: "homesSrc", Var: "R"},
+			Parent: "R", Path: pathexpr.MustParse("home"), Out: "H",
+		},
+		Parent: "H", Path: pathexpr.MustParse("zip._"), Out: "Z",
+	}
+	for _, tc := range []struct {
+		name, lit string
+	}{
+		{"sparse matches", "91000"}, // rare value: many all-rejected batches
+		{"no matches", "no-such-zip"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := func() algebra.Op {
+				return &algebra.Project{
+					Input: &algebra.Select{Input: zips,
+						Cond: algebra.Eq(algebra.V("Z"), algebra.Lit(tc.lit))},
+					Keep: []string{"H"},
+				}
+			}
+			es, _ := engineWith(batchOpts(1), srcs)
+			want := xmltree.MarshalXML(mustMaterialize(t, mustCompile(t, es, plan())))
+			// Width 2 forces many consecutive empty filtered batches.
+			eb, _ := engineWith(batchOpts(2), srcs)
+			got := xmltree.MarshalXML(mustMaterialize(t, mustCompile(t, eb, plan())))
+			if got != want {
+				t.Fatalf("batch answer differs:\n%s\nvs\n%s", got, want)
+			}
+		})
+	}
+}
+
+// failAfterDoc fails every navigation after the first n have succeeded
+// — an error that strikes mid-stream, after a prefix of bindings has
+// been produced.
+type failAfterDoc struct {
+	d    nav.Document
+	err  error
+	left *int
+}
+
+func (f failAfterDoc) step() error {
+	if *f.left <= 0 {
+		return f.err
+	}
+	*f.left--
+	return nil
+}
+
+func (f failAfterDoc) Root() (nav.ID, error) {
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	return f.d.Root()
+}
+
+func (f failAfterDoc) Down(p nav.ID) (nav.ID, error) {
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	return f.d.Down(p)
+}
+
+func (f failAfterDoc) Right(p nav.ID) (nav.ID, error) {
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	return f.d.Right(p)
+}
+
+func (f failAfterDoc) Fetch(p nav.ID) (string, error) {
+	if err := f.step(); err != nil {
+		return "", err
+	}
+	return f.d.Fetch(p)
+}
+
+// TestBatchMidStreamErrorByteIdentical: an error striking after a
+// prefix of source navigations must surface at the same client-visible
+// position in both pipelines — same number of answer rows reachable,
+// same error. This exercises the prefix-then-error rule of bnext (a
+// batch computed up to the failure is delivered before the error).
+func TestBatchMidStreamErrorByteIdentical(t *testing.T) {
+	homes, _ := workload.HomesSchools(12, 0, 4, 3)
+	boom := errors.New("source lost mid-stream")
+	plan := func() algebra.Op {
+		return &algebra.Project{
+			Input: &algebra.GetDescendants{
+				Input: &algebra.GetDescendants{
+					Input:  &algebra.Source{URL: "homesSrc", Var: "R"},
+					Parent: "R", Path: pathexpr.MustParse("home"), Out: "H",
+				},
+				Parent: "H", Path: pathexpr.MustParse("zip._"), Out: "Z",
+			},
+			Keep: []string{"H", "Z"},
+		}
+	}
+	// walk steps the answer document left to right and reports how many
+	// rows were reached before the error (and the error itself).
+	walk := func(t *testing.T, bs, budget int) (int, error) {
+		t.Helper()
+		left := budget
+		e := New(WithOptions(batchOpts(bs)))
+		e.Register("homesSrc", failAfterDoc{
+			d: nav.NewTreeDoc(homes), err: boom, left: &left})
+		q := mustCompile(t, e, plan())
+		doc := q.Document()
+		root, err := doc.Root()
+		if err != nil {
+			return 0, err
+		}
+		cur, err := doc.Down(root)
+		if err != nil {
+			return 0, err
+		}
+		rows := 0
+		for cur != nil {
+			rows++
+			cur, err = doc.Right(cur)
+			if err != nil {
+				return rows, err
+			}
+		}
+		return rows, nil
+	}
+	// A generous budget errors nowhere; the full row count calibrates
+	// the truncation budgets below.
+	total, err := walk(t, 1, 1<<30)
+	if err != nil || total < 4 {
+		t.Fatalf("calibration walk: rows=%d err=%v", total, err)
+	}
+	for _, budget := range []int{1, 5, 17, 43} {
+		wantRows, wantErr := walk(t, 1, budget)
+		for _, bs := range []int{2, 3, 64} {
+			gotRows, gotErr := walk(t, bs, budget)
+			if gotRows != wantRows || !errors.Is(gotErr, boom) != !errors.Is(wantErr, boom) {
+				t.Fatalf("budget=%d BatchSize=%d: rows=%d err=%v, scalar rows=%d err=%v",
+					budget, bs, gotRows, gotErr, wantRows, wantErr)
+			}
+		}
+	}
+}
+
+// TestParallelBatchDrainRace stress-tests the work-stealing batch
+// drains under the race detector: many engines evaluate the same
+// disjoint-sources parallel join concurrently with a tiny batch width
+// (maximizing pump handoffs through the shared worker pool), and every
+// answer must match the serial scalar reference.
+func TestParallelBatchDrainRace(t *testing.T) {
+	homes, schools := workload.HomesSchools(30, 30, 6, 3)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools}
+	plan := func() algebra.Op {
+		return hashZipPlan(algebra.Eq(algebra.V("V1"), algebra.V("V2")))
+	}
+	ser, _ := engineWith(hashOpts(), srcs)
+	want := xmltree.MarshalXML(mustMaterialize(t, mustCompile(t, ser, plan())))
+
+	popts := batchOpts(2)
+	popts.Parallel = true
+	before := BatchSnapshot()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, _ := engineWith(popts, srcs)
+			q, err := e.Compile(plan())
+			if err != nil {
+				errs <- err
+				return
+			}
+			tree, err := q.Materialize()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := xmltree.MarshalXML(tree); got != want {
+				errs <- fmt.Errorf("parallel batch answer differs:\n%s", got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	after := BatchSnapshot()
+	if after.Batches <= before.Batches || after.Bindings <= before.Bindings {
+		t.Fatalf("batch counters did not advance: %+v -> %+v", before, after)
+	}
+}
+
+// TestBatchModeGating pins when the batch pipeline engages: it needs a
+// width above one AND the cache options the batch operators assume;
+// ablation configurations keep the scalar pipeline untouched.
+func TestBatchModeGating(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    Options
+		want bool
+	}{
+		{"defaults", DefaultOptions(), true},
+		{"width 1", batchOpts(1), false},
+		{"width 0", batchOpts(0), false},
+		{"no join cache", Options{PathCache: true, GroupCache: true, BatchSize: 64}, false},
+		{"no path cache", Options{JoinCache: true, GroupCache: true, BatchSize: 64}, false},
+		{"no group cache", Options{JoinCache: true, PathCache: true, BatchSize: 64}, false},
+		{"ablation literal", Options{JoinCache: true, PathCache: true, GroupCache: true}, false},
+	} {
+		if got := tc.o.batchMode(); got != tc.want {
+			t.Errorf("%s: batchMode() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// And the compiled artifact reflects the gate: a batch-mode query
+	// carries a batch pipeline, a scalar one does not.
+	homes, _ := workload.HomesSchools(3, 0, 2, 3)
+	srcs := map[string]*xmltree.Tree{"homesSrc": homes}
+	plan := &algebra.Source{URL: "homesSrc", Var: "R"}
+	eb, _ := engineWith(DefaultOptions(), srcs)
+	if q := mustCompile(t, eb, plan); q.batch == nil {
+		t.Fatal("batch-mode compile produced no batch pipeline")
+	}
+	es, _ := engineWith(batchOpts(1), srcs)
+	if q := mustCompile(t, es, plan); q.batch != nil {
+		t.Fatal("scalar compile produced a batch pipeline")
+	}
+}

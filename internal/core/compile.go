@@ -14,60 +14,6 @@ import (
 	"mix/internal/xmltree"
 )
 
-// Options control the operator-local caches and the navigation command
-// set, mirroring the knobs the paper discusses:
-//
-//   - JoinCache — the nested-loops join stores the inner binding list
-//     so it is not re-derived from the source for every outer binding
-//     (Section 3). Disabling it is the E6 ablation.
-//   - PathCache — getDescendants memoizes its output, so revisiting a
-//     region of the answer does not re-run the (possibly recursive)
-//     descent (Section 3). Disabling it is the E7 ablation.
-//   - GroupCache — groupBy caches the grouped value lists for the
-//     group-by lists in Gprev (Appendix A). Disabling it is E9.
-//   - NativeSelect — the select(σ) command is part of NC and pushed to
-//     the sources, upgrading label selections from browsable to
-//     bounded browsable (Section 2, Example 1). E3 toggles it.
-//   - HashJoin — joins whose condition implies a variable equality
-//     (Cond.EquiKeys) probe an incrementally-built hash index over the
-//     inner stream instead of scanning it per outer binding; the index
-//     grows only as far as probing forces the inner stream, so laziness
-//     is preserved. Requires JoinCache (the index memoizes the inner
-//     derivation); non-equi conditions fall back to nested loops.
-//   - Parallel — joins whose two inputs read disjoint source sets
-//     derive both inputs concurrently (bounded worker pool, first error
-//     cancels the sibling). The inputs are drained eagerly when the
-//     join is first pulled, trading input laziness for wall-clock
-//     overlap of the sources' round trips; see parallel.go. Requires
-//     JoinCache (the drained inputs are replayed like the inner cache).
-//   - Fingerprints — equality-heavy operators (distinct, groupBy,
-//     difference, hash-join buckets) key on memoized 128-bit structural
-//     fingerprints instead of canonical subtree strings, and
-//     getDescendants steps a lazily-determinized DFA instead of
-//     recomputing NFA closures per label. Semantics are byte-identical:
-//     fingerprint collisions fall back to full structural comparison
-//     (see keyspace.go), and the DFA is observationally equivalent to
-//     the NFA. Off reproduces the pre-fingerprint behavior exactly.
-type Options struct {
-	JoinCache    bool
-	PathCache    bool
-	GroupCache   bool
-	NativeSelect bool
-	HashJoin     bool
-	Parallel     bool
-	Fingerprints bool
-}
-
-// DefaultOptions enables all caches, the hash equi-join and the
-// fingerprint fast paths, and leaves NC = {d, r, f}. Parallel input
-// derivation is opt-in: it trades the lazy "explore only what the
-// client demands" contract for latency overlap, which only pays off on
-// high-latency sources.
-func DefaultOptions() Options {
-	return Options{JoinCache: true, PathCache: true, GroupCache: true,
-		HashJoin: true, Fingerprints: true}
-}
-
 // Engine compiles algebra plans against a registry of named sources.
 // The registry is internally synchronized: sources may be registered
 // concurrently with compilations (a compile sees a registration that
@@ -99,11 +45,6 @@ type Engine struct {
 	// intern canonicalizes the label vocabulary the engine's DFA caches
 	// key on; shared across all plans compiled by this engine.
 	intern *xmltree.Interner
-}
-
-// New returns an Engine with the given options.
-func New(opts Options) *Engine {
-	return &Engine{opts: opts, reg: map[string]nav.Document{}, intern: xmltree.NewInterner()}
 }
 
 // Register makes doc available to plans under the given source name.
@@ -190,6 +131,11 @@ type Query struct {
 	// answer is non-nil when the plan root is tupleDestroy: the lazy
 	// root node of the virtual answer document.
 	answer Node
+
+	// batch is non-nil when the query compiled to the batch pipeline
+	// (Options.batchMode) and the plan root is not tupleDestroy: the
+	// top-level batch adapter Materialize predrains (see batch.go).
+	batch *topBatch
 }
 
 // Compile validates the plan and compiles it into a tree of lazy
@@ -208,12 +154,14 @@ func (e *Engine) Compile(plan algebra.Op) (*Query, error) {
 	if e.opts.Fingerprints {
 		c.ks = newKeyspace()
 	}
+	if e.opts.batchMode() {
+		c.batch = e.opts.BatchSize
+	}
 	if td, ok := plan.(*algebra.TupleDestroy); ok {
-		inb, err := c.compile(td.Input)
+		inb, err := c.compileTop(td.Input)
 		if err != nil {
 			return nil, err
 		}
-		inb = memoBuilder(inb)
 		q.answer = &lazyNode{resolve: func() (Node, error) {
 			s, err := inb()
 			if err != nil {
@@ -230,12 +178,42 @@ func (e *Engine) Compile(plan algebra.Op) (*Query, error) {
 		}}
 		return q, nil
 	}
+	if c.batch > 0 {
+		bb, err := c.compileB(plan)
+		if err != nil {
+			return nil, err
+		}
+		q.batch = &topBatch{bb: bb, batch: c.batch}
+		q.build = q.batch.builder()
+		return q, nil
+	}
 	b, err := c.compile(plan)
 	if err != nil {
 		return nil, err
 	}
 	q.build = memoBuilder(b)
 	return q, nil
+}
+
+// compileTop compiles a plan into a shared (memoized) top-level stream
+// builder, through the batch pipeline when batch mode is on. It serves
+// the tupleDestroy input, whose consumer is inherently scalar: the
+// answer element resolves from the first binding only, so there is no
+// predrain point.
+func (c *compiler) compileTop(p algebra.Op) (builder, error) {
+	if c.batch > 0 {
+		bb, err := c.compileB(p)
+		if err != nil {
+			return nil, err
+		}
+		tb := &topBatch{bb: bb, batch: c.batch}
+		return tb.builder(), nil
+	}
+	b, err := c.compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return memoBuilder(b), nil
 }
 
 // memoBuilder makes a builder return one shared memoized stream, so
@@ -361,6 +339,14 @@ func (l bindingList) next() (Node, list, error) {
 // binding tree otherwise. It is a convenience for callers that want
 // the eager behaviour through the lazy machinery.
 func (q *Query) Materialize() (*xmltree.Tree, error) {
+	// Full evaluation is the batch pipeline's home turf: force the whole
+	// binding list in batch-sized pulls first, then walk the answer over
+	// the replay log. Cache-aware documents are exempt — a warm cache
+	// answers the walk with zero source work, which a predrain would
+	// defeat.
+	if q.batch != nil && (q.eng.cache == nil || q.cacheName == "") {
+		q.batch.predrain()
+	}
 	return nav.Materialize(q.Document())
 }
 
@@ -389,13 +375,13 @@ func (c *compiler) compileOp(p algebra.Op) (builder, error) {
 	case *algebra.GroupBy:
 		return c.compileGroupBy(op)
 	case *algebra.Concatenate:
-		return c.compileConcatenate(op)
+		return c.compilePerBinding(op.Input, concatKernel(op))
 	case *algebra.CreateElement:
-		return c.compileCreateElement(op)
+		return c.compilePerBinding(op.Input, createElementKernel(op))
 	case *algebra.OrderBy:
 		return c.compileOrderBy(op)
 	case *algebra.Project:
-		return c.compileProject(op)
+		return c.compilePerBinding(op.Input, projectKernel(op))
 	case *algebra.Union:
 		return c.compileBinaryConcat(op.Left, op.Right)
 	case *algebra.Difference:
@@ -403,24 +389,11 @@ func (c *compiler) compileOp(p algebra.Op) (builder, error) {
 	case *algebra.Distinct:
 		return c.compileDistinct(op)
 	case *algebra.WrapList:
-		return c.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
-			v, err := b.node(op.Var)
-			if err != nil {
-				return nil, err
-			}
-			return b.with(op.Out, NewElem(xmltree.ListLabel, singletonList(v))), nil
-		})
+		return c.compilePerBinding(op.Input, wrapListKernel(op))
 	case *algebra.Const:
-		return c.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
-			return b.with(op.Out, FromTree(op.Value)), nil
-		})
+		return c.compilePerBinding(op.Input, constKernel(op))
 	case *algebra.Rename:
-		return c.compilePerBinding(op.Input, func(b *binding) (*binding, error) {
-			if _, err := b.node(op.From); err != nil {
-				return nil, err
-			}
-			return b.rename(op.From, op.To), nil
-		})
+		return c.compilePerBinding(op.Input, renameKernel(op))
 	case *algebra.TupleDestroy:
 		return nil, fmt.Errorf("core: tupleDestroy must be the plan root")
 	default:
@@ -441,6 +414,100 @@ func (c *compiler) compilePerBinding(input algebra.Op, fn func(*binding) (*bindi
 		}
 		return mapStream{in: s, fn: fn}, nil
 	}, nil
+}
+
+// The per-binding kernels below are the operator bodies shared by the
+// scalar pipeline (one kernel call per mapStream pull) and the batch
+// pipeline (one kernel loop per mapBCursor batch, see batch.go).
+
+func wrapListKernel(op *algebra.WrapList) func(*binding) (*binding, error) {
+	varName, out := op.Var, op.Out
+	return func(b *binding) (*binding, error) {
+		v, err := b.node(varName)
+		if err != nil {
+			return nil, err
+		}
+		return b.with(out, NewElem(xmltree.ListLabel, singletonList(v))), nil
+	}
+}
+
+func constKernel(op *algebra.Const) func(*binding) (*binding, error) {
+	value, out := op.Value, op.Out
+	return func(b *binding) (*binding, error) {
+		return b.with(out, FromTree(value)), nil
+	}
+}
+
+func renameKernel(op *algebra.Rename) func(*binding) (*binding, error) {
+	from, to := op.From, op.To
+	return func(b *binding) (*binding, error) {
+		if _, err := b.node(from); err != nil {
+			return nil, err
+		}
+		return b.rename(from, to), nil
+	}
+}
+
+func concatKernel(op *algebra.Concatenate) func(*binding) (*binding, error) {
+	x, y, out := op.X, op.Y, op.Out
+	return func(b *binding) (*binding, error) {
+		xv, err := b.node(x)
+		if err != nil {
+			return nil, err
+		}
+		yv, err := b.node(y)
+		if err != nil {
+			return nil, err
+		}
+		z := NewElem(xmltree.ListLabel, concatList{a: itemsOf(xv), b: itemsOf(yv)})
+		return b.with(out, z), nil
+	}
+}
+
+func createElementKernel(op *algebra.CreateElement) func(*binding) (*binding, error) {
+	spec, ch, out := op.Label, op.Children, op.Out
+	return func(b *binding) (*binding, error) {
+		cv, err := b.node(ch)
+		if err != nil {
+			return nil, err
+		}
+		// "c1 … cn are the subtrees of bin.ch": the new element
+		// receives the *children* of the bound value (for a
+		// list[…] value these are the listed items).
+		kids := childrenOf(cv)
+		var el Node
+		if spec.Var == "" {
+			el = NewElem(spec.Const, kids)
+		} else {
+			// Dynamic label: resolved (one small materialization)
+			// only when the element is actually looked at.
+			labelVar := spec.Var
+			el = &lazyNode{resolve: func() (Node, error) {
+				lv, err := b.Value(labelVar)
+				if err != nil {
+					return nil, err
+				}
+				label := lv.Label
+				if !lv.IsLeaf() {
+					label = lv.TextContent()
+				}
+				return NewElem(label, kids), nil
+			}}
+		}
+		return b.with(out, el), nil
+	}
+}
+
+func projectKernel(op *algebra.Project) func(*binding) (*binding, error) {
+	keep := op.Keep
+	return func(b *binding) (*binding, error) {
+		for _, v := range keep {
+			if _, err := b.node(v); err != nil {
+				return nil, err
+			}
+		}
+		return b.project(keep), nil
+	}
 }
 
 func (c *compiler) compileSource(op *algebra.Source) (builder, error) {
@@ -486,13 +553,7 @@ func (c *compiler) compileGetDescendants(op *algebra.GetDescendants) (builder, e
 			if err != nil {
 				return nil, err
 			}
-			var matches list
-			if dfa != nil {
-				matches = dfaMatchList{dfa: dfa, siblings: childrenOf(pv), state: dfa.Start()}
-			} else {
-				matches = pathMatchList{nfa: nfa, siblings: childrenOf(pv), state: nfa.Start()}
-			}
-			return nodeStream{l: matches, base: b, out: out}, nil
+			return nodeStream{l: matchList(nfa, dfa, pv), base: b, out: out}, nil
 		}}, nil
 	}
 	if c.e.opts.PathCache {
@@ -643,18 +704,7 @@ func (c *compiler) compileFusedLabelScan(gd *algebra.GetDescendants, label strin
 			if err != nil {
 				return nil, err
 			}
-			sb, ok := asSourceBacked(pv)
-			if !ok {
-				// Constructed value: fall back to a plain filtered scan.
-				matches := labelFilterList{l: childrenOf(pv), label: label}
-				return nodeStream{l: matches, base: b, out: out}, nil
-			}
-			doc, id := sb.source()
-			// Probe the select capability once per scan (it is invariant
-			// over the document), not once per hop.
-			sel, _ := nav.SelectorOf(doc)
-			return nodeStream{l: selectScanList{doc: doc, sel: sel, parent: id, label: label, started: false},
-				base: b, out: out}, nil
+			return nodeStream{l: fusedScanList(pv, label), base: b, out: out}, nil
 		}}, nil
 	}, nil
 }
@@ -805,76 +855,6 @@ func (c *compiler) compileJoin(op *algebra.Join) (builder, error) {
 	}, nil
 }
 
-func (c *compiler) compileConcatenate(op *algebra.Concatenate) (builder, error) {
-	in, err := c.compile(op.Input)
-	if err != nil {
-		return nil, err
-	}
-	x, y, out := op.X, op.Y, op.Out
-	return func() (stream, error) {
-		s, err := in()
-		if err != nil {
-			return nil, err
-		}
-		return mapStream{in: s, fn: func(b *binding) (*binding, error) {
-			xv, err := b.node(x)
-			if err != nil {
-				return nil, err
-			}
-			yv, err := b.node(y)
-			if err != nil {
-				return nil, err
-			}
-			z := NewElem(xmltree.ListLabel, concatList{a: itemsOf(xv), b: itemsOf(yv)})
-			return b.with(out, z), nil
-		}}, nil
-	}, nil
-}
-
-func (c *compiler) compileCreateElement(op *algebra.CreateElement) (builder, error) {
-	in, err := c.compile(op.Input)
-	if err != nil {
-		return nil, err
-	}
-	spec, ch, out := op.Label, op.Children, op.Out
-	return func() (stream, error) {
-		s, err := in()
-		if err != nil {
-			return nil, err
-		}
-		return mapStream{in: s, fn: func(b *binding) (*binding, error) {
-			cv, err := b.node(ch)
-			if err != nil {
-				return nil, err
-			}
-			// "c1 … cn are the subtrees of bin.ch": the new element
-			// receives the *children* of the bound value (for a
-			// list[…] value these are the listed items).
-			kids := childrenOf(cv)
-			var el Node
-			if spec.Var == "" {
-				el = NewElem(spec.Const, kids)
-			} else {
-				// Dynamic label: resolved (one small materialization)
-				// only when the element is actually looked at.
-				labelVar := spec.Var
-				el = &lazyNode{resolve: func() (Node, error) {
-					lv, err := b.Value(labelVar)
-					if err != nil {
-						return nil, err
-					}
-					label := lv.Label
-					if !lv.IsLeaf() {
-						label = lv.TextContent()
-					}
-					return NewElem(label, kids), nil
-				}}
-			}
-			return b.with(out, el), nil
-		}}, nil
-	}, nil
-}
-
 func (c *compiler) compileOrderBy(op *algebra.OrderBy) (builder, error) {
 	in, err := c.compile(op.Input)
 	if err != nil {
@@ -893,35 +873,11 @@ func (c *compiler) compileOrderBy(op *algebra.OrderBy) (builder, error) {
 			if err != nil {
 				return nil, err
 			}
-			type keyed struct {
-				b *binding
-				k []string
+			sorted, err := sortBindings(all, keys)
+			if err != nil {
+				return nil, err
 			}
-			rows := make([]keyed, len(all))
-			for i, b := range all {
-				ks := make([]string, len(keys))
-				for j, kv := range keys {
-					t, err := b.Value(kv)
-					if err != nil {
-						return nil, err
-					}
-					ks[j] = valueAtom(t)
-				}
-				rows[i] = keyed{b: b, k: ks}
-			}
-			sort.SliceStable(rows, func(i, j int) bool {
-				for x := range keys {
-					if c := algebra.Compare(rows[i].k[x], rows[j].k[x]); c != 0 {
-						return c < 0
-					}
-				}
-				return false
-			})
-			out := make(sliceStream, len(rows))
-			for i, r := range rows {
-				out[i] = r.b
-			}
-			return out, nil
+			return sliceStream(sorted), nil
 		}), nil
 	}, nil
 }
@@ -939,28 +895,6 @@ func valueAtom(t *xmltree.Tree) string {
 		return t.Children[0].Label
 	}
 	return t.TextContent()
-}
-
-func (c *compiler) compileProject(op *algebra.Project) (builder, error) {
-	in, err := c.compile(op.Input)
-	if err != nil {
-		return nil, err
-	}
-	keep := op.Keep
-	return func() (stream, error) {
-		s, err := in()
-		if err != nil {
-			return nil, err
-		}
-		return mapStream{in: s, fn: func(b *binding) (*binding, error) {
-			for _, v := range keep {
-				if _, err := b.node(v); err != nil {
-					return nil, err
-				}
-			}
-			return b.project(keep), nil
-		}}, nil
-	}, nil
 }
 
 func (c *compiler) compileBinaryConcat(l, r algebra.Op) (builder, error) {
@@ -1010,13 +944,9 @@ func (c *compiler) compileDifference(op *algebra.Difference) (builder, error) {
 				if err != nil {
 					return false, err
 				}
-				seen = make(map[string]bool, len(all))
-				for _, r := range all {
-					k, err := r.key(ks, vars)
-					if err != nil {
-						return false, err
-					}
-					seen[k] = true
+				seen, err = keySeen(all, ks, vars)
+				if err != nil {
+					return false, err
 				}
 			}
 			k, err := b.key(ks, vars)

@@ -14,7 +14,7 @@ import (
 // engineWith registers materialized tree sources behind counting
 // wrappers and returns the engine plus the per-source counters.
 func engineWith(opts Options, srcs map[string]*xmltree.Tree) (*Engine, map[string]*nav.CountingDoc) {
-	e := New(opts)
+	e := New(WithOptions(opts))
 	counters := map[string]*nav.CountingDoc{}
 	for name, t := range srcs {
 		cd := nav.NewCountingDoc(nav.NewTreeDoc(t))
@@ -54,7 +54,7 @@ func TestSourceSingletonBinding(t *testing.T) {
 }
 
 func TestCompileErrors(t *testing.T) {
-	e := New(DefaultOptions())
+	e := New()
 	if _, err := e.Compile(&algebra.Source{URL: "missing", Var: "X"}); err == nil {
 		t.Fatal("unregistered source must fail at compile time")
 	}
@@ -688,7 +688,7 @@ func drainList(l list) ([]Node, error) {
 }
 
 func TestEngineRegistry(t *testing.T) {
-	e := New(DefaultOptions())
+	e := New()
 	e.Register("b", nav.NewTreeDoc(xmltree.Elem("x")))
 	e.Register("a", nav.NewTreeDoc(xmltree.Elem("y")))
 	names := e.SourceNames()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strings"
+
 	"mix/internal/algebra"
 	"mix/internal/xmltree"
 )
@@ -125,5 +127,166 @@ func sameKeyPred(ks *keyspace, by []string, key string) func(*binding) (bool, er
 			return false, err
 		}
 		return k == key, nil
+	}
+}
+
+// compileBGroupBy is the batch-mode groupBy. The input flows once into
+// a shared batchLog; the group scan and every group's member list are
+// positions into that log, so the grouped value lists stay lazy (and
+// memoized — GroupCache is implied by batch mode) while ingest happens
+// a batch at a time.
+func (c *compiler) compileBGroupBy(op *algebra.GroupBy) (bbuilder, error) {
+	in, err := c.compileB(op.Input)
+	if err != nil {
+		return nil, err
+	}
+	by, varName, out := op.By, op.Var, op.Out
+	ks := c.ks
+	return func() (bcursor, error) {
+		input := &lazyLog{in: in}
+		if len(by) == 0 {
+			// Grouping by {} yields exactly one output binding without
+			// touching the input — the grouped list is lazy, so the
+			// mediator answers f on the answer root with zero source
+			// accesses, exactly like the scalar valueList path.
+			values := memoize(logValueList{in: input, varName: varName})
+			b := newBinding().with(out, NewElem(xmltree.ListLabel, values))
+			return &sliceBCursor{buf: []*binding{b}}, nil
+		}
+		return &groupsBCursor{in: input, ks: ks, by: by,
+			ck: strings.Join(by, "\x01"), varName: varName, out: out,
+			seen: map[string]bool{}}, nil
+	}, nil
+}
+
+// logValueList renders the varName values of a logged input as a lazy
+// node list, deriving the input only when first stepped.
+type logValueList struct {
+	in      *lazyLog
+	varName string
+	pos     int
+}
+
+func (v logValueList) next() (Node, list, error) {
+	log, err := v.in.get()
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := log.at(v.pos, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if b == nil {
+		return nil, nil, nil
+	}
+	n, err := b.node(v.varName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, logValueList{in: v.in, varName: v.varName, pos: v.pos + 1}, nil
+}
+
+// groupsBCursor emits one output binding per distinct group-by list, in
+// order of first occurrence, scanning the shared input log a batch per
+// call and keying with the joined variable list precomputed.
+type groupsBCursor struct {
+	in      *lazyLog
+	ks      *keyspace
+	by      []string
+	ck      string
+	varName string
+	out     string
+	pos     int
+	seen    map[string]bool
+	obuf    []*binding
+	err     error
+}
+
+func (g *groupsBCursor) bnext(want int) ([]*binding, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
+	g.obuf = g.obuf[:0]
+	want = clampWant(want)
+	fail := func(err error) ([]*binding, error) {
+		g.err = err
+		if len(g.obuf) > 0 {
+			return g.obuf, nil
+		}
+		return nil, err
+	}
+	log, err := g.in.get()
+	if err != nil {
+		return fail(err)
+	}
+	for len(g.obuf) < want {
+		b, err := log.at(g.pos, want)
+		if err != nil {
+			return fail(err)
+		}
+		if b == nil {
+			break
+		}
+		k, err := b.keyCached(g.ck, g.ks, g.by)
+		if err != nil {
+			return fail(err)
+		}
+		head := g.pos
+		g.pos++
+		if g.seen[k] {
+			continue
+		}
+		g.seen[k] = true
+		// New group: its member list starts at the group head and
+		// continues through the rest of the log with the same key. The
+		// output binding keeps the group-by variables (sharing the
+		// head's links and memoized values) plus the lazy grouped list.
+		values := memoize(memberList{log: log, pos: head, ks: g.ks,
+			by: g.by, key: k, ck: g.ck, varName: g.varName})
+		g.obuf = append(g.obuf,
+			b.project(g.by).with(g.out, NewElem(xmltree.ListLabel, values)))
+	}
+	if len(g.obuf) > 0 {
+		return g.obuf, nil
+	}
+	return nil, nil
+}
+
+// memberList is one group's lazy value list: the varName values of the
+// log positions from the group head onward whose group-by key matches.
+type memberList struct {
+	log     *batchLog
+	pos     int
+	ks      *keyspace
+	by      []string
+	key     string
+	ck      string
+	varName string
+}
+
+func (m memberList) next() (Node, list, error) {
+	pos := m.pos
+	for {
+		b, err := m.log.at(pos, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		if b == nil {
+			return nil, nil, nil
+		}
+		k, err := b.keyCached(m.ck, m.ks, m.by)
+		if err != nil {
+			return nil, nil, err
+		}
+		pos++
+		if k != m.key {
+			continue
+		}
+		n, err := b.node(m.varName)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, memberList{log: m.log, pos: pos, ks: m.ks, by: m.by,
+			key: m.key, ck: m.ck, varName: m.varName}, nil
 	}
 }

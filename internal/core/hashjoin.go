@@ -165,6 +165,274 @@ func (p hashProbeStream) next() (*binding, stream, error) {
 	}
 }
 
+// compileBJoin is the batch-mode join: hash equi-join over batches when
+// the condition implies a bridging equality, nested loops over a shared
+// inner log otherwise. JoinCache is implied by batch mode, so the inner
+// input is always derived at most once.
+func (c *compiler) compileBJoin(op *algebra.Join) (bbuilder, error) {
+	left, err := c.compileB(op.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.compileB(op.Right)
+	if err != nil {
+		return nil, err
+	}
+	cond := op.Cond
+	if c.e.opts.Parallel {
+		if l, r, ok := c.e.parallelBPair(op, left, right, c.batch); ok {
+			left, right = l, r
+		}
+	}
+	if c.e.opts.HashJoin {
+		if lk, rk, ok := equiJoinKeys(op); ok {
+			keyFn := atomKey
+			if c.e.opts.Fingerprints {
+				keyFn = atomKeyFP
+			}
+			return func() (bcursor, error) {
+				lc, err := left()
+				if err != nil {
+					return nil, err
+				}
+				idx := &bHashIndex{right: right, keys: rk, keyFn: keyFn,
+					buckets: map[string][]*binding{}}
+				return &bHashJoinCursor{out: lc, idx: idx, cond: cond,
+					lkeys: lk, keyFn: keyFn}, nil
+			}, nil
+		}
+	}
+	return func() (bcursor, error) {
+		lc, err := left()
+		if err != nil {
+			return nil, err
+		}
+		return &nlJoinBCursor{out: lc, inner: &lazyLog{in: right}, cond: cond}, nil
+	}, nil
+}
+
+// nlJoinBCursor is the batch nested-loops join: each outer binding
+// steps through the shared inner log (the batch form of the memoized
+// inner cache), evaluating the condition per pair.
+type nlJoinBCursor struct {
+	out   bcursor
+	inner *lazyLog
+	cond  algebra.Cond
+	pend  []*binding // buffered outer bindings
+	pi    int
+	lb    *binding // current outer binding
+	ipos  int      // position in the inner log
+	obuf  []*binding
+	err   error
+	done  bool
+}
+
+func (j *nlJoinBCursor) bnext(want int) ([]*binding, error) {
+	if j.err != nil {
+		return nil, j.err
+	}
+	j.obuf = j.obuf[:0]
+	want = clampWant(want)
+	for len(j.obuf) < want {
+		if j.lb != nil {
+			log, err := j.inner.get()
+			if err != nil {
+				return j.fail(err)
+			}
+			rb, err := log.at(j.ipos, want)
+			if err != nil {
+				return j.fail(err)
+			}
+			if rb == nil {
+				j.lb, j.ipos = nil, 0
+				continue
+			}
+			merged := merge(j.lb, rb)
+			j.ipos++
+			ok, err := j.cond.Eval(merged)
+			if err != nil {
+				return j.fail(err)
+			}
+			if ok {
+				j.obuf = append(j.obuf, merged)
+			}
+			continue
+		}
+		if j.pi >= len(j.pend) {
+			if j.done {
+				break
+			}
+			bs, err := j.out.bnext(want)
+			if len(bs) == 0 {
+				if err != nil {
+					return j.fail(err)
+				}
+				j.done = true
+				break
+			}
+			j.pend = append(j.pend[:0], bs...)
+			j.pi = 0
+		}
+		j.lb, j.ipos = j.pend[j.pi], 0
+		j.pi++
+	}
+	if len(j.obuf) > 0 {
+		return j.obuf, nil
+	}
+	return nil, nil
+}
+
+func (j *nlJoinBCursor) fail(err error) ([]*binding, error) {
+	j.err = err
+	if len(j.obuf) > 0 {
+		return j.obuf, nil
+	}
+	return nil, err
+}
+
+// bHashIndex is hashIndex over batches: each advance ingests one inner
+// batch — a whole bnext pull plus a keying loop per call instead of one
+// binding — and the inner input is derived only on first demand.
+type bHashIndex struct {
+	right   bbuilder
+	src     bcursor // nil until first advance, nil again when done
+	keys    []string
+	keyFn   func(*binding, []string) (string, error)
+	buckets map[string][]*binding
+	done    bool
+}
+
+// advance ingests up to want more inner bindings, reporting whether any
+// were added. A keying failure keeps the already-filed prefix and
+// terminates the index.
+func (h *bHashIndex) advance(want int) (bool, error) {
+	if h.done {
+		return false, nil
+	}
+	if h.src == nil {
+		c, err := h.right()
+		if err != nil {
+			h.done = true
+			return false, err
+		}
+		h.src = c
+	}
+	bs, err := h.src.bnext(want)
+	if len(bs) == 0 {
+		h.done, h.src = true, nil
+		return false, err
+	}
+	for _, b := range bs {
+		k, kerr := h.keyFn(b, h.keys)
+		if kerr != nil {
+			h.done, h.src = true, nil
+			return false, kerr
+		}
+		h.buckets[k] = append(h.buckets[k], b)
+	}
+	recordBatch(len(bs))
+	return true, nil
+}
+
+// bHashJoinCursor probes the shared index with whole outer batches:
+// the outer keys are computed in one loop per batch, then each outer
+// binding scans its bucket (advancing the index in want-sized steps
+// when the indexed prefix runs out).
+type bHashJoinCursor struct {
+	out   bcursor
+	idx   *bHashIndex
+	cond  algebra.Cond
+	lkeys []string
+	keyFn func(*binding, []string) (string, error)
+	pend  []*binding // buffered outer bindings
+	kpend []string   // their bucket keys
+	pi    int
+	lb    *binding // current outer binding
+	key   string
+	pos   int // next unexamined position in its bucket
+	obuf  []*binding
+	perr  error // keying error pending after the keyed prefix drains
+	err   error
+	done  bool
+}
+
+func (c *bHashJoinCursor) bnext(want int) ([]*binding, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.obuf = c.obuf[:0]
+	want = clampWant(want)
+	for len(c.obuf) < want {
+		if c.lb != nil {
+			bucket := c.idx.buckets[c.key]
+			if c.pos < len(bucket) {
+				merged := merge(c.lb, bucket[c.pos])
+				c.pos++
+				ok, err := c.cond.Eval(merged)
+				if err != nil {
+					return c.fail(err)
+				}
+				if ok {
+					c.obuf = append(c.obuf, merged)
+				}
+				continue
+			}
+			more, err := c.idx.advance(want)
+			if err != nil {
+				return c.fail(err)
+			}
+			if more {
+				continue
+			}
+			c.lb = nil
+			continue
+		}
+		if c.pi >= len(c.pend) {
+			if c.perr != nil {
+				return c.fail(c.perr)
+			}
+			if c.done {
+				break
+			}
+			bs, err := c.out.bnext(want)
+			if len(bs) == 0 {
+				if err != nil {
+					return c.fail(err)
+				}
+				c.done = true
+				break
+			}
+			c.pend = append(c.pend[:0], bs...)
+			c.kpend = c.kpend[:0]
+			c.pi = 0
+			for _, b := range bs {
+				k, kerr := c.keyFn(b, c.lkeys)
+				if kerr != nil {
+					c.perr = kerr
+					break
+				}
+				c.kpend = append(c.kpend, k)
+			}
+			c.pend = c.pend[:len(c.kpend)]
+			continue
+		}
+		c.lb, c.key, c.pos = c.pend[c.pi], c.kpend[c.pi], 0
+		c.pi++
+	}
+	if len(c.obuf) > 0 {
+		return c.obuf, nil
+	}
+	return nil, nil
+}
+
+func (c *bHashJoinCursor) fail(err error) ([]*binding, error) {
+	c.err = err
+	if len(c.obuf) > 0 {
+		return c.obuf, nil
+	}
+	return nil, err
+}
+
 // compileHashJoin builds the hash equi-join stream: outer bindings flow
 // through unchanged, each expanding into a probe of the shared index.
 // The index itself plays the role of the memoized inner cache, so the

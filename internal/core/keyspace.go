@@ -40,6 +40,11 @@ import (
 type compiler struct {
 	e  *Engine
 	ks *keyspace // nil when Options.Fingerprints is off
+
+	// batch is the batch width when Options.batchMode selected the
+	// batch-at-a-time pipeline (see batch.go); 0 compiles the scalar
+	// binding-at-a-time pipeline.
+	batch int
 }
 
 // keyspace disambiguates fingerprint collisions within one query.
@@ -119,7 +124,13 @@ func (b *binding) fpKey(ks *keyspace, vars []string) (string, error) {
 // The two key forms never mix: ks is fixed for the life of a query, and
 // bindings do not outlive their query.
 func (b *binding) key(ks *keyspace, vars []string) (string, error) {
-	ck := strings.Join(vars, "\x01")
+	return b.keyCached(strings.Join(vars, "\x01"), ks, vars)
+}
+
+// keyCached is key with the memo-map key (the joined variable list)
+// precomputed, so batch operators join the variable list once per batch
+// instead of once per binding.
+func (b *binding) keyCached(ck string, ks *keyspace, vars []string) (string, error) {
 	if k, ok := b.keys[ck]; ok {
 		return k, nil
 	}
@@ -138,6 +149,22 @@ func (b *binding) key(ks *keyspace, vars []string) (string, error) {
 	}
 	b.keys[ck] = k
 	return k, nil
+}
+
+// batchKeys computes the operator keys of a whole batch into scratch
+// (reused across calls). n is the number of keys computed before the
+// first failure — callers emit that prefix before surfacing err, the
+// batch pipeline's mid-batch error rule.
+func batchKeys(bs []*binding, ks *keyspace, vars []string, ck string, scratch []string) (keys []string, n int, err error) {
+	scratch = scratch[:0]
+	for i, b := range bs {
+		k, kerr := b.keyCached(ck, ks, vars)
+		if kerr != nil {
+			return scratch, i, kerr
+		}
+		scratch = append(scratch, k)
+	}
+	return scratch, len(bs), nil
 }
 
 // canonKey is the canonical-string key: the NUL-joined canonical forms

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"mix/internal/nav"
+	"mix/internal/xmltree"
+)
+
+// Options control the operator-local caches, the navigation command
+// set, and the execution style, mirroring the knobs the paper
+// discusses:
+//
+//   - JoinCache — the nested-loops join stores the inner binding list
+//     so it is not re-derived from the source for every outer binding
+//     (Section 3). Disabling it is the E6 ablation.
+//   - PathCache — getDescendants memoizes its output, so revisiting a
+//     region of the answer does not re-run the (possibly recursive)
+//     descent (Section 3). Disabling it is the E7 ablation.
+//   - GroupCache — groupBy caches the grouped value lists for the
+//     group-by lists in Gprev (Appendix A). Disabling it is E9.
+//   - NativeSelect — the select(σ) command is part of NC and pushed to
+//     the sources, upgrading label selections from browsable to
+//     bounded browsable (Section 2, Example 1). E3 toggles it.
+//   - HashJoin — joins whose condition implies a variable equality
+//     (Cond.EquiKeys) probe an incrementally-built hash index over the
+//     inner stream instead of scanning it per outer binding; the index
+//     grows only as far as probing forces the inner stream, so laziness
+//     is preserved. Requires JoinCache (the index memoizes the inner
+//     derivation); non-equi conditions fall back to nested loops.
+//   - Parallel — joins whose two inputs read disjoint source sets
+//     derive both inputs concurrently (bounded worker pool, first error
+//     cancels the sibling). The inputs are drained eagerly when the
+//     join is first pulled, trading input laziness for wall-clock
+//     overlap of the sources' round trips; see parallel.go. Requires
+//     JoinCache (the drained inputs are replayed like the inner cache).
+//   - Fingerprints — equality-heavy operators (distinct, groupBy,
+//     difference, hash-join buckets) key on memoized 128-bit structural
+//     fingerprints instead of canonical subtree strings, and
+//     getDescendants steps a lazily-determinized DFA instead of
+//     recomputing NFA closures per label. Semantics are byte-identical:
+//     fingerprint collisions fall back to full structural comparison
+//     (see keyspace.go), and the DFA is observationally equivalent to
+//     the NFA. Off reproduces the pre-fingerprint behavior exactly.
+//   - BatchSize — operators exchange slices of up to BatchSize bindings
+//     per call instead of one binding per call (see batch.go). The lazy
+//     navigation contract lives at the answer-document boundary, where
+//     the batch-to-scalar adapter pulls single bindings on client
+//     demand, so answers, client commands, and per-source navigation
+//     counts are byte-identical to the scalar pipeline; whole-batch
+//     execution kicks in on full drains (Materialize, orderBy and
+//     difference inputs, parallel derivation). BatchSize <= 1
+//     reproduces the scalar binding-at-a-time pipeline exactly, and the
+//     batch pipeline also requires the three operator caches (an
+//     ablated cache implies per-outer re-derivation, which is a
+//     binding-at-a-time contract).
+type Options struct {
+	JoinCache    bool
+	PathCache    bool
+	GroupCache   bool
+	NativeSelect bool
+	HashJoin     bool
+	Parallel     bool
+	Fingerprints bool
+	BatchSize    int
+}
+
+// DefaultBatchSize is the batch width DefaultOptions enables: large
+// enough to amortize per-call interpretation on warm drains, small
+// enough that a pooled batch stays within a few cache lines of binding
+// pointers.
+const DefaultBatchSize = 64
+
+// DefaultOptions enables all caches, the hash equi-join, the
+// fingerprint fast paths, and batch-at-a-time execution, and leaves
+// NC = {d, r, f}. Parallel input derivation is opt-in: it trades the
+// lazy "explore only what the client demands" contract for latency
+// overlap, which only pays off on high-latency sources.
+func DefaultOptions() Options {
+	return Options{JoinCache: true, PathCache: true, GroupCache: true,
+		HashJoin: true, Fingerprints: true, BatchSize: DefaultBatchSize}
+}
+
+// batchMode reports whether the batch pipeline serves this
+// configuration; see the BatchSize doc above for why the caches gate it.
+func (o Options) batchMode() bool {
+	return o.BatchSize > 1 && o.JoinCache && o.PathCache && o.GroupCache
+}
+
+// Option configures an Engine under construction (see New).
+type Option func(*Options)
+
+// WithOptions replaces the whole option set, for callers that computed
+// an Options value (ablation sweeps, config structs). A zero Options
+// disables every cache and fast path — the paper's fully naive
+// evaluator — exactly like the pre-options literal did.
+func WithOptions(o Options) Option { return func(dst *Options) { *dst = o } }
+
+// WithJoinCache toggles the nested-loops inner cache (E6 ablation).
+func WithJoinCache(on bool) Option { return func(o *Options) { o.JoinCache = on } }
+
+// WithPathCache toggles getDescendants memoization (E7 ablation).
+func WithPathCache(on bool) Option { return func(o *Options) { o.PathCache = on } }
+
+// WithGroupCache toggles groupBy's Gprev value-list caches (E9 ablation).
+func WithGroupCache(on bool) Option { return func(o *Options) { o.GroupCache = on } }
+
+// WithNativeSelect toggles pushing select(σ) to the sources (E3).
+func WithNativeSelect(on bool) Option { return func(o *Options) { o.NativeSelect = on } }
+
+// WithHashJoin toggles the hash equi-join fast path.
+func WithHashJoin(on bool) Option { return func(o *Options) { o.HashJoin = on } }
+
+// WithParallel toggles concurrent derivation of disjoint join inputs.
+func WithParallel(on bool) Option { return func(o *Options) { o.Parallel = on } }
+
+// WithFingerprints toggles fingerprint keys and the lazy path DFA.
+func WithFingerprints(on bool) Option { return func(o *Options) { o.Fingerprints = on } }
+
+// WithBatchSize sets the batch width of the vectorized pipeline
+// (n <= 1 selects the scalar binding-at-a-time pipeline).
+func WithBatchSize(n int) Option { return func(o *Options) { o.BatchSize = n } }
+
+// New returns an Engine configured by the given options, applied over
+// DefaultOptions. New() is the all-defaults engine; New(WithOptions(o))
+// adopts a computed Options value wholesale.
+func New(opts ...Option) *Engine {
+	o := DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Engine{opts: o, reg: map[string]nav.Document{}, intern: xmltree.NewInterner()}
+}

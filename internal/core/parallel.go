@@ -87,6 +87,24 @@ func submit(fn func()) {
 	}
 }
 
+// trySubmit runs fn on a pool worker if a slot is free, reporting
+// whether it was handed off. Unlike submit it never runs fn inline —
+// batch-drain pumps loop instead, keeping the handoff chain stack-flat
+// however many batches a drain takes.
+func trySubmit(fn func()) bool {
+	pool := parallelWorkers
+	select {
+	case pool <- struct{}{}:
+		go func() {
+			defer func() { <-pool }()
+			fn()
+		}()
+		return true
+	default:
+		return false
+	}
+}
+
 // parallelPair wraps the compiled inputs of op so that forcing either
 // side drains both concurrently (once — the results replay, like the
 // join's inner cache). ok is false when the inputs do not read disjoint
@@ -181,4 +199,110 @@ func drainCtx(ctx context.Context, b builder) ([]*binding, error) {
 		out = append(out, h)
 		s = t
 	}
+}
+
+// parallelBPair is parallelPair for the batch pipeline: forcing either
+// side drains both concurrently, one batch per scheduling quantum, with
+// the work-stealing handoff of parallelBDrain. The disjoint-sources
+// gate is identical to the scalar path.
+func (e *Engine) parallelBPair(op *algebra.Join, left, right bbuilder, batch int) (bbuilder, bbuilder, bool) {
+	ls, rs := algebra.Sources(op.Left), algebra.Sources(op.Right)
+	if len(ls) == 0 || len(rs) == 0 {
+		return nil, nil, false
+	}
+	seen := varSet(ls)
+	for _, s := range rs {
+		if seen[s] {
+			return nil, nil, false
+		}
+	}
+	pd := &parallelBDrain{eng: e, left: left, right: right, batch: batch}
+	lb := func() (bcursor, error) {
+		pd.once.Do(pd.run)
+		if pd.lerr != nil {
+			return nil, pd.lerr
+		}
+		return &sliceBCursor{buf: pd.lres}, nil
+	}
+	rb := func() (bcursor, error) {
+		pd.once.Do(pd.run)
+		if pd.rerr != nil {
+			return nil, pd.rerr
+		}
+		return &sliceBCursor{buf: pd.rres}, nil
+	}
+	return lb, rb, true
+}
+
+// parallelBDrain drains the two join inputs in batch-sized quanta with
+// work stealing: after every batch a side offers its continuation back
+// to the worker pool, so a freed slot (the sibling finishing, another
+// query's drain ending) picks the work up; when the pool is saturated
+// the pump loops inline — never recursing — so the handoff chain stays
+// stack-flat no matter how many batches a drain takes.
+type parallelBDrain struct {
+	eng         *Engine
+	left, right bbuilder
+	batch       int
+
+	once       sync.Once
+	lres, rres []*binding
+	lerr, rerr error
+}
+
+func (pd *parallelBDrain) run() {
+	parJoins.Add(1)
+	sp := pd.eng.tracer.Begin("parallel", "derive-inputs")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	side := func(bb bbuilder, res *[]*binding, errp *error) {
+		finish := func(err error) {
+			if err != nil {
+				*res, *errp = nil, err
+				if context.Cause(ctx) == err {
+					parCanceled.Add(1)
+				} else {
+					parErrors.Add(1)
+				}
+				cancel(err) // no-op if the sibling already cancelled
+			}
+			wg.Done()
+		}
+		cur, err := bb()
+		if err != nil {
+			finish(err)
+			return
+		}
+		var pump func()
+		pump = func() {
+			for {
+				if ctx.Err() != nil {
+					finish(context.Cause(ctx))
+					return
+				}
+				bs, err := cur.bnext(pd.batch)
+				if err != nil {
+					finish(err)
+					return
+				}
+				if len(bs) == 0 {
+					finish(nil)
+					return
+				}
+				*res = append(*res, bs...)
+				recordBatch(len(bs))
+				if trySubmit(pump) {
+					return
+				}
+			}
+		}
+		pump()
+	}
+	submit(func() { side(pd.left, &pd.lres, &pd.lerr) })
+	submit(func() { side(pd.right, &pd.rres, &pd.rerr) })
+	wg.Wait()
+	cancel(nil)
+	pd.eng.tracer.End(sp)
+	pd.left, pd.right, pd.eng = nil, nil, nil
 }

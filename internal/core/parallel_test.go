@@ -88,7 +88,7 @@ func (d errDoc) Fetch(nav.ID) (string, error) { return "", d.err }
 func TestParallelErrorPropagates(t *testing.T) {
 	boom := errors.New("source exploded")
 	_, schools := workload.HomesSchools(0, 20, 5, 7)
-	e := New(parallelOpts())
+	e := New(WithOptions(parallelOpts()))
 	e.Register("homesSrc", errDoc{err: boom})
 	e.Register("schoolsSrc", nav.NewTreeDoc(schools))
 	q := mustCompile(t, e, hashZipPlan(algebra.Eq(algebra.V("V1"), algebra.V("V2"))))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"mix/internal/metrics"
@@ -18,7 +19,7 @@ import (
 func TestTraceTotalsMatchCounters(t *testing.T) {
 	homes, schools := workload.HomesSchools(8, 8, 3, 7)
 	rec := trace.New()
-	e := New(DefaultOptions())
+	e := New()
 	e.SetTracer(rec)
 	counters := map[string]*nav.CountingDoc{
 		"homesSrc":   nav.NewCountingDoc(nav.NewTreeDoc(homes)),
@@ -85,7 +86,7 @@ func TestTraceTotalsMatchCounters(t *testing.T) {
 func TestTraceShowsOperatorFanOut(t *testing.T) {
 	homes, schools := workload.HomesSchools(5, 5, 2, 3)
 	rec := trace.New()
-	e := New(DefaultOptions())
+	e := New()
 	e.SetTracer(rec)
 	e.Register("homesSrc", nav.NewTreeDoc(homes))
 	e.Register("schoolsSrc", nav.NewTreeDoc(schools))
@@ -109,7 +110,9 @@ func TestTraceShowsOperatorFanOut(t *testing.T) {
 	sum := trace.Summarize(roots)
 	var sawOperator, sawSource bool
 	for _, s := range sum {
-		if s.Op == "next" && s.Label != trace.ClientLabel {
+		// Operator spans are "next" pulls on the scalar pipeline and
+		// "next[n]" batch pulls (n = bindings carried) on the batch one.
+		if strings.HasPrefix(s.Op, "next") && s.Label != trace.ClientLabel {
 			sawOperator = true
 		}
 		if s.Label == trace.SourcePrefix+"homesSrc" || s.Label == trace.SourcePrefix+"schoolsSrc" {
@@ -130,7 +133,7 @@ func TestTraceShowsOperatorFanOut(t *testing.T) {
 // pin the nil-tracer path through a full evaluation).
 func TestUntracedEngineHasNoWrappers(t *testing.T) {
 	homes, schools := workload.HomesSchools(5, 5, 2, 3)
-	e := New(DefaultOptions())
+	e := New()
 	e.Register("homesSrc", nav.NewTreeDoc(homes))
 	e.Register("schoolsSrc", nav.NewTreeDoc(schools))
 	q, err := e.Compile(workload.HomesSchoolsPlan())
@@ -152,7 +155,7 @@ func TestFleetIdentityReachesEngineRoots(t *testing.T) {
 	homes, schools := workload.HomesSchools(5, 5, 2, 3)
 	rec := trace.New()
 	rec.Node = "owner-node"
-	e := New(DefaultOptions())
+	e := New()
 	e.SetTracer(rec)
 	e.Register("homesSrc", nav.NewTreeDoc(homes))
 	e.Register("schoolsSrc", nav.NewTreeDoc(schools))

@@ -202,7 +202,7 @@ func hashJoinRows() [][]string {
 func parallelDeriveRows() [][]string {
 	homes, schools := workload.HomesSchools(50, 50, 12, 11)
 	run := func(opts core.Options) (elapsed time.Duration, got *xmltree.Tree) {
-		e := core.New(opts)
+		e := core.New(core.WithOptions(opts))
 		for name, tree := range map[string]*xmltree.Tree{"homesSrc": homes, "schoolsSrc": schools} {
 			srv := &delayServer{
 				inner: &lxp.TreeServer{Tree: tree, Chunk: 5, InlineLimit: 64},

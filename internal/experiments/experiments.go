@@ -103,6 +103,7 @@ var registry = map[string]func() Table{
 	"E14": E14AllocationPaths,
 	"E15": E15ClusterL2,
 	"E16": E16FleetTracing,
+	"E17": E17BatchPipeline,
 }
 
 // IDs returns all experiment ids in order.

@@ -8,10 +8,10 @@ import (
 
 func TestIDsAndRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("want 16 experiments, got %v", ids)
+	if len(ids) != 17 {
+		t.Fatalf("want 17 experiments, got %v", ids)
 	}
-	if ids[0] != "E1" || ids[15] != "E16" {
+	if ids[0] != "E1" || ids[16] != "E17" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 	if _, err := Run("E99"); err == nil {
@@ -162,6 +162,43 @@ func TestE13Shape(t *testing.T) {
 	}
 	if 10*e1 > e0 {
 		t.Fatalf("hash join below 10x: %d vs %d condition evaluations", e0, e1)
+	}
+}
+
+func TestE17Shape(t *testing.T) {
+	tb := E17BatchPipeline()
+	byMetric := map[string][]string{}
+	for _, row := range tb.Rows {
+		byMetric[row[1]] = row
+	}
+	if row := byMetric["identical answer"]; row == nil || row[2] != "yes" {
+		t.Fatalf("batch pipeline produced a different answer: %v", tb.Rows)
+	}
+	if row := byMetric["source navigations"]; row == nil || row[4] != "yes" {
+		t.Fatalf("batch pipeline changed the source navigations: %v", tb.Rows)
+	}
+	// The acceptance bar: ≥2× fewer per-binding interpreter calls
+	// (stream steps + condition evaluations) on the warm drain.
+	calls := byMetric["interpreter calls (steps+evals)"]
+	if calls == nil {
+		t.Fatalf("missing interpreter-call row: %v", tb.Rows)
+	}
+	c0, err := strconv.ParseInt(calls[2], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := strconv.ParseInt(calls[3], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*c1 > c0 {
+		t.Fatalf("batching below 2x: %d vs %d interpreter calls", c0, c1)
+	}
+	// Condition evaluations are a per-candidate cost, not a per-pull
+	// cost: vectorization must leave them exactly equal.
+	evals := byMetric["condition evaluations"]
+	if evals == nil || evals[2] != evals[3] {
+		t.Fatalf("condition evaluations differ across pipelines: %v", evals)
 	}
 }
 

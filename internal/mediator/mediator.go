@@ -71,7 +71,7 @@ type Mediator struct {
 func New(opts Options) *Mediator {
 	return &Mediator{
 		opts:   opts,
-		engine: core.New(opts.Engine),
+		engine: core.New(core.WithOptions(opts.Engine)),
 		eager:  eager.New(),
 		views:  map[string]algebra.Op{},
 	}

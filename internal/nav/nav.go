@@ -110,16 +110,6 @@ func SelectorOf(doc Document) (Selector, bool) {
 	return s, true
 }
 
-// NativeSelector reports whether d answers select(σ) as a single
-// native command.
-//
-// Deprecated: use SelectorOf, which additionally returns the Selector
-// to issue the command through.
-func NativeSelector(d Document) bool {
-	_, ok := SelectorOf(d)
-	return ok
-}
-
 // Select advances from p to the first sibling to the right whose label
 // satisfies sigma, using the Document's native SelectRight when the
 // SelectorOf probe grants it and an r/f scan otherwise. When fromSelf

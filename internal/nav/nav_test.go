@@ -249,19 +249,19 @@ func TestCountingSelectScanBilling(t *testing.T) {
 	}
 }
 
-func TestNativeSelector(t *testing.T) {
+func TestSelectorOfProbes(t *testing.T) {
 	tree := NewTreeDoc(xmltree.Elem("r", xmltree.Leaf("a")))
-	if !NativeSelector(tree) {
+	if s, ok := SelectorOf(tree); !ok || s == nil {
 		t.Fatal("TreeDoc should answer select natively")
 	}
-	if NativeSelector(noSelect{d: tree}) {
+	if _, ok := SelectorOf(noSelect{d: tree}); ok {
 		t.Fatal("noSelect hides the selector")
 	}
 	// Wrappers forward the question instead of answering it themselves.
-	if !NativeSelector(NewCountingDoc(tree)) {
+	if s, ok := SelectorOf(NewCountingDoc(tree)); !ok || s == nil {
 		t.Fatal("CountingDoc over a native selector should stay native")
 	}
-	if NativeSelector(NewCountingDoc(noSelect{d: tree})) {
+	if _, ok := SelectorOf(NewCountingDoc(noSelect{d: tree})); ok {
 		t.Fatal("CountingDoc over a non-native doc should not report native")
 	}
 }

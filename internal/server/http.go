@@ -168,6 +168,11 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("mix_parallel_errors_total", "concurrent input drains that failed", st.Parallel.Errors)
 		counter("mix_parallel_canceled_total", "concurrent input drains cancelled by the sibling's error", st.Parallel.Canceled)
 	}
+	if st.Batch != nil {
+		counter("mix_batch_batches_total", "batches moved through the vectorized operator pipeline", st.Batch.Batches)
+		counter("mix_batch_bindings_total", "bindings carried by vectorized batches", st.Batch.Bindings)
+		counter("mix_batch_predrains_total", "full materializations pre-drained batch-at-a-time", st.Batch.Predrains)
+	}
 
 	fpComputed, fpHits := xmltree.FingerprintStats()
 	counter("mix_fp_computed_total", "structural fingerprints computed", fpComputed)

@@ -54,19 +54,9 @@ import (
 // publish into the cache.
 type Factory func(cache *regioncache.Cache) (*mediator.Mediator, error)
 
-// Config configures a Server.
-//
-// Deprecated: construct servers with New and functional options
-// (WithMaxSessions, WithIdleTimeout, WithTrace, WithRegionCache, …);
-// a literal Config is accepted only through NewFromConfig, the
-// compatibility shim for the pre-options API.
-type Config struct {
-	// NewMediator builds the per-session mediator.
-	//
-	// Deprecated: pass a Factory to New. A Config shimmed through
-	// NewFromConfig has the region cache installed only after the
-	// factory returns, so LXP sources cannot publish into it.
-	NewMediator func() (*mediator.Mediator, error)
+// config is the assembled server configuration; callers shape it
+// through New's functional options rather than a literal.
+type config struct {
 	// MaxSessions caps concurrently active sessions; connections beyond
 	// the cap are refused with an error frame (0 = unlimited).
 	MaxSessions int
@@ -93,8 +83,8 @@ type Config struct {
 	// other without re-deriving them (see internal/regioncache).
 	RegionCache *regioncache.Cache
 	// EnginePool reuses mediator engines across sequential sessions
-	// instead of building one per session. On by default under New;
-	// off under the deprecated NewFromConfig shim.
+	// instead of building one per session. On by default; disable with
+	// WithEnginePool(false).
 	EnginePool bool
 	// Cluster, when non-nil, makes this server one member of a sharded
 	// mediator fleet: opens are routed over the node's consistent-hash
@@ -119,57 +109,57 @@ type Config struct {
 }
 
 // Option configures a Server (see New).
-type Option func(*Config)
+type Option func(*config)
 
 // WithMaxSessions caps concurrently active sessions (0 = unlimited).
-func WithMaxSessions(n int) Option { return func(c *Config) { c.MaxSessions = n } }
+func WithMaxSessions(n int) Option { return func(c *config) { c.MaxSessions = n } }
 
 // WithIdleTimeout evicts sessions idle for d (0 = never).
-func WithIdleTimeout(d time.Duration) Option { return func(c *Config) { c.IdleTimeout = d } }
+func WithIdleTimeout(d time.Duration) Option { return func(c *config) { c.IdleTimeout = d } }
 
 // WithMaxLifetime evicts sessions d after accept, busy or not (0 = never).
-func WithMaxLifetime(d time.Duration) Option { return func(c *Config) { c.MaxLifetime = d } }
+func WithMaxLifetime(d time.Duration) Option { return func(c *config) { c.MaxLifetime = d } }
 
 // WithLogger routes structured lifecycle events to l (nil = discard).
-func WithLogger(l *slog.Logger) Option { return func(c *Config) { c.Logger = l } }
+func WithLogger(l *slog.Logger) Option { return func(c *config) { c.Logger = l } }
 
 // WithTrace toggles per-session navigation-span recording.
-func WithTrace(on bool) Option { return func(c *Config) { c.Trace = on } }
+func WithTrace(on bool) Option { return func(c *config) { c.Trace = on } }
 
 // WithSourceCounters exposes per-source counters on /metrics.
 func WithSourceCounters(m map[string]*metrics.Counters) Option {
-	return func(c *Config) { c.SourceCounters = m }
+	return func(c *config) { c.SourceCounters = m }
 }
 
 // WithRegionCache installs the shared cross-session region cache.
 func WithRegionCache(rc *regioncache.Cache) Option {
-	return func(c *Config) { c.RegionCache = rc }
+	return func(c *config) { c.RegionCache = rc }
 }
 
 // WithEnginePool toggles cross-session engine reuse (on by default).
-func WithEnginePool(on bool) Option { return func(c *Config) { c.EnginePool = on } }
+func WithEnginePool(on bool) Option { return func(c *config) { c.EnginePool = on } }
 
 // WithCluster makes the server a member of a sharded mediator fleet
 // (see internal/cluster). The node must be built over the same region
 // cache passed to WithRegionCache.
-func WithCluster(n *cluster.Node) Option { return func(c *Config) { c.Cluster = n } }
+func WithCluster(n *cluster.Node) Option { return func(c *config) { c.Cluster = n } }
 
 // WithNodeName tags recorded spans with this node's name in fleet
 // traces (defaults to the cluster self address when clustered).
-func WithNodeName(name string) Option { return func(c *Config) { c.NodeName = name } }
+func WithNodeName(name string) Option { return func(c *config) { c.NodeName = name } }
 
 // WithSlowNav configures the slow-navigation flight recorder: traced
 // root spans at least threshold slow are retained in a ring of the
 // last ring entries. threshold 0 retains every root; negative disables
 // the recorder; ring <= 0 means telemetry.DefaultSlowRing.
 func WithSlowNav(threshold time.Duration, ring int) Option {
-	return func(c *Config) { c.SlowThreshold, c.SlowRing = threshold, ring }
+	return func(c *config) { c.SlowThreshold, c.SlowRing = threshold, ring }
 }
 
 // Server is a mixd instance. Create with New, run with Serve, stop with
 // Shutdown.
 type Server struct {
-	cfg Config
+	cfg config
 	log *slog.Logger
 
 	// nav accumulates navigation commands answered by *finished*
@@ -180,7 +170,7 @@ type Server struct {
 
 	// cmdHist records wire-command service latency by op; opHist
 	// records per-operator pull latency (fed by trace sinks, so only
-	// populated when Config.Trace is on); routeHist records open-routing
+	// populated when config.Trace is on); routeHist records open-routing
 	// latency by decision mode (proxy/redirect/local) — the
 	// mix_cluster_route_duration_seconds family.
 	cmdHist   *telemetry.Registry
@@ -223,7 +213,7 @@ func New(factory Factory, opts ...Option) (*Server, error) {
 	if factory == nil {
 		return nil, errors.New("server: mediator factory is required")
 	}
-	cfg := Config{EnginePool: true, SlowThreshold: DefaultSlowThreshold}
+	cfg := config{EnginePool: true, SlowThreshold: DefaultSlowThreshold}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -231,31 +221,11 @@ func New(factory Factory, opts ...Option) (*Server, error) {
 	return newServer(cfg)
 }
 
-// NewFromConfig returns an unstarted Server for a literal Config.
-//
-// Deprecated: use New with functional options. This shim keeps the
-// pre-options semantics: one engine per session (unless EnginePool is
-// set) and a region cache installed only after NewMediator returns.
-func NewFromConfig(cfg Config) (*Server, error) {
-	if cfg.NewMediator == nil {
-		return nil, errors.New("server: Config.NewMediator is required")
-	}
-	newMediator := cfg.NewMediator
-	cfg.factory = func(rc *regioncache.Cache) (*mediator.Mediator, error) {
-		m, err := newMediator()
-		if err == nil && rc != nil {
-			m.SetRegionCache(rc)
-		}
-		return m, err
-	}
-	return newServer(cfg)
-}
-
 // DefaultSlowThreshold is the slow-navigation bar New seeds before
 // options run: traced roots at least this slow enter the flight ring.
 const DefaultSlowThreshold = 100 * time.Millisecond
 
-func newServer(cfg Config) (*Server, error) {
+func newServer(cfg config) (*Server, error) {
 	log := cfg.Logger
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -588,6 +558,13 @@ func (s *Server) Stats() vxdp.Stats {
 			Inline:   ps.Inline,
 			Errors:   ps.Errors,
 			Canceled: ps.Canceled,
+		}
+	}
+	if bs := core.BatchSnapshot(); bs != (core.BatchStats{}) {
+		st.Batch = &vxdp.BatchStats{
+			Batches:   bs.Batches,
+			Bindings:  bs.Bindings,
+			Predrains: bs.Predrains,
 		}
 	}
 	return st

@@ -55,9 +55,6 @@ func TestConfigRequiresFactory(t *testing.T) {
 	if _, err := server.New(nil); err == nil {
 		t.Fatal("New accepted a nil factory")
 	}
-	if _, err := server.NewFromConfig(server.Config{}); err == nil {
-		t.Fatal("NewFromConfig accepted a config without NewMediator")
-	}
 }
 
 func TestSessionLimit(t *testing.T) {
@@ -164,13 +161,12 @@ func TestMaxLifetimeEviction(t *testing.T) {
 
 func TestGracefulShutdownDrains(t *testing.T) {
 	homes, schools := workload.HomesSchools(10, 10, 3, 5)
-	// The deprecated shim still builds a working server.
-	srv, err := server.NewFromConfig(server.Config{NewMediator: func() (*mediator.Mediator, error) {
+	srv, err := server.New(func(rc *regioncache.Cache) (*mediator.Mediator, error) {
 		m := mediator.New(mediator.DefaultOptions())
 		m.RegisterTree("homesSrc", homes)
 		m.RegisterTree("schoolsSrc", schools)
 		return m, nil
-	}})
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

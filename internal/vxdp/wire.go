@@ -226,6 +226,9 @@ type Stats struct {
 	// Parallel, present when any join has derived its inputs
 	// concurrently, reports the parallel-derivation counters.
 	Parallel *ParallelStats `json:"parallel,omitempty"`
+	// Batch, present when the batch-at-a-time pipeline has moved any
+	// bindings, reports the vectorized-execution counters.
+	Batch *BatchStats `json:"batch,omitempty"`
 	// Cluster, present when the server runs as a cluster node, reports
 	// ring routing, proxying, and L2 region-cache traffic.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
@@ -270,6 +273,15 @@ type ParallelStats struct {
 	Inline   int64 `json:"inline"`   // drains run inline (worker pool saturated)
 	Errors   int64 `json:"errors"`   // drains failed with their own error
 	Canceled int64 `json:"canceled"` // drains cancelled by the sibling's error
+}
+
+// BatchStats mirrors core.BatchStats on the wire: how many batches the
+// vectorized pipeline moved, the bindings they carried, and how many
+// full materializations were pre-drained batch-at-a-time.
+type BatchStats struct {
+	Batches   int64 `json:"batches"`
+	Bindings  int64 `json:"bindings"`
+	Predrains int64 `json:"predrains"`
 }
 
 // SourceStats describes one LXP-buffered source of the asking session:
