@@ -40,6 +40,7 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	mem := flag.Bool("mem", false, "report per-experiment allocation and GC-pause deltas")
 	clusterOnly := flag.Bool("cluster", false, "run only the clustered fleet experiments (E15, E16)")
+	semanticOnly := flag.Bool("semantic", false, "run only the semantic region cache experiment (E18)")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	batch := flag.Int("batch", 0, "override the batch width of the vectorized pipeline runs (0 = default, <=1 = scalar)")
 	flag.Parse()
@@ -51,6 +52,9 @@ func main() {
 	ids := experiments.IDs()
 	if *clusterOnly {
 		ids = []string{"E15", "E16"}
+	}
+	if *semanticOnly {
+		ids = []string{"E18"}
 	}
 	if *id != "" {
 		ids = []string{*id}

@@ -108,6 +108,7 @@ func main() {
 	parallelJoin := flag.Bool("parallel-join", false, "derive the two inputs of multi-source joins concurrently (trades lazy exploration for latency overlap)")
 	lxpBatch := flag.Int("lxp-batch", 8, "coalesce up to this many holes per LXP fill round trip (0 or 1 = single-hole fills)")
 	batchSize := flag.Int("batch", core.DefaultBatchSize, "move up to this many bindings per operator pull (<=1 = scalar binding-at-a-time pipeline)")
+	semanticCache := flag.Bool("semantic-cache", true, "answer named queries from subsuming cached plans via containment (false = exact fingerprint matches only)")
 	clusterOn := flag.Bool("cluster", false, "join a sharded mediator fleet: route sessions over a consistent-hash ring and share explored regions with -peers")
 	nodeAddr := flag.String("node", "", "advertised cluster address of this node (default: -addr); every peer must know it by exactly this string")
 	peers := flag.String("peers", "", "comma-separated advertised addresses of the other fleet members (all nodes must be configured with identical -src/-view sets, in the same order)")
@@ -167,6 +168,7 @@ func main() {
 	mopts.Engine.Parallel = *parallelJoin
 	mopts.Engine.Fingerprints = *fingerprints
 	mopts.Engine.BatchSize = *batchSize
+	mopts.Engine.SemanticCache = *semanticCache
 	mopts.LXPBatch = *lxpBatch
 	lxp.SetWireOptimizations(*wireOpt)
 	vxdp.SetPooledBuffers(*wireOpt)

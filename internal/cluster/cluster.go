@@ -132,6 +132,7 @@ type Node struct {
 	l2Fills    atomic.Int64
 	invalSent  atomic.Int64
 	invalRecv  atomic.Int64
+	semLocal   atomic.Int64
 
 	// flushed remembers the Mutations() count last published per key,
 	// so sweeps only ship regions that grew since.
@@ -314,6 +315,39 @@ func (n *Node) Fetch(k regioncache.Key) *regioncache.Region {
 	return reg
 }
 
+// FetchComplete implements regioncache.CompleteFetcher: the semantic
+// region_get. It asks the *superset key's* owner for its region only if
+// fully explored — the asker will answer a subsumed query from it, so a
+// partial region is useless (and unsound to decode). Self-owned keys
+// miss immediately, exactly like Fetch.
+func (n *Node) FetchComplete(k regioncache.Key) *regioncache.Region {
+	owner := n.ring.Owner(RouteKey(k.Name, k.Fingerprint))
+	if owner == n.cfg.Self {
+		return nil
+	}
+	p := n.peers[owner]
+	if p == nil || !p.alive() {
+		return nil
+	}
+	var reg *regioncache.Region
+	err := p.do(func(c *vxdp.Client) error {
+		var err error
+		reg, err = c.RegionGetComplete(wireKey(k))
+		return err
+	})
+	if err != nil || reg == nil || reg.Empty() {
+		n.l2Misses.Add(1)
+		return nil
+	}
+	n.l2Hits.Add(1)
+	return reg
+}
+
+// RecordSemanticLocal counts a routed open short-circuited by the
+// semantic tier: served here, with zero source navigations, instead of
+// being proxied or redirected to its owner.
+func (n *Node) RecordSemanticLocal() { n.semLocal.Add(1) }
+
 // Flush publishes every locally explored region whose key another
 // member owns — and which grew since its last publication — to its
 // owner via region_put. Safe to call concurrently with serving; the
@@ -407,20 +441,21 @@ func (n *Node) Stats() *vxdp.ClusterStats {
 		}
 	}
 	return &vxdp.ClusterStats{
-		Self:       n.cfg.Self,
-		Members:    int64(len(n.ring.Members())),
-		PeersUp:    up,
-		PeersDown:  down,
-		OwnedLocal: n.ownedLocal.Load(),
-		Proxied:    n.proxied.Load(),
-		Redirected: n.redirected.Load(),
-		Degraded:   n.degraded.Load(),
-		L2Hits:     n.l2Hits.Load(),
-		L2Misses:   n.l2Misses.Load(),
-		L2Serves:   n.l2Serves.Load(),
-		L2Fills:    n.l2Fills.Load(),
-		InvalSent:  n.invalSent.Load(),
-		InvalRecv:  n.invalRecv.Load(),
+		Self:          n.cfg.Self,
+		Members:       int64(len(n.ring.Members())),
+		PeersUp:       up,
+		PeersDown:     down,
+		OwnedLocal:    n.ownedLocal.Load(),
+		Proxied:       n.proxied.Load(),
+		Redirected:    n.redirected.Load(),
+		Degraded:      n.degraded.Load(),
+		L2Hits:        n.l2Hits.Load(),
+		L2Misses:      n.l2Misses.Load(),
+		L2Serves:      n.l2Serves.Load(),
+		L2Fills:       n.l2Fills.Load(),
+		InvalSent:     n.invalSent.Load(),
+		InvalRecv:     n.invalRecv.Load(),
+		SemanticLocal: n.semLocal.Load(),
 	}
 }
 

@@ -122,6 +122,18 @@ type Query struct {
 	fingerprint string
 	regVer      uint64
 
+	// canon is the canonical (RenameVars normal form) plan, kept when
+	// the engine's semantic cache is on and the plan canonicalizes; it
+	// is what the containment checker compares (see semantic.go).
+	canon algebra.Op
+
+	// semMu/semTried gate the one semantic-cache attempt per query:
+	// Document retries until an attempt actually runs (cache installed,
+	// candidates reachable), then the verdict — materialized into the
+	// entry on a hit — is served by the exact-match layer forever after.
+	semMu    sync.Mutex
+	semTried bool
+
 	// top is the shared top-level stream (memoized), created lazily.
 	top     stream
 	topErr  error
@@ -248,7 +260,22 @@ func (q *Query) SetCacheName(name string) {
 	// routing hashes (name, fingerprint) to pick the owner node whether
 	// or not this node caches locally.
 	if name != "" && q.fingerprint == "" {
-		q.fingerprint = regioncache.Fingerprint(q.plan)
+		canon, fp, ok := regioncache.Canonical(q.plan)
+		q.fingerprint = fp
+		if ok && q.eng.opts.SemanticCache {
+			q.canon = canon
+			// Publish the canonical plan in the semantic index so other
+			// queries of this view can discover it as a superset
+			// candidate (IndexPlan drops stale generations itself).
+			if c := q.eng.cache; c != nil {
+				c.IndexPlan(regioncache.Key{
+					Generation:  q.eng.cacheGen,
+					Registry:    q.regVer,
+					Name:        name,
+					Fingerprint: fp,
+				}, canon)
+			}
+		}
 	}
 }
 
@@ -282,7 +309,11 @@ func (q *Query) Document() nav.Document {
 	if c == nil || q.cacheName == "" {
 		return inner
 	}
-	doc := regioncache.NewDoc(c.EntryAt(q.eng.cacheGen, q.cacheName, q.fingerprint, q.regVer), inner)
+	entry := c.EntryAt(q.eng.cacheGen, q.cacheName, q.fingerprint, q.regVer)
+	if q.eng.opts.SemanticCache && q.canon != nil {
+		q.trySemantic(c, entry)
+	}
+	doc := regioncache.NewDoc(entry, inner)
 	if rec := q.eng.tracer; rec != nil {
 		doc.Observe = func(op string, hit bool) {
 			label := "cache:miss"

@@ -52,15 +52,22 @@ import (
 //     batch pipeline also requires the three operator caches (an
 //     ablated cache implies per-outer re-derivation, which is a
 //     binding-at-a-time contract).
+//   - SemanticCache — with a region cache installed, a named query whose
+//     plan is *subsumed* by another cached plan (same view, weaker
+//     σ-conditions / wider paths: see algebra.Analyze and DESIGN.md §14)
+//     is answered by filtering the subsuming plan's fully-explored
+//     region locally, with zero source navigations. Off restricts the
+//     region cache to exact fingerprint matches (the E18 ablation).
 type Options struct {
-	JoinCache    bool
-	PathCache    bool
-	GroupCache   bool
-	NativeSelect bool
-	HashJoin     bool
-	Parallel     bool
-	Fingerprints bool
-	BatchSize    int
+	JoinCache     bool
+	PathCache     bool
+	GroupCache    bool
+	NativeSelect  bool
+	HashJoin      bool
+	Parallel      bool
+	Fingerprints  bool
+	SemanticCache bool
+	BatchSize     int
 }
 
 // DefaultBatchSize is the batch width DefaultOptions enables: large
@@ -76,7 +83,7 @@ const DefaultBatchSize = 64
 // overlap, which only pays off on high-latency sources.
 func DefaultOptions() Options {
 	return Options{JoinCache: true, PathCache: true, GroupCache: true,
-		HashJoin: true, Fingerprints: true, BatchSize: DefaultBatchSize}
+		HashJoin: true, Fingerprints: true, SemanticCache: true, BatchSize: DefaultBatchSize}
 }
 
 // batchMode reports whether the batch pipeline serves this
@@ -114,6 +121,10 @@ func WithParallel(on bool) Option { return func(o *Options) { o.Parallel = on } 
 
 // WithFingerprints toggles fingerprint keys and the lazy path DFA.
 func WithFingerprints(on bool) Option { return func(o *Options) { o.Fingerprints = on } }
+
+// WithSemanticCache toggles answering navigations from subsuming cached
+// regions via plan containment (the E18 ablation).
+func WithSemanticCache(on bool) Option { return func(o *Options) { o.SemanticCache = on } }
 
 // WithBatchSize sets the batch width of the vectorized pipeline
 // (n <= 1 selects the scalar binding-at-a-time pipeline).

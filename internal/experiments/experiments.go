@@ -104,6 +104,7 @@ var registry = map[string]func() Table{
 	"E15": E15ClusterL2,
 	"E16": E16FleetTracing,
 	"E17": E17BatchPipeline,
+	"E18": E18SemanticCache,
 }
 
 // IDs returns all experiment ids in order.

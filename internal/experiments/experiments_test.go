@@ -8,10 +8,10 @@ import (
 
 func TestIDsAndRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("want 17 experiments, got %v", ids)
+	if len(ids) != 18 {
+		t.Fatalf("want 18 experiments, got %v", ids)
 	}
-	if ids[0] != "E1" || ids[16] != "E17" {
+	if ids[0] != "E1" || ids[17] != "E18" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 	if _, err := Run("E99"); err == nil {
@@ -290,6 +290,44 @@ func TestE15Shape(t *testing.T) {
 	// The cross-node warm session must have filled over the wire.
 	if l2 := col(t, tb, 3, 3); l2 == 0 {
 		t.Fatal("warm cross-node session recorded no L2 hits")
+	}
+}
+
+func TestE18Shape(t *testing.T) {
+	tb := E18SemanticCache()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if tb.Rows[i][4] != "identical" {
+			t.Fatalf("row %d: answer not byte-identical to its oracle: %v", i, tb.Rows[i])
+		}
+	}
+	// Cold superset rows (1, 3, 5) pay real source navigations.
+	for _, i := range []int{0, 2, 4} {
+		if src := col(t, tb, i, 1); src == 0 {
+			t.Fatalf("cold row %d touched no sources: %v", i, tb.Rows[i])
+		}
+	}
+	// The warm subsumed rows (2 and 6): zero source navigations, exactly
+	// one semantic hit; the fleet row also short-circuits routing.
+	for _, i := range []int{1, 5} {
+		if src := col(t, tb, i, 1); src != 0 {
+			t.Fatalf("semantic row %d: %d source navigations, want 0", i, src)
+		}
+		if hits := col(t, tb, i, 2); hits != 1 {
+			t.Fatalf("semantic row %d: %d semantic hits, want 1", i, hits)
+		}
+	}
+	if local := col(t, tb, 5, 3); local != 1 {
+		t.Fatalf("fleet subsumed open: semantic local = %d, want 1", local)
+	}
+	// The ablation row re-pays the sources and records no semantic hit.
+	if src := col(t, tb, 3, 1); src == 0 {
+		t.Fatal("-semantic-cache=false still answered from the superset")
+	}
+	if hits := col(t, tb, 3, 2); hits != 0 {
+		t.Fatalf("ablation recorded %d semantic hits", hits)
 	}
 }
 

@@ -195,6 +195,13 @@ func (r *Result) CacheKey() (name, fingerprint string) {
 	return r.query.CacheName(), r.query.Fingerprint()
 }
 
+// SemanticWarm forces the semantic-cache attempt (core.Query.
+// TrySemanticNow) and reports whether the query's region entry is now
+// fully explored — every navigation will be answered with zero source
+// work. The cluster's routed-open path uses it to serve a subsumed
+// query locally instead of proxying to the owner.
+func (r *Result) SemanticWarm() bool { return r.query.TrySemanticNow() }
+
 // Root returns the answer root as a client-library element.
 func (r *Result) Root() (*Element, error) { return Wrap(r.Document()) }
 

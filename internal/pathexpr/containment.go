@@ -1,0 +1,137 @@
+package pathexpr
+
+// This file decides language inclusion between path expressions, the
+// path half of the plan-containment check behind the semantic region
+// cache (DESIGN.md §14): a getDescendants whose path denotes a subset
+// of a cached plan's path can be answered from the cached region with a
+// residual test instead of a source descent.
+
+// maxSubsetPairs bounds the product-automaton exploration. Path
+// expressions in practice have a handful of states; the bound only
+// exists so a pathological expression makes Subset conservatively
+// answer false instead of burning time.
+const maxSubsetPairs = 4096
+
+// otherLabel stands for "any label that appears in neither expression".
+// All such labels are indistinguishable to both automata (only wildcard
+// edges can consume them), so one representative suffices. NUL cannot
+// occur in a parsed label.
+const otherLabel = "\x00"
+
+// Subset reports whether every label sequence matched by sub is also
+// matched by super — L(sub) ⊆ L(super). It is exact over the closed
+// alphabet atoms(sub) ∪ atoms(super) ∪ {other} (which is complete:
+// labels outside both expressions are interchangeable), but answers
+// false conservatively if the product exploration exceeds
+// maxSubsetPairs.
+func Subset(sub, super *Expr) bool {
+	if sub == nil || super == nil {
+		return false
+	}
+	if sub.String() == super.String() {
+		return true
+	}
+	a, b := Compile(sub), Compile(super)
+	sigma := map[string]bool{}
+	atomLabels(sub.root, sigma)
+	atomLabels(super.root, sigma)
+	labels := make([]string, 0, len(sigma)+1)
+	for l := range sigma {
+		labels = append(labels, l)
+	}
+	labels = append(labels, otherLabel)
+
+	type pair struct {
+		s, p StateSet
+	}
+	start := pair{a.Start(), b.Start()}
+	seen := map[string]bool{start.s.Key() + "|" + start.p.Key(): true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		if len(seen) > maxSubsetPairs {
+			return false
+		}
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if a.Accepting(cur.s) && !b.Accepting(cur.p) {
+			return false // a sequence sub matches and super does not
+		}
+		for _, l := range labels {
+			ns := a.Step(cur.s, l)
+			if !a.Alive(ns) {
+				continue // no continuation can be accepted by sub
+			}
+			np := b.Step(cur.p, l)
+			k := ns.Key() + "|" + np.Key()
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, pair{ns, np})
+			}
+		}
+	}
+	return true
+}
+
+// SingleStep reports whether the expression matches only sequences of
+// exactly one label: no recursion, maximum depth one, and the empty
+// sequence rejected. Single-step paths are the ones whose match can be
+// re-verified from a materialized subtree alone (the node's own label
+// decides), which is what makes them eligible for path weakening in the
+// containment checker.
+func SingleStep(e *Expr) bool {
+	if e == nil || e.root == nil {
+		return false
+	}
+	if e.MaxDepth() != 1 {
+		return false
+	}
+	n := Compile(e)
+	return !n.Accepting(n.Start())
+}
+
+// atomLabels collects the atom labels of the expression AST into sigma.
+func atomLabels(n node, sigma map[string]bool) {
+	switch n := n.(type) {
+	case atomNode:
+		sigma[n.label] = true
+	case seqNode:
+		for _, p := range n.parts {
+			atomLabels(p, sigma)
+		}
+	case altNode:
+		for _, a := range n.alts {
+			atomLabels(a, sigma)
+		}
+	case starNode:
+		atomLabels(n.sub, sigma)
+	case plusNode:
+		atomLabels(n.sub, sigma)
+	case optNode:
+		atomLabels(n.sub, sigma)
+	}
+}
+
+// SplitLast decomposes a sequence expression into a prefix and a final
+// single-step part: L(e) = L(prefix)·L(last) with every sequence in
+// L(last) exactly one label long. The split of a matching label
+// sequence is then positionally unique — s matches e iff s without its
+// final label matches the prefix and the final label alone matches
+// last — so two expressions with *equal* prefixes differ only in a test
+// on that final label. The prefix is returned as its normalized
+// rendering, to be compared by string equality. ok is false when e's
+// root is not a multi-part sequence or its final part is not
+// single-step.
+func SplitLast(e *Expr) (prefix string, last *Expr, ok bool) {
+	if e == nil || e.root == nil {
+		return "", nil, false
+	}
+	sq, isSeq := e.root.(seqNode)
+	if !isSeq || len(sq.parts) < 2 {
+		return "", nil, false
+	}
+	le := &Expr{root: sq.parts[len(sq.parts)-1]}
+	if !SingleStep(le) {
+		return "", nil, false
+	}
+	return seqNode{parts: sq.parts[:len(sq.parts)-1]}.str(), le, true
+}

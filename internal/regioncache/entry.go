@@ -1,6 +1,7 @@
 package regioncache
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -16,13 +17,19 @@ const nodeBytes = 48
 // the Entry struct itself.
 const keyFixedBytes = 96
 
-// keyOverhead is the retained size of an entry's key: the view name and
-// fingerprint strings (interned nowhere — every entry carries its own)
-// plus the fixed struct overhead. Counting it keeps L1 and L2 byte
-// budgets comparable across nodes whose views differ only in how long
-// their names and canonical plans are.
+// keyOverhead is the fixed retained size of an entry's key. Name and
+// canonical-fingerprint content is interned through the cache's pool
+// (see internKey) and charged once per distinct string to
+// Stats.InternedBytes, so entries no longer re-carry — or re-count —
+// their own copies. The one exception is an opaque fingerprint
+// (Canonical's fallback): process-unique, never interned, so its bytes
+// still ride on the entry that owns it.
 func keyOverhead(k Key) int64 {
-	return keyFixedBytes + int64(len(k.Name)) + int64(len(k.Fingerprint))
+	o := int64(keyFixedBytes)
+	if strings.HasPrefix(k.Fingerprint, opaquePrefix) {
+		o += int64(len(k.Fingerprint))
+	}
+	return o
 }
 
 // Entry is the cached partial tree for one Key: labels and child-list
@@ -50,6 +57,10 @@ type Entry struct {
 	// mut counts mutations that extended the known region; the cluster
 	// L2 flusher uses it to skip entries unchanged since the last flush.
 	mut atomic.Int64
+
+	// full caches a true Complete() verdict; completeness is monotone,
+	// so once set it never needs re-checking.
+	full atomic.Bool
 
 	mu    sync.RWMutex
 	root  *cnode

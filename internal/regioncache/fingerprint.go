@@ -2,33 +2,60 @@ package regioncache
 
 import (
 	"strconv"
+	"sync/atomic"
 
 	"mix/internal/algebra"
 )
 
-// Fingerprint renders a canonical identity for an algebra plan: the
-// plan's operator-tree rendering with every variable renamed to v0, v1,
-// … in order of first appearance. View composition generates fresh
-// variable prefixes from a per-mediator counter (view1~, view2~, …), so
-// the same query compiled on two mediator instances — or twice on one —
-// produces textually different plans; canonical renaming maps them to
-// the same fingerprint, which is what lets sessions share cache entries.
-func Fingerprint(p algebra.Op) string {
+// opaqueSeq distinguishes the fingerprints of plans that cannot be
+// canonicalized; see Canonical.
+var opaqueSeq atomic.Uint64
+
+// opaquePrefix marks a fingerprint from Canonical's fallback path. Such
+// fingerprints are process-unique (never shared, never interned, never
+// semantically indexed).
+const opaquePrefix = "!opaque:"
+
+// Canonical puts a plan into RenameVars normal form — every variable
+// renamed to v0, v1, … in order of first appearance — and returns the
+// canonical plan alongside its fingerprint (the canonical plan's
+// operator-tree rendering). View composition generates fresh variable
+// prefixes from a per-mediator counter (view1~, view2~, …), so the same
+// query compiled on two mediator instances — or twice on one — produces
+// textually different plans; canonical renaming maps them to the same
+// fingerprint, which is what lets sessions share cache entries and the
+// semantic plan index compare plans structurally.
+//
+// Plans containing operators RenameVars cannot rebuild return ok=false
+// with a nil canonical plan and an *opaque* fingerprint: a "!opaque:"
+// marker carrying a process-unique sequence number. Such plans still
+// get a usable cache identity, but two distinct non-canonicalizable
+// plans can never collide on it (the old fallback rendered the raw plan
+// text, under which two plans differing only in variable naming — or
+// two unknown operator types rendering alike — could share a slot), and
+// ok=false keeps them out of the semantic plan index entirely.
+func Canonical(p algebra.Op) (canon algebra.Op, fp string, ok bool) {
 	n := 0
 	names := map[string]string{}
-	canon, err := algebra.RenameVars(p, func(v string) string {
-		c, ok := names[v]
-		if !ok {
-			c = "v" + strconv.Itoa(n)
+	c, err := algebra.RenameVars(p, func(v string) string {
+		s, seen := names[v]
+		if !seen {
+			s = "v" + strconv.Itoa(n)
 			n++
-			names[v] = c
+			names[v] = s
 		}
-		return c
+		return s
 	})
 	if err != nil {
-		// Plans with operators RenameVars cannot rebuild still get a
-		// deterministic (just not cross-mediator canonical) identity.
-		return algebra.String(p)
+		marker := opaquePrefix + strconv.FormatUint(opaqueSeq.Add(1), 10) + ":"
+		return nil, marker + algebra.String(p), false
 	}
-	return algebra.String(canon)
+	return c, algebra.String(c), true
+}
+
+// Fingerprint renders a canonical identity for an algebra plan; it is
+// Canonical without the plan half.
+func Fingerprint(p algebra.Op) string {
+	_, fp, _ := Canonical(p)
+	return fp
 }

@@ -1,0 +1,229 @@
+package regioncache
+
+import (
+	"strings"
+
+	"mix/internal/algebra"
+	"mix/internal/xmltree"
+)
+
+// This file is the semantic half of the region cache (DESIGN.md §14):
+// a per-(generation, registry, view) index of parsed canonical plans,
+// so a freshly compiled query can cheaply enumerate cached plans that
+// might *subsume* it, plus the completeness accessors that make a
+// superset region safe to answer from — a partial region must never
+// silently truncate a subsumed answer.
+
+// maxPlansPerBucket bounds the candidate set a semantic lookup scans.
+// Buckets group plans sharing (generation, registry, view name); within
+// one, each distinct fingerprint appears once. 32 is far above the
+// number of overlapping variants of one view a real workload compiles,
+// and keeps the per-open containment work O(1)-ish.
+const maxPlansPerBucket = 32
+
+// bucketKey groups index entries that could possibly subsume each
+// other: same invalidation epoch, same registry version, same view.
+type bucketKey struct {
+	gen, registry uint64
+	name          string
+}
+
+// PlanEntry is one indexed plan: the full region-cache key it was
+// compiled under and its canonical (RenameVars normal form) plan.
+type PlanEntry struct {
+	Key  Key
+	Plan algebra.Op
+}
+
+// IndexPlan records a canonical plan in the semantic index. Nil plans
+// (non-canonicalizable — their opaque fingerprints must never be
+// compared structurally) and stale generations are skipped; a
+// fingerprint already present in its bucket is not re-added, and a full
+// bucket drops the newcomer rather than evicting (the exact-match fast
+// path is unaffected either way).
+func (c *Cache) IndexPlan(k Key, canon algebra.Op) {
+	if c == nil || canon == nil || k.Generation != c.gen.Load() {
+		return
+	}
+	k.Name = c.internStr(k.Name)
+	k.Fingerprint = c.internStr(k.Fingerprint)
+	b := bucketKey{gen: k.Generation, registry: k.Registry, name: k.Name}
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	ps := c.plans[b]
+	for _, p := range ps {
+		if p.Key.Fingerprint == k.Fingerprint {
+			return
+		}
+	}
+	if len(ps) >= maxPlansPerBucket {
+		return
+	}
+	c.plans[b] = append(ps, PlanEntry{Key: k, Plan: canon})
+}
+
+// Candidates returns the indexed plans that could subsume the plan
+// identified by k: same bucket, different fingerprint (the same
+// fingerprint is the exact-match fast path, handled before any
+// semantic work). The slice is freshly allocated; entries are shared.
+func (c *Cache) Candidates(k Key) []PlanEntry {
+	if c == nil {
+		return nil
+	}
+	b := bucketKey{gen: k.Generation, registry: k.Registry, name: k.Name}
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	var out []PlanEntry
+	for _, p := range c.plans[b] {
+		if p.Key.Fingerprint != k.Fingerprint {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// prunePlansBelow drops index buckets from generations older than g,
+// mirroring dropBelow on entries.
+func (c *Cache) prunePlansBelow(g uint64) {
+	c.planMu.Lock()
+	for b := range c.plans {
+		if b.gen < g {
+			delete(c.plans, b)
+		}
+	}
+	c.planMu.Unlock()
+}
+
+// internStr deduplicates a key string through the cache's interner,
+// charging its content bytes exactly once (on first sight) to the
+// intern pool. The pool is never released — it grows with the view
+// vocabulary, not the entry count — so its bytes are reported
+// separately (Stats.InternedBytes) and excluded from the eviction
+// budget.
+func (c *Cache) internStr(s string) string {
+	c.internMu.Lock()
+	before := c.intern.Len()
+	out := c.intern.Intern(s)
+	if c.intern.Len() > before {
+		c.internBytes += int64(len(s))
+	}
+	c.internMu.Unlock()
+	return out
+}
+
+// internKey deduplicates a key's strings through the pool. Opaque
+// fingerprints are exempt: each is process-unique (a fresh counter per
+// non-canonicalizable plan), so interning them would grow the pool with
+// every such query instead of with the view vocabulary; they stay
+// entry-carried and entry-accounted.
+func (c *Cache) internKey(k Key) Key {
+	k.Name = c.internStr(k.Name)
+	if !strings.HasPrefix(k.Fingerprint, opaquePrefix) {
+		k.Fingerprint = c.internStr(k.Fingerprint)
+	}
+	return k
+}
+
+// CompleteFetcher is the optional semantic extension of the Remote
+// tier: fetch a region only if the owner holds it *fully explored*.
+// The cluster node implements it with the region_get semantic form.
+type CompleteFetcher interface {
+	FetchComplete(k Key) *Region
+}
+
+// FetchCompleteRemote asks the remote tier for the fully explored
+// region under k, or nil when no remote is installed, the remote
+// predates the semantic protocol, or the owner's region is incomplete.
+func (c *Cache) FetchCompleteRemote(k Key) *Region {
+	c.remoteMu.RLock()
+	r := c.remote
+	c.remoteMu.RUnlock()
+	cf, ok := r.(CompleteFetcher)
+	if !ok {
+		return nil
+	}
+	return cf.FetchComplete(k)
+}
+
+// RecordSemanticHit counts a navigation set answered from a subsuming
+// cached region (zero source navigations).
+func (c *Cache) RecordSemanticHit() { c.semHits.Add(1) }
+
+// RecordSemanticMiss counts a semantic lookup that found no usable
+// superset and fell back to the source-backed plan.
+func (c *Cache) RecordSemanticMiss() { c.semMisses.Add(1) }
+
+// RecordSemanticCandidates counts candidate plans scanned by lookups.
+func (c *Cache) RecordSemanticCandidates(n int) { c.semCandidates.Add(int64(n)) }
+
+// RecordSemanticIncompleteSkip counts candidates whose plan subsumed
+// the query but whose region was not fully explored (locally or at its
+// cluster owner) and so could not be used.
+func (c *Cache) RecordSemanticIncompleteSkip() { c.semIncompleteSkips.Add(1) }
+
+// Complete reports whether the entry's region is fully explored: every
+// node's label known and every child list complete. Completeness is
+// monotone (labels only fill in, child lists only close), so a true
+// answer is cached and re-served without re-walking the tree.
+func (e *Entry) Complete() bool {
+	if e.full.Load() {
+		return true
+	}
+	e.mu.RLock()
+	ok := nodeComplete(e.root)
+	e.mu.RUnlock()
+	if ok {
+		e.full.Store(true)
+	}
+	return ok
+}
+
+func nodeComplete(n *cnode) bool {
+	if !n.labelKnown || !n.complete {
+		return false
+	}
+	for _, k := range n.kids {
+		if !nodeComplete(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tree returns a deep copy of the entry's region as a plain tree, but
+// only when the region is fully explored — the semantic cache must
+// never filter a truncated superset. ok=false means incomplete.
+func (e *Entry) Tree() (*xmltree.Tree, bool) {
+	if !e.Complete() {
+		return nil, false
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return treeOf(e.root), true
+}
+
+func treeOf(n *cnode) *xmltree.Tree {
+	t := &xmltree.Tree{Label: n.label}
+	for _, k := range n.kids {
+		t.Children = append(t.Children, treeOf(k))
+	}
+	return t
+}
+
+// Tree returns the region as a plain tree when — and only when — it is
+// fully explored (every label known, every child list complete); nil
+// otherwise. It is the wire-side twin of Entry.Tree.
+func (r *Region) Tree() *xmltree.Tree {
+	if r == nil || !r.Known || !r.Complete {
+		return nil
+	}
+	t := &xmltree.Tree{Label: r.Label}
+	for _, k := range r.Kids {
+		kt := k.Tree()
+		if kt == nil {
+			return nil
+		}
+		t.Children = append(t.Children, kt)
+	}
+	return t
+}

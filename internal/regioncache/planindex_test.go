@@ -1,0 +1,108 @@
+package regioncache
+
+import (
+	"fmt"
+	"testing"
+
+	"mix/internal/algebra"
+	"mix/internal/pathexpr"
+	"mix/internal/xmltree"
+)
+
+// planFor builds a distinct small canonical plan per label: the plan
+// index never inspects plan structure, so any non-nil Op will do, but
+// distinct paths keep fingerprints honest if a test ever canonicalizes.
+func planFor(label string) algebra.Op {
+	return &algebra.GetDescendants{
+		Input:  &algebra.Source{URL: "s", Var: "v0"},
+		Parent: "v0", Path: pathexpr.MustParse(label), Out: "v1",
+	}
+}
+
+func TestPlanIndexCandidates(t *testing.T) {
+	c := New(0)
+	k := func(fp string) Key { return Key{Generation: 0, Registry: 1, Name: "v", Fingerprint: fp} }
+	c.IndexPlan(k("fp1"), planFor("a"))
+	c.IndexPlan(k("fp2"), planFor("b"))
+	c.IndexPlan(k("fp1"), planFor("a")) // duplicate fingerprint: dropped
+
+	if got := c.Candidates(k("fp1")); len(got) != 1 || got[0].Key.Fingerprint != "fp2" {
+		t.Fatalf("candidates for fp1 = %+v, want exactly fp2 (self excluded, no dup)", got)
+	}
+	// Other registry versions and other view names see nothing.
+	if got := c.Candidates(Key{Generation: 0, Registry: 2, Name: "v", Fingerprint: "fp1"}); len(got) != 0 {
+		t.Fatalf("cross-registry candidates = %+v, want none", got)
+	}
+	if got := c.Candidates(Key{Generation: 0, Registry: 1, Name: "w", Fingerprint: "fp1"}); len(got) != 0 {
+		t.Fatalf("cross-view candidates = %+v, want none", got)
+	}
+	// A fingerprint not itself indexed still sees the bucket.
+	if got := c.Candidates(k("fp3")); len(got) != 2 {
+		t.Fatalf("candidates for unindexed fp = %d plans, want 2", len(got))
+	}
+}
+
+func TestPlanIndexBucketBound(t *testing.T) {
+	c := New(0)
+	for i := 0; i < maxPlansPerBucket+10; i++ {
+		fp := fmt.Sprintf("fp%02d", i)
+		c.IndexPlan(Key{Registry: 1, Name: "v", Fingerprint: fp}, planFor("a"))
+	}
+	got := c.Candidates(Key{Registry: 1, Name: "v", Fingerprint: "none"})
+	if len(got) != maxPlansPerBucket {
+		t.Fatalf("bucket holds %d plans, want capped at %d", len(got), maxPlansPerBucket)
+	}
+}
+
+func TestPlanIndexGenerations(t *testing.T) {
+	c := New(0)
+	// Stale-generation inserts are dropped outright.
+	c.IndexPlan(Key{Generation: 5, Registry: 1, Name: "v", Fingerprint: "old"}, planFor("a"))
+	if got := c.Candidates(Key{Generation: 5, Registry: 1, Name: "v", Fingerprint: "x"}); len(got) != 0 {
+		t.Fatalf("stale-generation plan was indexed: %+v", got)
+	}
+	c.IndexPlan(Key{Generation: 0, Registry: 1, Name: "v", Fingerprint: "cur"}, planFor("a"))
+	// Invalidation advances the generation and prunes dead buckets.
+	c.Invalidate()
+	if got := c.Candidates(Key{Generation: 0, Registry: 1, Name: "v", Fingerprint: "x"}); len(got) != 0 {
+		t.Fatalf("pre-invalidation bucket survived: %+v", got)
+	}
+	c.IndexPlan(Key{Generation: 1, Registry: 1, Name: "v", Fingerprint: "cur"}, planFor("a"))
+	if got := c.Candidates(Key{Generation: 1, Registry: 1, Name: "v", Fingerprint: "x"}); len(got) != 1 {
+		t.Fatalf("current-generation index broken after invalidate: %+v", got)
+	}
+}
+
+func TestEntryCompleteAndTree(t *testing.T) {
+	c := New(0)
+	e := c.Entry("v", "fp", 1)
+	// An open frontier (hole after b) keeps the region incomplete.
+	e.MergeTree(&xmltree.Tree{Label: "a", Children: []*xmltree.Tree{
+		{Label: "b"}, xmltree.Hole("more"),
+	}})
+	if e.Complete() {
+		t.Fatal("entry with unexplored frontier reports Complete")
+	}
+	if _, ok := e.Tree(); ok {
+		t.Fatal("Tree() handed out a truncated region")
+	}
+	if wt := e.Export().Tree(); wt != nil {
+		t.Fatalf("Region.Tree() of an incomplete region = %v, want nil", wt)
+	}
+	// Publishing the full materialization closes every child list.
+	e.MergeTree(&xmltree.Tree{Label: "a", Children: []*xmltree.Tree{
+		{Label: "b"}, {Label: "c"},
+	}})
+	if !e.Complete() {
+		t.Fatal("fully explored entry not Complete")
+	}
+	tr, ok := e.Tree()
+	if !ok || tr.Label != "a" || len(tr.Children) != 2 || tr.Children[1].Label != "c" {
+		t.Fatalf("Tree() = %v, %v", tr, ok)
+	}
+	// Region.Tree mirrors Entry.Tree through the wire form.
+	wt := e.Export().Tree()
+	if wt == nil || !xmltree.Equal(wt, tr) {
+		t.Fatalf("Region.Tree() = %v, want %v", wt, tr)
+	}
+}

@@ -5,32 +5,74 @@ import (
 	"testing"
 )
 
-// TestKeyOverheadAccounting: the byte budget must charge each entry for
-// its key — name and fingerprint strings plus fixed overhead — not just
-// its tree nodes, and release exactly as much when the entry drops.
+// TestKeyOverheadAccounting: key strings are interned — each entry is
+// charged only the fixed key overhead against the eviction budget,
+// while name/fingerprint content is charged once per *distinct* string
+// to the never-released intern pool (Stats.InternedBytes), and drop
+// accounting stays exactly symmetric with creation.
 func TestKeyOverheadAccounting(t *testing.T) {
 	c := New(0)
 	name, fp := "homeview", strings.Repeat("S0:p(v0,v1)|", 20)
 	e := c.Entry(name, fp, 1)
-	want := int64(nodeBytes) + keyFixedBytes + int64(len(name)) + int64(len(fp))
+	want := int64(nodeBytes) + keyFixedBytes
+	wantIntern := int64(len(name) + len(fp))
 	if got := c.Stats().Bytes; got != want {
-		t.Fatalf("bytes after bare entry = %d, want %d (node %d + key fixed %d + strings %d)",
-			got, want, nodeBytes, keyFixedBytes, len(name)+len(fp))
+		t.Fatalf("bytes after bare entry = %d, want %d (node %d + key fixed %d; strings interned)",
+			got, want, nodeBytes, keyFixedBytes)
 	}
-	// A second entry with a longer key costs proportionally more.
+	if got := c.Stats().InternedBytes; got != wantIntern {
+		t.Fatalf("interned bytes = %d, want %d", got, wantIntern)
+	}
+	// A second entry with a longer key costs the same fixed overhead;
+	// only the new fingerprint's content lands in the pool (the shared
+	// name is already there).
 	fp2 := fp + strings.Repeat("x", 1000)
 	c.Entry(name, fp2, 1)
-	want += int64(nodeBytes) + keyFixedBytes + int64(len(name)) + int64(len(fp2))
+	want += int64(nodeBytes) + keyFixedBytes
+	wantIntern += int64(len(fp2))
 	if got := c.Stats().Bytes; got != want {
 		t.Fatalf("bytes after second entry = %d, want %d", got, want)
 	}
+	if got := c.Stats().InternedBytes; got != wantIntern {
+		t.Fatalf("interned bytes after second entry = %d, want %d", got, wantIntern)
+	}
+	// Re-opening the same keys interns nothing new.
+	c.Entry(name, fp, 1)
+	if got := c.Stats().InternedBytes; got != wantIntern {
+		t.Fatalf("interned bytes grew on re-open: %d, want %d", got, wantIntern)
+	}
 	// Dropping everything returns the budget to exactly zero: creation
-	// accounting and drop accounting are symmetric.
+	// accounting and drop accounting are symmetric. The intern pool is
+	// a vocabulary floor — invalidation does not release it.
 	c.Invalidate()
 	if got := c.Stats().Bytes; got != 0 {
 		t.Fatalf("bytes after invalidate = %d, want 0", got)
 	}
+	if got := c.Stats().InternedBytes; got != wantIntern {
+		t.Fatalf("interned bytes after invalidate = %d, want %d", got, wantIntern)
+	}
 	_ = e
+}
+
+// TestOpaqueFingerprintNotInterned: opaque fingerprints are
+// process-unique, so pooling them would leak; their bytes must ride on
+// the entry (released on drop) and never touch the intern pool.
+func TestOpaqueFingerprintNotInterned(t *testing.T) {
+	c := New(0)
+	fp := opaquePrefix + "7:plan"
+	c.Entry("v", fp, 1)
+	want := int64(nodeBytes) + keyFixedBytes + int64(len(fp))
+	wantIntern := int64(len("v"))
+	if got := c.Stats().Bytes; got != want {
+		t.Fatalf("bytes with opaque fingerprint = %d, want %d", got, want)
+	}
+	if got := c.Stats().InternedBytes; got != wantIntern {
+		t.Fatalf("interned bytes = %d, want %d (name only)", got, wantIntern)
+	}
+	c.Invalidate()
+	if got := c.Stats().Bytes; got != 0 {
+		t.Fatalf("bytes after invalidate = %d, want 0", got)
+	}
 }
 
 // TestKeyOverheadDrivesEviction: entries whose *keys* dominate their

@@ -52,6 +52,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"mix/internal/xmltree"
 )
 
 // Key identifies one cached virtual document region (see the package
@@ -92,8 +94,25 @@ type Cache struct {
 	bytesSaved atomic.Int64
 	evictions  atomic.Int64
 
+	semHits            atomic.Int64
+	semMisses          atomic.Int64
+	semCandidates      atomic.Int64
+	semIncompleteSkips atomic.Int64
+
 	remoteMu sync.RWMutex
 	remote   Remote
+
+	// intern deduplicates key strings (view names, fingerprints) across
+	// entries and the plan index; internBytes is the pool's content
+	// size, charged once per distinct string and never released (see
+	// internStr).
+	intern      *xmltree.Interner
+	internMu    sync.Mutex
+	internBytes int64
+
+	// plans is the semantic plan index (see planindex.go).
+	planMu sync.Mutex
+	plans  map[bucketKey][]PlanEntry
 
 	mu      sync.Mutex
 	clock   int64
@@ -105,7 +124,12 @@ type Cache struct {
 // size; when exceeded, least-recently-opened entries are evicted whole.
 // maxBytes <= 0 means unlimited.
 func New(maxBytes int64) *Cache {
-	return &Cache{maxBytes: maxBytes, entries: map[Key]*Entry{}}
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  map[Key]*Entry{},
+		intern:   xmltree.NewInterner(),
+		plans:    map[bucketKey][]PlanEntry{},
+	}
 }
 
 // Generation returns the current invalidation epoch.
@@ -166,7 +190,8 @@ func (c *Cache) AdvanceTo(gen uint64) bool {
 	return true
 }
 
-// dropBelow drops every entry created under a generation older than g.
+// dropBelow drops every entry — and every plan-index bucket — created
+// under a generation older than g.
 func (c *Cache) dropBelow(g uint64) {
 	c.mu.Lock()
 	for k, e := range c.entries {
@@ -175,6 +200,7 @@ func (c *Cache) dropBelow(g uint64) {
 		}
 	}
 	c.mu.Unlock()
+	c.prunePlansBelow(g)
 }
 
 // Entry returns the shared entry for (name, fingerprint) under the
@@ -193,7 +219,7 @@ func (c *Cache) Entry(name, fingerprint string, registry uint64) *Entry {
 // unaccounted, and never shared through the cache map. The stale
 // session stays self-consistent; nobody else sees its data.
 func (c *Cache) EntryAt(gen uint64, name, fingerprint string, registry uint64) *Entry {
-	k := Key{Generation: gen, Registry: registry, Name: name, Fingerprint: fingerprint}
+	k := c.internKey(Key{Generation: gen, Registry: registry, Name: name, Fingerprint: fingerprint})
 	if gen != c.gen.Load() {
 		e := newEntry(c, k)
 		e.dead.Store(true)
@@ -245,6 +271,7 @@ func (c *Cache) Absorb(k Key, r *Region) bool {
 	if r == nil || k.Generation != c.gen.Load() {
 		return false
 	}
+	k = c.internKey(k)
 	c.mu.Lock()
 	// Re-check under the lock so a racing Invalidate cannot leave a
 	// stale-generation entry in the map after dropBelow swept it.
@@ -336,6 +363,17 @@ type Stats struct {
 	Misses     int64  `json:"misses"`      // navigations that drove a lazy engine
 	BytesSaved int64  `json:"bytes_saved"` // label bytes served from the cache
 	Evictions  int64  `json:"evictions"`   // entries dropped by budget or invalidation
+
+	// Semantic-cache totals (plan containment; see planindex.go).
+	SemanticHits            int64 `json:"semantic_hits"`             // queries answered from a subsuming region
+	SemanticMisses          int64 `json:"semantic_misses"`           // lookups with no usable superset
+	SemanticCandidates      int64 `json:"semantic_candidates"`       // candidate plans scanned
+	SemanticIncompleteSkips int64 `json:"semantic_incomplete_skips"` // subsuming but not fully explored
+
+	// InternedBytes is the content size of the key-string intern pool:
+	// charged once per distinct view name / fingerprint, never
+	// released, and excluded from Bytes and the eviction budget.
+	InternedBytes int64 `json:"interned_bytes"`
 }
 
 // Stats returns current totals.
@@ -343,13 +381,21 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	entries, bytes := len(c.entries), c.bytes
 	c.mu.Unlock()
+	c.internMu.Lock()
+	interned := c.internBytes
+	c.internMu.Unlock()
 	return Stats{
-		Generation: c.gen.Load(),
-		Entries:    entries,
-		Bytes:      bytes,
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		BytesSaved: c.bytesSaved.Load(),
-		Evictions:  c.evictions.Load(),
+		Generation:              c.gen.Load(),
+		Entries:                 entries,
+		Bytes:                   bytes,
+		Hits:                    c.hits.Load(),
+		Misses:                  c.misses.Load(),
+		BytesSaved:              c.bytesSaved.Load(),
+		Evictions:               c.evictions.Load(),
+		SemanticHits:            c.semHits.Load(),
+		SemanticMisses:          c.semMisses.Load(),
+		SemanticCandidates:      c.semCandidates.Load(),
+		SemanticIncompleteSkips: c.semIncompleteSkips.Load(),
+		InternedBytes:           interned,
 	}
 }

@@ -41,6 +41,12 @@ func (s *Server) handleRegionGet(req vxdp.Request) vxdp.Response {
 	if e == nil {
 		return miss
 	}
+	// The semantic form serves only fully explored regions: the asker
+	// will answer a *subsumed* query from it, which is sound only when
+	// no part of the region is an unexplored hole.
+	if req.Semantic && !e.Complete() {
+		return miss
+	}
 	reg := e.Export()
 	if reg.Empty() {
 		return miss
@@ -208,6 +214,15 @@ func (s *session) openRouted(req vxdp.Request) vxdp.Response {
 	}
 	if !cl.Alive(owner) {
 		cl.RecordDegraded()
+		return serveLocal()
+	}
+	// Semantic short-circuit: if a subsuming cached plan — local, or
+	// fetched complete from *its* owner via the semantic region_get —
+	// answers this query outright, the whole session stays here with
+	// zero source navigations. Proxying to the owner could not do
+	// better, and the answer is byte-identical by construction.
+	if res.SemanticWarm() {
+		cl.RecordSemanticLocal()
 		return serveLocal()
 	}
 	if cl.Mode() == cluster.ModeRedirect {

@@ -138,6 +138,11 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("mix_region_cache_misses_total", "navigations that drove a lazy engine", st.Cache.Misses)
 		counter("mix_region_cache_bytes_saved_total", "label bytes served from the region cache", st.Cache.BytesSaved)
 		counter("mix_region_cache_evictions_total", "region cache entries dropped by budget or invalidation", st.Cache.Evictions)
+		counter("mix_region_cache_semantic_hits_total", "queries answered from a subsuming cached plan's region", st.Cache.SemanticHits)
+		counter("mix_region_cache_semantic_misses_total", "queries that found no usable superset plan", st.Cache.SemanticMisses)
+		counter("mix_region_cache_semantic_candidates_total", "candidate superset plans examined by the containment checker", st.Cache.SemanticCandidates)
+		counter("mix_region_cache_semantic_incomplete_skips_total", "containment hits skipped because the superset region was not fully explored", st.Cache.SemanticIncompleteSkips)
+		gauge("mix_region_cache_interned_bytes", "key-string vocabulary retained by the cache interner", st.Cache.InternedBytes)
 	}
 	if st.Cluster != nil {
 		gauge("mix_cluster_members", "fleet members on the consistent-hash ring", st.Cluster.Members)
@@ -153,6 +158,7 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("mix_cluster_l2_fills_total", "peer region_put regions merged into the local cache", st.Cluster.L2Fills)
 		counter("mix_cluster_invalidations_sent_total", "invalidation broadcasts fanned out to peers", st.Cluster.InvalSent)
 		counter("mix_cluster_invalidations_recv_total", "invalidation broadcasts applied from peers", st.Cluster.InvalRecv)
+		counter("mix_cluster_semantic_local_total", "routed opens served locally from a subsumed complete region", st.Cluster.SemanticLocal)
 	}
 	if s.cfg.Trace {
 		counter("mix_slow_navigations_total", "traced root spans at or over the slow-navigation threshold", s.flight.Total())

@@ -1,0 +1,336 @@
+package server_test
+
+// Semantic region cache end-to-end (DESIGN.md §14, experiment E18): a
+// σ-restricted query opened warm against a fully explored superset
+// region must be answered with ZERO source navigations and a
+// byte-identical tree — on one node, and across a proxy-mode fleet
+// where the subsumed open short-circuits routing and stays local. A
+// registry bump must flush the evidence (invalidation, never
+// staleness), and the -semantic-cache=false ablation must fall back to
+// exact matches only.
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mix/internal/mediator"
+	"mix/internal/nav"
+	"mix/internal/regioncache"
+	"mix/internal/server"
+	"mix/internal/vxdp"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+const semSuperQ = `CONSTRUCT <homes> $H {$H} </homes> {} WHERE homesSrc homes.home $H`
+
+const semSubQ = `CONSTRUCT <homes> $H {$H} </homes> {}
+WHERE homesSrc homes.home $H AND $H price._ $P AND $P < "500000"`
+
+// semOracle evaluates query over homes with a fresh uncached mediator.
+func semOracle(t *testing.T, homes *xmltree.Tree, query string) string {
+	t.Helper()
+	m := mediator.New(mediator.DefaultOptions())
+	m.RegisterTree("homesSrc", homes)
+	res, err := m.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := res.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xmltree.MarshalXML(tree)
+}
+
+// semServe boots a plain single-node server whose homesSrc is the given
+// counting document, shared across every pooled engine.
+func semServe(t *testing.T, doc nav.Document, semantic bool) (*server.Server, string) {
+	t.Helper()
+	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		opts := mediator.DefaultOptions()
+		opts.Engine.SemanticCache = semantic
+		m := mediator.New(opts)
+		m.SetRegionCache(rc)
+		m.RegisterSource("homesSrc", doc)
+		return m, nil
+	}
+	srv, err := server.New(factory, server.WithRegionCache(regioncache.New(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		l.Close()
+		<-done
+	})
+	return srv, l.Addr().String()
+}
+
+func semOpen(t *testing.T, addr, query string) string {
+	t.Helper()
+	c, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Open(query); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := nav.Materialize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xmltree.MarshalXML(tree)
+}
+
+func TestSemanticServedWithoutSourceWork(t *testing.T) {
+	homes, _ := workload.HomesSchools(10, 1, 3, 5)
+	wantSuper := semOracle(t, homes, semSuperQ)
+	wantSub := semOracle(t, homes, semSubQ)
+	if wantSub == wantSuper {
+		t.Fatal("test needs a price filter that actually drops homes")
+	}
+
+	counting := nav.NewCountingDoc(nav.NewTreeDoc(homes))
+	srv, addr := semServe(t, counting, true)
+
+	// Cold superset drain: the whole region is explored from source.
+	if got := semOpen(t, addr, semSuperQ); got != wantSuper {
+		t.Fatalf("superset answer:\n got %s\nwant %s", got, wantSuper)
+	}
+	afterSuper := counting.Counters.Navigations()
+	if afterSuper == 0 {
+		t.Fatal("cold superset drain touched no sources; the test measures nothing")
+	}
+
+	// Warm subsumed open: byte-identical, zero NEW source navigations.
+	if got := semOpen(t, addr, semSubQ); got != wantSub {
+		t.Fatalf("subsumed answer:\n got %s\nwant %s", got, wantSub)
+	}
+	if navs := counting.Counters.Navigations() - afterSuper; navs != 0 {
+		t.Fatalf("subsumed query drove %d source navigations, want 0", navs)
+	}
+	st := srv.Stats()
+	if st.Cache == nil || st.Cache.SemanticHits != 1 {
+		t.Fatalf("Cache.SemanticHits = %+v, want exactly 1", st.Cache)
+	}
+
+	// A registry bump invalidates the evidence: the same subsumed query
+	// must re-drive the sources (staleness is never an option).
+	srv.BumpRegistry()
+	before := counting.Counters.Navigations()
+	if got := semOpen(t, addr, semSubQ); got != wantSub {
+		t.Fatalf("post-bump answer:\n got %s\nwant %s", got, wantSub)
+	}
+	if navs := counting.Counters.Navigations() - before; navs == 0 {
+		t.Fatal("post-bump subsumed query was served from invalidated evidence")
+	}
+}
+
+func TestSemanticAblationFallsBackToSource(t *testing.T) {
+	homes, _ := workload.HomesSchools(10, 1, 3, 5)
+	wantSub := semOracle(t, homes, semSubQ)
+	counting := nav.NewCountingDoc(nav.NewTreeDoc(homes))
+	srv, addr := semServe(t, counting, false)
+
+	semOpen(t, addr, semSuperQ)
+	before := counting.Counters.Navigations()
+	if got := semOpen(t, addr, semSubQ); got != wantSub {
+		t.Fatalf("ablation answer:\n got %s\nwant %s", got, wantSub)
+	}
+	if navs := counting.Counters.Navigations() - before; navs == 0 {
+		t.Fatal("-semantic-cache=false still answered from the superset")
+	}
+	if st := srv.Stats(); st.Cache == nil || st.Cache.SemanticHits != 0 {
+		t.Fatalf("ablation recorded semantic hits: %+v", st.Cache)
+	}
+}
+
+// semNonOwner returns a fleet member that does NOT own query's routing
+// key, so an open through it enters the routed path (where the semantic
+// short-circuit lives).
+func semNonOwner(t *testing.T, fleet []*fleetMember, homes *xmltree.Tree, query string) int {
+	t.Helper()
+	probe := mediator.New(mediator.DefaultOptions())
+	probe.RegisterTree("homesSrc", homes)
+	res, err := probe.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, fp := res.CacheKey()
+	ownerAddr := fleet[0].node.Owner(name, fp)
+	for i, m := range fleet {
+		if m.addr != ownerAddr {
+			return i
+		}
+	}
+	t.Fatal("every node owns the key?")
+	return -1
+}
+
+func TestSemanticFleetServedLocally(t *testing.T) {
+	homes, _ := workload.HomesSchools(10, 1, 3, 5)
+	wantSuper := semOracle(t, homes, semSuperQ)
+	wantSub := semOracle(t, homes, semSubQ)
+	if wantSub == wantSuper {
+		t.Fatal("test needs a price filter that actually drops homes")
+	}
+	// ONE counting source shared by every node: its counter is the
+	// fleet-wide source-navigation total.
+	counting := nav.NewCountingDoc(nav.NewTreeDoc(homes))
+	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		m := mediator.New(mediator.DefaultOptions())
+		m.SetRegionCache(rc)
+		m.RegisterSource("homesSrc", counting)
+		return m, nil
+	}
+	fleet := startFleetWith(t, 3, factory)
+	entry := semNonOwner(t, fleet, homes, semSubQ)
+
+	// Phase 1: drain the superset through the entry node. Routing may
+	// proxy it to the super key's owner — its region fills THERE.
+	if got := semOpen(t, fleet[entry].addr, semSuperQ); got != wantSuper {
+		t.Fatalf("fleet superset answer:\n got %s\nwant %s", got, wantSuper)
+	}
+	afterSuper := counting.Counters.Navigations()
+	if afterSuper == 0 {
+		t.Fatal("fleet superset drain touched no sources")
+	}
+
+	// Phase 2: the subsumed query through the same entry node. The entry
+	// is not the sub key's owner, but the semantic short-circuit must
+	// keep the session local (fetching the complete superset region from
+	// its owner if needed) and answer without any source work anywhere.
+	if got := semOpen(t, fleet[entry].addr, semSubQ); got != wantSub {
+		t.Fatalf("fleet subsumed answer:\n got %s\nwant %s", got, wantSub)
+	}
+	if navs := counting.Counters.Navigations() - afterSuper; navs != 0 {
+		t.Fatalf("fleet-wide source navigations for subsumed open = %d, want 0", navs)
+	}
+	st := fleet[entry].srv.Stats()
+	if st.Cluster == nil || st.Cluster.SemanticLocal != 1 {
+		t.Fatalf("entry Cluster.SemanticLocal = %+v, want exactly 1", st.Cluster)
+	}
+	if st.Cache == nil || st.Cache.SemanticHits < 1 {
+		t.Fatalf("entry Cache.SemanticHits = %+v, want >= 1", st.Cache)
+	}
+}
+
+// TestSemanticStressUnderBumpRegistry is the -race CI target: sessions
+// alternate superset and subsumed opens while the registry is bumped
+// and the dataset swapped mid-flight. Every answer must match SOME
+// version's oracle for its own query — a blend (or a subsumed answer
+// filtered from another version's superset) is a failure.
+func TestSemanticStressUnderBumpRegistry(t *testing.T) {
+	const versions = 3
+	sets := make([]*xmltree.Tree, versions)
+	expect := map[string]map[string]bool{semSuperQ: {}, semSubQ: {}}
+	for v := range sets {
+		homes, _ := workload.HomesSchools(8+2*v, 1, 3, int64(11*v+5))
+		sets[v] = homes
+		for _, q := range []string{semSuperQ, semSubQ} {
+			want := semOracle(t, homes, q)
+			if expect[q][want] {
+				t.Fatal("test needs distinguishable datasets")
+			}
+			expect[q][want] = true
+		}
+	}
+
+	var version atomic.Int64
+	factory := func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		m := mediator.New(mediator.DefaultOptions())
+		m.SetRegionCache(rc)
+		m.RegisterTree("homesSrc", sets[version.Load()])
+		return m, nil
+	}
+	srv, err := server.New(factory, server.WithRegionCache(regioncache.New(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		l.Close()
+		<-done
+	}()
+	addr := l.Addr().String()
+
+	stop := make(chan struct{})
+	var mutations atomic.Int64
+	var mutWG sync.WaitGroup
+	mutWG.Add(1)
+	go func() {
+		defer mutWG.Done()
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			version.Store(i % versions)
+			srv.BumpRegistry()
+			mutations.Add(1)
+		}
+	}()
+
+	const sessions = 8
+	const opensPerSession = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*opensPerSession)
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opensPerSession; i++ {
+				q := semSuperQ
+				if (g+i)%2 == 1 {
+					q = semSubQ
+				}
+				c, err := vxdp.Dial(addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Open(q); err != nil {
+					c.Close()
+					errs <- err
+					return
+				}
+				tree, err := nav.Materialize(c)
+				c.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := xmltree.MarshalXML(tree); !expect[q][got] {
+					errs <- &stale{got}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	mutWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if mutations.Load() == 0 {
+		t.Fatal("mutator never ran; the stress proved nothing")
+	}
+}

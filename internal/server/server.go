@@ -527,13 +527,18 @@ func (s *Server) Stats() vxdp.Stats {
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		st.Cache = &vxdp.CacheStats{
-			Generation: cs.Generation,
-			Entries:    int64(cs.Entries),
-			Bytes:      cs.Bytes,
-			Hits:       cs.Hits,
-			Misses:     cs.Misses,
-			BytesSaved: cs.BytesSaved,
-			Evictions:  cs.Evictions,
+			Generation:              cs.Generation,
+			Entries:                 int64(cs.Entries),
+			Bytes:                   cs.Bytes,
+			Hits:                    cs.Hits,
+			Misses:                  cs.Misses,
+			BytesSaved:              cs.BytesSaved,
+			Evictions:               cs.Evictions,
+			SemanticHits:            cs.SemanticHits,
+			SemanticMisses:          cs.SemanticMisses,
+			SemanticCandidates:      cs.SemanticCandidates,
+			SemanticIncompleteSkips: cs.SemanticIncompleteSkips,
+			InternedBytes:           cs.InternedBytes,
 		}
 	}
 	if s.cfg.EnginePool {

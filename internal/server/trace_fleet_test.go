@@ -64,6 +64,13 @@ func startFleet(t *testing.T, n int, extra ...server.Option) []*fleetMember {
 		}
 		return m, nil
 	}
+	return startFleetWith(t, n, factory, extra...)
+}
+
+// startFleetWith is startFleet with a caller-supplied mediator factory
+// (shared by every node), for tests that need instrumented sources.
+func startFleetWith(t *testing.T, n int, factory server.Factory, extra ...server.Option) []*fleetMember {
+	t.Helper()
 	quiet := slog.New(slog.DiscardHandler)
 	listeners := make([]net.Listener, n)
 	addrs := make([]string, n)

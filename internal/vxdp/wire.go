@@ -142,6 +142,11 @@ type Request struct {
 	// payload (the asker's explored region, merged into the owner's L1).
 	Region *RegionKey          `json:"region,omitempty"`
 	Tree   *regioncache.Region `json:"tree,omitempty"`
+	// Semantic, on a region_get, asks only for *fully explored* regions:
+	// the asker wants to answer a subsumed query from the region, which
+	// is sound only when no part of it is still unexplored. A partial
+	// region is a miss under this form.
+	Semantic bool `json:"semantic,omitempty"`
 	// Gen is the target generation of an invalidate broadcast.
 	Gen uint64 `json:"gen,omitempty"`
 	// Proxied marks an open forwarded by a cluster peer: the receiver
@@ -252,6 +257,11 @@ type ClusterStats struct {
 	L2Fills    int64  `json:"l2_fills"`    // region_put regions merged from peers
 	InvalSent  int64  `json:"inval_sent"`  // invalidation broadcasts fanned out
 	InvalRecv  int64  `json:"inval_recv"`  // invalidation broadcasts applied
+	// SemanticLocal counts routed opens served on this node without
+	// proxy or redirect because a subsumed complete region answered the
+	// query outright (possibly after a semantic region_get to the
+	// superset's owner).
+	SemanticLocal int64 `json:"semantic_local"` // opens short-circuited by the semantic tier
 	// Routes breaks down session-routing latency by decision mode
 	// (proxy / redirect / local), mirroring the
 	// mix_cluster_route_duration_seconds histograms.
@@ -312,6 +322,17 @@ type CacheStats struct {
 	Misses     int64  `json:"misses"`
 	BytesSaved int64  `json:"bytes_saved"`
 	Evictions  int64  `json:"evictions"`
+	// The semantic tier (plan containment; DESIGN.md §14): queries
+	// answered from a subsuming cached plan's region, queries that
+	// found no usable superset, candidate plans examined, and
+	// candidates skipped because their region was not fully explored.
+	SemanticHits            int64 `json:"semantic_hits"`
+	SemanticMisses          int64 `json:"semantic_misses"`
+	SemanticCandidates      int64 `json:"semantic_candidates"`
+	SemanticIncompleteSkips int64 `json:"semantic_incomplete_skips"`
+	// InternedBytes is the cache's key-string vocabulary (charged once
+	// per distinct name/fingerprint, never released).
+	InternedBytes int64 `json:"interned_bytes"`
 }
 
 // PoolStats reports cross-session engine reuse.
