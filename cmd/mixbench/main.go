@@ -41,6 +41,7 @@ func main() {
 	mem := flag.Bool("mem", false, "report per-experiment allocation and GC-pause deltas")
 	clusterOnly := flag.Bool("cluster", false, "run only the clustered fleet experiments (E15, E16)")
 	semanticOnly := flag.Bool("semantic", false, "run only the semantic region cache experiment (E18)")
+	persona := flag.String("persona", "", "run only the speculative prefetch experiment (E19) under this client persona (deep-drill, glance, select-heavy)")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	batch := flag.Int("batch", 0, "override the batch width of the vectorized pipeline runs (0 = default, <=1 = scalar)")
 	flag.Parse()
@@ -55,6 +56,10 @@ func main() {
 	}
 	if *semanticOnly {
 		ids = []string{"E18"}
+	}
+	if *persona != "" {
+		experiments.SetPersona(*persona)
+		ids = []string{"E19"}
 	}
 	if *id != "" {
 		ids = []string{*id}

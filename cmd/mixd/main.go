@@ -19,7 +19,12 @@
 // sessions explore independently while the regions of answer documents
 // they explore are shared through the cross-session region cache:
 // -cache-max-bytes bounds it (whole-entry LRU eviction), -cache-off
-// disables it. SIGINT/SIGTERM shut the daemon down gracefully.
+// disables it. With the cache on, -prefetch (on by default) learns each
+// view's region-to-region navigation pattern and speculatively warms
+// the predicted next region before it is asked for (-prefetch-budget
+// and -prefetch-confidence tune it; -prefetch=false restores the
+// demand-only behavior exactly). SIGINT/SIGTERM shut the daemon down
+// gracefully.
 //
 // Clustering: -cluster joins a sharded mediator fleet. Sessions are
 // routed over a consistent-hash ring keyed by (view name, canonical
@@ -109,6 +114,9 @@ func main() {
 	lxpBatch := flag.Int("lxp-batch", 8, "coalesce up to this many holes per LXP fill round trip (0 or 1 = single-hole fills)")
 	batchSize := flag.Int("batch", core.DefaultBatchSize, "move up to this many bindings per operator pull (<=1 = scalar binding-at-a-time pipeline)")
 	semanticCache := flag.Bool("semantic-cache", true, "answer named queries from subsuming cached plans via containment (false = exact fingerprint matches only)")
+	prefetchOn := flag.Bool("prefetch", true, "speculatively warm each view's predicted next region as clients navigate (false = demand-only, the pre-prefetch behavior)")
+	prefetchBudget := flag.Int64("prefetch-budget", server.DefaultPrefetchNavs, "navigation budget per speculative drain (0 = default)")
+	prefetchConf := flag.Float64("prefetch-confidence", server.DefaultPrefetchConfidence, "minimum successor-model confidence that triggers a drain")
 	clusterOn := flag.Bool("cluster", false, "join a sharded mediator fleet: route sessions over a consistent-hash ring and share explored regions with -peers")
 	nodeAddr := flag.String("node", "", "advertised cluster address of this node (default: -addr); every peer must know it by exactly this string")
 	peers := flag.String("peers", "", "comma-separated advertised addresses of the other fleet members (all nodes must be configured with identical -src/-view sets, in the same order)")
@@ -201,6 +209,12 @@ func main() {
 	if !*cacheOff {
 		rc = regioncache.New(*cacheMax)
 		options = append(options, server.WithRegionCache(rc))
+		if *prefetchOn {
+			options = append(options,
+				server.WithPrefetch(true),
+				server.WithPrefetchBudget(core.PrefetchBudget{MaxNavs: *prefetchBudget}),
+				server.WithPrefetchConfidence(*prefetchConf))
+		}
 	}
 	var node *cluster.Node
 	if *clusterOn {

@@ -430,6 +430,21 @@ func (n *Node) BroadcastInvalidate(gen uint64) {
 	}
 }
 
+// SendPrefetchHint ships a speculative-prefetch hint to the owner of a
+// view key, fire-and-forget on the control link: the receiver may drop
+// it freely and a lost hint costs nothing (demand still works), so no
+// error is reported and no retry state is kept — exactly the contract
+// of an invalidation broadcast, minus the convergence loop.
+func (n *Node) SendPrefetchHint(owner string, h vxdp.PrefetchHint) {
+	p := n.peers[owner]
+	if p == nil || !p.alive() {
+		return
+	}
+	go func() {
+		_ = p.do(func(c *vxdp.Client) error { return c.PrefetchHint(h) })
+	}()
+}
+
 // Stats snapshots the node's counters for vxdp.Stats / metrics.
 func (n *Node) Stats() *vxdp.ClusterStats {
 	up, down := int64(0), int64(0)

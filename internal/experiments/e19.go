@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"time"
+
+	"mix/internal/cluster"
+	"mix/internal/mediator"
+	"mix/internal/metrics"
+	"mix/internal/nav"
+	"mix/internal/regioncache"
+	"mix/internal/server"
+	"mix/internal/vxdp"
+	"mix/internal/workload"
+)
+
+// persona is the client behavior E19 replays; mixbench -persona
+// overrides it through SetPersona.
+var persona = "deep-drill"
+
+// SetPersona overrides the client persona replayed by E19
+// ("deep-drill", "glance" or "select-heavy"). The steady-state
+// zero-navigation shape in Expect is the deep-drill prediction; the
+// other personas exist to show how the successor model degrades —
+// shallow drains for glance, near-silence for select-heavy.
+func SetPersona(name string) { persona = name }
+
+// E19SpeculativePrefetch measures navigation-driven speculative
+// prefetch (DESIGN.md §15): the server's per-view successor model
+// watches which region a session engages, predicts the next one, and
+// drains it into the region cache on speculative engines *before the
+// client asks*. For the deep-drill persona the model locks onto the
+// +1 scan after two engagements, so every region from the third on is
+// served entirely from speculatively warmed cache — zero interactive
+// source navigations — while the -prefetch=false ablation pays the
+// sources for every region. The clustered half replays the same
+// persona through a non-owner of a proxy-mode fleet: the proxied
+// session speculates on the owner, and the steady-state regions again
+// cost the whole fleet nothing interactive.
+func E19SpeculativePrefetch() Table {
+	t := Table{
+		ID:    "E19",
+		Title: "Speculative prefetch (persona: " + persona + ")",
+		Claim: "A first-order successor model over engaged regions predicts the " +
+			"client's next region and warms it speculatively, so sequential " +
+			"navigation beyond the warm-up regions costs zero interactive source " +
+			"navigations, on one node and across a proxied fleet.",
+		Expect: "deep-drill: regions 0–1 pay the sources (training), regions 2+ " +
+			"cost 0 interactive source navigations with hits ≈ issued and wasted 0; " +
+			"the -prefetch=false ablation pays the sources for every region " +
+			"(≥5× more interactive navigations in total); every answer is " +
+			"byte-identical to the uncached oracle replay.",
+		Headers: []string{"session", "warm-up src navs", "steady src navs",
+			"issued/hits/wasted", "spec navs", "answer"},
+	}
+	const regions = 16
+	const warmup = 2 // regions the model needs before its first prediction
+	const query = `CONSTRUCT <homes> $H {$H} </homes> {} WHERE homesSrc homes.home $H`
+	homes, _ := workload.HomesSchools(regions, 1, 6, 19)
+	script := workload.PersonaScript(persona, regions, 19)
+	if script == nil {
+		panic("experiments: unknown persona " + persona)
+	}
+
+	// Oracle replay: the per-step explored parts an uncached engine
+	// answers, bytes and all.
+	oracle := make([]string, len(script))
+	{
+		m := mediator.New(mediator.DefaultOptions())
+		m.RegisterTree("homesSrc", homes)
+		res, err := m.Query(query)
+		if err != nil {
+			panic(err)
+		}
+		err = workload.ReplayPersona(res.Document(), script, func(i int, explored string) error {
+			oracle[i] = explored
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	// Interactive (demand) sources and speculative sources are counted
+	// separately: the demand factory feeds src, the spec factory —
+	// registering the *same* sources in the same order, so fingerprints
+	// and registry versions line up — feeds specSrc.
+	factory := func(counters *metrics.Counters) server.Factory {
+		return func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+			m := mediator.New(mediator.DefaultOptions())
+			m.SetRegionCache(rc)
+			m.RegisterSource("homesSrc", &nav.CountingDoc{Doc: nav.NewTreeDoc(homes), Counters: counters})
+			return m, nil
+		}
+	}
+
+	type member struct {
+		srv      *server.Server
+		node     *cluster.Node // nil for the single-node halves
+		addr     string
+		src      *metrics.Counters
+		specSrc  *metrics.Counters
+		done     chan error
+		prefetch bool
+	}
+	quiet := slog.New(slog.DiscardHandler)
+
+	boot := func(n int, prefetch bool) []*member {
+		listeners := make([]net.Listener, n)
+		addrs := make([]string, n)
+		for i := range listeners {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				panic(err)
+			}
+			listeners[i], addrs[i] = l, l.Addr().String()
+		}
+		fleet := make([]*member, n)
+		for i := range fleet {
+			src, specSrc := &metrics.Counters{}, &metrics.Counters{}
+			rc := regioncache.New(0)
+			opts := []server.Option{server.WithRegionCache(rc), server.WithLogger(quiet)}
+			if prefetch {
+				opts = append(opts, server.WithPrefetch(true), server.WithSpecFactory(factory(specSrc)))
+			}
+			var node *cluster.Node
+			if n > 1 {
+				peers := make([]string, 0, n-1)
+				for j, a := range addrs {
+					if j != i {
+						peers = append(peers, a)
+					}
+				}
+				var err error
+				node, err = cluster.New(cluster.Config{
+					Self: addrs[i], Peers: peers, Mode: cluster.ModeProxy,
+					HealthInterval: time.Hour, FlushInterval: -1, Logger: quiet,
+				}, rc)
+				if err != nil {
+					panic(err)
+				}
+				opts = append(opts, server.WithCluster(node))
+			}
+			srv, err := server.New(factory(src), opts...)
+			if err != nil {
+				panic(err)
+			}
+			done := make(chan error, 1)
+			go func(l net.Listener) { done <- srv.Serve(l) }(listeners[i])
+			if node != nil {
+				node.Start()
+			}
+			fleet[i] = &member{srv: srv, node: node, addr: addrs[i], src: src,
+				specSrc: specSrc, done: done, prefetch: prefetch}
+		}
+		return fleet
+	}
+	halt := func(fleet []*member) {
+		for _, m := range fleet {
+			if m.node != nil {
+				m.node.Stop()
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = m.srv.Shutdown(ctx)
+			cancel()
+			<-m.done
+		}
+	}
+
+	// quiesce waits until the speculating member has no drain in
+	// flight, so the next step measures a fully warmed (or fully
+	// skipped) cache rather than a race against the drain.
+	quiesce := func(m *member) {
+		if !m.prefetch {
+			return
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st := m.srv.Stats()
+			if st.Prefetch == nil || st.Prefetch.Inflight == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				panic("experiments: speculative drain did not quiesce")
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	// run replays the persona through fleet[entry] and reports the
+	// interactive source navigations split into warm-up steps (the
+	// first two) and steady-state steps, the speculating member's
+	// prefetch counters, the fleet-wide speculative navigations, and
+	// whether every explored part matched the oracle replay.
+	run := func(fleet []*member, entry int, speculator *member) []string {
+		fleetNavs := func(spec bool) int64 {
+			var n int64
+			for _, m := range fleet {
+				if spec {
+					n += m.specSrc.Navigations()
+				} else {
+					n += m.src.Navigations()
+				}
+			}
+			return n
+		}
+		c, err := vxdp.Dial(fleet[entry].addr)
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		if err := c.Open(query); err != nil {
+			panic(err)
+		}
+		quiesce(speculator)
+		var warm, steady int64
+		prev := fleetNavs(false)
+		specBefore := fleetNavs(true)
+		identical := true
+		err = workload.ReplayPersona(c, script, func(i int, explored string) error {
+			quiesce(speculator)
+			navs := fleetNavs(false) - prev
+			prev += navs
+			if i < warmup {
+				warm += navs
+			} else {
+				steady += navs
+			}
+			if explored != oracle[i] {
+				identical = false
+			}
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		counters := "off"
+		if st := speculator.srv.Stats(); st.Prefetch != nil {
+			counters = fmt.Sprintf("%d/%d/%d", st.Prefetch.Issued, st.Prefetch.Hits, st.Prefetch.Wasted)
+		}
+		verdict := "identical"
+		if !identical {
+			verdict = "DIFFERS"
+		}
+		return []string{itoa(warm), itoa(steady), counters, itoa(fleetNavs(true) - specBefore), verdict}
+	}
+
+	row := func(label string, cells []string) {
+		t.Rows = append(t.Rows, append([]string{label}, cells...))
+	}
+	total := func(cells []string) int64 {
+		var w, s int64
+		fmt.Sscan(cells[0], &w)
+		fmt.Sscan(cells[1], &s)
+		return w + s
+	}
+
+	solo := boot(1, true)
+	on := run(solo, 0, solo[0])
+	row("1 node: prefetch on", on)
+	halt(solo)
+
+	ablate := boot(1, false)
+	off := run(ablate, 0, ablate[0])
+	row("1 node: -prefetch=false", off)
+	halt(ablate)
+	if onT, offT := total(on), total(off); onT > 0 {
+		row("1 node: off/on interactive ratio",
+			[]string{"", fmt.Sprintf("%.1fx", float64(offT)/float64(onT)), "", "", ""})
+	}
+
+	// The fleet halves replay through a node that does NOT own the
+	// view, so speculation happens on the owner end of a proxied
+	// session.
+	probe := mediator.New(mediator.DefaultOptions())
+	probe.RegisterTree("homesSrc", homes)
+	res, err := probe.Query(query)
+	if err != nil {
+		panic(err)
+	}
+	name, fp := res.CacheKey()
+	nonOwner := func(fleet []*member) (entry int, owner *member) {
+		ownerAddr := fleet[0].node.Owner(name, fp)
+		owner = fleet[0]
+		for i, m := range fleet {
+			if m.addr == ownerAddr {
+				owner = fleet[i]
+			} else {
+				entry = i
+			}
+		}
+		return entry, owner
+	}
+
+	fleetOn := boot(3, true)
+	entry, owner := nonOwner(fleetOn)
+	fOn := run(fleetOn, entry, owner)
+	row("3 nodes via non-owner: prefetch on", fOn)
+	halt(fleetOn)
+
+	fleetOff := boot(3, false)
+	entry, owner = nonOwner(fleetOff)
+	fOff := run(fleetOff, entry, owner)
+	row("3 nodes via non-owner: -prefetch=false", fOff)
+	halt(fleetOff)
+	if onT, offT := total(fOn), total(fOff); onT > 0 {
+		row("3 nodes: off/on interactive ratio",
+			[]string{"", fmt.Sprintf("%.1fx", float64(offT)/float64(onT)), "", "", ""})
+	}
+	return t
+}

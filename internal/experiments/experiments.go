@@ -105,6 +105,7 @@ var registry = map[string]func() Table{
 	"E16": E16FleetTracing,
 	"E17": E17BatchPipeline,
 	"E18": E18SemanticCache,
+	"E19": E19SpeculativePrefetch,
 }
 
 // IDs returns all experiment ids in order.

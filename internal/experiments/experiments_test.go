@@ -8,10 +8,10 @@ import (
 
 func TestIDsAndRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("want 18 experiments, got %v", ids)
+	if len(ids) != 19 {
+		t.Fatalf("want 19 experiments, got %v", ids)
 	}
-	if ids[0] != "E1" || ids[17] != "E18" {
+	if ids[0] != "E1" || ids[18] != "E19" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 	if _, err := Run("E99"); err == nil {
@@ -328,6 +328,44 @@ func TestE18Shape(t *testing.T) {
 	}
 	if hits := col(t, tb, 3, 2); hits != 0 {
 		t.Fatalf("ablation recorded %d semantic hits", hits)
+	}
+}
+
+func TestE19Shape(t *testing.T) {
+	tb := E19SpeculativePrefetch()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d: %v", len(tb.Rows), tb.Rows)
+	}
+	// Every replayed session — prefetch on, off, solo, fleet — serves
+	// the oracle's bytes.
+	for _, i := range []int{0, 1, 3, 4} {
+		if tb.Rows[i][5] != "identical" {
+			t.Fatalf("row %d: answer not byte-identical: %v", i, tb.Rows[i])
+		}
+	}
+	// Prefetch-on rows (1 and 4): steady-state regions cost zero
+	// interactive source navigations; the ablation rows pay real ones.
+	for _, i := range []int{0, 3} {
+		if steady := col(t, tb, i, 2); steady != 0 {
+			t.Fatalf("prefetch-on row %d: steady navs = %d, want 0", i, steady)
+		}
+	}
+	for _, i := range []int{1, 4} {
+		if steady := col(t, tb, i, 2); steady == 0 {
+			t.Fatalf("ablation row %d touched no sources: %v", i, tb.Rows[i])
+		}
+	}
+	// The acceptance bar: ≥5× fewer interactive source navigations
+	// with prefetch on, solo and fleet.
+	for _, i := range []int{2, 5} {
+		cell := tb.Rows[i][2]
+		ratio, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+		if err != nil {
+			t.Fatalf("ratio row %d: %q: %v", i, cell, err)
+		}
+		if ratio < 5 {
+			t.Fatalf("interactive ratio %.1f below the 5x acceptance bar", ratio)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"mix/internal/core"
 	"mix/internal/eager"
 	"mix/internal/lxp"
+	"mix/internal/metrics"
 	"mix/internal/nav"
 	"mix/internal/regioncache"
 	"mix/internal/trace"
@@ -201,6 +203,19 @@ func (r *Result) CacheKey() (name, fingerprint string) {
 // work. The cluster's routed-open path uses it to serve a subsumed
 // query locally instead of proxying to the owner.
 func (r *Result) SemanticWarm() bool { return r.query.TrySemanticNow() }
+
+// RegionKey returns the full region-cache key of the query's answer
+// document — CacheKey plus the generation and registry version pinned
+// at compile time. Prefetch successor tables are keyed by it, so model
+// state can only ever warm the entry the observing sessions read.
+func (r *Result) RegionKey() regioncache.Key { return r.query.RegionKey() }
+
+// PrefetchRegion speculatively drains one top-level region of the
+// answer document under a budget, publishing through the normal region
+// cache path (see core.Query.PrefetchRegion).
+func (r *Result) PrefetchRegion(ctx context.Context, region int, deep bool, budget core.PrefetchBudget, counters *metrics.Counters) (core.PrefetchResult, error) {
+	return r.query.PrefetchRegion(ctx, region, deep, budget, counters)
+}
 
 // Root returns the answer root as a client-library element.
 func (r *Result) Root() (*Element, error) { return Wrap(r.Document()) }

@@ -62,6 +62,14 @@ type Entry struct {
 	// so once set it never needs re-checking.
 	full atomic.Bool
 
+	// spec marks an entry created by a speculative prefetch rather than
+	// by client demand. Speculative bytes are accounted in the cache's
+	// separate speculative ledger and evicted first under pressure, so a
+	// misprediction can never push a demand-loaded region out of budget.
+	// The first demand open of the key promotes the entry (see
+	// Cache.EntryAt); promotion is one-way, like completeness.
+	spec atomic.Bool
+
 	mu    sync.RWMutex
 	root  *cnode
 	bytes int64
@@ -81,6 +89,10 @@ func newEntry(c *Cache, k Key) *Entry {
 
 // Key returns the entry's identity.
 func (e *Entry) Key() Key { return e.key }
+
+// Speculative reports whether the entry is still speculation-funded:
+// created by a prefetch and not yet opened by client demand.
+func (e *Entry) Speculative() bool { return e.spec.Load() }
 
 // Mutations returns the number of region-extending writes so far; a
 // value unchanged since a previous call means the explored region is
@@ -103,13 +115,16 @@ func (e *Entry) node(path []int) *cnode {
 	return n
 }
 
-// account publishes a byte delta to the owning cache (unless evicted).
-// Caller must NOT hold e.mu.
+// account publishes a byte delta to the owning cache (unless evicted),
+// into the ledger matching the entry's current class. Caller must NOT
+// hold e.mu. A delta raced by a concurrent promotion may land in the
+// wrong ledger; the split is approximate by the same in-flight margin
+// the dead-entry race already tolerates, while the total never drifts.
 func (e *Entry) account(delta int64) {
 	if delta == 0 || e.dead.Load() {
 		return
 	}
-	e.c.addBytes(delta)
+	e.c.addBytes(delta, e.spec.Load())
 }
 
 // lookupLabel returns the cached label of the node at path.

@@ -116,8 +116,15 @@ type Cache struct {
 
 	mu      sync.Mutex
 	clock   int64
-	bytes   int64
-	entries map[Key]*Entry
+	bytes   int64 // demand-class retained bytes
+	// specBytes is the speculative ledger: bytes retained by entries a
+	// prefetch created that no demand open has touched yet. The byte
+	// budget covers bytes+specBytes, but eviction spends the speculative
+	// ledger first (see evictOverLocked), so speculation can never push
+	// demand-loaded regions out.
+	specBytes   int64
+	specEntries int
+	entries     map[Key]*Entry
 }
 
 // New returns an empty cache. maxBytes caps the approximate retained
@@ -241,6 +248,11 @@ func (c *Cache) EntryAt(gen uint64, name, fingerprint string, registry uint64) *
 		// comparable across nodes.
 		c.bytes += e.bytes
 		c.evictOverLocked()
+	} else if e.spec.Load() {
+		// Demand reached a speculatively created entry: the prediction
+		// paid off. Promote it to the demand class so it stops losing
+		// eviction fights, moving its accounted bytes between ledgers.
+		c.promoteLocked(e)
 	}
 	c.clock++
 	e.lastUse = c.clock
@@ -249,6 +261,54 @@ func (c *Cache) EntryAt(gen uint64, name, fingerprint string, registry uint64) *
 		c.fetchRemote(e)
 	}
 	return e
+}
+
+// EntryAtSpeculative is EntryAt for the speculative drain worker: an
+// entry it creates is marked speculative — accounted in the separate
+// speculative ledger and evicted first under pressure — until a demand
+// open promotes it. An entry that already exists keeps its class:
+// speculation can never demote demand-loaded data. Stale generations
+// detach exactly like EntryAt, so a lagging speculation publishes
+// nowhere shared.
+func (c *Cache) EntryAtSpeculative(gen uint64, name, fingerprint string, registry uint64) *Entry {
+	k := c.internKey(Key{Generation: gen, Registry: registry, Name: name, Fingerprint: fingerprint})
+	if gen != c.gen.Load() {
+		e := newEntry(c, k)
+		e.dead.Store(true)
+		e.spec.Store(true)
+		return e
+	}
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	created := !ok
+	if created {
+		e = newEntry(c, k)
+		e.spec.Store(true)
+		c.entries[k] = e
+		c.specBytes += e.bytes
+		c.specEntries++
+		c.evictOverLocked()
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.mu.Unlock()
+	if created {
+		c.fetchRemote(e)
+	}
+	return e
+}
+
+// promoteLocked reclassifies a speculative entry as demand-loaded,
+// moving its accounted bytes from the speculative ledger to the demand
+// ledger. Caller holds c.mu; c.mu → e.mu is the established order.
+func (c *Cache) promoteLocked(e *Entry) {
+	e.mu.Lock()
+	b := e.bytes
+	e.mu.Unlock()
+	e.spec.Store(false)
+	c.specBytes -= b
+	c.bytes += b
+	c.specEntries--
 }
 
 // Peek returns the live entry for k, or nil: no creation, no LRU touch,
@@ -308,46 +368,67 @@ func (c *Cache) ForEach(f func(*Entry)) {
 	}
 }
 
-// dropLocked removes an entry, releasing its bytes. Caller holds c.mu.
+// dropLocked removes an entry, releasing its bytes from the ledger of
+// its class. Caller holds c.mu.
 func (c *Cache) dropLocked(k Key, e *Entry) {
 	delete(c.entries, k)
 	e.dead.Store(true)
 	e.mu.Lock()
-	c.bytes -= e.bytes
+	b := e.bytes
 	e.mu.Unlock()
+	if e.spec.Load() {
+		c.specBytes -= b
+		c.specEntries--
+	} else {
+		c.bytes -= b
+	}
 	c.evictions.Add(1)
 }
 
-// addBytes accounts newly retained bytes and evicts LRU entries while
-// over budget.
-func (c *Cache) addBytes(n int64) {
+// addBytes accounts newly retained bytes into the demand or speculative
+// ledger and evicts entries while over budget.
+func (c *Cache) addBytes(n int64, spec bool) {
 	if n == 0 {
 		return
 	}
 	c.mu.Lock()
-	c.bytes += n
+	if spec {
+		c.specBytes += n
+	} else {
+		c.bytes += n
+	}
 	c.evictOverLocked()
 	c.mu.Unlock()
 }
 
-// evictOverLocked evicts least-recently-opened entries while the cache
-// is over budget. Caller holds c.mu.
+// evictOverLocked evicts entries while the cache is over budget
+// (demand + speculative ledgers combined). Speculative entries are
+// evicted first — least-recently-opened among them — and only when the
+// speculative class is exhausted do demand entries start losing their
+// usual LRU fights: a prefetched region must never displace data a
+// client actually asked for. Caller holds c.mu.
 func (c *Cache) evictOverLocked() {
-	if c.maxBytes <= 0 || c.bytes <= c.maxBytes {
+	if c.maxBytes <= 0 || c.bytes+c.specBytes <= c.maxBytes {
 		return
 	}
 	type cand struct {
-		k   Key
-		e   *Entry
-		use int64
+		k    Key
+		e    *Entry
+		spec bool
+		use  int64
 	}
 	cands := make([]cand, 0, len(c.entries))
 	for k, e := range c.entries {
-		cands = append(cands, cand{k, e, e.lastUse})
+		cands = append(cands, cand{k, e, e.spec.Load(), e.lastUse})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].use < cands[j].use })
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].spec != cands[j].spec {
+			return cands[i].spec
+		}
+		return cands[i].use < cands[j].use
+	})
 	for _, cd := range cands {
-		if c.bytes <= c.maxBytes {
+		if c.bytes+c.specBytes <= c.maxBytes {
 			break
 		}
 		c.dropLocked(cd.k, cd.e)
@@ -359,6 +440,11 @@ type Stats struct {
 	Generation uint64 `json:"generation"`
 	Entries    int    `json:"entries"`
 	Bytes      int64  `json:"bytes"`
+	// SpecEntries/SpecBytes are the speculative class: entries a
+	// prefetch created that no demand open has promoted yet. They share
+	// the byte budget with Bytes but are evicted first.
+	SpecEntries int   `json:"spec_entries,omitempty"`
+	SpecBytes   int64 `json:"spec_bytes,omitempty"`
 	Hits       int64  `json:"hits"`        // navigations answered without touching an engine
 	Misses     int64  `json:"misses"`      // navigations that drove a lazy engine
 	BytesSaved int64  `json:"bytes_saved"` // label bytes served from the cache
@@ -380,6 +466,7 @@ type Stats struct {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	entries, bytes := len(c.entries), c.bytes
+	specEntries, specBytes := c.specEntries, c.specBytes
 	c.mu.Unlock()
 	c.internMu.Lock()
 	interned := c.internBytes
@@ -388,6 +475,8 @@ func (c *Cache) Stats() Stats {
 		Generation:              c.gen.Load(),
 		Entries:                 entries,
 		Bytes:                   bytes,
+		SpecEntries:             specEntries,
+		SpecBytes:               specBytes,
 		Hits:                    c.hits.Load(),
 		Misses:                  c.misses.Load(),
 		BytesSaved:              c.bytesSaved.Load(),

@@ -111,6 +111,9 @@ func (s *Server) handleInvalidate(req vxdp.Request) vxdp.Response {
 		s.poolMu.Lock()
 		s.pool = nil
 		s.poolMu.Unlock()
+		if s.prefetch != nil {
+			s.prefetch.epochMoved()
+		}
 		if s.cluster != nil {
 			s.cluster.RecordInvalRecv()
 		}
@@ -205,7 +208,7 @@ func (s *session) openRouted(req vxdp.Request) vxdp.Response {
 	owner := cl.Owner(name, fp)
 	serveLocal := func() vxdp.Response {
 		s.closeProxy()
-		s.installView(res)
+		s.installView(res, req.Query)
 		return vxdp.Response{NavResult: vxdp.NavResult{OK: true}}
 	}
 	if cl.IsSelf(owner) {

@@ -1,0 +1,435 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"mix/internal/core"
+	"mix/internal/metrics"
+	"mix/internal/predict"
+	"mix/internal/regioncache"
+	"mix/internal/trace"
+	"mix/internal/vxdp"
+)
+
+// This file is the server half of navigation-driven speculative
+// prefetch (DESIGN.md §15). Sessions feed region-engagement events into
+// a shared successor model (internal/predict); when the model is
+// confident about a view's next region, a drain worker warms it through
+// core.PrefetchRegion on an engine from the prefetcher's own pool —
+// never the demand pool, so mix_engine_pool_* gauges and per-session
+// counters stay exactly what they were without speculation. Under
+// -cluster, a prediction for a view another node owns additionally
+// ships a fire-and-forget prefetch_hint there, so the region warms in
+// the cache that will actually serve it.
+
+// Default speculative-drain bounds: enough navigations to drain a
+// sizeable region, few enough that a wrong guess stays cheap.
+const (
+	DefaultPrefetchNavs       = 4096
+	DefaultPrefetchBytes      = 256 << 10
+	DefaultPrefetchConfidence = 0.5
+)
+
+// specRun is one running drain: its kill switch and the region it is
+// warming, so demand arriving for exactly that region can cancel it
+// (the client is about to derive it anyway) while demand elsewhere
+// lets it finish.
+type specRun struct {
+	cancel context.CancelFunc
+	region int
+}
+
+// prefetcher owns everything speculative: the successor model, the
+// running drains, their engine pool, and the counters behind
+// mix_prefetch_*. One per server; nil when prefetch is off.
+type prefetcher struct {
+	srv         *Server
+	model       *predict.Model
+	budget      core.PrefetchBudget
+	conf        float64
+	specFactory Factory
+
+	issued    atomic.Int64 // drains spawned (bumped before the goroutine starts)
+	hits      atomic.Int64 // predictions the client confirmed by engaging the region
+	wasted    atomic.Int64 // predictions the client contradicted
+	cancelled atomic.Int64 // drains cancelled mid-flight
+	hintsSent atomic.Int64
+	hintsRecv atomic.Int64
+	inflight  atomic.Int64
+	// navs accumulates speculative answer-boundary navigations — a
+	// dedicated block, never a session's, so demand attribution is
+	// untouched by speculation.
+	navs metrics.Counters
+
+	mu      sync.Mutex
+	running map[predict.Key]*specRun
+	pool    []*pooledEngine // spec engines; separate from the demand pool
+	closed  bool
+}
+
+func newPrefetcher(s *Server) *prefetcher {
+	p := &prefetcher{
+		srv:         s,
+		model:       predict.NewModel(0),
+		budget:      s.cfg.PrefetchBudget,
+		conf:        s.cfg.PrefetchConfidence,
+		specFactory: s.cfg.SpecFactory,
+		running:     map[predict.Key]*specRun{},
+	}
+	if p.budget.MaxNavs == 0 {
+		p.budget.MaxNavs = DefaultPrefetchNavs
+	}
+	if p.budget.MaxBytes == 0 {
+		p.budget.MaxBytes = DefaultPrefetchBytes
+	}
+	if p.conf == 0 {
+		p.conf = DefaultPrefetchConfidence
+	}
+	if p.specFactory == nil {
+		p.specFactory = s.cfg.factory
+	}
+	return p
+}
+
+// cacheKey converts a successor-model key back to the cache key it was
+// derived from (the two are field-for-field the same identity).
+func cacheKey(k predict.Key) regioncache.Key {
+	return regioncache.Key{Generation: k.Generation, Registry: k.Registry, Name: k.Name, Fingerprint: k.Fingerprint}
+}
+
+// spawn starts a drain warming region of the view keyed k, compiled
+// from query. At most one drain runs per view key; a second prediction
+// for a busy key is dropped (the running drain is already warming the
+// newer guess or will be re-predicted on the next engagement). Issued
+// and inflight are bumped before the goroutine starts, so a caller that
+// observed the spawn can quiesce by polling inflight down to zero.
+func (p *prefetcher) spawn(k predict.Key, query string, region int, deep bool) bool {
+	if query == "" || region < 0 {
+		return false
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	if _, busy := p.running[k]; busy {
+		p.mu.Unlock()
+		return false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.running[k] = &specRun{cancel: cancel, region: region}
+	p.issued.Add(1)
+	p.inflight.Add(1)
+	p.mu.Unlock()
+	go p.drain(ctx, cancel, k, query, region, deep)
+	return true
+}
+
+// drain runs one speculative exploration to completion, budget, or
+// cancellation. Errors are swallowed: speculation is advisory, and the
+// demand path it failed to help is untouched.
+func (p *prefetcher) drain(ctx context.Context, cancel context.CancelFunc, k predict.Key, query string, region int, deep bool) {
+	defer func() {
+		cancel()
+		p.mu.Lock()
+		delete(p.running, k)
+		p.mu.Unlock()
+		p.inflight.Add(-1)
+	}()
+	pe, err := p.acquireSpec()
+	if err != nil {
+		return
+	}
+	defer p.releaseSpec(pe)
+	res, err := pe.med.Query(query)
+	if err != nil {
+		return
+	}
+	// The freshly compiled query must land on the exact key predicted.
+	// A mismatch means the cache generation or source registry moved
+	// between prediction and drain — warming under the new key would be
+	// warming a region nobody predicted, so the hint is simply stale.
+	if res.RegionKey() != cacheKey(k) {
+		return
+	}
+	r, err := res.PrefetchRegion(ctx, region, deep, p.budget, &p.navs)
+	if err != nil {
+		return
+	}
+	if r.Cancelled {
+		p.cancelled.Add(1)
+	}
+}
+
+// cancelDemand kills the drain warming exactly (k, region): real demand
+// for that region just arrived, and the demand derivation supersedes
+// the speculative one instantly (the drain notices within one
+// navigation). A drain warming a different region of the same view is
+// left to finish.
+func (p *prefetcher) cancelDemand(k predict.Key, region int) {
+	p.mu.Lock()
+	if r, ok := p.running[k]; ok && r.region == region {
+		r.cancel()
+	}
+	p.mu.Unlock()
+}
+
+// epochMoved reacts to a registry bump or fleet invalidation: every
+// running drain is cancelled, the spec engine pool is flushed (its
+// engines were built against the old sources), and successor tables for
+// dead generations are evicted.
+func (p *prefetcher) epochMoved() {
+	p.mu.Lock()
+	for _, r := range p.running {
+		r.cancel()
+	}
+	p.pool = nil
+	p.mu.Unlock()
+	if c := p.srv.cache; c != nil {
+		p.model.EvictBelow(c.Generation())
+	}
+}
+
+// close stops the prefetcher for server shutdown: no new drains, all
+// running ones cancelled.
+func (p *prefetcher) close() {
+	p.mu.Lock()
+	p.closed = true
+	for _, r := range p.running {
+		r.cancel()
+	}
+	p.pool = nil
+	p.mu.Unlock()
+}
+
+// acquireSpec pops an idle speculative engine or builds one from the
+// spec factory. Deliberately separate from Server.acquireEngine: spec
+// checkouts must not move the mix_engine_pool_* gauges, and spec
+// engines carry spec-tagged recorders from birth.
+func (p *prefetcher) acquireSpec() (*pooledEngine, error) {
+	p.mu.Lock()
+	if n := len(p.pool); n > 0 {
+		pe := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		p.mu.Unlock()
+		return pe, nil
+	}
+	p.mu.Unlock()
+	epoch := p.srv.epoch.Load()
+	m, err := p.specFactory(p.srv.cache)
+	if err != nil {
+		return nil, err
+	}
+	pe := &pooledEngine{med: m, epoch: epoch}
+	if p.srv.cfg.Trace {
+		// Spec recorders are bounded and tagged but deliberately have no
+		// Sink and no RootSink: speculative latency must never enter the
+		// per-operator histograms or the slow-navigation flight ring —
+		// no client waited on it.
+		rec := trace.New()
+		rec.Limit = traceLimit
+		rec.Node = p.srv.nodeName
+		rec.Spec = true
+		pe.rec = rec
+		m.SetTracer(rec)
+	}
+	return pe, nil
+}
+
+// releaseSpec parks a speculative engine for reuse (dropping it when
+// the server epoch moved past it, exactly like the demand pool).
+func (p *prefetcher) releaseSpec(pe *pooledEngine) {
+	if pe == nil {
+		return
+	}
+	pe.rec.Take() // discard accumulated spec spans
+	if pe.epoch != p.srv.epoch.Load() {
+		return
+	}
+	p.mu.Lock()
+	if !p.closed {
+		p.pool = append(p.pool, pe)
+	}
+	p.mu.Unlock()
+}
+
+// maybeHint ships the prediction to the view key's ring owner when this
+// node is clustered and not the owner: the owner's L1 is the cache that
+// will serve the fleet, so that is where the region should warm.
+func (p *prefetcher) maybeHint(k predict.Key, query string, region int, deep bool) {
+	cl := p.srv.cluster
+	if cl == nil || query == "" {
+		return
+	}
+	owner := cl.Owner(k.Name, k.Fingerprint)
+	if cl.IsSelf(owner) || !cl.Alive(owner) {
+		return
+	}
+	p.hintsSent.Add(1)
+	cl.SendPrefetchHint(owner, vxdp.PrefetchHint{
+		Query: query,
+		Key:   vxdp.RegionKey{Gen: k.Generation, Registry: k.Registry, Name: k.Name, Fingerprint: k.Fingerprint},
+		Region: region,
+		Deep:   deep,
+	})
+}
+
+func (p *prefetcher) stats() *vxdp.PrefetchStats {
+	return &vxdp.PrefetchStats{
+		Issued:    p.issued.Load(),
+		Hits:      p.hits.Load(),
+		Wasted:    p.wasted.Load(),
+		Cancelled: p.cancelled.Load(),
+		Navs:      p.navs.Navigations(),
+		HintsSent: p.hintsSent.Load(),
+		HintsRecv: p.hintsRecv.Load(),
+		Inflight:  p.inflight.Load(),
+	}
+}
+
+// handlePrefetchHint serves the peer-facing prefetch_hint op. Always
+// OK: hints are advisory, and every reason to drop one (prefetch off,
+// stale generation, malformed) is the sender's non-problem.
+func (s *Server) handlePrefetchHint(req vxdp.Request) vxdp.Response {
+	ok := vxdp.Response{NavResult: vxdp.NavResult{OK: true}}
+	p := s.prefetch
+	if p == nil || req.Hint == nil {
+		return ok
+	}
+	p.hintsRecv.Add(1)
+	h := *req.Hint
+	if s.cache == nil || h.Key.Gen != s.cache.Generation() || h.Query == "" || h.Region < 0 {
+		return ok
+	}
+	k := predict.Key{Generation: h.Key.Gen, Registry: h.Key.Registry, Name: h.Key.Name, Fingerprint: h.Key.Fingerprint}
+	p.spawn(k, h.Query, h.Region, h.Deep)
+	return ok
+}
+
+// tracedSpec mirrors Server.traced for the prefetch_hint op, but on a
+// spec-tagged ephemeral recorder with no sinks: even the hint's ack
+// span is speculation-side, so it must stay out of the operator
+// histograms and the slow-navigation flight ring.
+func (s *Server) tracedSpec(ctx *trace.Context, op string, f func() vxdp.Response) vxdp.Response {
+	if ctx == nil || !s.cfg.Trace {
+		return f()
+	}
+	rec := trace.New()
+	rec.Node = s.nodeName
+	rec.Spec = true
+	rec.SetRemoteParent(*ctx)
+	sp, _ := rec.BeginContext(trace.ClusterLabel, op)
+	resp := f()
+	rec.End(sp)
+	resp.Spans = rec.Take()
+	return resp
+}
+
+// --- session-side geometry tracking ---------------------------------------
+
+// nodePos is where a handle sits in its answer document: its depth and
+// the index of the top-level region it belongs to. top -1 is the root
+// (no region yet); top -2 is unknown (the handle was reached by select,
+// whose landing position the server does not resolve — cheaper to skip
+// the event than to scan).
+type nodePos struct {
+	depth int
+	top   int
+}
+
+// noteMove records geometry for the handle a navigation just issued and
+// fires the engagement events the move implies. Only called with
+// prefetch on (s.geo non-nil); the off path never reaches it.
+func (s *session) noteMove(op string, baseH, newH uint64) {
+	switch op {
+	case vxdp.OpRoot:
+		s.geo[newH] = nodePos{depth: 0, top: -1}
+	case vxdp.OpDown:
+		b, ok := s.geo[baseH]
+		if !ok {
+			return
+		}
+		np := nodePos{depth: b.depth + 1, top: b.top}
+		if b.depth == 0 {
+			np.top = 0 // first child of the root opens region 0
+		}
+		s.geo[newH] = np
+		if b.depth >= 1 && b.top >= 0 {
+			// Descending inside a region is the deep-exploration signal
+			// AND an engagement of that region.
+			s.srv.prefetch.model.ObserveDrill(s.viewKey)
+			s.engage(b.top)
+		}
+	case vxdp.OpRight:
+		b, ok := s.geo[baseH]
+		if !ok {
+			return
+		}
+		np := b
+		if b.depth == 1 && b.top >= 0 {
+			// Passing region tops is scanning, not engaging: no event
+			// until the client fetches or descends.
+			np.top = b.top + 1
+		}
+		s.geo[newH] = np
+	case vxdp.OpSelect:
+		b, ok := s.geo[baseH]
+		if !ok {
+			return
+		}
+		s.geo[newH] = nodePos{depth: b.depth, top: -2}
+	}
+}
+
+// noteFetch fires the engagement a fetch implies: reading a region
+// top's label is the lightest way a client commits attention to it.
+func (s *session) noteFetch(baseH uint64) {
+	if b, ok := s.geo[baseH]; ok && b.depth == 1 && b.top >= 0 {
+		s.engage(b.top)
+	}
+}
+
+// noteAlias copies geometry to a re-issued handle for the same node
+// (the batch "node" step).
+func (s *session) noteAlias(baseH, newH uint64) {
+	if b, ok := s.geo[baseH]; ok {
+		s.geo[newH] = b
+	}
+}
+
+// engage is the heart of the feedback loop: the session just committed
+// attention to a region. Resolve the outstanding prediction (hit or
+// wasted), cancel any drain warming exactly this region (demand
+// supersedes it), teach the model the transition, and — if the model is
+// now confident about the next region — start warming it.
+func (s *session) engage(region int) {
+	// Deeper moves inside the engaged region re-enter here; they are
+	// the same engagement, not a new one, so they must neither resolve
+	// the pending prediction nor feed the model.
+	if region == s.lastEngaged {
+		return
+	}
+	p := s.srv.prefetch
+	if pr := s.pending; pr >= 0 {
+		if pr == region {
+			p.hits.Add(1)
+		} else {
+			p.wasted.Add(1)
+		}
+		s.pending = -1
+	}
+	p.cancelDemand(s.viewKey, region)
+	from := s.lastEngaged
+	s.lastEngaged = region
+	p.model.Observe(s.viewKey, from, region)
+	next, deep, conf, ok := p.model.Predict(s.viewKey, region)
+	if !ok || conf < p.conf || next == region {
+		return
+	}
+	if p.spawn(s.viewKey, s.viewQuery, next, deep) {
+		s.pending = next
+	}
+	p.maybeHint(s.viewKey, s.viewQuery, next, deep)
+}

@@ -1,0 +1,481 @@
+package server_test
+
+// Speculative prefetch (DESIGN.md §15): the successor model must warm
+// the deep-drill persona's next region before the client asks, the
+// ablation must behave exactly like a server that never heard of
+// prefetch, speculation must stay invisible to the demand-side engine
+// pool, and none of it may ever serve stale or non-identical bytes —
+// including under concurrent registry mutation (run with -race) and
+// across cluster prefetch hints.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mix/internal/cluster"
+	"mix/internal/mediator"
+	"mix/internal/metrics"
+	"mix/internal/nav"
+	"mix/internal/regioncache"
+	"mix/internal/server"
+	"mix/internal/vxdp"
+	"mix/internal/workload"
+	"mix/internal/xmltree"
+)
+
+const pfRegions = 12
+
+const pfQuery = `CONSTRUCT <homes> $H {$H} </homes> {} WHERE homesSrc homes.home $H`
+
+func pfHomes() *xmltree.Tree {
+	homes, _ := workload.HomesSchools(pfRegions, 1, 4, 31)
+	return homes
+}
+
+// pfOracle replays script against an uncached engine and returns the
+// per-step explored parts.
+func pfOracle(t *testing.T, homes *xmltree.Tree, script []workload.Step) []string {
+	t.Helper()
+	m := mediator.New(mediator.DefaultOptions())
+	m.RegisterTree("homesSrc", homes)
+	res, err := m.Query(pfQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(script))
+	err = workload.ReplayPersona(res.Document(), script, func(i int, explored string) error {
+		out[i] = explored
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func pfFactory(homes *xmltree.Tree, counters *metrics.Counters) server.Factory {
+	return func(rc *regioncache.Cache) (*mediator.Mediator, error) {
+		m := mediator.New(mediator.DefaultOptions())
+		m.SetRegionCache(rc)
+		m.RegisterSource("homesSrc", &nav.CountingDoc{Doc: nav.NewTreeDoc(homes), Counters: counters})
+		return m, nil
+	}
+}
+
+// pfStart boots one server over homes with counted demand sources and,
+// when prefetch is on, counted speculative sources.
+func pfStart(t testing.TB, homes *xmltree.Tree, opts ...server.Option) (*server.Server, string, *metrics.Counters, *metrics.Counters) {
+	t.Helper()
+	src, specSrc := &metrics.Counters{}, &metrics.Counters{}
+	opts = append([]server.Option{
+		server.WithRegionCache(regioncache.New(0)),
+		server.WithSpecFactory(pfFactory(homes, specSrc)),
+	}, opts...)
+	srv, err := server.New(pfFactory(homes, src), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	})
+	return srv, l.Addr().String(), src, specSrc
+}
+
+// pfQuiesce waits for every in-flight speculative drain to finish.
+func pfQuiesce(t *testing.T, srv *server.Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.Prefetch == nil || st.Prefetch.Inflight == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("speculative drains did not quiesce")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// pfReplay replays script through a fresh session on addr, quiescing
+// between steps, and returns the per-step explored parts plus the
+// demand source navigations split at step `split`.
+func pfReplay(t *testing.T, addr string, srv *server.Server, src *metrics.Counters,
+	script []workload.Step, split int) (explored []string, early, late int64) {
+	t.Helper()
+	c, err := vxdp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Open(pfQuery); err != nil {
+		t.Fatal(err)
+	}
+	pfQuiesce(t, srv)
+	explored = make([]string, len(script))
+	prev := src.Navigations()
+	err = workload.ReplayPersona(c, script, func(i int, ex string) error {
+		pfQuiesce(t, srv)
+		navs := src.Navigations() - prev
+		prev += navs
+		if i < split {
+			early += navs
+		} else {
+			late += navs
+		}
+		explored[i] = ex
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return explored, early, late
+}
+
+// TestPrefetchWarmsNextRegion is the tentpole invariant on one node:
+// after two training engagements the deep-drill persona's remaining
+// regions are served entirely from speculatively warmed cache — zero
+// interactive source navigations, byte-identical answers — and the
+// speculation neither touches the demand engine pool nor misses a
+// prediction.
+func TestPrefetchWarmsNextRegion(t *testing.T) {
+	homes := pfHomes()
+	script := workload.DeepDrillScript(pfRegions, 1)
+	want := pfOracle(t, homes, script)
+	srv, addr, src, specSrc := pfStart(t, homes, server.WithPrefetch(true))
+
+	got, early, late := pfReplay(t, addr, srv, src, script, 2)
+	if early == 0 {
+		t.Fatal("training regions drove no source work; the test measures nothing")
+	}
+	if late != 0 {
+		t.Fatalf("steady-state regions drove %d interactive source navs, want 0", late)
+	}
+	if specSrc.Navigations() == 0 {
+		t.Fatal("speculative drains drove no source work")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d explored:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+	st := srv.Stats()
+	if st.Prefetch == nil {
+		t.Fatal("prefetch-enabled server reports no prefetch stats")
+	}
+	if st.Prefetch.Hits < int64(pfRegions-2) || st.Prefetch.Wasted != 0 {
+		t.Fatalf("prefetch stats %+v; want ≥%d hits and 0 wasted", st.Prefetch, pfRegions-2)
+	}
+	// Speculative engines come from the prefetcher's own pool: the
+	// demand pool must look exactly like one plain session used it.
+	if st.Pool == nil || st.Pool.Created != 1 || st.Pool.Reused != 0 {
+		t.Fatalf("speculation leaked into the demand engine pool: %+v", st.Pool)
+	}
+}
+
+// TestPrefetchAblationByteIdentity pins the ablation: a server with
+// -prefetch=false and a server that never configured prefetch replay
+// every persona with identical bytes AND identical per-source
+// navigation counts, and the prefetch-on server serves the same bytes.
+func TestPrefetchAblationByteIdentity(t *testing.T) {
+	homes := pfHomes()
+	onSrv, onAddr, onSrc, _ := pfStart(t, homes, server.WithPrefetch(true))
+	offSrv, offAddr, offSrc, _ := pfStart(t, homes, server.WithPrefetch(false))
+	// Never configured: no prefetch option, no spec factory.
+	nevSrc := &metrics.Counters{}
+	nevSrv, err := server.New(pfFactory(homes, nevSrc), server.WithRegionCache(regioncache.New(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- nevSrv.Serve(l) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = nevSrv.Shutdown(ctx)
+		<-done
+	}()
+
+	for _, persona := range []string{"deep-drill", "glance", "select-heavy"} {
+		script := workload.PersonaScript(persona, pfRegions, 7)
+		want := pfOracle(t, homes, script)
+		offBefore, nevBefore := offSrc.Navigations(), nevSrc.Navigations()
+		on, _, _ := pfReplay(t, onAddr, onSrv, onSrc, script, 0)
+		off, _, _ := pfReplay(t, offAddr, offSrv, offSrc, script, 0)
+		nev, _, _ := pfReplay(t, l.Addr().String(), nevSrv, nevSrc, script, 0)
+		for i := range want {
+			if on[i] != want[i] || off[i] != want[i] || nev[i] != want[i] {
+				t.Fatalf("%s step %d: explored parts differ from the oracle", persona, i)
+			}
+		}
+		if offN, nevN := offSrc.Navigations()-offBefore, nevSrc.Navigations()-nevBefore; offN != nevN {
+			t.Fatalf("%s: -prefetch=false drove %d source navs, never-configured %d; must be identical",
+				persona, offN, nevN)
+		}
+	}
+	if st := offSrv.Stats(); st.Prefetch != nil {
+		t.Fatalf("-prefetch=false server reports prefetch stats: %+v", st.Prefetch)
+	}
+}
+
+// TestPrefetchStressUnderBumpRegistry hammers speculation with
+// concurrent sessions and registry bumps (run with -race): whatever
+// the epoch does, every explored part stays byte-identical to the
+// uncached oracle — speculative entries must never resurrect a dead
+// generation.
+func TestPrefetchStressUnderBumpRegistry(t *testing.T) {
+	homes := pfHomes()
+	oracles := map[string][]string{}
+	for _, persona := range []string{"deep-drill", "glance"} {
+		oracles[persona] = pfOracle(t, homes, workload.PersonaScript(persona, pfRegions, 3))
+	}
+	srv, addr, _, _ := pfStart(t, homes, server.WithPrefetch(true))
+
+	stop := make(chan struct{})
+	var mutWG sync.WaitGroup
+	mutWG.Add(1)
+	go func() {
+		defer mutWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			srv.BumpRegistry()
+		}
+	}()
+
+	const sessions = 6
+	const opensPerSession = 4
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	errs := make(chan error, sessions*opensPerSession)
+	for g := 0; g < sessions; g++ {
+		persona := "deep-drill"
+		if g%2 == 1 {
+			persona = "glance"
+		}
+		wg.Add(1)
+		go func(persona string) {
+			defer wg.Done()
+			script := workload.PersonaScript(persona, pfRegions, 3)
+			want := oracles[persona]
+			for i := 0; i < opensPerSession; i++ {
+				c, err := vxdp.Dial(addr)
+				if err != nil {
+					failed.Add(1)
+					errs <- err
+					return
+				}
+				err = func() error {
+					defer c.Close()
+					if err := c.Open(pfQuery); err != nil {
+						return err
+					}
+					return workload.ReplayPersona(c, script, func(i int, ex string) error {
+						if ex != want[i] {
+							return fmt.Errorf("%s step %d served non-oracle bytes", persona, i)
+						}
+						return nil
+					})
+				}()
+				if err != nil {
+					failed.Add(1)
+					errs <- err
+					return
+				}
+			}
+		}(persona)
+	}
+	wg.Wait()
+	close(stop)
+	mutWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if failed.Load() != 0 {
+		t.Fatalf("%d session(s) failed under registry mutation", failed.Load())
+	}
+	pfQuiesce(t, srv)
+}
+
+// BenchmarkSessionDeepDrill guards the demand path: with
+// -prefetch=false a session costs exactly what it did before the
+// prefetch subsystem existed — the navigation hooks reduce to one nil
+// check — and prefetch-on adds only the tracking/prediction work.
+func BenchmarkSessionDeepDrill(b *testing.B) {
+	homes := pfHomes()
+	script := workload.DeepDrillScript(pfRegions, 1)
+	for _, mode := range []struct {
+		name string
+		opts []server.Option
+	}{
+		{"prefetch=off", []server.Option{server.WithPrefetch(false)}},
+		{"prefetch=on", []server.Option{server.WithPrefetch(true)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			_, addr, _, _ := pfStart(b, homes, mode.opts...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := vxdp.Dial(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Open(pfQuery); err != nil {
+					b.Fatal(err)
+				}
+				if err := workload.ReplayPersona(c, script, nil); err != nil {
+					b.Fatal(err)
+				}
+				c.Close()
+			}
+		})
+	}
+}
+
+// TestClusterPrefetchHintWarmsOwner runs a two-node ModeLocal fleet:
+// the non-owner's session speculates locally AND ships prefetch_hint
+// frames to the view's ring owner, whose own speculative drains warm
+// its cache — so a later client of the owner pays nothing interactive.
+func TestClusterPrefetchHintWarmsOwner(t *testing.T) {
+	homes := pfHomes()
+	script := workload.DeepDrillScript(pfRegions, 1)
+
+	type member struct {
+		srv     *server.Server
+		node    *cluster.Node
+		addr    string
+		src     *metrics.Counters
+		specSrc *metrics.Counters
+		done    chan error
+	}
+	listeners := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i], addrs[i] = l, l.Addr().String()
+	}
+	fleet := make([]*member, 2)
+	for i := range fleet {
+		src, specSrc := &metrics.Counters{}, &metrics.Counters{}
+		rc := regioncache.New(0)
+		node, err := cluster.New(cluster.Config{
+			Self: addrs[i], Peers: []string{addrs[1-i]}, Mode: cluster.ModeLocal,
+			HealthInterval: time.Hour, FlushInterval: -1,
+		}, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(pfFactory(homes, src),
+			server.WithRegionCache(rc), server.WithCluster(node),
+			server.WithPrefetch(true), server.WithSpecFactory(pfFactory(homes, specSrc)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func(l net.Listener) { done <- srv.Serve(l) }(listeners[i])
+		node.Start()
+		fleet[i] = &member{srv: srv, node: node, addr: addrs[i], src: src, specSrc: specSrc, done: done}
+	}
+	defer func() {
+		for _, m := range fleet {
+			m.node.Stop()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = m.srv.Shutdown(ctx)
+			cancel()
+			<-m.done
+		}
+	}()
+
+	probe := mediator.New(mediator.DefaultOptions())
+	probe.RegisterTree("homesSrc", homes)
+	res, err := probe.Query(pfQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, fp := res.CacheKey()
+	ownerAddr := fleet[0].node.Owner(name, fp)
+	owner, entry := fleet[0], fleet[1]
+	if owner.addr != ownerAddr {
+		owner, entry = fleet[1], fleet[0]
+	}
+
+	// Drive the deep-drill on the NON-owner; its engagements hint the
+	// owner with every prediction.
+	c, err := vxdp.Dial(entry.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Open(pfQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.ReplayPersona(c, script, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hints travel on fire-and-forget goroutines; wait for the owner to
+	// have received at least one and drained it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		est, ost := entry.srv.Stats(), owner.srv.Stats()
+		if est.Prefetch != nil && ost.Prefetch != nil &&
+			est.Prefetch.HintsSent > 0 && ost.Prefetch.HintsRecv > 0 &&
+			ost.Prefetch.Issued > 0 && ost.Prefetch.Inflight == 0 &&
+			owner.specSrc.Navigations() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hints never warmed the owner: entry=%+v owner=%+v ownerSpecNavs=%d",
+				est.Prefetch, ost.Prefetch, owner.specSrc.Navigations())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The owner's demand sources were never touched: its warmth is all
+	// speculative.
+	if n := owner.src.Navigations(); n != 0 {
+		t.Fatalf("owner demand sources saw %d navs from hint drains, want 0", n)
+	}
+
+	// A stale-generation hint is acknowledged but never drained.
+	oc, err := vxdp.Dial(owner.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oc.Close()
+	issuedBefore := owner.srv.Stats().Prefetch.Issued
+	stale := vxdp.PrefetchHint{Query: pfQuery, Region: 0, Deep: true,
+		Key: vxdp.RegionKey{Gen: 1 << 60, Name: name, Fingerprint: fp}}
+	if err := oc.PrefetchHint(stale); err != nil {
+		t.Fatalf("stale hint must be acknowledged, got %v", err)
+	}
+	pfQuiesce(t, owner.srv)
+	if got := owner.srv.Stats().Prefetch.Issued; got != issuedBefore {
+		t.Fatalf("stale-generation hint spawned a drain (issued %d → %d)", issuedBefore, got)
+	}
+}

@@ -104,6 +104,23 @@ type config struct {
 	// SlowRing is the flight-recorder capacity in retained roots
 	// (rounded up to a power of two; <= 0 = telemetry.DefaultSlowRing).
 	SlowRing int
+	// Prefetch enables navigation-driven speculative prefetch: the
+	// server learns each view's region-to-region transition pattern and
+	// warms the predicted next region before the client asks (DESIGN.md
+	// §15). Off by default; requires RegionCache. When off, not a single
+	// instruction of the prefetch layer runs on the session hot path.
+	Prefetch bool
+	// PrefetchBudget bounds each speculative drain (zero fields take the
+	// defaults below).
+	PrefetchBudget core.PrefetchBudget
+	// PrefetchConfidence is the minimum successor-model confidence that
+	// triggers a drain (0 takes the default).
+	PrefetchConfidence float64
+	// SpecFactory, when non-nil, builds the engines speculative drains
+	// run on instead of the main factory. Deployments that meter source
+	// traffic per cause wire a factory with dedicated counters here, so
+	// speculation never pollutes demand attribution.
+	SpecFactory Factory
 
 	factory Factory
 }
@@ -156,6 +173,27 @@ func WithSlowNav(threshold time.Duration, ring int) Option {
 	return func(c *config) { c.SlowThreshold, c.SlowRing = threshold, ring }
 }
 
+// WithPrefetch toggles navigation-driven speculative prefetch (off by
+// default; requires WithRegionCache).
+func WithPrefetch(on bool) Option { return func(c *config) { c.Prefetch = on } }
+
+// WithPrefetchBudget bounds each speculative drain (zero fields keep
+// the defaults: DefaultPrefetchNavs / DefaultPrefetchBytes).
+func WithPrefetchBudget(b core.PrefetchBudget) Option {
+	return func(c *config) { c.PrefetchBudget = b }
+}
+
+// WithPrefetchConfidence sets the minimum successor-model confidence
+// that triggers a speculative drain (0 keeps DefaultPrefetchConfidence).
+func WithPrefetchConfidence(conf float64) Option {
+	return func(c *config) { c.PrefetchConfidence = conf }
+}
+
+// WithSpecFactory builds speculative-drain engines from f instead of
+// the main factory, so deployments can meter speculative source traffic
+// on its own counters (nil keeps the main factory).
+func WithSpecFactory(f Factory) Option { return func(c *config) { c.SpecFactory = f } }
+
 // Server is a mixd instance. Create with New, run with Serve, stop with
 // Shutdown.
 type Server struct {
@@ -196,6 +234,10 @@ type Server struct {
 	poolMu                  sync.Mutex
 	pool                    []*pooledEngine
 	poolCreated, poolReused atomic.Int64
+
+	// prefetch is the speculative prefetcher (nil = off): the successor
+	// model, the drain workers, and their dedicated engine pool.
+	prefetch *prefetcher
 
 	mu       sync.Mutex
 	l        net.Listener
@@ -250,6 +292,12 @@ func newServer(cfg config) (*Server, error) {
 	}
 	if cfg.Trace && cfg.SlowThreshold >= 0 {
 		s.flight = telemetry.NewFlightRecorder(cfg.SlowRing, cfg.SlowThreshold)
+	}
+	if cfg.Prefetch {
+		if cfg.RegionCache == nil {
+			return nil, errors.New("server: prefetch requires a region cache (WithRegionCache)")
+		}
+		s.prefetch = newPrefetcher(s)
 	}
 	if cfg.Trace && s.cluster != nil {
 		// Peer control links get their own recorders: cross-node work a
@@ -359,6 +407,12 @@ func (s *Server) BumpRegistry() {
 	s.poolMu.Lock()
 	s.pool = nil
 	s.poolMu.Unlock()
+	if s.prefetch != nil {
+		// Speculation about the old world stops instantly: running drains
+		// are cancelled, the spec engine pool is flushed, and successor
+		// tables keyed to dead generations are dropped.
+		s.prefetch.epochMoved()
+	}
 	if s.cluster != nil && s.cache != nil {
 		s.cluster.BroadcastInvalidate(gen)
 	}
@@ -469,6 +523,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		open = append(open, sess)
 	}
 	s.mu.Unlock()
+	if s.prefetch != nil {
+		s.prefetch.close()
+	}
 
 	s.log.Info("draining", "sessions", len(open))
 
@@ -539,7 +596,12 @@ func (s *Server) Stats() vxdp.Stats {
 			SemanticCandidates:      cs.SemanticCandidates,
 			SemanticIncompleteSkips: cs.SemanticIncompleteSkips,
 			InternedBytes:           cs.InternedBytes,
+			SpecEntries:             int64(cs.SpecEntries),
+			SpecBytes:               cs.SpecBytes,
 		}
+	}
+	if s.prefetch != nil {
+		st.Prefetch = s.prefetch.stats()
 	}
 	if s.cfg.EnginePool {
 		s.poolMu.Lock()

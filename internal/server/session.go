@@ -13,6 +13,7 @@ import (
 	"mix/internal/mediator"
 	"mix/internal/metrics"
 	"mix/internal/nav"
+	"mix/internal/predict"
 	"mix/internal/trace"
 	"mix/internal/vxdp"
 )
@@ -51,6 +52,19 @@ type session struct {
 	// if the owner is lost mid-session.
 	proxy      *proxyLink
 	proxyQuery string
+
+	// Speculative-prefetch state, live only with prefetch on AND the
+	// open view cache-named (geo nil otherwise — the off path pays one
+	// nil check). geo maps issued handles to their region geometry;
+	// viewKey/viewQuery identify the view to the successor model;
+	// lastEngaged is the last region engaged (-1 = none); pending is the
+	// unresolved predicted region (-1 = none). All session-goroutine
+	// local.
+	geo         map[uint64]nodePos
+	viewKey     predict.Key
+	viewQuery   string
+	lastEngaged int
+	pending     int
 }
 
 // run is the session loop: read a frame, dispatch, respond — until the
@@ -102,7 +116,7 @@ func cmdLabel(op string) string {
 	case vxdp.OpOpen, vxdp.OpRoot, vxdp.OpDown, vxdp.OpRight, vxdp.OpFetch,
 		vxdp.OpSelect, vxdp.OpBatch, vxdp.OpStats, vxdp.OpTrace, vxdp.OpClose,
 		vxdp.OpPing, vxdp.OpRegionGet, vxdp.OpRegionPut, vxdp.OpInvalidate,
-		vxdp.OpSlow:
+		vxdp.OpSlow, vxdp.OpPrefetchHint:
 		return op
 	}
 	return "other"
@@ -228,6 +242,8 @@ func (s *session) dispatch(req vxdp.Request) (resp vxdp.Response, last bool) {
 		return s.srv.traced(req.TraceCtx, req.Op, func() vxdp.Response { return s.srv.handleRegionPut(req) }), false
 	case vxdp.OpInvalidate:
 		return s.srv.traced(req.TraceCtx, req.Op, func() vxdp.Response { return s.srv.handleInvalidate(req) }), false
+	case vxdp.OpPrefetchHint:
+		return s.srv.tracedSpec(req.TraceCtx, req.Op, func() vxdp.Response { return s.srv.handlePrefetchHint(req) }), false
 	default:
 		return errResp("unknown op %q", req.Op), false
 	}
@@ -267,7 +283,7 @@ func (s *session) open(query string) error {
 	if err != nil {
 		return err
 	}
-	s.installView(res)
+	s.installView(res, query)
 	return nil
 }
 
@@ -286,8 +302,9 @@ func (s *session) ensureEngine() error {
 }
 
 // installView makes a compiled query result the session's document and
-// resets the handle table.
-func (s *session) installView(res *mediator.Result) {
+// resets the handle table (and, with prefetch on, the region-geometry
+// state the successor model feeds on).
+func (s *session) installView(res *mediator.Result, query string) {
 	s.opens.Add(1)
 	// Count every navigation this session answers on its own counters
 	// (folded into the server totals); with tracing on, also root a span
@@ -298,6 +315,18 @@ func (s *session) installView(res *mediator.Result) {
 	}
 	s.handles = map[uint64]nav.ID{}
 	s.nextH = 0
+	s.geo = nil
+	s.viewKey = predict.Key{}
+	s.viewQuery = ""
+	s.lastEngaged = -1
+	s.pending = -1
+	if s.srv.prefetch != nil {
+		if k := res.RegionKey(); k.Name != "" {
+			s.geo = map[uint64]nodePos{}
+			s.viewKey = predict.Key{Generation: k.Generation, Registry: k.Registry, Name: k.Name, Fingerprint: k.Fingerprint}
+			s.viewQuery = query
+		}
+	}
 }
 
 // issue registers a node ID and returns its wire handle.
@@ -324,17 +353,20 @@ func navErr(format string, args ...any) navResult {
 // as ⊥. Outside batches the start node comes from the handle table.
 func (s *session) navigate(cmd vxdp.Cmd, from *navResult) navResult {
 	var base nav.ID
+	var baseH uint64
 	if from != nil {
 		if !from.nr.OK {
 			return navResult{nr: vxdp.NavResult{OK: false}} // ⊥ propagates
 		}
 		base = from.node
+		baseH = from.nr.ID
 	} else if cmd.Op != vxdp.OpRoot {
 		id, ok := s.handles[cmd.ID]
 		if !ok {
 			return navErr("unknown node handle %d", cmd.ID)
 		}
 		base = id
+		baseH = cmd.ID
 	}
 	var (
 		id  nav.ID
@@ -354,10 +386,17 @@ func (s *session) navigate(cmd vxdp.Cmd, from *navResult) navResult {
 		if ferr != nil {
 			return navErr("%v", ferr)
 		}
+		if s.geo != nil {
+			s.noteFetch(baseH)
+		}
 		return navResult{nr: vxdp.NavResult{OK: true, Label: label}}
 	case "node":
 		// Batch-only alias of an earlier step's node.
-		return navResult{nr: vxdp.NavResult{OK: true, ID: s.issue(base)}, node: base}
+		h := s.issue(base)
+		if s.geo != nil {
+			s.noteAlias(baseH, h)
+		}
+		return navResult{nr: vxdp.NavResult{OK: true, ID: h}, node: base}
 	default:
 		return navErr("unknown op %q", cmd.Op)
 	}
@@ -367,7 +406,11 @@ func (s *session) navigate(cmd vxdp.Cmd, from *navResult) navResult {
 	if id == nil {
 		return navResult{nr: vxdp.NavResult{OK: false}}
 	}
-	return navResult{nr: vxdp.NavResult{OK: true, ID: s.issue(id)}, node: id}
+	h := s.issue(id)
+	if s.geo != nil {
+		s.noteMove(cmd.Op, baseH, h)
+	}
+	return navResult{nr: vxdp.NavResult{OK: true, ID: h}, node: id}
 }
 
 // batch executes a pipelined command sequence. Any step error fails the

@@ -108,7 +108,7 @@ func (c *Client) SetTraceLabel(label string) {
 func tracedOp(op string) bool {
 	switch op {
 	case OpOpen, OpRoot, OpDown, OpRight, OpFetch, OpSelect, OpBatch,
-		OpRegionGet, OpRegionPut, OpInvalidate:
+		OpRegionGet, OpRegionPut, OpInvalidate, OpPrefetchHint:
 		return true
 	}
 	return false
@@ -325,6 +325,15 @@ func (c *Client) RegionGetComplete(key RegionKey) (*regioncache.Region, error) {
 // key. The server ignores puts for generations it has moved past.
 func (c *Client) RegionPut(key RegionKey, tree *regioncache.Region) error {
 	_, err := c.roundTrip(Request{Cmd: Cmd{Op: OpRegionPut}, Region: &key, Tree: tree})
+	return err
+}
+
+// PrefetchHint advises the server to speculatively warm a predicted
+// region of a view it owns. Purely advisory: the server may drop it for
+// any reason and still answer ok, so a nil error only means the hint
+// was delivered, not that a drain ran.
+func (c *Client) PrefetchHint(h PrefetchHint) error {
+	_, err := c.roundTrip(Request{Cmd: Cmd{Op: OpPrefetchHint}, Hint: &h})
 	return err
 }
 

@@ -38,13 +38,21 @@
 // stitches into a single forest. Untraced sessions never carry either
 // field — they cost zero bytes and zero allocations.
 //
-// Cluster peers (mixd -cluster) speak four more ops on ordinary
-// sessions — the L2 region protocol and the health probe:
+// Cluster peers (mixd -cluster) speak five more ops on ordinary
+// sessions — the L2 region protocol, the health probe, and the
+// speculative-prefetch hint:
 //
 //	{"op":"ping"}                    → ok + the node's cache generation
 //	{"op":"region_get","region":K}   → explored region under key K, or ⊥
 //	{"op":"region_put","region":K,"tree":R}   merge region R into K
 //	{"op":"invalidate","gen":G}      raise the cache generation to G
+//	{"op":"prefetch_hint","hint":H}  warm a predicted region (advisory)
+//
+// A prefetch hint is fire-and-forget advice: the sender predicts that a
+// client will engage region H.region of the view H.key next, and asks
+// the key's ring owner to warm it speculatively. The receiver may drop
+// the hint for any reason (prefetch off, budget, stale generation) and
+// still answers ok, so a lost hint costs the sender nothing.
 //
 // and responses are
 //
@@ -106,6 +114,9 @@ const (
 	OpRegionGet  = "region_get"
 	OpRegionPut  = "region_put"
 	OpInvalidate = "invalidate"
+	// OpPrefetchHint asks a peer to speculatively warm a predicted
+	// region of a view it owns (advisory; see PrefetchHint).
+	OpPrefetchHint = "prefetch_hint"
 )
 
 // Cmd is one navigation command, either standalone or as a batch step.
@@ -133,6 +144,19 @@ type RegionKey struct {
 	Fingerprint string `json:"fp"`
 }
 
+// PrefetchHint is the prefetch_hint payload: everything a peer needs to
+// warm one predicted region of a view it owns. Query lets the receiver
+// compile the view itself (hints never carry node handles — they are
+// session-free); Key pins the exact cache epoch, so a hint from a node
+// on an older generation is silently dropped rather than resurrecting
+// invalidated data.
+type PrefetchHint struct {
+	Query  string    `json:"query"`
+	Key    RegionKey `json:"key"`
+	Region int       `json:"region"`
+	Deep   bool      `json:"deep,omitempty"`
+}
+
 // Request is a client→server frame.
 type Request struct {
 	Cmd
@@ -149,6 +173,8 @@ type Request struct {
 	Semantic bool `json:"semantic,omitempty"`
 	// Gen is the target generation of an invalidate broadcast.
 	Gen uint64 `json:"gen,omitempty"`
+	// Hint carries a prefetch_hint: advisory, fire-and-forget.
+	Hint *PrefetchHint `json:"hint,omitempty"`
 	// Proxied marks an open forwarded by a cluster peer: the receiver
 	// must serve it locally, never re-proxy or redirect, so a
 	// misconfigured ring cannot bounce a session between nodes.
@@ -237,6 +263,26 @@ type Stats struct {
 	// Cluster, present when the server runs as a cluster node, reports
 	// ring routing, proxying, and L2 region-cache traffic.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// Prefetch, present when the server runs the speculative prefetcher
+	// (mixd -prefetch), reports prediction and drain effectiveness.
+	Prefetch *PrefetchStats `json:"prefetch,omitempty"`
+}
+
+// PrefetchStats reports the speculative prefetcher's effectiveness: how
+// many drains it issued, how the predictions resolved against the
+// client's actual next engagement, and what the speculation cost in
+// navigations at the speculative answer boundary. Issued − Hits −
+// Wasted − Cancelled is the number still unresolved (inflight or
+// awaiting the client's next move).
+type PrefetchStats struct {
+	Issued    int64 `json:"issued"`
+	Hits      int64 `json:"hits"`      // client engaged the predicted region
+	Wasted    int64 `json:"wasted"`    // client engaged a different region
+	Cancelled int64 `json:"cancelled"` // drain cancelled (demand pre-empt, epoch bump)
+	Navs      int64 `json:"navs"`      // speculative answer-boundary navigations
+	HintsSent int64 `json:"hints_sent,omitempty"`
+	HintsRecv int64 `json:"hints_recv,omitempty"`
+	Inflight  int64 `json:"inflight,omitempty"` // drains currently running
 }
 
 // ClusterStats mirrors cluster.Stats on the wire: how sessions were
@@ -333,6 +379,11 @@ type CacheStats struct {
 	// InternedBytes is the cache's key-string vocabulary (charged once
 	// per distinct name/fingerprint, never released).
 	InternedBytes int64 `json:"interned_bytes"`
+	// The speculative class: entries published by the prefetcher that no
+	// demand navigation has touched yet. They are accounted separately
+	// and evicted before any demand entry under pressure.
+	SpecEntries int64 `json:"spec_entries,omitempty"`
+	SpecBytes   int64 `json:"spec_bytes,omitempty"`
 }
 
 // PoolStats reports cross-session engine reuse.

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPersonaScriptsDeterministic(t *testing.T) {
+	for _, name := range []string{"deep-drill", "glance", "select-heavy"} {
+		a := PersonaScript(name, 16, 7)
+		b := PersonaScript(name, 16, 7)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different scripts", name)
+		}
+		if a == nil {
+			t.Fatalf("%s: unknown to PersonaScript", name)
+		}
+	}
+	if PersonaScript("no-such-persona", 4, 1) != nil {
+		t.Fatal("unknown persona returned a script")
+	}
+}
+
+func TestDeepDrillCoversAllRegionsInOrder(t *testing.T) {
+	s := DeepDrillScript(8, 99)
+	if len(s) != 8 {
+		t.Fatalf("got %d steps, want 8", len(s))
+	}
+	for i, st := range s {
+		if st.Region != i || !st.Deep || st.Select {
+			t.Fatalf("step %d = %+v; want in-order deep non-select", i, st)
+		}
+	}
+}
+
+func TestGlanceShallowOrderedSubset(t *testing.T) {
+	s := GlanceScript(30, 3)
+	if len(s) == 0 || len(s) >= 30 {
+		t.Fatalf("glance over 30 regions gave %d steps; want a proper subset", len(s))
+	}
+	last := -1
+	for _, st := range s {
+		if st.Deep || st.Select {
+			t.Fatalf("glance step %+v is not a shallow scan", st)
+		}
+		if st.Region <= last {
+			t.Fatalf("glance out of order: %d after %d", st.Region, last)
+		}
+		last = st.Region
+	}
+}
+
+func TestSelectHeavyJumps(t *testing.T) {
+	s := SelectHeavyScript(12, 5)
+	if len(s) != 12 {
+		t.Fatalf("got %d steps, want 12", len(s))
+	}
+	for _, st := range s {
+		if !st.Select || st.Deep {
+			t.Fatalf("step %+v; want shallow select jumps", st)
+		}
+		if st.Region < 0 || st.Region >= 12 {
+			t.Fatalf("region %d out of range", st.Region)
+		}
+	}
+}
